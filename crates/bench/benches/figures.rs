@@ -1,0 +1,44 @@
+//! End-to-end figure benchmarks: each of the paper's five figures run at
+//! reduced scale, so `cargo bench` exercises every experiment pipeline.
+//! The full-scale series come from the `fig2` … `fig6` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtlock::distributed::CeilingArchitecture;
+use rtlock::ProtocolKind;
+use rtlock_bench::distributed::measure_dist_point;
+use rtlock_bench::single_site::measure_size_point;
+
+const TXNS: u32 = 80;
+const SEEDS: u64 = 2;
+
+fn bench_fig2_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/single_site");
+    group.sample_size(10);
+    for kind in [
+        ProtocolKind::PriorityCeiling,
+        ProtocolKind::TwoPhaseLockingPriority,
+        ProtocolKind::TwoPhaseLocking,
+    ] {
+        group.bench_function(format!("size14_{}", kind.label()), |b| {
+            b.iter(|| measure_size_point(kind, 14, TXNS, SEEDS));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig4_fig5_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/distributed");
+    group.sample_size(10);
+    for arch in [
+        CeilingArchitecture::LocalReplicated,
+        CeilingArchitecture::GlobalManager,
+    ] {
+        group.bench_function(format!("mix50_delay2_{}", arch.label()), |b| {
+            b.iter(|| measure_dist_point(arch, 0.5, 2, TXNS, SEEDS));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2_fig3, bench_fig4_fig5_fig6);
+criterion_main!(benches);

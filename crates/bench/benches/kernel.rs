@@ -1,0 +1,86 @@
+//! Micro-benchmarks of the simulation kernel: event queue throughput and
+//! CPU scheduling operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use starlite::{Completion, Cpu, CpuPolicy, Engine, Model, Priority, Scheduler, SimDuration, SimTime};
+
+struct Ping {
+    remaining: u64,
+}
+
+enum Ev {
+    Tick,
+}
+
+impl Model for Ping {
+    type Event = Ev;
+    fn handle(&mut self, _ev: Ev, sched: &mut Scheduler<Ev>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            sched.schedule_after(SimDuration::from_ticks(1), Ev::Tick);
+        }
+    }
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/event_queue");
+    for &n in &[1_000u64, 10_000] {
+        group.bench_with_input(BenchmarkId::new("chain", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut engine = Engine::new(Ping { remaining: n });
+                engine.scheduler_mut().schedule(SimTime::ZERO, Ev::Tick);
+                engine.run_to_completion(None)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("preloaded", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut engine = Engine::new(Ping { remaining: 0 });
+                for i in 0..n {
+                    engine
+                        .scheduler_mut()
+                        .schedule(SimTime::from_ticks(i % 97), Ev::Tick);
+                }
+                engine.run_to_completion(None)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cpu_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/cpu");
+    for policy in [CpuPolicy::PreemptivePriority, CpuPolicy::Fcfs] {
+        group.bench_function(format!("{policy:?}/submit_complete_64"), |b| {
+            b.iter(|| {
+                let mut cpu: Cpu<u32> = Cpu::new(policy);
+                let mut timers: Vec<(SimTime, starlite::CpuToken)> = Vec::new();
+                for i in 0..64u32 {
+                    if let Some(burst) = cpu.submit(
+                        i,
+                        Priority::new((i % 7) as i64),
+                        SimDuration::from_ticks(1_000),
+                        SimTime::from_ticks(i as u64),
+                    ) {
+                        timers.push((burst.finish_at, burst.token));
+                    }
+                }
+                let mut done = 0u32;
+                while !timers.is_empty() {
+                    timers.sort_by_key(|&(t, _)| t);
+                    let (at, token) = timers.remove(0);
+                    if let Completion::Finished { next, .. } = cpu.complete(token, at) {
+                        done += 1;
+                        if let Some(b2) = next {
+                            timers.push((b2.finish_at, b2.token));
+                        }
+                    }
+                }
+                done
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_cpu_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the synchronisation protocols: lock table
+//! operations, ceiling admission, and waits-for cycle detection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtdb::{LockMode, LockTable, ObjectId, QueuePolicy, SiteId, TxnId, TxnSpec, WaitsForGraph};
+use rtlock::protocols::{LockProtocol, PriorityCeilingProtocol, ReleaseReason};
+use starlite::{Priority, SimTime};
+
+fn bench_lock_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locking/lock_table");
+    for policy in [QueuePolicy::Fifo, QueuePolicy::Priority] {
+        group.bench_function(format!("{policy:?}/contended_cycle"), |b| {
+            b.iter(|| {
+                let mut table = LockTable::new(policy);
+                // 32 transactions contending over 8 objects.
+                for t in 0..32u64 {
+                    for o in 0..4u32 {
+                        let outcome = table.request(
+                            TxnId(t),
+                            ObjectId((t as u32 + o) % 8),
+                            if o % 2 == 0 { LockMode::Read } else { LockMode::Write },
+                            Priority::new((t % 5) as i64),
+                        );
+                        if matches!(outcome, rtdb::LockOutcome::Waiting { .. }) {
+                            break; // a blocked transaction stops requesting
+                        }
+                    }
+                }
+                let mut woken = 0usize;
+                for t in 0..32u64 {
+                    woken += table.release_all(TxnId(t)).len();
+                }
+                woken
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ceiling_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locking/ceiling");
+    for active in [16u64, 64] {
+        group.bench_function(format!("admission_with_{active}_active"), |b| {
+            b.iter(|| {
+                let mut pcp = PriorityCeilingProtocol::read_write();
+                for t in 0..active {
+                    let spec = TxnSpec::new(
+                        TxnId(t),
+                        SimTime::ZERO,
+                        vec![ObjectId((t % 20) as u32)],
+                        vec![ObjectId(((t + 7) % 20) as u32 + 20)],
+                        SimTime::from_ticks(1_000 + t),
+                        SiteId(0),
+                    );
+                    pcp.register(&spec);
+                }
+                // Each transaction requests its write object; many will be
+                // ceiling-blocked, exercising the admission scan.
+                let mut granted = 0usize;
+                for t in 0..active {
+                    let obj = ObjectId(((t + 7) % 20) as u32 + 20);
+                    let r = pcp.request(TxnId(t), obj, LockMode::Write);
+                    if matches!(r.outcome, rtlock::protocols::RequestOutcome::Granted) {
+                        granted += 1;
+                    }
+                }
+                for t in 0..active {
+                    pcp.release_all(TxnId(t), ReleaseReason::Finished);
+                }
+                granted
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_wfg(c: &mut Criterion) {
+    c.bench_function("locking/wfg/cycle_detection_100", |b| {
+        b.iter(|| {
+            let mut g = WaitsForGraph::new();
+            for i in 0..100u64 {
+                g.add_edges(TxnId(i), &[TxnId((i + 1) % 100), TxnId((i + 7) % 100)]);
+            }
+            g.cycle_from(TxnId(0)).is_some()
+        });
+    });
+}
+
+criterion_group!(benches, bench_lock_table, bench_ceiling_admission, bench_wfg);
+criterion_main!(benches);

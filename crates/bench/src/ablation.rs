@@ -1,0 +1,129 @@
+//! Ablation studies for the design choices the paper raises.
+
+use monitor::Summary;
+use rtdb::{Catalog, Placement};
+use rtlock::{ProtocolKind, SingleSiteConfig, Simulator, VictimPolicy};
+use starlite::SimDuration;
+use workload::{SizeDistribution, WorkloadSpec};
+
+use crate::params;
+
+/// A measured protocol-vs-metric row for an ablation table.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Human-readable configuration label.
+    pub label: String,
+    /// Mean transaction size.
+    pub size: u32,
+    /// Normalised throughput.
+    pub throughput: Summary,
+    /// Percentage of deadline-missing transactions.
+    pub pct_missed: Summary,
+    /// Deadlocks per run.
+    pub deadlocks: Summary,
+}
+
+/// One ablation configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AblationCase {
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Deadlock victim selection (2PL protocols).
+    pub victim_policy: VictimPolicy,
+    /// Whether deadlock victims restart (`true`) or abort outright.
+    pub restart_victims: bool,
+    /// Fraction of read-only transactions.
+    pub read_only_fraction: f64,
+}
+
+impl AblationCase {
+    /// The canonical figure configuration for `protocol`: lowest-priority
+    /// victims aborted outright, all-update mix.
+    pub fn canonical(protocol: ProtocolKind) -> Self {
+        AblationCase {
+            protocol,
+            victim_policy: VictimPolicy::LowestPriority,
+            restart_victims: false,
+            read_only_fraction: 0.0,
+        }
+    }
+}
+
+/// Runs one case at one mean size. Sizes are drawn uniformly from
+/// `[size/2, size + size/2]` so that deadline order differs from arrival
+/// order (otherwise victim policies coincide).
+pub fn measure(
+    label: &str,
+    case: AblationCase,
+    size: u32,
+    txn_count: u32,
+    seeds: u64,
+) -> AblationRow {
+    assert!(size >= 2, "ablation sizes start at 2");
+    let catalog = Catalog::new(params::DB_SIZE, 1, Placement::SingleSite);
+    let per_object_cost = SimDuration::from_ticks(
+        params::CPU_PER_OBJECT.ticks() + params::IO_PER_OBJECT.ticks(),
+    );
+    let workload = WorkloadSpec::builder()
+        .txn_count(txn_count)
+        .mean_interarrival(params::interarrival_for(size))
+        .size(SizeDistribution::Uniform {
+            min: size / 2,
+            max: size + size / 2,
+        })
+        .read_only_fraction(case.read_only_fraction)
+        .write_fraction(0.5)
+        .deadline(params::SLACK_FACTOR, per_object_cost)
+        .build();
+    let config = SingleSiteConfig::builder()
+        .protocol(case.protocol)
+        .cpu_per_object(params::CPU_PER_OBJECT)
+        .io_per_object(params::IO_PER_OBJECT)
+        .victim_policy(case.victim_policy)
+        .restart_victims(case.restart_victims)
+        .build();
+    let sim = Simulator::new(config, catalog, &workload);
+    let mut throughput = Vec::new();
+    let mut pct_missed = Vec::new();
+    let mut deadlocks = Vec::new();
+    for seed in 0..seeds {
+        let report = sim.run(seed);
+        throughput.push(report.stats.throughput);
+        pct_missed.push(report.stats.pct_missed);
+        deadlocks.push(report.deadlocks as f64);
+    }
+    AblationRow {
+        label: label.to_string(),
+        size,
+        throughput: Summary::of(&throughput),
+        pct_missed: Summary::of(&pct_missed),
+        deadlocks: Summary::of(&deadlocks),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_case_matches_figure_config() {
+        let case = AblationCase::canonical(ProtocolKind::TwoPhaseLocking);
+        assert!(!case.restart_victims);
+        assert_eq!(case.read_only_fraction, 0.0);
+        assert_eq!(case.victim_policy, VictimPolicy::LowestPriority);
+    }
+
+    #[test]
+    fn measure_produces_summaries() {
+        let row = measure(
+            "smoke",
+            AblationCase::canonical(ProtocolKind::PriorityCeiling),
+            6,
+            60,
+            2,
+        );
+        assert_eq!(row.label, "smoke");
+        assert_eq!(row.throughput.n, 2);
+        assert_eq!(row.deadlocks.mean, 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Ablation A2/A4 — basic priority inheritance versus the full ceiling
+//! protocol, and priority versus FIFO wait queues.
+//!
+//! §3.1 argues inheritance alone leaves chained blocking and deadlocks;
+//! this study quantifies the gap by running the inheritance protocol
+//! between the paper's "P" and "C" under the canonical (no-restart)
+//! deadlock handling.
+
+use monitor::csv::Table;
+use rtlock::ProtocolKind;
+use rtlock_bench::ablation::{measure, AblationCase};
+use rtlock_bench::params;
+
+fn main() {
+    let sizes = [4u32, 8, 12, 16, 20];
+    let configs = [
+        ("C", ProtocolKind::PriorityCeiling),
+        ("I", ProtocolKind::PriorityInheritance),
+        ("P", ProtocolKind::TwoPhaseLockingPriority),
+        ("L", ProtocolKind::TwoPhaseLocking),
+    ];
+    let mut columns = vec!["size".to_string()];
+    for (label, _) in &configs {
+        columns.push(format!("{label}_pct_missed"));
+    }
+    for (label, _) in &configs {
+        columns.push(format!("{label}_deadlocks"));
+    }
+    let mut table = Table::new(columns);
+    for &size in &sizes {
+        let mut misses = Vec::new();
+        let mut deadlocks = Vec::new();
+        for (label, kind) in &configs {
+            let r = measure(
+                label,
+                AblationCase::canonical(*kind),
+                size,
+                params::TXNS_PER_RUN,
+                params::SEEDS,
+            );
+            misses.push(r.pct_missed.mean);
+            deadlocks.push(r.deadlocks.mean);
+        }
+        let mut row = vec![size as f64];
+        row.extend(misses);
+        row.extend(deadlocks);
+        table.push_row(row);
+    }
+    println!("Ablation A2: %missed and deadlocks across the protocol ladder");
+    print!("{}", table.to_pretty());
+    println!("\nCSV:\n{}", table.to_csv());
+}

@@ -1,0 +1,47 @@
+//! Ablation A1 — read/write versus exclusive lock semantics in the
+//! priority ceiling protocol.
+//!
+//! The paper's conclusion raises the open question whether "the use of
+//! read and write semantics of a lock may lead to worse performance in
+//! terms of schedulability than the use of exclusive semantics". This
+//! study runs both variants over a read-heavy mix, where the semantics
+//! difference matters most.
+
+use monitor::csv::Table;
+use rtlock::ProtocolKind;
+use rtlock_bench::ablation::{measure, AblationCase};
+use rtlock_bench::params;
+
+fn main() {
+    let sizes = [4u32, 8, 12, 16, 20];
+    let mix = 0.6;
+    let mut table = Table::new(vec![
+        "size".into(),
+        "rw_throughput".into(),
+        "excl_throughput".into(),
+        "rw_pct_missed".into(),
+        "excl_pct_missed".into(),
+    ]);
+    for &size in &sizes {
+        let rw_case = AblationCase {
+            read_only_fraction: mix,
+            ..AblationCase::canonical(ProtocolKind::PriorityCeiling)
+        };
+        let excl_case = AblationCase {
+            read_only_fraction: mix,
+            ..AblationCase::canonical(ProtocolKind::PriorityCeilingExclusive)
+        };
+        let rw = measure("rw", rw_case, size, params::TXNS_PER_RUN, params::SEEDS);
+        let excl = measure("exclusive", excl_case, size, params::TXNS_PER_RUN, params::SEEDS);
+        table.push_row(vec![
+            size as f64,
+            rw.throughput.mean,
+            excl.throughput.mean,
+            rw.pct_missed.mean,
+            excl.pct_missed.mean,
+        ]);
+    }
+    println!("Ablation A1: ceiling protocol lock semantics (60% read-only mix)");
+    print!("{}", table.to_pretty());
+    println!("\nCSV:\n{}", table.to_csv());
+}

@@ -1,0 +1,49 @@
+//! Extension study E1 — timestamp ordering versus locking.
+//!
+//! The prototyping environment's concurrency-control menu offers
+//! timestamp ordering alongside locking; this study places basic T/O on
+//! the Figure 2/3 axes next to the ceiling protocol and priority 2PL.
+//! T/O never blocks or deadlocks but pays restarts on every out-of-order
+//! access, which grow with the conflict rate.
+
+use monitor::csv::Table;
+use rtlock::ProtocolKind;
+use rtlock_bench::ablation::{measure, AblationCase};
+use rtlock_bench::params;
+
+fn main() {
+    let sizes = [4u32, 8, 12, 16, 20];
+    let configs = [
+        ("C", ProtocolKind::PriorityCeiling),
+        ("P", ProtocolKind::TwoPhaseLockingPriority),
+        ("T", ProtocolKind::TimestampOrdering),
+    ];
+    let mut columns = vec!["size".to_string()];
+    for (label, _) in &configs {
+        columns.push(format!("{label}_pct_missed"));
+    }
+    columns.push("T_rejections".into());
+    let mut table = Table::new(columns);
+    for &size in &sizes {
+        let mut row = vec![size as f64];
+        let mut rejections = 0.0;
+        for (label, kind) in &configs {
+            // T/O victims must restart (a rejection is not a deadline
+            // miss); locking runs the canonical no-restart policy.
+            let case = AblationCase {
+                restart_victims: *kind == ProtocolKind::TimestampOrdering,
+                ..AblationCase::canonical(*kind)
+            };
+            let r = measure(label, case, size, params::TXNS_PER_RUN, params::SEEDS);
+            row.push(r.pct_missed.mean);
+            if *kind == ProtocolKind::TimestampOrdering {
+                rejections = r.deadlocks.mean;
+            }
+        }
+        row.push(rejections);
+        table.push_row(row);
+    }
+    println!("Extension E1: timestamp ordering vs locking (all-update mix)");
+    print!("{}", table.to_pretty());
+    println!("\nCSV:\n{}", table.to_csv());
+}

@@ -1,0 +1,44 @@
+//! Ablation A3 — deadlock victim selection and restart economics for
+//! two-phase locking with priority ("P").
+//!
+//! Compares aborting the lowest-priority member of the cycle against the
+//! youngest, and restarting victims against aborting them outright.
+//! Transaction sizes vary around the mean so deadline order differs from
+//! arrival order (with fixed sizes the two victim policies coincide).
+
+use monitor::csv::Table;
+use rtlock::{ProtocolKind, VictimPolicy};
+use rtlock_bench::ablation::{measure, AblationCase};
+use rtlock_bench::params;
+
+fn main() {
+    let sizes = [8u32, 12, 16, 20];
+    let cases = [
+        ("lowest_abort", VictimPolicy::LowestPriority, false),
+        ("youngest_abort", VictimPolicy::Youngest, false),
+        ("lowest_restart", VictimPolicy::LowestPriority, true),
+        ("youngest_restart", VictimPolicy::Youngest, true),
+    ];
+    let mut columns = vec!["size".to_string()];
+    for (label, _, _) in &cases {
+        columns.push(format!("{label}_pct_missed"));
+    }
+    let mut table = Table::new(columns);
+    for &size in &sizes {
+        let mut row = vec![size as f64];
+        for (label, policy, restart) in &cases {
+            let case = AblationCase {
+                protocol: ProtocolKind::TwoPhaseLockingPriority,
+                victim_policy: *policy,
+                restart_victims: *restart,
+                read_only_fraction: 0.0,
+            };
+            let r = measure(label, case, size, params::TXNS_PER_RUN, params::SEEDS);
+            row.push(r.pct_missed.mean);
+        }
+        table.push_row(row);
+    }
+    println!("Ablation A3: deadlock victim policy and restart economics (protocol P)");
+    print!("{}", table.to_pretty());
+    println!("\nCSV:\n{}", table.to_csv());
+}

@@ -1,0 +1,47 @@
+//! Runs every figure's experiment at reduced scale and checks the
+//! paper's qualitative claims — a fast end-to-end sanity pass over the
+//! whole reproduction (the full-scale binaries are `fig2` … `fig6`).
+
+use rtlock::ProtocolKind;
+use rtlock_bench::distributed::measure_pair;
+use rtlock_bench::single_site::measure_size_point;
+
+fn main() {
+    let txns = 150;
+    let seeds = 3;
+
+    println!("== quick single-site pass (Figures 2 & 3) ==");
+    let c_small = measure_size_point(ProtocolKind::PriorityCeiling, 5, txns, seeds);
+    let c_large = measure_size_point(ProtocolKind::PriorityCeiling, 20, txns, seeds);
+    let l_small = measure_size_point(ProtocolKind::TwoPhaseLocking, 5, txns, seeds);
+    let l_large = measure_size_point(ProtocolKind::TwoPhaseLocking, 20, txns, seeds);
+    println!(
+        "C: size 5 -> {:.0} obj/s, {:.1}% missed | size 20 -> {:.0} obj/s, {:.1}% missed",
+        c_small.throughput.mean,
+        c_small.pct_missed.mean,
+        c_large.throughput.mean,
+        c_large.pct_missed.mean
+    );
+    println!(
+        "L: size 5 -> {:.0} obj/s, {:.1}% missed | size 20 -> {:.0} obj/s, {:.1}% missed",
+        l_small.throughput.mean,
+        l_small.pct_missed.mean,
+        l_large.throughput.mean,
+        l_large.pct_missed.mean
+    );
+    let claim_f3 = l_large.pct_missed.mean > c_large.pct_missed.mean;
+    println!("claim (Fig 3: L misses more than C at size 20): {claim_f3}");
+
+    println!("\n== quick distributed pass (Figures 4-6) ==");
+    for delay in [0u32, 4] {
+        let (local, global) = measure_pair(0.5, delay, txns, seeds);
+        println!(
+            "delay {delay}: local {:.0} obj/s ({:.1}% missed) vs global {:.0} obj/s ({:.1}% missed)",
+            local.throughput.mean,
+            local.pct_missed.mean,
+            global.throughput.mean,
+            global.pct_missed.mean
+        );
+    }
+    println!("\ndone — run fig2..fig6 for the full-scale series");
+}

@@ -1,0 +1,76 @@
+//! Figure 2 — Transaction Throughput (single site).
+//!
+//! Normalised throughput (data objects accessed per second by successful
+//! transactions) versus transaction size, for the priority ceiling
+//! protocol (C), two-phase locking with priority (P) and two-phase
+//! locking without priority (L).
+//!
+//! Expected shape (paper §3.3): C stays roughly flat across sizes; P and
+//! L degrade rapidly as the transaction size (and with it the conflict
+//! and deadlock rate) grows.
+
+use monitor::csv::Table;
+use monitor::plot::{render, Series};
+use rtlock_bench::params;
+use rtlock_bench::single_site::{figure_protocols, sweep_sizes};
+
+fn main() {
+    let protocols = figure_protocols();
+    let points = sweep_sizes(&protocols, params::TXNS_PER_RUN, params::SEEDS);
+
+    let mut table = Table::new(vec![
+        "size".into(),
+        "C_throughput".into(),
+        "P_throughput".into(),
+        "L_throughput".into(),
+        "C_ci95".into(),
+        "P_ci95".into(),
+        "L_ci95".into(),
+    ]);
+    for &size in &params::SIZES {
+        let row: Vec<&_> = protocols
+            .iter()
+            .map(|&p| {
+                points
+                    .iter()
+                    .find(|pt| pt.protocol == p && pt.size == size)
+                    .expect("swept point")
+            })
+            .collect();
+        table.push_row(vec![
+            size as f64,
+            row[0].throughput.mean,
+            row[1].throughput.mean,
+            row[2].throughput.mean,
+            row[0].throughput.ci95,
+            row[1].throughput.ci95,
+            row[2].throughput.ci95,
+        ]);
+    }
+
+    println!("Figure 2: Transaction Throughput (objects/second, committed transactions)");
+    println!(
+        "db={} objects, util target {:.2}, slack {:.1}, {} txns x {} seeds\n",
+        params::DB_SIZE,
+        params::UTILIZATION,
+        params::SLACK_FACTOR,
+        params::TXNS_PER_RUN,
+        params::SEEDS
+    );
+    print!("{}", table.to_pretty());
+    let series: Vec<Series> = protocols
+        .iter()
+        .map(|&p| {
+            Series::new(
+                p.label().to_string(),
+                points
+                    .iter()
+                    .filter(|pt| pt.protocol == p)
+                    .map(|pt| (pt.size as f64, pt.throughput.mean))
+                    .collect(),
+            )
+        })
+        .collect();
+    println!("\n{}", render(&series, 60, 16));
+    println!("CSV:\n{}", table.to_csv());
+}

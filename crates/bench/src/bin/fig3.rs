@@ -1,0 +1,72 @@
+//! Figure 3 — Percentage of Deadline Missing Transactions (single site).
+//!
+//! `%missed = 100 × missed / processed` versus transaction size for
+//! protocols C, P and L.
+//!
+//! Expected shape (paper §3.3): the percentage rises sharply with size
+//! for two-phase locking (deadlock probability grows ~size⁴) and slowly
+//! for the priority ceiling protocol (deadlock-free, bounded blocking).
+
+use monitor::csv::Table;
+use monitor::plot::{render, Series};
+use rtlock_bench::params;
+use rtlock_bench::single_site::{figure_protocols, sweep_sizes};
+
+fn main() {
+    let protocols = figure_protocols();
+    let points = sweep_sizes(&protocols, params::TXNS_PER_RUN, params::SEEDS);
+
+    let mut table = Table::new(vec![
+        "size".into(),
+        "C_pct_missed".into(),
+        "P_pct_missed".into(),
+        "L_pct_missed".into(),
+        "P_deadlocks".into(),
+        "L_deadlocks".into(),
+    ]);
+    for &size in &params::SIZES {
+        let row: Vec<&_> = protocols
+            .iter()
+            .map(|&p| {
+                points
+                    .iter()
+                    .find(|pt| pt.protocol == p && pt.size == size)
+                    .expect("swept point")
+            })
+            .collect();
+        table.push_row(vec![
+            size as f64,
+            row[0].pct_missed.mean,
+            row[1].pct_missed.mean,
+            row[2].pct_missed.mean,
+            row[1].deadlocks.mean,
+            row[2].deadlocks.mean,
+        ]);
+    }
+
+    println!("Figure 3: Percentage of Deadline Missing Transactions");
+    println!(
+        "db={} objects, util target {:.2}, slack {:.1}, {} txns x {} seeds\n",
+        params::DB_SIZE,
+        params::UTILIZATION,
+        params::SLACK_FACTOR,
+        params::TXNS_PER_RUN,
+        params::SEEDS
+    );
+    print!("{}", table.to_pretty());
+    let series: Vec<Series> = protocols
+        .iter()
+        .map(|&p| {
+            Series::new(
+                p.label().to_string(),
+                points
+                    .iter()
+                    .filter(|pt| pt.protocol == p)
+                    .map(|pt| (pt.size as f64, pt.pct_missed.mean))
+                    .collect(),
+            )
+        })
+        .collect();
+    println!("\n{}", render(&series, 60, 16));
+    println!("CSV:\n{}", table.to_csv());
+}

@@ -1,0 +1,46 @@
+//! Figure 4 — Transaction Throughput Ratio (distributed).
+//!
+//! Ratio of the local-ceiling-with-replication throughput to the
+//! global-ceiling-manager throughput versus the transaction mix
+//! (fraction of read-only transactions), one curve per communication
+//! delay.
+//!
+//! Expected shape (paper §4): between ~1.5× and ~3× even at zero
+//! communication delay (the decoupling effect of replication), growing
+//! with the delay.
+
+use monitor::ci::ratio;
+use monitor::csv::Table;
+use rtlock_bench::distributed::{measure_pair, MIXES};
+use rtlock_bench::params;
+
+fn main() {
+    let delays = [0u32, 2, 4];
+    let mut table = Table::new(
+        std::iter::once("pct_read_only".to_string())
+            .chain(delays.iter().map(|d| format!("ratio_delay_{d}")))
+            .collect(),
+    );
+    for &mix in &MIXES {
+        let mut row = vec![mix * 100.0];
+        for &d in &delays {
+            let (local, global) =
+                measure_pair(mix, d, params::DIST_TXNS_PER_RUN, params::SEEDS);
+            let r = ratio(&local.throughput, &global.throughput);
+            row.push(r.mean);
+        }
+        table.push_row(row);
+    }
+
+    println!("Figure 4: Throughput Ratio (local ceiling / global ceiling)");
+    println!(
+        "{} sites, db={} objects, {} txns x {} seeds, delays in time units of {} ticks\n",
+        params::DIST_SITES,
+        params::DIST_DB_SIZE,
+        params::DIST_TXNS_PER_RUN,
+        params::SEEDS,
+        params::TIME_UNIT.ticks()
+    );
+    print!("{}", table.to_pretty());
+    println!("\nCSV:\n{}", table.to_csv());
+}

@@ -1,0 +1,133 @@
+//! Distributed sweeps: the data behind Figures 4, 5 and 6.
+
+use monitor::Summary;
+use rtdb::{Catalog, Placement};
+use rtlock::distributed::{CeilingArchitecture, DistributedConfig, DistributedSimulator};
+use starlite::SimDuration;
+use workload::{SizeDistribution, WorkloadSpec};
+
+use crate::params;
+
+/// One measured point of a distributed sweep.
+#[derive(Debug, Clone)]
+pub struct DistPoint {
+    /// Architecture under test.
+    pub architecture: CeilingArchitecture,
+    /// Fraction of read-only transactions in the mix.
+    pub read_only_fraction: f64,
+    /// Communication delay in paper "time units" (per-object CPU times).
+    pub delay_units: u32,
+    /// Normalised throughput, averaged over seeds.
+    pub throughput: Summary,
+    /// Percentage of deadline-missing transactions, averaged over seeds.
+    pub pct_missed: Summary,
+    /// Remote messages per run.
+    pub remote_messages: Summary,
+}
+
+/// Runs one architecture at one (mix, delay) point.
+pub fn measure_dist_point(
+    architecture: CeilingArchitecture,
+    read_only_fraction: f64,
+    delay_units: u32,
+    txn_count: u32,
+    seeds: u64,
+) -> DistPoint {
+    let catalog = Catalog::new(params::DIST_DB_SIZE, params::DIST_SITES, Placement::FullyReplicated);
+    let workload = WorkloadSpec::builder()
+        .txn_count(txn_count)
+        .mean_interarrival(params::dist_interarrival())
+        .size(SizeDistribution::Uniform {
+            min: params::DIST_SIZE_MIN,
+            max: params::DIST_SIZE_MAX,
+        })
+        .read_only_fraction(read_only_fraction)
+        .write_fraction(0.5)
+        .deadline(params::DIST_SLACK_FACTOR, params::CPU_PER_OBJECT)
+        .build();
+    let config = DistributedConfig::builder()
+        .architecture(architecture)
+        .comm_delay(SimDuration::from_ticks(
+            params::TIME_UNIT.ticks() * delay_units as u64,
+        ))
+        .cpu_per_object(params::CPU_PER_OBJECT)
+        .apply_cost(params::APPLY_COST)
+        .build();
+    let sim = DistributedSimulator::new(config, catalog, &workload);
+
+    let mut throughput = Vec::new();
+    let mut pct_missed = Vec::new();
+    let mut remote = Vec::new();
+    for seed in 0..seeds {
+        let report = sim.run(seed);
+        throughput.push(report.stats.throughput);
+        pct_missed.push(report.stats.pct_missed);
+        remote.push(report.remote_messages as f64);
+    }
+    DistPoint {
+        architecture,
+        read_only_fraction,
+        delay_units,
+        throughput: Summary::of(&throughput),
+        pct_missed: Summary::of(&pct_missed),
+        remote_messages: Summary::of(&remote),
+    }
+}
+
+/// Measures both architectures at one point and returns
+/// `(local, global)`.
+pub fn measure_pair(
+    read_only_fraction: f64,
+    delay_units: u32,
+    txn_count: u32,
+    seeds: u64,
+) -> (DistPoint, DistPoint) {
+    let local = measure_dist_point(
+        CeilingArchitecture::LocalReplicated,
+        read_only_fraction,
+        delay_units,
+        txn_count,
+        seeds,
+    );
+    let global = measure_dist_point(
+        CeilingArchitecture::GlobalManager,
+        read_only_fraction,
+        delay_units,
+        txn_count,
+        seeds,
+    );
+    (local, global)
+}
+
+/// The transaction mixes (fraction read-only) the figures sweep.
+pub const MIXES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// Ratio guarding against division by ~zero: returns
+/// `max(numerator, floor) / max(denominator, floor)`.
+pub fn safe_ratio(numerator: f64, denominator: f64, floor: f64) -> f64 {
+    numerator.max(floor) / denominator.max(floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_beats_global_at_small_scale() {
+        let (local, global) = measure_pair(0.5, 2, 100, 2);
+        assert!(
+            local.throughput.mean > global.throughput.mean,
+            "local ({}) should out-run global ({})",
+            local.throughput.mean,
+            global.throughput.mean
+        );
+        assert!(global.remote_messages.mean > local.remote_messages.mean);
+    }
+
+    #[test]
+    fn safe_ratio_floors_denominator() {
+        assert_eq!(safe_ratio(10.0, 0.0, 0.25), 40.0);
+        assert_eq!(safe_ratio(10.0, 5.0, 0.25), 2.0);
+        assert_eq!(safe_ratio(0.0, 5.0, 0.25), 0.05);
+    }
+}

@@ -1,0 +1,21 @@
+//! # rtlock-bench — the experiment harness
+//!
+//! One module per evaluation axis of the paper, plus canonical parameters:
+//!
+//! * [`params`] — the calibrated constants every figure shares (documented
+//!   in `EXPERIMENTS.md`);
+//! * [`single_site`] — the §3 sweeps behind Figures 2 and 3;
+//! * [`distributed`] — the §4 sweeps behind Figures 4, 5 and 6;
+//! * [`ablation`] — the design-choice studies the paper raises but does
+//!   not plot (read/write vs exclusive ceiling semantics, inheritance
+//!   without ceilings, deadlock victim policies).
+//!
+//! Each `fig*` binary prints the same series the corresponding figure
+//! plots, as an aligned table and as CSV.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod distributed;
+pub mod params;
+pub mod single_site;

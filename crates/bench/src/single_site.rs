@@ -1,0 +1,130 @@
+//! Single-site sweeps: the data behind Figures 2 and 3.
+
+use monitor::Summary;
+use rtdb::{Catalog, Placement};
+use rtlock::{ProtocolKind, SingleSiteConfig, Simulator};
+use starlite::SimDuration;
+use workload::{SizeDistribution, WorkloadSpec};
+
+use crate::params;
+
+/// One measured point of the Figure 2/3 sweep.
+#[derive(Debug, Clone)]
+pub struct SizePoint {
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Transaction size (objects accessed).
+    pub size: u32,
+    /// Normalised throughput (objects/s by committed transactions),
+    /// averaged over seeds.
+    pub throughput: Summary,
+    /// Percentage of deadline-missing transactions, averaged over seeds.
+    pub pct_missed: Summary,
+    /// Mean deadlocks per run.
+    pub deadlocks: Summary,
+    /// Mean restarts per run.
+    pub restarts: Summary,
+}
+
+/// Runs one protocol at one transaction size over the canonical seeds.
+///
+/// `txn_count` and `seeds` scale the experiment (the figure binaries use
+/// the full [`params`] values; smoke tests shrink them).
+pub fn measure_size_point(
+    protocol: ProtocolKind,
+    size: u32,
+    txn_count: u32,
+    seeds: u64,
+) -> SizePoint {
+    let catalog = Catalog::new(params::DB_SIZE, 1, Placement::SingleSite);
+    let per_object_cost = SimDuration::from_ticks(
+        params::CPU_PER_OBJECT.ticks() + params::IO_PER_OBJECT.ticks(),
+    );
+    let workload = WorkloadSpec::builder()
+        .txn_count(txn_count)
+        .mean_interarrival(params::interarrival_for(size))
+        .size(SizeDistribution::Fixed(size))
+        .read_only_fraction(0.0)
+        .write_fraction(0.5)
+        .deadline(params::SLACK_FACTOR, per_object_cost)
+        .build();
+    let config = SingleSiteConfig::builder()
+        .protocol(protocol)
+        .cpu_per_object(params::CPU_PER_OBJECT)
+        .io_per_object(params::IO_PER_OBJECT)
+        // Deadlock victims are aborted outright (they miss), as in the
+        // paper's era; the restart economics are studied in ablation A3.
+        .restart_victims(false)
+        .build();
+    let sim = Simulator::new(config, catalog, &workload);
+
+    let mut throughput = Vec::new();
+    let mut pct_missed = Vec::new();
+    let mut deadlocks = Vec::new();
+    let mut restarts = Vec::new();
+    for seed in 0..seeds {
+        let report = sim.run(seed);
+        throughput.push(report.stats.throughput);
+        pct_missed.push(report.stats.pct_missed);
+        deadlocks.push(report.deadlocks as f64);
+        restarts.push(report.stats.restarts as f64);
+    }
+    SizePoint {
+        protocol,
+        size,
+        throughput: Summary::of(&throughput),
+        pct_missed: Summary::of(&pct_missed),
+        deadlocks: Summary::of(&deadlocks),
+        restarts: Summary::of(&restarts),
+    }
+}
+
+/// Sweeps every size in [`params::SIZES`] for the given protocols.
+pub fn sweep_sizes(protocols: &[ProtocolKind], txn_count: u32, seeds: u64) -> Vec<SizePoint> {
+    let mut points = Vec::new();
+    for &size in &params::SIZES {
+        for &p in protocols {
+            points.push(measure_size_point(p, size, txn_count, seeds));
+        }
+    }
+    points
+}
+
+/// The protocols Figures 2 and 3 compare: C, P, L.
+pub fn figure_protocols() -> [ProtocolKind; 3] {
+    [
+        ProtocolKind::PriorityCeiling,
+        ProtocolKind::TwoPhaseLockingPriority,
+        ProtocolKind::TwoPhaseLocking,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_point_reproduces_figure_claims_at_small_scale() {
+        // A reduced-scale version of the Figure 2/3 qualitative check:
+        // L misses more than C at the largest size.
+        let c = measure_size_point(ProtocolKind::PriorityCeiling, 20, 120, 2);
+        let l = measure_size_point(ProtocolKind::TwoPhaseLocking, 20, 120, 2);
+        assert!(c.throughput.mean > 0.0);
+        assert!(
+            l.pct_missed.mean > c.pct_missed.mean,
+            "L ({}) should miss more than C ({}) at size 20",
+            l.pct_missed.mean,
+            c.pct_missed.mean
+        );
+        assert!(l.deadlocks.mean > 0.0, "L must deadlock at size 20");
+        assert_eq!(c.deadlocks.mean, 0.0, "C never deadlocks");
+    }
+
+    #[test]
+    fn sweep_covers_all_requested_points() {
+        let protocols = [ProtocolKind::PriorityCeiling];
+        let points = sweep_sizes(&protocols, 40, 1);
+        assert_eq!(points.len(), crate::params::SIZES.len());
+        assert!(points.iter().all(|p| p.protocol == ProtocolKind::PriorityCeiling));
+    }
+}

@@ -1,0 +1,225 @@
+//! Distributed real-time locking (the §4 experiments).
+//!
+//! Two architectures implement the priority ceiling protocol across a
+//! fully connected network of sites with a memory-resident database:
+//!
+//! * [`CeilingArchitecture::GlobalManager`] — a **global ceiling manager**
+//!   at site 0 makes every ceiling decision. Each lock request and release
+//!   crosses the network; data objects live at their primary site and
+//!   remote reads fetch them; update transactions run two-phase commit
+//!   over the primary sites of their write sets; locks are held across
+//!   the network for the life of the transaction.
+//!
+//! * [`CeilingArchitecture::LocalReplicated`] — every object is **fully
+//!   replicated**; each site's **local ceiling manager** synchronises its
+//!   own copies. Update transactions execute entirely at the site holding
+//!   their write set's primary copies (restriction 2), commit locally
+//!   (restriction 3), and only then propagate secondary updates
+//!   asynchronously; read-only transactions read their local replicas,
+//!   accepting bounded temporal inconsistency.
+//!
+//! The paper's Figures 4–6 compare these two architectures across the
+//! transaction mix (fraction of read-only transactions) and the
+//! communication delay.
+
+mod sim;
+
+pub use sim::{run_transactions_distributed, DistributedSimulator};
+
+use netsim::Topology;
+use rtdb::SiteId;
+use serde::{Deserialize, Serialize};
+use starlite::{SimDuration, SimTime};
+
+/// Which distributed ceiling architecture to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CeilingArchitecture {
+    /// All ceiling decisions at site 0; locks held across the network.
+    GlobalManager,
+    /// Per-site ceiling managers over fully replicated data;
+    /// commit-then-propagate secondary updates.
+    LocalReplicated,
+}
+
+impl CeilingArchitecture {
+    /// Short label for experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            CeilingArchitecture::GlobalManager => "global",
+            CeilingArchitecture::LocalReplicated => "local",
+        }
+    }
+}
+
+/// Configuration of a distributed simulation; build with
+/// [`DistributedConfig::builder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistributedConfig {
+    /// Architecture under test.
+    pub architecture: CeilingArchitecture,
+    /// Interconnection topology (the paper's experiments use a fully
+    /// connected network; ring and star are available for sensitivity
+    /// studies).
+    pub topology: Topology,
+    /// One-way communication delay per hop between distinct sites.
+    pub comm_delay: SimDuration,
+    /// CPU time to process one data object.
+    pub cpu_per_object: SimDuration,
+    /// CPU time to apply one propagated secondary update (local
+    /// architecture only).
+    pub apply_cost: SimDuration,
+    /// Extra slack added to the round-trip time before a lock request to
+    /// the global manager times out (failure handling).
+    pub lock_timeout_slack: SimDuration,
+    /// Failure injection: take this site down at this instant. Messages to
+    /// it are dropped from then on; senders rely on timeouts (the paper's
+    /// message-server unblocking mechanism).
+    pub fail_site: Option<(SiteId, SimTime)>,
+    /// Windowed timeline collection: commits and misses per window of
+    /// this length (`None` disables; see `monitor::Timeline`).
+    pub timeline_window: Option<SimDuration>,
+    /// Multiversion temporal-consistency measurement (local architecture,
+    /// §4's closing mechanism): read-only transactions additionally probe
+    /// a per-site version store pinned at their arrival instant, and the
+    /// run reports snapshot constructibility and staleness. `None`
+    /// disables the version stores; `Some(k)` retains `k` versions per
+    /// object.
+    pub temporal_versions: Option<usize>,
+}
+
+impl DistributedConfig {
+    /// Starts building a configuration.
+    pub fn builder() -> DistributedConfigBuilder {
+        DistributedConfigBuilder::default()
+    }
+}
+
+/// Builder for [`DistributedConfig`].
+#[derive(Debug, Clone)]
+pub struct DistributedConfigBuilder {
+    config: DistributedConfig,
+}
+
+impl Default for DistributedConfigBuilder {
+    fn default() -> Self {
+        DistributedConfigBuilder {
+            config: DistributedConfig {
+                architecture: CeilingArchitecture::LocalReplicated,
+                topology: Topology::FullyConnected,
+                comm_delay: SimDuration::from_ticks(1_000),
+                cpu_per_object: SimDuration::from_ticks(1_000),
+                apply_cost: SimDuration::from_ticks(200),
+                lock_timeout_slack: SimDuration::from_ticks(10_000),
+                fail_site: None,
+                timeline_window: None,
+                temporal_versions: None,
+            },
+        }
+    }
+}
+
+impl DistributedConfigBuilder {
+    /// Sets the architecture.
+    pub fn architecture(mut self, a: CeilingArchitecture) -> Self {
+        self.config.architecture = a;
+        self
+    }
+
+    /// Sets the interconnection topology.
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.config.topology = t;
+        self
+    }
+
+    /// Sets the one-way per-hop communication delay.
+    pub fn comm_delay(mut self, d: SimDuration) -> Self {
+        self.config.comm_delay = d;
+        self
+    }
+
+    /// Sets the per-object CPU cost.
+    pub fn cpu_per_object(mut self, d: SimDuration) -> Self {
+        self.config.cpu_per_object = d;
+        self
+    }
+
+    /// Sets the secondary-update application cost.
+    pub fn apply_cost(mut self, d: SimDuration) -> Self {
+        self.config.apply_cost = d;
+        self
+    }
+
+    /// Sets the lock-request timeout slack.
+    pub fn lock_timeout_slack(mut self, d: SimDuration) -> Self {
+        self.config.lock_timeout_slack = d;
+        self
+    }
+
+    /// Injects a site failure at the given instant.
+    pub fn fail_site(mut self, site: SiteId, at: SimTime) -> Self {
+        self.config.fail_site = Some((site, at));
+        self
+    }
+
+    /// Enables windowed timeline collection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window length is zero.
+    pub fn timeline_window(mut self, window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "window length must be positive");
+        self.config.timeline_window = Some(window);
+        self
+    }
+
+    /// Enables temporal-consistency measurement with `keep` retained
+    /// versions per object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is zero.
+    pub fn temporal_versions(mut self, keep: usize) -> Self {
+        assert!(keep > 0, "version retention must be positive");
+        self.config.temporal_versions = Some(keep);
+        self
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-object CPU cost is zero.
+    pub fn build(self) -> DistributedConfig {
+        assert!(
+            !self.config.cpu_per_object.is_zero(),
+            "per-object CPU cost must be positive"
+        );
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(CeilingArchitecture::GlobalManager.label(), "global");
+        assert_eq!(CeilingArchitecture::LocalReplicated.label(), "local");
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let c = DistributedConfig::builder().build();
+        assert_eq!(c.architecture, CeilingArchitecture::LocalReplicated);
+        assert!(!c.comm_delay.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "CPU cost")]
+    fn zero_cpu_panics() {
+        DistributedConfig::builder()
+            .cpu_per_object(SimDuration::ZERO)
+            .build();
+    }
+}

@@ -1,0 +1,1457 @@
+//! The distributed simulation model for both ceiling architectures.
+//!
+//! One event-driven model hosts the per-site CPUs, replicated stores, the
+//! simulated network, and either a single global priority-ceiling instance
+//! (at site 0) or one instance per site. Message flows:
+//!
+//! **Global manager** (site 0):
+//!
+//! ```text
+//! home ── RegisterTxn ──▶ manager            (at arrival)
+//! home ── LockRequest ──▶ manager ── LockGrant / LockPending ──▶ home
+//! manager ── LockGrant ──▶ home              (wakeup after a release)
+//! manager ── PriorityUpdate ──▶ home         (priority inheritance)
+//! home ── RemoteRead ──▶ primary ── RemoteReadReply ──▶ home
+//! home ── Prepare ──▶ participants ── VoteMsg ──▶ home
+//! home ── Decision ──▶ participants ── AckMsg ──▶ home   (writes apply here)
+//! home ── ReleaseTxn ──▶ manager             (commit or abort)
+//! ```
+//!
+//! **Local replicated**: no messages on the critical path; after a local
+//! commit each written object is propagated with `SecondaryUpdate` to
+//! every other site, where a short *system transaction* write-locks the
+//! replica through the local ceiling manager and installs the version
+//! (stale versions are discarded, preserving the single-writer order).
+//!
+//! A transaction whose deadline expires after its commit decision has been
+//! broadcast cannot be retracted: it completes two-phase commit, its
+//! writes stand (and are recorded in the history), and it is *counted as
+//! deadline-missing* — the hard-deadline accounting the paper uses.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use monitor::{Monitor, RunStats};
+use netsim::{CallId, CallTable, Network, SendOutcome};
+use rtdb::{
+    Catalog, Coordinator, CoordinatorAction, LockMode, ObjectId, OpKind, Operation, Participant,
+    ParticipantAction, Placement, SiteId, TxnId, TxnSpec, Vote,
+};
+use starlite::{
+    Completion, Cpu, CpuPolicy, CpuToken, Engine, EventId, Model, Priority, Removed, Scheduler,
+    SimTime,
+};
+use workload::{Generator, WorkloadSpec};
+
+use crate::distributed::{CeilingArchitecture, DistributedConfig};
+use crate::mvcc::VersionStore;
+use crate::protocols::{
+    LockProtocol, PriorityCeilingProtocol, ReleaseReason, RequestOutcome, Wakeup,
+};
+use crate::report::{RunReport, TemporalStats};
+
+/// System transactions (secondary-update appliers) get ids in a disjoint
+/// range so they can never collide with workload transactions.
+const SYSTEM_TXN_BASE: u64 = 1 << 48;
+
+#[derive(Debug, Clone)]
+enum Message {
+    RegisterTxn(TxnSpec),
+    LockRequest {
+        txn: TxnId,
+        object: ObjectId,
+        mode: LockMode,
+        call: CallId,
+        from: SiteId,
+    },
+    LockPending {
+        txn: TxnId,
+        call: CallId,
+        lower_priority_blocker: Option<TxnId>,
+    },
+    LockGrant {
+        txn: TxnId,
+        call: Option<CallId>,
+    },
+    PriorityUpdate {
+        txn: TxnId,
+        priority: Priority,
+    },
+    ReleaseTxn {
+        txn: TxnId,
+    },
+    RemoteRead {
+        txn: TxnId,
+        object: ObjectId,
+        from: SiteId,
+    },
+    RemoteReadReply {
+        txn: TxnId,
+        object: ObjectId,
+        served_at: SimTime,
+        served_seq: u64,
+    },
+    Prepare {
+        txn: TxnId,
+        coordinator: SiteId,
+    },
+    VoteMsg {
+        txn: TxnId,
+        site: SiteId,
+        vote: Vote,
+    },
+    Decision {
+        txn: TxnId,
+        commit: bool,
+        writes: Vec<ObjectId>,
+        coordinator: SiteId,
+    },
+    AckMsg {
+        txn: TxnId,
+        site: SiteId,
+        applied: Vec<(ObjectId, SimTime, u64)>,
+    },
+    SecondaryUpdate {
+        object: ObjectId,
+        value: u64,
+        version: u64,
+        writer: TxnId,
+        origin_deadline: SimTime,
+    },
+}
+
+#[derive(Debug)]
+enum Ev {
+    Arrive(TxnId),
+    BurstDone { site: SiteId, token: CpuToken },
+    Deadline(TxnId),
+    Deliver { to: SiteId, msg: Message },
+    LockTimeout { call: CallId },
+    SiteDown(SiteId),
+}
+
+/// Why a secondary-update system transaction exists.
+#[derive(Debug, Clone)]
+struct SystemApply {
+    object: ObjectId,
+    value: u64,
+    version: u64,
+    writer: TxnId,
+}
+
+#[derive(Debug)]
+struct DExec {
+    step: usize,
+    seq: Vec<(ObjectId, LockMode)>,
+    deadline_ev: Option<EventId>,
+    oplog: Vec<(ObjectId, OpKind, SimTime, u64, SiteId)>,
+    coordinator: Option<Coordinator>,
+    /// Commit decision broadcast; the transaction can no longer abort.
+    decided: bool,
+    /// Deadline fired after the decision; count as missed at finalize.
+    deadline_passed: bool,
+    /// Open lock RPC: (call id, timeout event).
+    pending_call: Option<(CallId, EventId)>,
+    /// Secondary-update payload (system transactions only).
+    system: Option<SystemApply>,
+}
+
+#[derive(Debug)]
+enum PendingWork {
+    Advance(TxnId),
+    Resume(TxnId),
+}
+
+struct DistModel {
+    config: DistributedConfig,
+    catalog: Catalog,
+    net: Network,
+    cpus: Vec<Cpu<TxnId>>,
+    stores: Vec<rtdb::ObjectStore>,
+    /// Global architecture: the manager's protocol instance (site 0).
+    global_pcp: Option<PriorityCeilingProtocol>,
+    /// Local architecture: one protocol instance per site.
+    local_pcps: Vec<PriorityCeilingProtocol>,
+    monitor: Monitor,
+    specs: HashMap<TxnId, TxnSpec>,
+    exec: HashMap<TxnId, DExec>,
+    /// Home-site view of each transaction's effective priority (global
+    /// architecture; updated by `PriorityUpdate` messages).
+    eff_prio: HashMap<TxnId, Priority>,
+    calls: CallTable<TxnId>,
+    participants: HashMap<(TxnId, SiteId), Participant>,
+    next_system_id: u64,
+    applied_updates: u64,
+    stale_updates: u64,
+    /// Logical operation counter (event-execution order), keeping
+    /// histories totally ordered per copy even at zero delay.
+    op_seq: u64,
+    /// Per-site version stores when temporal measurement is on.
+    version_stores: Vec<VersionStore>,
+    snapshot_reads: u64,
+    unconstructible: u64,
+    lag_total: u128,
+    lag_max: u64,
+    replica_reads: u64,
+    replica_lag_total: u128,
+    replica_lag_max: u64,
+}
+
+impl fmt::Debug for DistModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DistModel")
+            .field("architecture", &self.config.architecture)
+            .field("active", &self.exec.len())
+            .finish()
+    }
+}
+
+impl Model for DistModel {
+    type Event = Ev;
+
+    fn handle(&mut self, event: Ev, sched: &mut Scheduler<Ev>) {
+        match event {
+            Ev::Arrive(txn) => self.on_arrive(txn, sched),
+            Ev::BurstDone { site, token } => self.on_burst_done(site, token, sched),
+            Ev::Deadline(txn) => self.on_deadline(txn, sched),
+            Ev::Deliver { to, msg } => self.on_message(to, msg, sched),
+            Ev::LockTimeout { call } => self.on_lock_timeout(call, sched),
+            Ev::SiteDown(site) => self.net.set_site_up(site, false),
+        }
+    }
+}
+
+impl DistModel {
+    fn manager_site(&self) -> SiteId {
+        SiteId(0)
+    }
+
+    fn next_op_seq(&mut self) -> u64 {
+        let seq = self.op_seq;
+        self.op_seq += 1;
+        seq
+    }
+
+    fn home(&self, txn: TxnId) -> SiteId {
+        self.specs[&txn].home_site
+    }
+
+    fn send(&mut self, from: SiteId, to: SiteId, msg: Message, sched: &mut Scheduler<Ev>) -> bool {
+        match self.net.send(from, to, sched.now()) {
+            SendOutcome::Deliver { at } => {
+                sched.schedule(at, Ev::Deliver { to, msg });
+                true
+            }
+            SendOutcome::Dropped => false,
+        }
+    }
+
+    // ----- arrival ------------------------------------------------------
+
+    fn on_arrive(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
+        let spec = self.specs[&txn].clone();
+        self.monitor.register(&spec);
+        self.monitor.on_start(txn, sched.now());
+        let deadline_ev = sched.schedule(spec.deadline, Ev::Deadline(txn));
+        self.exec.insert(
+            txn,
+            DExec {
+                step: 0,
+                seq: spec.access_sequence(),
+                deadline_ev: Some(deadline_ev),
+                oplog: Vec::new(),
+                coordinator: None,
+                decided: false,
+                deadline_passed: false,
+                pending_call: None,
+                system: None,
+            },
+        );
+        self.eff_prio.insert(txn, spec.base_priority());
+        match self.config.architecture {
+            CeilingArchitecture::GlobalManager => {
+                let home = spec.home_site;
+                self.send(
+                    home,
+                    self.manager_site(),
+                    Message::RegisterTxn(spec),
+                    sched,
+                );
+                self.advance_global(txn, sched);
+            }
+            CeilingArchitecture::LocalReplicated => {
+                self.local_pcps[spec.home_site.index()].register(&spec);
+                self.pump_local(VecDeque::from([PendingWork::Advance(txn)]), sched);
+            }
+        }
+    }
+
+    // ----- CPU ----------------------------------------------------------
+
+    fn submit_cpu(&mut self, txn: TxnId, site: SiteId, sched: &mut Scheduler<Ev>) {
+        let priority = match self.config.architecture {
+            CeilingArchitecture::GlobalManager => self.eff_prio[&txn],
+            CeilingArchitecture::LocalReplicated => {
+                self.local_pcps[site.index()].effective_priority(txn)
+            }
+        };
+        let cost = if self.exec[&txn].system.is_some() {
+            self.config.apply_cost
+        } else {
+            self.config.cpu_per_object
+        };
+        if cost.is_zero() {
+            // Degenerate configuration: process instantly.
+            self.finish_access_for(txn, site, sched);
+            return;
+        }
+        if let Some(burst) = self.cpus[site.index()].submit(txn, priority, cost, sched.now()) {
+            sched.schedule(
+                burst.finish_at,
+                Ev::BurstDone {
+                    site,
+                    token: burst.token,
+                },
+            );
+        }
+    }
+
+    fn on_burst_done(&mut self, site: SiteId, token: CpuToken, sched: &mut Scheduler<Ev>) {
+        match self.cpus[site.index()].complete(token, sched.now()) {
+            Completion::Stale => {}
+            Completion::Finished { task, next } => {
+                if let Some(burst) = next {
+                    sched.schedule(
+                        burst.finish_at,
+                        Ev::BurstDone {
+                            site,
+                            token: burst.token,
+                        },
+                    );
+                }
+                self.finish_access_for(task, site, sched);
+            }
+        }
+    }
+
+    /// A processing burst completed: record the operation and move on.
+    fn finish_access_for(&mut self, txn: TxnId, site: SiteId, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        let Some(exec) = self.exec.get_mut(&txn) else {
+            return;
+        };
+        if let Some(apply) = exec.system.clone() {
+            // A secondary-update system transaction finished its burst:
+            // install the version and finish.
+            self.finish_system_apply(txn, site, apply, sched);
+            return;
+        }
+        let (object, mode) = exec.seq[exec.step];
+        let record_read = match self.config.architecture {
+            // Reads of local primaries are recorded here; remote reads
+            // were recorded at serve time; writes apply during 2PC.
+            CeilingArchitecture::GlobalManager => {
+                mode == LockMode::Read && self.catalog.primary_site(object) == site
+            }
+            CeilingArchitecture::LocalReplicated => mode == LockMode::Read,
+        };
+        if record_read {
+            let seq = self.next_op_seq();
+            let exec = self.exec.get_mut(&txn).expect("checked above");
+            exec.oplog.push((object, OpKind::Read, now, seq, site));
+        }
+        let exec = self.exec.get_mut(&txn).expect("checked above");
+        exec.step += 1;
+        match self.config.architecture {
+            CeilingArchitecture::GlobalManager => self.advance_global(txn, sched),
+            CeilingArchitecture::LocalReplicated => {
+                self.pump_local(VecDeque::from([PendingWork::Advance(txn)]), sched)
+            }
+        }
+    }
+
+    // ----- deadline -----------------------------------------------------
+
+    fn on_deadline(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
+        let home = self.home(txn);
+        let Some(exec) = self.exec.get_mut(&txn) else {
+            return;
+        };
+        exec.deadline_ev = None;
+        if exec.decided {
+            // Commit decision already broadcast; it will complete, counted
+            // as missed.
+            exec.deadline_passed = true;
+            return;
+        }
+        // Abort a 2PC still collecting votes.
+        let voting_abort = exec.coordinator.as_mut().and_then(|c| c.on_vote_timeout());
+        if let Some(CoordinatorAction::SendAbort(sites)) = voting_abort {
+            for s in sites {
+                self.send(
+                    home,
+                    s,
+                    Message::Decision {
+                        txn,
+                        commit: false,
+                        writes: Vec::new(),
+                        coordinator: home,
+                    },
+                    sched,
+                );
+            }
+        }
+        // Close any open lock RPC.
+        if let Some((call, timeout_ev)) = self.exec.get_mut(&txn).and_then(|e| e.pending_call.take())
+        {
+            sched.cancel(timeout_ev);
+            self.calls.close(call);
+        }
+        self.exec.remove(&txn);
+        self.monitor.on_miss(txn, sched.now());
+        if let Removed::WasRunning { next: Some(burst) } =
+            self.cpus[home.index()].remove(txn, sched.now())
+        {
+            sched.schedule(
+                burst.finish_at,
+                Ev::BurstDone {
+                    site: home,
+                    token: burst.token,
+                },
+            );
+        }
+        match self.config.architecture {
+            CeilingArchitecture::GlobalManager => {
+                self.send(home, self.manager_site(), Message::ReleaseTxn { txn }, sched);
+            }
+            CeilingArchitecture::LocalReplicated => {
+                let release = self.local_pcps[home.index()].release_all(txn, ReleaseReason::Finished);
+                let mut queue = VecDeque::new();
+                self.apply_local_release(home, release.wakeups, release.priority_updates, &mut queue, sched);
+                self.pump_local(queue, sched);
+            }
+        }
+    }
+
+    // ----- global architecture ------------------------------------------
+
+    /// Requests the current step's lock from the manager, or starts the
+    /// commit phase.
+    fn advance_global(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
+        let Some(exec) = self.exec.get(&txn) else {
+            return;
+        };
+        if exec.step == exec.seq.len() {
+            self.commit_global(txn, sched);
+            return;
+        }
+        let (object, mode) = exec.seq[exec.step];
+        let home = self.home(txn);
+        let manager = self.manager_site();
+        let call = self.calls.open(txn, None);
+        let timeout = self.net.round_trip_timeout(home, manager, self.config.lock_timeout_slack);
+        let timeout_ev = sched.schedule_after(timeout, Ev::LockTimeout { call });
+        self.exec.get_mut(&txn).expect("checked above").pending_call = Some((call, timeout_ev));
+        self.send(
+            home,
+            manager,
+            Message::LockRequest {
+                txn,
+                object,
+                mode,
+                call,
+                from: home,
+            },
+            sched,
+        );
+    }
+
+    /// A lock RPC went unanswered (the manager site is down): the sender
+    /// unblocks and the transaction is aborted as missed.
+    fn on_lock_timeout(&mut self, call: CallId, sched: &mut Scheduler<Ev>) {
+        let Some(txn) = self.calls.time_out(call) else {
+            return; // the reply won the race
+        };
+        let Some(exec) = self.exec.get_mut(&txn) else {
+            return;
+        };
+        exec.pending_call = None;
+        if let Some(ev) = exec.deadline_ev.take() {
+            sched.cancel(ev);
+        }
+        self.exec.remove(&txn);
+        self.monitor.on_miss(txn, sched.now());
+        let home = self.home(txn);
+        // Best-effort release towards the (possibly dead) manager.
+        self.send(home, self.manager_site(), Message::ReleaseTxn { txn }, sched);
+    }
+
+    /// Begins the commit phase: read-only transactions finish immediately;
+    /// updates run two-phase commit over the primary sites of their write
+    /// set.
+    fn commit_global(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
+        let spec = self.specs[&txn].clone();
+        let home = spec.home_site;
+        if spec.write_set.is_empty() {
+            self.finalize_global(txn, sched);
+            return;
+        }
+        let mut participant_sites: Vec<SiteId> =
+            spec.write_set.iter().map(|&o| self.catalog.primary_site(o)).collect();
+        participant_sites.sort_unstable();
+        participant_sites.dedup();
+        let mut coordinator = Coordinator::new(txn, participant_sites);
+        let CoordinatorAction::SendPrepare(sites) = coordinator.start() else {
+            unreachable!("a fresh coordinator always sends prepare");
+        };
+        self.exec.get_mut(&txn).expect("live txn").coordinator = Some(coordinator);
+        for s in sites {
+            self.send(home, s, Message::Prepare { txn, coordinator: home }, sched);
+        }
+    }
+
+    /// All acknowledgements arrived: the transaction leaves the system.
+    fn finalize_global(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
+        let exec = self.exec.remove(&txn).expect("finalizing unknown txn");
+        if let Some(ev) = exec.deadline_ev {
+            sched.cancel(ev);
+        }
+        for (object, kind, at, seq, site) in exec.oplog {
+            self.monitor.record_op(Operation {
+                txn,
+                object,
+                kind,
+                at,
+                seq,
+                site,
+            });
+        }
+        if exec.deadline_passed {
+            self.monitor.on_miss(txn, sched.now());
+        } else {
+            self.monitor.on_commit(txn, sched.now());
+        }
+        let home = self.home(txn);
+        self.send(home, self.manager_site(), Message::ReleaseTxn { txn }, sched);
+    }
+
+    /// Routes priority updates from the manager to the home sites.
+    fn broadcast_priority_updates(
+        &mut self,
+        updates: Vec<(TxnId, Priority)>,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        for (t, p) in updates {
+            if let Some(spec) = self.specs.get(&t) {
+                let to = spec.home_site;
+                self.send(
+                    self.manager_site(),
+                    to,
+                    Message::PriorityUpdate { txn: t, priority: p },
+                    sched,
+                );
+            }
+        }
+    }
+
+    // ----- local architecture -------------------------------------------
+
+    fn pump_local(&mut self, mut queue: VecDeque<PendingWork>, sched: &mut Scheduler<Ev>) {
+        while let Some(item) = queue.pop_front() {
+            match item {
+                PendingWork::Advance(txn) => self.advance_local(txn, &mut queue, sched),
+                PendingWork::Resume(txn) => {
+                    let site = self.home(txn);
+                    self.submit_cpu(txn, site, sched);
+                }
+            }
+        }
+    }
+
+    fn advance_local(
+        &mut self,
+        txn: TxnId,
+        queue: &mut VecDeque<PendingWork>,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let Some(exec) = self.exec.get(&txn) else {
+            return;
+        };
+        if exec.step == exec.seq.len() {
+            self.commit_local(txn, queue, sched);
+            return;
+        }
+        let (object, mode) = exec.seq[exec.step];
+        let home = self.home(txn);
+        let result = self.local_pcps[home.index()].request(txn, object, mode);
+        self.apply_local_priority_updates(home, &result.priority_updates, sched);
+        match result.outcome {
+            RequestOutcome::Granted => {
+                if mode == LockMode::Read {
+                    self.probe_snapshot(txn, object, home);
+                }
+                self.submit_cpu(txn, home, sched)
+            }
+            RequestOutcome::Blocked { blocker } => {
+                if !self.is_system(txn) {
+                    let lower = blocker.filter(|b| {
+                        self.base_priority_of(*b)
+                            .is_some_and(|bp| bp < self.specs[&txn].base_priority())
+                    });
+                    self.monitor.on_block(txn, sched.now(), lower);
+                }
+            }
+            RequestOutcome::Deadlock { .. } => {
+                unreachable!("the ceiling protocol is deadlock-free")
+            }
+        }
+    }
+
+    fn commit_local(
+        &mut self,
+        txn: TxnId,
+        queue: &mut VecDeque<PendingWork>,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let now = sched.now();
+        let exec = self.exec.remove(&txn).expect("committing unknown txn");
+        if let Some(ev) = exec.deadline_ev {
+            sched.cancel(ev);
+        }
+        let spec = self.specs[&txn].clone();
+        let home = spec.home_site;
+        // Apply writes to the local (primary) copies and propagate.
+        for &obj in &spec.write_set {
+            debug_assert_eq!(
+                self.catalog.primary_site(obj),
+                home,
+                "restriction 2: writes must be primary at the home site"
+            );
+            let value = self.stores[home.index()].read(obj).value + 1;
+            self.stores[home.index()].apply_write(obj, value, txn, now);
+            let version = self.stores[home.index()].read(obj).version;
+            if let Some(vs) = self.version_stores.get_mut(home.index()) {
+                vs.install_if_newer(obj, value, version, txn, now);
+            }
+            let seq = self.next_op_seq();
+            self.monitor.record_op(Operation {
+                txn,
+                object: obj,
+                kind: OpKind::Write,
+                at: now,
+                seq,
+                site: home,
+            });
+            for s in self.catalog.sites() {
+                if s != home {
+                    self.send(
+                        home,
+                        s,
+                        Message::SecondaryUpdate {
+                            object: obj,
+                            value,
+                            version,
+                            writer: txn,
+                            origin_deadline: spec.deadline,
+                        },
+                        sched,
+                    );
+                }
+            }
+        }
+        for (object, kind, at, seq, site) in exec.oplog {
+            self.monitor.record_op(Operation {
+                txn,
+                object,
+                kind,
+                at,
+                seq,
+                site,
+            });
+        }
+        self.monitor.on_commit(txn, now);
+        let release = self.local_pcps[home.index()].release_all(txn, ReleaseReason::Finished);
+        self.apply_local_release(home, release.wakeups, release.priority_updates, queue, sched);
+    }
+
+    /// A propagated update arrived: run it as a short system transaction
+    /// through the local ceiling manager.
+    fn start_system_apply(
+        &mut self,
+        site: SiteId,
+        apply: SystemApply,
+        origin_deadline: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let id = TxnId(SYSTEM_TXN_BASE + self.next_system_id);
+        self.next_system_id += 1;
+        // System updates run at the originating transaction's priority;
+        // a deadline in the past is clamped (the priority ordering shifts
+        // negligibly, the update itself has no deadline).
+        let deadline = origin_deadline.max(sched.now() + starlite::SimDuration::from_ticks(1));
+        let spec = TxnSpec::new(
+            id,
+            sched.now().max(SimTime::from_ticks(0)),
+            Vec::new(),
+            vec![apply.object],
+            deadline,
+            site,
+        );
+        self.local_pcps[site.index()].register(&spec);
+        self.specs.insert(id, spec);
+        self.exec.insert(
+            id,
+            DExec {
+                step: 0,
+                seq: vec![(apply.object, LockMode::Write)],
+                deadline_ev: None,
+                oplog: Vec::new(),
+                coordinator: None,
+                decided: false,
+                deadline_passed: false,
+                pending_call: None,
+                system: Some(apply),
+            },
+        );
+        self.pump_local(VecDeque::from([PendingWork::Advance(id)]), sched);
+    }
+
+    /// The system transaction's apply burst finished: install the version
+    /// (discarding stale ones) and retire.
+    fn finish_system_apply(
+        &mut self,
+        txn: TxnId,
+        site: SiteId,
+        apply: SystemApply,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let now = sched.now();
+        let installed = self.stores[site.index()].install_version(
+            apply.object,
+            apply.value,
+            apply.version,
+            apply.writer,
+            now,
+        );
+        if installed {
+            self.applied_updates += 1;
+            if let Some(vs) = self.version_stores.get_mut(site.index()) {
+                vs.install_if_newer(apply.object, apply.value, apply.version, apply.writer, now);
+            }
+            let seq = self.next_op_seq();
+            self.monitor.record_op(Operation {
+                txn,
+                object: apply.object,
+                kind: OpKind::Write,
+                at: now,
+                seq,
+                site,
+            });
+        } else {
+            self.stale_updates += 1;
+        }
+        self.exec.remove(&txn);
+        self.specs.remove(&txn);
+        let release = self.local_pcps[site.index()].release_all(txn, ReleaseReason::Finished);
+        let mut queue = VecDeque::new();
+        self.apply_local_release(site, release.wakeups, release.priority_updates, &mut queue, sched);
+        self.pump_local(queue, sched);
+    }
+
+    fn apply_local_release(
+        &mut self,
+        site: SiteId,
+        wakeups: Vec<Wakeup>,
+        priority_updates: Vec<(TxnId, Priority)>,
+        queue: &mut VecDeque<PendingWork>,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        self.apply_local_priority_updates(site, &priority_updates, sched);
+        for w in wakeups {
+            if !self.is_system(w.txn) {
+                self.monitor.on_unblock(w.txn, sched.now());
+            }
+            queue.push_back(PendingWork::Resume(w.txn));
+        }
+    }
+
+    fn apply_local_priority_updates(
+        &mut self,
+        site: SiteId,
+        updates: &[(TxnId, Priority)],
+        sched: &mut Scheduler<Ev>,
+    ) {
+        for &(t, p) in updates {
+            if let Some(burst) = self.cpus[site.index()].set_priority(t, p, sched.now()) {
+                sched.schedule(
+                    burst.finish_at,
+                    Ev::BurstDone {
+                        site,
+                        token: burst.token,
+                    },
+                );
+            }
+        }
+    }
+
+    fn is_system(&self, txn: TxnId) -> bool {
+        txn.0 >= SYSTEM_TXN_BASE
+    }
+
+    /// Probes the temporally consistent view for a read-only transaction:
+    /// can a snapshot pinned at its arrival be constructed from the
+    /// retained versions, and how stale is it?
+    fn probe_snapshot(&mut self, txn: TxnId, object: ObjectId, site: SiteId) {
+        if self.version_stores.is_empty() || self.is_system(txn) {
+            return;
+        }
+        let spec = &self.specs[&txn];
+        if !spec.write_set.is_empty() {
+            return; // only read-only queries pin snapshots
+        }
+        let pin = spec.arrival;
+        self.snapshot_reads += 1;
+        // Replication lag: how far the local replica's newest version
+        // trails the primary copy's newest version right now.
+        let primary = self.catalog.primary_site(object);
+        if primary != site {
+            self.replica_reads += 1;
+            let primary_latest = self.version_stores[primary.index()].latest(object);
+            let local_latest = self.version_stores[site.index()].latest(object);
+            let lag = match (primary_latest, local_latest) {
+                (Some(p), Some(l)) => p.at.saturating_since(l.at),
+                (Some(p), None) => p.at.saturating_since(SimTime::ZERO),
+                _ => starlite::SimDuration::ZERO,
+            };
+            self.replica_lag_total += lag.ticks() as u128;
+            self.replica_lag_max = self.replica_lag_max.max(lag.ticks());
+        }
+        let vs = &self.version_stores[site.index()];
+        if vs.latest(object).is_none() {
+            // Never written: the initial value is trivially consistent.
+            return;
+        }
+        match vs.lag_at(object, pin) {
+            Some(lag) => {
+                self.lag_total += lag.ticks() as u128;
+                self.lag_max = self.lag_max.max(lag.ticks());
+            }
+            None => {
+                // No retained version at or before the pin. If the first
+                // version was never evicted, the object's initial value
+                // serves the snapshot; only evicted history makes it
+                // genuinely unconstructible.
+                let oldest = vs.oldest(object).expect("latest exists, so oldest does");
+                if oldest.version == 1 {
+                    let latest = vs.latest(object).expect("checked above");
+                    let lag = latest.at.saturating_since(pin);
+                    self.lag_total += lag.ticks() as u128;
+                    self.lag_max = self.lag_max.max(lag.ticks());
+                } else {
+                    self.unconstructible += 1;
+                }
+            }
+        }
+    }
+
+    fn base_priority_of(&self, txn: TxnId) -> Option<Priority> {
+        self.specs.get(&txn).map(|s| s.base_priority())
+    }
+
+    // ----- message handling ---------------------------------------------
+
+    fn on_message(&mut self, to: SiteId, msg: Message, sched: &mut Scheduler<Ev>) {
+        if !self.net.is_site_up(to) {
+            return; // the site failed while the message was in flight
+        }
+        match msg {
+            Message::RegisterTxn(spec) => {
+                self.global_pcp
+                    .as_mut()
+                    .expect("global messages need the global architecture")
+                    .register(&spec);
+            }
+            Message::LockRequest {
+                txn,
+                object,
+                mode,
+                call,
+                from,
+            } => {
+                let result = self
+                    .global_pcp
+                    .as_mut()
+                    .expect("global architecture")
+                    .request(txn, object, mode);
+                self.broadcast_priority_updates(result.priority_updates, sched);
+                match result.outcome {
+                    RequestOutcome::Granted => {
+                        self.send(to, from, Message::LockGrant { txn, call: Some(call) }, sched);
+                    }
+                    RequestOutcome::Blocked { blocker } => {
+                        let pcp = self.global_pcp.as_ref().expect("global architecture");
+                        let lower = blocker.filter(|b| {
+                            self.specs.get(b).is_some_and(|bs| {
+                                bs.base_priority() < self.specs[&txn].base_priority()
+                            })
+                        });
+                        let _ = pcp;
+                        self.send(
+                            to,
+                            from,
+                            Message::LockPending {
+                                txn,
+                                call,
+                                lower_priority_blocker: lower,
+                            },
+                            sched,
+                        );
+                    }
+                    RequestOutcome::Deadlock { .. } => {
+                        unreachable!("the ceiling protocol is deadlock-free")
+                    }
+                }
+            }
+            Message::LockPending {
+                txn,
+                call,
+                lower_priority_blocker,
+            } => {
+                let Some((ctx, _)) = self.calls.close(call) else {
+                    return; // timed out already
+                };
+                debug_assert_eq!(ctx, txn);
+                let Some(exec) = self.exec.get_mut(&txn) else {
+                    return;
+                };
+                if let Some((_, timeout_ev)) = exec.pending_call.take() {
+                    sched.cancel(timeout_ev);
+                }
+                self.monitor.on_block(txn, sched.now(), lower_priority_blocker);
+            }
+            Message::LockGrant { txn, call } => {
+                if let Some(c) = call {
+                    let Some((_, _)) = self.calls.close(c) else {
+                        return; // timed out; the release is on its way
+                    };
+                    if let Some(exec) = self.exec.get_mut(&txn) {
+                        if let Some((_, timeout_ev)) = exec.pending_call.take() {
+                            sched.cancel(timeout_ev);
+                        }
+                    }
+                } else {
+                    // Wakeup grant after blocking.
+                    if self.exec.contains_key(&txn) {
+                        self.monitor.on_unblock(txn, sched.now());
+                    }
+                }
+                let Some(exec) = self.exec.get(&txn) else {
+                    return; // deadline expired while the grant was in flight
+                };
+                let (object, mode) = exec.seq[exec.step];
+                let home = self.home(txn);
+                let primary = self.catalog.primary_site(object);
+                if mode == LockMode::Read && primary != home {
+                    self.send(
+                        home,
+                        primary,
+                        Message::RemoteRead {
+                            txn,
+                            object,
+                            from: home,
+                        },
+                        sched,
+                    );
+                } else {
+                    self.submit_cpu(txn, home, sched);
+                }
+            }
+            Message::PriorityUpdate { txn, priority } => {
+                self.eff_prio.insert(txn, priority);
+                if let Some(burst) = self.cpus[to.index()].set_priority(txn, priority, sched.now())
+                {
+                    sched.schedule(
+                        burst.finish_at,
+                        Ev::BurstDone {
+                            site: to,
+                            token: burst.token,
+                        },
+                    );
+                }
+            }
+            Message::ReleaseTxn { txn } => {
+                let pcp = self.global_pcp.as_mut().expect("global architecture");
+                let release = pcp.release_all(txn, ReleaseReason::Finished);
+                let manager = to;
+                for w in &release.wakeups {
+                    let waiter_home = self.home(w.txn);
+                    self.send(
+                        manager,
+                        waiter_home,
+                        Message::LockGrant {
+                            txn: w.txn,
+                            call: None,
+                        },
+                        sched,
+                    );
+                }
+                self.broadcast_priority_updates(release.priority_updates, sched);
+            }
+            Message::RemoteRead { txn, object, from } => {
+                // Serve the read against the primary copy; the lock is held
+                // at the manager, so this access is safe.
+                let now = sched.now();
+                let served_seq = self.next_op_seq();
+                self.send(
+                    to,
+                    from,
+                    Message::RemoteReadReply {
+                        txn,
+                        object,
+                        served_at: now,
+                        served_seq,
+                    },
+                    sched,
+                );
+            }
+            Message::RemoteReadReply {
+                txn,
+                object,
+                served_at,
+                served_seq,
+            } => {
+                let Some(exec) = self.exec.get_mut(&txn) else {
+                    return;
+                };
+                let primary = self.catalog.primary_site(object);
+                exec.oplog.push((object, OpKind::Read, served_at, served_seq, primary));
+                let home = self.home(txn);
+                self.submit_cpu(txn, home, sched);
+            }
+            Message::Prepare { txn, coordinator } => {
+                let mut participant = Participant::new(txn);
+                let ParticipantAction::Reply(vote) = participant.on_prepare(true) else {
+                    unreachable!("prepare always yields a vote");
+                };
+                self.participants.insert((txn, to), participant);
+                self.send(
+                    to,
+                    coordinator,
+                    Message::VoteMsg {
+                        txn,
+                        site: to,
+                        vote,
+                    },
+                    sched,
+                );
+            }
+            Message::VoteMsg { txn, site, vote } => {
+                let Some(exec) = self.exec.get_mut(&txn) else {
+                    return; // aborted during voting
+                };
+                let Some(coordinator) = exec.coordinator.as_mut() else {
+                    return;
+                };
+                match coordinator.on_vote(site, vote) {
+                    Some(CoordinatorAction::SendCommit(sites)) => {
+                        exec.decided = true;
+                        let writes = self.specs[&txn].write_set.clone();
+                        let home = self.home(txn);
+                        for s in sites {
+                            self.send(
+                                home,
+                                s,
+                                Message::Decision {
+                                    txn,
+                                    commit: true,
+                                    writes: writes.clone(),
+                                    coordinator: home,
+                                },
+                                sched,
+                            );
+                        }
+                    }
+                    Some(CoordinatorAction::SendAbort(sites)) => {
+                        let home = self.home(txn);
+                        for s in sites {
+                            self.send(
+                                home,
+                                s,
+                                Message::Decision {
+                                    txn,
+                                    commit: false,
+                                    writes: Vec::new(),
+                                    coordinator: home,
+                                },
+                                sched,
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            Message::Decision {
+                txn,
+                commit,
+                writes,
+                coordinator,
+            } => {
+                let Some(mut participant) = self.participants.remove(&(txn, to)) else {
+                    return; // abort already processed locally
+                };
+                let action = participant.on_decision(commit);
+                let mut applied = Vec::new();
+                if action == ParticipantAction::CommitAndAck {
+                    let now = sched.now();
+                    for &obj in &writes {
+                        if self.catalog.primary_site(obj) == to {
+                            let value = self.stores[to.index()].read(obj).value + 1;
+                            self.stores[to.index()].apply_write(obj, value, txn, now);
+                            let seq = self.next_op_seq();
+                            applied.push((obj, now, seq));
+                        }
+                    }
+                }
+                self.send(
+                    to,
+                    coordinator,
+                    Message::AckMsg {
+                        txn,
+                        site: to,
+                        applied,
+                    },
+                    sched,
+                );
+            }
+            Message::AckMsg { txn, site, applied } => {
+                let Some(exec) = self.exec.get_mut(&txn) else {
+                    return;
+                };
+                for (obj, at, seq) in applied {
+                    let primary = self.catalog.primary_site(obj);
+                    exec.oplog.push((obj, OpKind::Write, at, seq, primary));
+                }
+                let Some(coordinator) = exec.coordinator.as_mut() else {
+                    return;
+                };
+                if let Some(CoordinatorAction::Done { committed }) = coordinator.on_ack(site) {
+                    debug_assert!(committed, "only committing 2PCs reach finalize");
+                    self.finalize_global(txn, sched);
+                }
+            }
+            Message::SecondaryUpdate {
+                object,
+                value,
+                version,
+                writer,
+                origin_deadline,
+            } => {
+                self.start_system_apply(
+                    to,
+                    SystemApply {
+                        object,
+                        value,
+                        version,
+                        writer,
+                    },
+                    origin_deadline,
+                    sched,
+                );
+            }
+        }
+    }
+}
+
+/// The distributed simulator: architecture, configuration, catalog and
+/// workload in; [`RunReport`] out.
+pub struct DistributedSimulator<'a> {
+    config: DistributedConfig,
+    catalog: Catalog,
+    workload: &'a WorkloadSpec,
+}
+
+impl fmt::Debug for DistributedSimulator<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DistributedSimulator")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl<'a> DistributedSimulator<'a> {
+    /// Creates a simulator over a fully replicated catalog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog is not fully replicated or has fewer than two
+    /// sites.
+    pub fn new(config: DistributedConfig, catalog: Catalog, workload: &'a WorkloadSpec) -> Self {
+        assert_eq!(
+            catalog.placement(),
+            Placement::FullyReplicated,
+            "distributed runs need a fully replicated catalog"
+        );
+        assert!(catalog.site_count() >= 2, "distributed runs need ≥ 2 sites");
+        DistributedSimulator {
+            config,
+            catalog,
+            workload,
+        }
+    }
+
+    /// Generates the workload from `seed` and runs it to completion.
+    pub fn run(&self, seed: u64) -> RunReport {
+        let txns = Generator::new(self.workload, &self.catalog).generate(seed);
+        run_transactions_distributed(self.config, &self.catalog, txns)
+    }
+}
+
+/// Runs an explicit transaction list through the distributed model.
+///
+/// # Panics
+///
+/// Panics if two transactions share an id or an id collides with the
+/// system-transaction range.
+pub fn run_transactions_distributed(
+    config: DistributedConfig,
+    catalog: &Catalog,
+    txns: Vec<TxnSpec>,
+) -> RunReport {
+    let sites = catalog.site_count();
+    let delays = config.topology.delay_matrix(sites, config.comm_delay);
+    let mut specs = HashMap::new();
+    let mut arrivals = Vec::with_capacity(txns.len());
+    for spec in txns {
+        assert!(spec.id.0 < SYSTEM_TXN_BASE, "transaction id in system range");
+        arrivals.push((spec.arrival, spec.id));
+        let prev = specs.insert(spec.id, spec);
+        assert!(prev.is_none(), "duplicate transaction id");
+    }
+    let mut monitor = Monitor::new();
+    if let Some(window) = config.timeline_window {
+        monitor.enable_timeline(window);
+    }
+    let model = DistModel {
+        config,
+        catalog: catalog.clone(),
+        net: Network::new(delays),
+        cpus: (0..sites)
+            .map(|_| Cpu::new(CpuPolicy::PreemptivePriority))
+            .collect(),
+        stores: (0..sites)
+            .map(|_| rtdb::ObjectStore::new(catalog.db_size()))
+            .collect(),
+        global_pcp: match config.architecture {
+            CeilingArchitecture::GlobalManager => Some(PriorityCeilingProtocol::read_write()),
+            CeilingArchitecture::LocalReplicated => None,
+        },
+        local_pcps: match config.architecture {
+            CeilingArchitecture::GlobalManager => Vec::new(),
+            CeilingArchitecture::LocalReplicated => (0..sites)
+                .map(|_| PriorityCeilingProtocol::read_write())
+                .collect(),
+        },
+        monitor,
+        specs,
+        exec: HashMap::new(),
+        eff_prio: HashMap::new(),
+        calls: CallTable::new(),
+        participants: HashMap::new(),
+        next_system_id: 0,
+        applied_updates: 0,
+        stale_updates: 0,
+        op_seq: 0,
+        version_stores: match config.temporal_versions {
+            Some(keep) => (0..sites).map(|_| VersionStore::new(keep)).collect(),
+            None => Vec::new(),
+        },
+        snapshot_reads: 0,
+        unconstructible: 0,
+        lag_total: 0,
+        lag_max: 0,
+        replica_reads: 0,
+        replica_lag_total: 0,
+        replica_lag_max: 0,
+    };
+    let mut engine = Engine::new(model);
+    if let Some((site, at)) = config.fail_site {
+        assert!(site.0 < sites, "failed site out of range");
+        engine.scheduler_mut().schedule(at, Ev::SiteDown(site));
+    }
+    for (arrival, id) in arrivals {
+        engine.scheduler_mut().schedule(arrival, Ev::Arrive(id));
+    }
+    engine.run_to_completion(Some(500_000_000));
+    let makespan = engine.now();
+    let model = engine.into_model();
+    assert!(
+        model.exec.is_empty(),
+        "simulation drained with live transactions"
+    );
+    let stats = RunStats::from_monitor(&model.monitor, makespan);
+    let ceiling_blocks = model
+        .global_pcp
+        .as_ref()
+        .map(|p| p.ceiling_block_count())
+        .unwrap_or_else(|| model.local_pcps.iter().map(|p| p.ceiling_block_count()).sum());
+    RunReport {
+        stats,
+        deadlocks: 0,
+        ceiling_blocks,
+        preemptions: model.cpus.iter().map(|c| c.preemption_count()).sum(),
+        cpu_busy: model.cpus.iter().map(|c| c.busy_time()).sum(),
+        remote_messages: model.net.remote_sent_count(),
+        monitor: model.monitor,
+        stores: model.stores,
+        temporal: config.temporal_versions.map(|_| {
+            let constructible = model.snapshot_reads.saturating_sub(model.unconstructible);
+            TemporalStats {
+                snapshot_reads: model.snapshot_reads,
+                unconstructible: model.unconstructible,
+                mean_lag_ticks: if constructible == 0 {
+                    0.0
+                } else {
+                    model.lag_total as f64 / constructible as f64
+                },
+                max_lag_ticks: model.lag_max,
+                mean_replica_lag_ticks: if model.replica_reads == 0 {
+                    0.0
+                } else {
+                    model.replica_lag_total as f64 / model.replica_reads as f64
+                },
+                max_replica_lag_ticks: model.replica_lag_max,
+            }
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starlite::SimDuration;
+    use workload::SizeDistribution;
+
+    fn catalog() -> Catalog {
+        Catalog::new(30, 3, Placement::FullyReplicated)
+    }
+
+    fn config(arch: CeilingArchitecture, delay: u64) -> DistributedConfig {
+        DistributedConfig::builder()
+            .architecture(arch)
+            .comm_delay(SimDuration::from_ticks(delay))
+            .cpu_per_object(SimDuration::from_ticks(10))
+            .apply_cost(SimDuration::from_ticks(2))
+            .build()
+    }
+
+    fn update_txn(id: u64, arrival: u64, deadline: u64, site: u8, writes: Vec<u32>) -> TxnSpec {
+        TxnSpec::new(
+            TxnId(id),
+            SimTime::from_ticks(arrival),
+            vec![],
+            writes.into_iter().map(ObjectId).collect(),
+            SimTime::from_ticks(deadline),
+            SiteId(site),
+        )
+    }
+
+    #[test]
+    fn local_update_commits_and_propagates() {
+        // Object 3 has primary site 0 (3 % 3 == 0).
+        let report = run_transactions_distributed(
+            config(CeilingArchitecture::LocalReplicated, 50),
+            &catalog(),
+            vec![update_txn(1, 0, 10_000, 0, vec![3])],
+        );
+        assert_eq!(report.stats.committed, 1);
+        // The write reached every replica.
+        for store in &report.stores {
+            assert_eq!(store.read(ObjectId(3)).value, 1);
+            assert_eq!(store.read(ObjectId(3)).version, 1);
+        }
+        // Two secondary updates crossed the network.
+        assert_eq!(report.remote_messages, 2);
+    }
+
+    #[test]
+    fn global_update_commits_via_2pc() {
+        let report = run_transactions_distributed(
+            config(CeilingArchitecture::GlobalManager, 50),
+            &catalog(),
+            // Home site 1; write object 4 (primary site 1): local 2PC leg.
+            vec![update_txn(1, 0, 100_000, 1, vec![4])],
+        );
+        assert_eq!(report.stats.committed, 1);
+        // The primary copy was updated; replicas do not exist in the
+        // global architecture (other stores stay at version 0).
+        assert_eq!(report.stores[1].read(ObjectId(4)).version, 1);
+        assert_eq!(report.stores[0].read(ObjectId(4)).version, 0);
+    }
+
+    #[test]
+    fn global_is_slower_than_local_under_delay() {
+        let txns = vec![
+            update_txn(1, 0, 100_000, 1, vec![4]),
+            update_txn(2, 10, 100_000, 2, vec![5]),
+        ];
+        let local = run_transactions_distributed(
+            config(CeilingArchitecture::LocalReplicated, 100),
+            &catalog(),
+            txns.clone(),
+        );
+        let global = run_transactions_distributed(
+            config(CeilingArchitecture::GlobalManager, 100),
+            &catalog(),
+            txns,
+        );
+        assert_eq!(local.stats.committed, 2);
+        assert_eq!(global.stats.committed, 2);
+        assert!(
+            global.stats.mean_response_ticks > local.stats.mean_response_ticks,
+            "global {} should exceed local {}",
+            global.stats.mean_response_ticks,
+            local.stats.mean_response_ticks
+        );
+    }
+
+    #[test]
+    fn tight_deadline_misses_under_global_but_not_local() {
+        // Needs ~2 lock round trips (2×2×100) plus CPU; deadline 150 only
+        // fits the local run.
+        let txns = vec![update_txn(1, 0, 150, 1, vec![4])];
+        let local = run_transactions_distributed(
+            config(CeilingArchitecture::LocalReplicated, 100),
+            &catalog(),
+            txns.clone(),
+        );
+        let global = run_transactions_distributed(
+            config(CeilingArchitecture::GlobalManager, 100),
+            &catalog(),
+            txns,
+        );
+        assert_eq!(local.stats.committed, 1);
+        assert_eq!(global.stats.missed, 1);
+    }
+
+    #[test]
+    fn generated_mixed_workload_runs_on_both_architectures() {
+        let cat = catalog();
+        let workload = WorkloadSpec::builder()
+            .txn_count(40)
+            .mean_interarrival(SimDuration::from_ticks(80))
+            .size(SizeDistribution::Uniform { min: 2, max: 4 })
+            .read_only_fraction(0.5)
+            .deadline(30.0, SimDuration::from_ticks(20))
+            .build();
+        for arch in [
+            CeilingArchitecture::LocalReplicated,
+            CeilingArchitecture::GlobalManager,
+        ] {
+            let sim = DistributedSimulator::new(config(arch, 20), cat.clone(), &workload);
+            let report = sim.run(5);
+            assert_eq!(report.stats.processed, 40, "{arch:?}");
+            let again = sim.run(5);
+            assert_eq!(report.stats, again.stats, "{arch:?} not deterministic");
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Multiversion, temporally consistent reads (§4's closing mechanism).
+//!
+//! The paper observes that applications like tracking sometimes need a
+//! *temporally consistent* view rather than merely the freshest value at
+//! each site: "if the system provides multiple versions of data objects,
+//! ensuring a temporally consistent view becomes a real-time scheduling
+//! problem in which the time lags in the distributed versions need to be
+//! controlled. Once the time lags can be controlled by the timestamps of
+//! data objects, transactions can read the proper versions of distributed
+//! data objects."
+//!
+//! [`VersionStore`] keeps a bounded history of timestamped versions per
+//! object and serves *read-at-timestamp* queries: a query with timestamp
+//! `t` sees, for every object, the latest version committed at or before
+//! `t` — a consistent snapshot even while newer updates stream in.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rtdb::{ObjectId, TxnId};
+use starlite::SimTime;
+
+/// One committed version of an object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Version {
+    /// The committed value.
+    pub value: u64,
+    /// The writer's version counter (1-based).
+    pub version: u64,
+    /// Commit timestamp.
+    pub at: SimTime,
+    /// The committing transaction.
+    pub writer: TxnId,
+}
+
+/// A bounded multiversion store for temporally consistent reads.
+///
+/// # Example
+///
+/// ```
+/// use rtlock::mvcc::VersionStore;
+/// use rtdb::{ObjectId, TxnId};
+/// use starlite::SimTime;
+///
+/// let mut store = VersionStore::new(4);
+/// store.install(ObjectId(0), 10, TxnId(1), SimTime::from_ticks(100));
+/// store.install(ObjectId(0), 20, TxnId(2), SimTime::from_ticks(200));
+/// // A query pinned at t=150 sees the older version.
+/// let v = store.read_at(ObjectId(0), SimTime::from_ticks(150)).unwrap();
+/// assert_eq!(v.value, 10);
+/// ```
+pub struct VersionStore {
+    keep: usize,
+    versions: HashMap<ObjectId, Vec<Version>>,
+}
+
+impl fmt::Debug for VersionStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VersionStore")
+            .field("objects", &self.versions.len())
+            .field("keep", &self.keep)
+            .finish()
+    }
+}
+
+impl VersionStore {
+    /// Creates a store retaining at most `keep` versions per object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is zero.
+    pub fn new(keep: usize) -> Self {
+        assert!(keep > 0, "must retain at least one version");
+        VersionStore {
+            keep,
+            versions: HashMap::new(),
+        }
+    }
+
+    /// Installs a new committed version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the latest installed version of the object
+    /// (commits per object are totally ordered by the locking protocol).
+    pub fn install(&mut self, obj: ObjectId, value: u64, writer: TxnId, at: SimTime) {
+        let entry = self.versions.entry(obj).or_default();
+        let version = entry.last().map_or(1, |v| {
+            assert!(at >= v.at, "version installed out of order on {obj}");
+            v.version + 1
+        });
+        entry.push(Version {
+            value,
+            version,
+            at,
+            writer,
+        });
+        if entry.len() > self.keep {
+            entry.remove(0);
+        }
+    }
+
+    /// Installs an externally numbered version, discarding it when a newer
+    /// one is already present (asynchronous replica propagation can apply
+    /// updates of *different* objects out of order; per object the version
+    /// numbers are authoritative).
+    ///
+    /// Returns `true` if the version was installed.
+    pub fn install_if_newer(
+        &mut self,
+        obj: ObjectId,
+        value: u64,
+        version: u64,
+        writer: TxnId,
+        at: SimTime,
+    ) -> bool {
+        let entry = self.versions.entry(obj).or_default();
+        if entry.last().is_some_and(|v| version <= v.version) {
+            return false;
+        }
+        entry.push(Version {
+            value,
+            version,
+            at,
+            writer,
+        });
+        if entry.len() > self.keep {
+            entry.remove(0);
+        }
+        true
+    }
+
+    /// The latest version of `obj`, if any.
+    pub fn latest(&self, obj: ObjectId) -> Option<Version> {
+        self.versions.get(&obj).and_then(|v| v.last().copied())
+    }
+
+    /// The oldest *retained* version of `obj`, if any. When its version
+    /// number is 1 no history has been evicted, so any snapshot older
+    /// than it is served by the object's initial value.
+    pub fn oldest(&self, obj: ObjectId) -> Option<Version> {
+        self.versions.get(&obj).and_then(|v| v.first().copied())
+    }
+
+    /// The latest version committed at or before `t`.
+    ///
+    /// Returns `None` if the object has no version that old still
+    /// retained — the temporal-consistency scheduling problem the paper
+    /// mentions: version retention must outlast the largest read lag.
+    pub fn read_at(&self, obj: ObjectId, t: SimTime) -> Option<Version> {
+        let versions = self.versions.get(&obj)?;
+        let candidate = versions.iter().rev().find(|v| v.at <= t).copied();
+        // If even the oldest retained version is newer than `t`, the
+        // snapshot is unconstructible.
+        candidate
+    }
+
+    /// The staleness (time lag) of the snapshot at `t` for `obj`: how far
+    /// behind the latest version the visible version is.
+    pub fn lag_at(&self, obj: ObjectId, t: SimTime) -> Option<starlite::SimDuration> {
+        let latest = self.latest(obj)?;
+        let seen = self.read_at(obj, t)?;
+        Some(latest.at.saturating_since(seen.at))
+    }
+
+    /// Number of retained versions of `obj`.
+    pub fn version_count(&self, obj: ObjectId) -> usize {
+        self.versions.get(&obj).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_at_picks_snapshot_version() {
+        let mut s = VersionStore::new(8);
+        for (v, t) in [(10, 100), (20, 200), (30, 300)] {
+            s.install(ObjectId(0), v, TxnId(v), SimTime::from_ticks(t));
+        }
+        assert_eq!(s.read_at(ObjectId(0), SimTime::from_ticks(250)).unwrap().value, 20);
+        assert_eq!(s.read_at(ObjectId(0), SimTime::from_ticks(300)).unwrap().value, 30);
+        assert!(s.read_at(ObjectId(0), SimTime::from_ticks(50)).is_none());
+    }
+
+    #[test]
+    fn retention_bound_evicts_oldest() {
+        let mut s = VersionStore::new(2);
+        for (v, t) in [(10, 100), (20, 200), (30, 300)] {
+            s.install(ObjectId(0), v, TxnId(v), SimTime::from_ticks(t));
+        }
+        assert_eq!(s.version_count(ObjectId(0)), 2);
+        // t=150 needs the evicted version 10: unconstructible.
+        assert!(s.read_at(ObjectId(0), SimTime::from_ticks(150)).is_none());
+    }
+
+    #[test]
+    fn lag_measures_staleness() {
+        let mut s = VersionStore::new(8);
+        s.install(ObjectId(0), 1, TxnId(1), SimTime::from_ticks(100));
+        s.install(ObjectId(0), 2, TxnId(2), SimTime::from_ticks(400));
+        let lag = s.lag_at(ObjectId(0), SimTime::from_ticks(200)).unwrap();
+        assert_eq!(lag.ticks(), 300);
+        assert_eq!(s.lag_at(ObjectId(0), SimTime::from_ticks(500)).unwrap().ticks(), 0);
+    }
+
+    #[test]
+    fn version_numbers_increment() {
+        let mut s = VersionStore::new(8);
+        s.install(ObjectId(0), 5, TxnId(1), SimTime::from_ticks(1));
+        s.install(ObjectId(0), 6, TxnId(2), SimTime::from_ticks(2));
+        assert_eq!(s.latest(ObjectId(0)).unwrap().version, 2);
+    }
+
+    #[test]
+    fn oldest_reports_retention_front() {
+        let mut s = VersionStore::new(2);
+        for (v, t) in [(10, 100), (20, 200), (30, 300)] {
+            s.install(ObjectId(0), v, TxnId(v), SimTime::from_ticks(t));
+        }
+        assert_eq!(s.oldest(ObjectId(0)).unwrap().version, 2);
+        assert!(s.oldest(ObjectId(1)).is_none());
+    }
+
+    #[test]
+    fn install_if_newer_rejects_stale_versions() {
+        let mut s = VersionStore::new(8);
+        assert!(s.install_if_newer(ObjectId(0), 5, 2, TxnId(1), SimTime::from_ticks(10)));
+        assert!(!s.install_if_newer(ObjectId(0), 4, 1, TxnId(2), SimTime::from_ticks(12)));
+        assert!(!s.install_if_newer(ObjectId(0), 4, 2, TxnId(2), SimTime::from_ticks(12)));
+        assert!(s.install_if_newer(ObjectId(0), 6, 3, TxnId(2), SimTime::from_ticks(12)));
+        assert_eq!(s.latest(ObjectId(0)).unwrap().version, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_install_panics() {
+        let mut s = VersionStore::new(8);
+        s.install(ObjectId(0), 5, TxnId(1), SimTime::from_ticks(10));
+        s.install(ObjectId(0), 6, TxnId(2), SimTime::from_ticks(5));
+    }
+}

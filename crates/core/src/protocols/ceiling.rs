@@ -1,0 +1,659 @@
+//! The priority ceiling protocol (the paper's contribution, §3.2).
+//!
+//! Three ceilings are defined for each data object over the set of *active*
+//! transactions (arrived but not yet completed):
+//!
+//! * **write-priority ceiling** — the priority of the highest-priority
+//!   active transaction that may *write* the object;
+//! * **absolute-priority ceiling** — the priority of the highest-priority
+//!   active transaction that may *read or write* it;
+//! * **rw-priority ceiling** — set dynamically when the object is locked:
+//!   equal to the absolute ceiling while write-locked, and to the write
+//!   ceiling while read-locked.
+//!
+//! A transaction may lock an object only if its priority is **strictly
+//! higher than the highest rw-priority ceiling of all objects currently
+//! locked by other transactions**; otherwise it blocks, and the holder of
+//! that highest-ceiling lock inherits the blocked transaction's priority.
+//! The combination yields freedom from deadlock and blocking by at most a
+//! single lower-priority transaction — both properties are asserted by the
+//! integration tests.
+//!
+//! The [`PriorityCeilingProtocol::exclusive`] variant answers the open
+//! question in the paper's conclusion (can read semantics *hurt*?): it
+//! treats every lock as exclusive, making the rw-ceiling always equal to
+//! the absolute ceiling.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rtdb::{LockMode, ObjectId, TxnId, TxnSpec};
+use starlite::Priority;
+
+use crate::protocols::inheritance::{diff_updates, effective_priorities};
+use crate::protocols::{
+    LockProtocol, ReleaseReason, ReleaseResult, RequestOutcome, RequestResult, Wakeup,
+};
+
+/// Lock semantics of the ceiling protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CeilingSemantics {
+    /// Readers share; the rw-ceiling of a read-locked object is its write
+    /// ceiling (the paper's protocol "C").
+    ReadWrite,
+    /// Every lock is exclusive; the rw-ceiling is always the absolute
+    /// ceiling (the §5 ablation).
+    Exclusive,
+}
+
+#[derive(Debug)]
+struct ActiveTxn {
+    reads: Vec<ObjectId>,
+    writes: Vec<ObjectId>,
+}
+
+#[derive(Debug)]
+struct Locked {
+    mode: LockMode,
+    holders: Vec<TxnId>,
+}
+
+#[derive(Debug)]
+struct BlockedReq {
+    txn: TxnId,
+    object: ObjectId,
+    mode: LockMode,
+    seq: u64,
+}
+
+/// The priority ceiling protocol engine for one site.
+pub struct PriorityCeilingProtocol {
+    semantics: CeilingSemantics,
+    active: HashMap<TxnId, ActiveTxn>,
+    /// Ceiling contributions: active transactions that may write / access
+    /// each object.
+    writers: HashMap<ObjectId, Vec<(TxnId, Priority)>>,
+    accessors: HashMap<ObjectId, Vec<(TxnId, Priority)>>,
+    locked: HashMap<ObjectId, Locked>,
+    held_by: HashMap<TxnId, Vec<ObjectId>>,
+    blocked: Vec<BlockedReq>,
+    blocked_edges: HashMap<TxnId, Vec<TxnId>>,
+    base: HashMap<TxnId, Priority>,
+    effective: HashMap<TxnId, Priority>,
+    next_seq: u64,
+    ceiling_blocks: u64,
+}
+
+impl fmt::Debug for PriorityCeilingProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PriorityCeilingProtocol")
+            .field("semantics", &self.semantics)
+            .field("active", &self.active.len())
+            .field("locked", &self.locked.len())
+            .field("blocked", &self.blocked.len())
+            .finish()
+    }
+}
+
+impl PriorityCeilingProtocol {
+    /// The paper's protocol "C" with read/write lock semantics.
+    pub fn read_write() -> Self {
+        Self::with_semantics(CeilingSemantics::ReadWrite)
+    }
+
+    /// The exclusive-semantics variant (§5 ablation).
+    pub fn exclusive() -> Self {
+        Self::with_semantics(CeilingSemantics::Exclusive)
+    }
+
+    /// Creates the protocol with explicit semantics.
+    pub fn with_semantics(semantics: CeilingSemantics) -> Self {
+        PriorityCeilingProtocol {
+            semantics,
+            active: HashMap::new(),
+            writers: HashMap::new(),
+            accessors: HashMap::new(),
+            locked: HashMap::new(),
+            held_by: HashMap::new(),
+            blocked: Vec::new(),
+            blocked_edges: HashMap::new(),
+            base: HashMap::new(),
+            effective: HashMap::new(),
+            next_seq: 0,
+            ceiling_blocks: 0,
+        }
+    }
+
+    /// The current write-priority ceiling of `obj` (over active
+    /// transactions).
+    pub fn write_ceiling(&self, obj: ObjectId) -> Priority {
+        self.writers
+            .get(&obj)
+            .and_then(|v| v.iter().map(|&(_, p)| p).max())
+            .unwrap_or(Priority::MIN)
+    }
+
+    /// The current absolute-priority ceiling of `obj`.
+    pub fn absolute_ceiling(&self, obj: ObjectId) -> Priority {
+        self.accessors
+            .get(&obj)
+            .and_then(|v| v.iter().map(|&(_, p)| p).max())
+            .unwrap_or(Priority::MIN)
+    }
+
+    /// The rw-priority ceiling of `obj` under the given lock mode.
+    fn rw_ceiling(&self, obj: ObjectId, locked_mode: LockMode) -> Priority {
+        match (self.semantics, locked_mode) {
+            (CeilingSemantics::Exclusive, _) | (_, LockMode::Write) => self.absolute_ceiling(obj),
+            (CeilingSemantics::ReadWrite, LockMode::Read) => self.write_ceiling(obj),
+        }
+    }
+
+    /// The ceiling admission test: `txn` may lock iff its priority is
+    /// strictly higher than every rw-ceiling of objects locked by other
+    /// transactions. On failure, returns the holders of the
+    /// highest-ceiling lock (the transactions that block `txn`).
+    fn admission_check(&self, txn: TxnId) -> Result<(), Vec<TxnId>> {
+        let p = self.base_priority(txn);
+        let mut objs: Vec<ObjectId> = self.locked.keys().copied().collect();
+        objs.sort_unstable();
+        let mut max_ceil = Priority::MIN;
+        let mut blockers: Vec<TxnId> = Vec::new();
+        let mut any = false;
+        for obj in objs {
+            let lock = &self.locked[&obj];
+            let others: Vec<TxnId> = lock
+                .holders
+                .iter()
+                .copied()
+                .filter(|&t| t != txn)
+                .collect();
+            if others.is_empty() {
+                continue;
+            }
+            let ceil = self.rw_ceiling(obj, lock.mode);
+            if !any || ceil > max_ceil {
+                max_ceil = ceil;
+                blockers = others;
+                any = true;
+            }
+        }
+        if !any || p > max_ceil {
+            Ok(())
+        } else {
+            Err(blockers)
+        }
+    }
+
+    fn coerce_mode(&self, mode: LockMode) -> LockMode {
+        match self.semantics {
+            CeilingSemantics::ReadWrite => mode,
+            CeilingSemantics::Exclusive => LockMode::Write,
+        }
+    }
+
+    fn holds_covering(&self, txn: TxnId, obj: ObjectId, mode: LockMode) -> bool {
+        self.locked.get(&obj).is_some_and(|l| {
+            l.holders.contains(&txn) && (l.mode == LockMode::Write || mode == LockMode::Read)
+        })
+    }
+
+    fn grant(&mut self, txn: TxnId, obj: ObjectId, mode: LockMode) {
+        match self.locked.get_mut(&obj) {
+            None => {
+                self.locked.insert(
+                    obj,
+                    Locked {
+                        mode,
+                        holders: vec![txn],
+                    },
+                );
+                self.held_by.entry(txn).or_default().push(obj);
+            }
+            Some(lock) => {
+                if lock.holders.contains(&txn) {
+                    if mode == LockMode::Write && lock.mode == LockMode::Read {
+                        assert_eq!(
+                            lock.holders.len(),
+                            1,
+                            "upgrade of a shared read lock must have been denied"
+                        );
+                        lock.mode = LockMode::Write;
+                    }
+                    return;
+                }
+                assert!(
+                    lock.mode == LockMode::Read && mode == LockMode::Read,
+                    "ceiling admission granted a conflicting lock on {obj}"
+                );
+                lock.holders.push(txn);
+                self.held_by.entry(txn).or_default().push(obj);
+            }
+        }
+    }
+
+    /// Recomputes inheritance from the blocked-by edges.
+    fn recompute(&mut self) -> Vec<(TxnId, Priority)> {
+        let eff = effective_priorities(&self.base, &self.blocked_edges);
+        diff_updates(&mut self.effective, eff)
+    }
+
+    /// Wakes every blocked request that now passes admission, most urgent
+    /// first; each grant can change ceilings, so the scan restarts.
+    fn wake_pass(&mut self, wakeups: &mut Vec<Wakeup>) {
+        loop {
+            // Order: base priority descending, then FIFO.
+            let mut order: Vec<usize> = (0..self.blocked.len()).collect();
+            order.sort_by_key(|&i| {
+                let b = &self.blocked[i];
+                (std::cmp::Reverse(self.base_priority(b.txn)), b.seq)
+            });
+            let mut granted_idx: Option<usize> = None;
+            for i in order {
+                let txn = self.blocked[i].txn;
+                if self.admission_check(txn).is_ok() {
+                    granted_idx = Some(i);
+                    break;
+                }
+            }
+            let Some(i) = granted_idx else { break };
+            let req = self.blocked.remove(i);
+            self.blocked_edges.remove(&req.txn);
+            self.grant(req.txn, req.object, req.mode);
+            wakeups.push(Wakeup {
+                txn: req.txn,
+                object: req.object,
+                mode: req.mode,
+            });
+        }
+        // Refresh blocker sets of the requests that stay blocked: the
+        // highest-ceiling lock may have changed hands.
+        for i in 0..self.blocked.len() {
+            let txn = self.blocked[i].txn;
+            match self.admission_check(txn) {
+                Ok(()) => unreachable!("wake pass left an admissible request blocked"),
+                Err(blockers) => {
+                    self.blocked_edges.insert(txn, blockers);
+                }
+            }
+        }
+    }
+
+    fn remove_ceiling_contribution(&mut self, txn: TxnId) {
+        let Some(info) = self.active.remove(&txn) else {
+            return;
+        };
+        for obj in info.writes {
+            if let Some(v) = self.writers.get_mut(&obj) {
+                v.retain(|&(t, _)| t != txn);
+                if v.is_empty() {
+                    self.writers.remove(&obj);
+                }
+            }
+            if let Some(v) = self.accessors.get_mut(&obj) {
+                v.retain(|&(t, _)| t != txn);
+                if v.is_empty() {
+                    self.accessors.remove(&obj);
+                }
+            }
+        }
+        for obj in info.reads {
+            if let Some(v) = self.accessors.get_mut(&obj) {
+                v.retain(|&(t, _)| t != txn);
+                if v.is_empty() {
+                    self.accessors.remove(&obj);
+                }
+            }
+        }
+    }
+}
+
+impl LockProtocol for PriorityCeilingProtocol {
+    fn register(&mut self, spec: &TxnSpec) {
+        let p = spec.base_priority();
+        let prev = self.active.insert(
+            spec.id,
+            ActiveTxn {
+                reads: spec.read_set.clone(),
+                writes: spec.write_set.clone(),
+            },
+        );
+        assert!(prev.is_none(), "{} registered twice", spec.id);
+        self.base.insert(spec.id, p);
+        self.effective.insert(spec.id, p);
+        for &obj in &spec.write_set {
+            self.writers.entry(obj).or_default().push((spec.id, p));
+            self.accessors.entry(obj).or_default().push((spec.id, p));
+        }
+        for &obj in &spec.read_set {
+            self.accessors.entry(obj).or_default().push((spec.id, p));
+        }
+    }
+
+    fn request(&mut self, txn: TxnId, object: ObjectId, mode: LockMode) -> RequestResult {
+        let mode = self.coerce_mode(mode);
+        if self.holds_covering(txn, object, mode) {
+            return RequestResult::granted();
+        }
+        assert!(
+            !self.blocked.iter().any(|b| b.txn == txn),
+            "{txn} requested a lock while already blocked"
+        );
+        match self.admission_check(txn) {
+            Ok(()) => {
+                self.grant(txn, object, mode);
+                RequestResult::granted()
+            }
+            Err(blockers) => {
+                self.ceiling_blocks += 1;
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.blocked.push(BlockedReq {
+                    txn,
+                    object,
+                    mode,
+                    seq,
+                });
+                // Charge the block to the least urgent holder of the
+                // ceiling lock — the lower-priority transaction the
+                // block-at-most-once property is about.
+                let blocker = blockers
+                    .iter()
+                    .copied()
+                    .min_by_key(|t| self.base.get(t).copied().unwrap_or(Priority::MIN));
+                self.blocked_edges.insert(txn, blockers);
+                let priority_updates = self.recompute();
+                RequestResult {
+                    outcome: RequestOutcome::Blocked { blocker },
+                    priority_updates,
+                }
+            }
+        }
+    }
+
+    fn release_all(&mut self, txn: TxnId, reason: ReleaseReason) -> ReleaseResult {
+        // Drop held locks.
+        if let Some(objs) = self.held_by.remove(&txn) {
+            for obj in objs {
+                if let Some(lock) = self.locked.get_mut(&obj) {
+                    lock.holders.retain(|&t| t != txn);
+                    if lock.holders.is_empty() {
+                        self.locked.remove(&obj);
+                    }
+                }
+            }
+        }
+        // Drop a pending blocked request (deadline abort while blocked).
+        self.blocked.retain(|b| b.txn != txn);
+        self.blocked_edges.remove(&txn);
+
+        if reason == ReleaseReason::Finished {
+            // Leaving the active set lowers ceilings, which can admit
+            // further waiters below.
+            self.remove_ceiling_contribution(txn);
+            self.base.remove(&txn);
+            self.effective.remove(&txn);
+        }
+
+        let mut wakeups = Vec::new();
+        self.wake_pass(&mut wakeups);
+        let priority_updates = self.recompute();
+        ReleaseResult {
+            wakeups,
+            priority_updates,
+        }
+    }
+
+    fn effective_priority(&self, txn: TxnId) -> Priority {
+        self.effective
+            .get(&txn)
+            .copied()
+            .unwrap_or_else(|| panic!("{txn} not registered"))
+    }
+
+    fn base_priority(&self, txn: TxnId) -> Priority {
+        self.base
+            .get(&txn)
+            .copied()
+            .unwrap_or_else(|| panic!("{txn} not registered"))
+    }
+
+    fn is_blocked(&self, txn: TxnId) -> bool {
+        self.blocked.iter().any(|b| b.txn == txn)
+    }
+
+    fn name(&self) -> &'static str {
+        match self.semantics {
+            CeilingSemantics::ReadWrite => "priority-ceiling",
+            CeilingSemantics::Exclusive => "priority-ceiling-exclusive",
+        }
+    }
+
+    fn ceiling_block_count(&self) -> u64 {
+        self.ceiling_blocks
+    }
+
+    fn assert_consistent(&self) {
+        for (obj, lock) in &self.locked {
+            assert!(!lock.holders.is_empty(), "{obj} locked with no holders");
+            if lock.mode == LockMode::Write {
+                assert_eq!(lock.holders.len(), 1, "{obj} write-locked by several");
+            }
+            for t in &lock.holders {
+                assert!(
+                    self.held_by.get(t).is_some_and(|v| v.contains(obj)),
+                    "holder {t} of {obj} missing from held_by"
+                );
+            }
+        }
+        for b in &self.blocked {
+            assert!(self.active.contains_key(&b.txn), "blocked txn not active");
+            assert!(
+                self.admission_check(b.txn).is_err(),
+                "{} blocked but admissible",
+                b.txn
+            );
+        }
+        for (&t, &e) in &self.effective {
+            assert!(e >= self.base[&t], "{t} effective below base");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdb::SiteId;
+    use starlite::SimTime;
+
+    fn spec(id: u64, deadline: u64, reads: Vec<u32>, writes: Vec<u32>) -> TxnSpec {
+        TxnSpec::new(
+            TxnId(id),
+            SimTime::ZERO,
+            reads.into_iter().map(ObjectId).collect(),
+            writes.into_iter().map(ObjectId).collect(),
+            SimTime::from_ticks(deadline),
+            SiteId(0),
+        )
+    }
+
+    #[test]
+    fn ceilings_follow_active_set() {
+        let mut p = PriorityCeilingProtocol::read_write();
+        p.register(&spec(1, 100, vec![0], vec![1])); // high priority
+        p.register(&spec(2, 900, vec![1], vec![0])); // low priority
+        let p1 = Priority::earliest_deadline_first(SimTime::from_ticks(100));
+        let p2 = Priority::earliest_deadline_first(SimTime::from_ticks(900));
+        // O0: read by T1, written by T2.
+        assert_eq!(p.write_ceiling(ObjectId(0)), p2);
+        assert_eq!(p.absolute_ceiling(ObjectId(0)), p1);
+        // O1: written by T1, read by T2.
+        assert_eq!(p.write_ceiling(ObjectId(1)), p1);
+        assert_eq!(p.absolute_ceiling(ObjectId(1)), p1);
+        // Finishing T1 lowers the ceilings.
+        p.release_all(TxnId(1), ReleaseReason::Finished);
+        assert_eq!(p.absolute_ceiling(ObjectId(0)), p2);
+    }
+
+    #[test]
+    fn lock_on_unlocked_object_denied_by_ceiling() {
+        // The paper's example: T2 (medium) is denied an unlocked object
+        // because T3 (low) holds a lock whose ceiling is T1's (high)
+        // priority.
+        let mut p = PriorityCeilingProtocol::read_write();
+        p.register(&spec(1, 100, vec![], vec![5])); // T1 high, writes O5
+        p.register(&spec(2, 500, vec![], vec![7])); // T2 medium, writes O7
+        p.register(&spec(3, 900, vec![], vec![5])); // T3 low, writes O5
+        // T3 locks O5 (nothing else is locked).
+        assert_eq!(
+            p.request(TxnId(3), ObjectId(5), LockMode::Write).outcome,
+            RequestOutcome::Granted
+        );
+        // T2 requests the *unlocked* O7: denied, because its priority is
+        // not higher than O5's ceiling (= T1's priority).
+        match p.request(TxnId(2), ObjectId(7), LockMode::Write).outcome {
+            RequestOutcome::Blocked { blocker } => assert_eq!(blocker, Some(TxnId(3))),
+            other => panic!("unexpected {other:?}"),
+        }
+        // T3 inherited T2's priority.
+        assert_eq!(
+            p.effective_priority(TxnId(3)),
+            p.base_priority(TxnId(2))
+        );
+        // When T3 finishes, T2 is woken.
+        let rel = p.release_all(TxnId(3), ReleaseReason::Finished);
+        assert_eq!(rel.wakeups.len(), 1);
+        assert_eq!(rel.wakeups[0].txn, TxnId(2));
+        p.assert_consistent();
+    }
+
+    #[test]
+    fn highest_priority_transaction_is_never_ceiling_blocked() {
+        let mut p = PriorityCeilingProtocol::read_write();
+        p.register(&spec(1, 100, vec![], vec![0])); // highest priority
+        p.register(&spec(2, 900, vec![], vec![1]));
+        p.request(TxnId(2), ObjectId(1), LockMode::Write);
+        // T1's priority exceeds every ceiling (it is the highest-priority
+        // accessor anywhere), so it proceeds.
+        assert_eq!(
+            p.request(TxnId(1), ObjectId(0), LockMode::Write).outcome,
+            RequestOutcome::Granted
+        );
+    }
+
+    #[test]
+    fn readers_share_under_rw_semantics() {
+        let mut p = PriorityCeilingProtocol::read_write();
+        // Both read O0; nobody writes it, so its write ceiling is MIN.
+        p.register(&spec(1, 100, vec![0], vec![]));
+        p.register(&spec(2, 200, vec![0], vec![]));
+        assert_eq!(
+            p.request(TxnId(1), ObjectId(0), LockMode::Read).outcome,
+            RequestOutcome::Granted
+        );
+        // Read-locked: rw ceiling = write ceiling = MIN < any priority.
+        assert_eq!(
+            p.request(TxnId(2), ObjectId(0), LockMode::Read).outcome,
+            RequestOutcome::Granted
+        );
+        p.assert_consistent();
+    }
+
+    #[test]
+    fn exclusive_semantics_serialise_readers() {
+        let mut p = PriorityCeilingProtocol::exclusive();
+        p.register(&spec(1, 100, vec![0], vec![]));
+        p.register(&spec(2, 200, vec![0], vec![]));
+        assert_eq!(
+            p.request(TxnId(1), ObjectId(0), LockMode::Read).outcome,
+            RequestOutcome::Granted
+        );
+        assert!(matches!(
+            p.request(TxnId(2), ObjectId(0), LockMode::Read).outcome,
+            RequestOutcome::Blocked { .. }
+        ));
+    }
+
+    #[test]
+    fn writer_blocked_while_read_locked_by_lower_priority_reader() {
+        let mut p = PriorityCeilingProtocol::read_write();
+        p.register(&spec(1, 100, vec![], vec![0])); // writer, high
+        p.register(&spec(2, 900, vec![0], vec![])); // reader, low
+        assert_eq!(
+            p.request(TxnId(2), ObjectId(0), LockMode::Read).outcome,
+            RequestOutcome::Granted
+        );
+        // Read-locked O0 has rw ceiling = write ceiling = T1's priority;
+        // T1's own priority is not *higher* than that, so T1 blocks.
+        assert!(matches!(
+            p.request(TxnId(1), ObjectId(0), LockMode::Write).outcome,
+            RequestOutcome::Blocked { .. }
+        ));
+        let rel = p.release_all(TxnId(2), ReleaseReason::Finished);
+        assert_eq!(rel.wakeups.len(), 1);
+        assert_eq!(rel.wakeups[0].txn, TxnId(1));
+    }
+
+    #[test]
+    fn deadline_abort_while_blocked_cleans_up() {
+        let mut p = PriorityCeilingProtocol::read_write();
+        p.register(&spec(1, 100, vec![], vec![0]));
+        p.register(&spec(2, 900, vec![], vec![0]));
+        p.request(TxnId(2), ObjectId(0), LockMode::Write);
+        assert!(matches!(
+            p.request(TxnId(1), ObjectId(0), LockMode::Write).outcome,
+            RequestOutcome::Blocked { .. }
+        ));
+        // T1's deadline expires while blocked.
+        let rel = p.release_all(TxnId(1), ReleaseReason::Finished);
+        assert!(rel.wakeups.is_empty());
+        assert!(!p.is_blocked(TxnId(1)));
+        // T2 reverts to its own priority (no one left to inherit from).
+        assert_eq!(p.effective_priority(TxnId(2)), p.base_priority(TxnId(2)));
+        p.assert_consistent();
+    }
+
+    #[test]
+    fn wake_order_prefers_urgent_but_admits_any_passing() {
+        let mut p = PriorityCeilingProtocol::read_write();
+        // T1 high and T2 medium both write O0; T3 low holds it.
+        p.register(&spec(1, 100, vec![], vec![0]));
+        p.register(&spec(2, 500, vec![], vec![0]));
+        p.register(&spec(3, 900, vec![], vec![0]));
+        p.request(TxnId(3), ObjectId(0), LockMode::Write);
+        assert!(matches!(
+            p.request(TxnId(1), ObjectId(0), LockMode::Write).outcome,
+            RequestOutcome::Blocked { .. }
+        ));
+        assert!(matches!(
+            p.request(TxnId(2), ObjectId(0), LockMode::Write).outcome,
+            RequestOutcome::Blocked { .. }
+        ));
+        let rel = p.release_all(TxnId(3), ReleaseReason::Finished);
+        // T1 (most urgent) gets the lock; T2 stays blocked: O0 is now
+        // write-locked by T1 whose ceiling is T1's priority ≥ T2's.
+        assert_eq!(rel.wakeups.len(), 1);
+        assert_eq!(rel.wakeups[0].txn, TxnId(1));
+        assert!(p.is_blocked(TxnId(2)));
+        p.assert_consistent();
+    }
+
+    #[test]
+    fn self_re_request_is_granted() {
+        let mut p = PriorityCeilingProtocol::read_write();
+        p.register(&spec(1, 100, vec![0], vec![]));
+        assert_eq!(p.request(TxnId(1), ObjectId(0), LockMode::Read).outcome, RequestOutcome::Granted);
+        assert_eq!(p.request(TxnId(1), ObjectId(0), LockMode::Read).outcome, RequestOutcome::Granted);
+        p.assert_consistent();
+    }
+
+    #[test]
+    fn ceiling_block_counter() {
+        let mut p = PriorityCeilingProtocol::read_write();
+        p.register(&spec(1, 100, vec![], vec![0]));
+        p.register(&spec(2, 900, vec![], vec![0]));
+        p.request(TxnId(2), ObjectId(0), LockMode::Write);
+        p.request(TxnId(1), ObjectId(0), LockMode::Write);
+        assert_eq!(p.ceiling_block_count(), 1);
+    }
+}

@@ -1,0 +1,250 @@
+//! Two-phase locking with basic priority inheritance.
+//!
+//! The \[Sha87\] baseline the paper discusses in §3.1: when a transaction
+//! blocks a higher-priority transaction, it executes at the highest
+//! priority of all the transactions it blocks (transitively). Inheritance
+//! shortens individual inversions but does *not* prevent chained blocking
+//! or deadlock — both weaknesses the priority ceiling protocol was designed
+//! to remove, and both observable with this implementation (see the
+//! ablation benches).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rtdb::{LockMode, LockOutcome, LockTable, ObjectId, QueuePolicy, TxnId, TxnSpec, WaitsForGraph};
+use starlite::Priority;
+
+use crate::config::VictimPolicy;
+use crate::protocols::inheritance::{diff_updates, effective_priorities};
+use crate::protocols::tpl::select_victim;
+use crate::protocols::{
+    LockProtocol, ReleaseReason, ReleaseResult, RequestOutcome, RequestResult, Wakeup,
+};
+
+/// 2PL with priority queues plus basic (transitive) priority inheritance.
+pub struct InheritanceProtocol {
+    table: LockTable,
+    wfg: WaitsForGraph,
+    victim_policy: VictimPolicy,
+    base: HashMap<TxnId, Priority>,
+    effective: HashMap<TxnId, Priority>,
+    deadlocks: u64,
+}
+
+impl fmt::Debug for InheritanceProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InheritanceProtocol")
+            .field("active", &self.base.len())
+            .field("deadlocks", &self.deadlocks)
+            .finish()
+    }
+}
+
+impl InheritanceProtocol {
+    /// Creates the protocol with the given deadlock victim policy.
+    pub fn new(victim_policy: VictimPolicy) -> Self {
+        InheritanceProtocol {
+            table: LockTable::new(QueuePolicy::Priority),
+            wfg: WaitsForGraph::new(),
+            victim_policy,
+            base: HashMap::new(),
+            effective: HashMap::new(),
+            deadlocks: 0,
+        }
+    }
+
+    /// Recomputes the inheritance fixpoint and returns the priority
+    /// changes. Also refreshes waiter priorities inside the lock table so
+    /// queue positions follow inherited urgency.
+    fn recompute(&mut self) -> Vec<(TxnId, Priority)> {
+        let mut blocked_by: HashMap<TxnId, Vec<TxnId>> = HashMap::new();
+        for t in self.table.waiters() {
+            blocked_by.insert(t, self.table.current_blockers(t));
+        }
+        let eff = effective_priorities(&self.base, &blocked_by);
+        let updates = diff_updates(&mut self.effective, eff);
+        for &(txn, priority) in &updates {
+            self.table.update_waiter_priority(txn, priority);
+        }
+        updates
+    }
+
+    fn refresh_wfg(&mut self) {
+        for t in self.table.waiters() {
+            let blockers = self.table.current_blockers(t);
+            self.wfg.set_edges(t, &blockers);
+        }
+    }
+}
+
+impl LockProtocol for InheritanceProtocol {
+    fn register(&mut self, spec: &TxnSpec) {
+        let p = spec.base_priority();
+        let prev = self.base.insert(spec.id, p);
+        assert!(prev.is_none(), "{} registered twice", spec.id);
+        self.effective.insert(spec.id, p);
+    }
+
+    fn request(&mut self, txn: TxnId, object: ObjectId, mode: LockMode) -> RequestResult {
+        let priority = self.effective_priority(txn);
+        match self.table.request(txn, object, mode, priority) {
+            LockOutcome::Granted => RequestResult::granted(),
+            LockOutcome::Waiting { blockers } => {
+                self.wfg.set_edges(txn, &blockers);
+                if let Some(cycle) = self.wfg.cycle_from(txn) {
+                    self.deadlocks += 1;
+                    let victim = select_victim(&cycle, self.victim_policy, &self.base);
+                    return RequestResult {
+                        outcome: RequestOutcome::Deadlock { victim },
+                        priority_updates: Vec::new(),
+                    };
+                }
+                let blocker = blockers
+                    .iter()
+                    .copied()
+                    .min_by_key(|t| self.base.get(t).copied().unwrap_or(Priority::MIN));
+                let priority_updates = self.recompute();
+                RequestResult {
+                    outcome: RequestOutcome::Blocked { blocker },
+                    priority_updates,
+                }
+            }
+        }
+    }
+
+    fn release_all(&mut self, txn: TxnId, reason: ReleaseReason) -> ReleaseResult {
+        let granted = self.table.release_all(txn);
+        self.wfg.remove_txn(txn);
+        let wakeups: Vec<Wakeup> = granted
+            .into_iter()
+            .map(|g| Wakeup {
+                txn: g.txn,
+                object: g.object,
+                mode: g.mode,
+            })
+            .collect();
+        for w in &wakeups {
+            self.wfg.clear_waiter(w.txn);
+        }
+        self.refresh_wfg();
+        if reason == ReleaseReason::Finished {
+            self.base.remove(&txn);
+            self.effective.remove(&txn);
+        }
+        let priority_updates = self.recompute();
+        ReleaseResult {
+            wakeups,
+            priority_updates,
+        }
+    }
+
+    fn effective_priority(&self, txn: TxnId) -> Priority {
+        self.effective
+            .get(&txn)
+            .copied()
+            .unwrap_or_else(|| panic!("{txn} not registered"))
+    }
+
+    fn base_priority(&self, txn: TxnId) -> Priority {
+        self.base
+            .get(&txn)
+            .copied()
+            .unwrap_or_else(|| panic!("{txn} not registered"))
+    }
+
+    fn is_blocked(&self, txn: TxnId) -> bool {
+        self.table.waiting_for(txn).is_some()
+    }
+
+    fn name(&self) -> &'static str {
+        "2pl-inheritance"
+    }
+
+    fn deadlock_count(&self) -> u64 {
+        self.deadlocks
+    }
+
+    fn assert_consistent(&self) {
+        self.table.check_invariants();
+        for (&t, &e) in &self.effective {
+            let b = self.base.get(&t).copied().expect("effective without base");
+            assert!(e >= b, "{t} effective priority below base");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdb::SiteId;
+    use starlite::SimTime;
+
+    fn spec(id: u64, deadline: u64, writes: Vec<u32>) -> TxnSpec {
+        TxnSpec::new(
+            TxnId(id),
+            SimTime::ZERO,
+            vec![],
+            writes.into_iter().map(ObjectId).collect(),
+            SimTime::from_ticks(deadline),
+            SiteId(0),
+        )
+    }
+
+    #[test]
+    fn blocker_inherits_waiter_priority() {
+        let mut p = InheritanceProtocol::new(VictimPolicy::LowestPriority);
+        p.register(&spec(1, 1_000, vec![0])); // low priority (late deadline)
+        p.register(&spec(2, 100, vec![0])); // high priority
+        assert_eq!(p.request(TxnId(1), ObjectId(0), LockMode::Write).outcome, RequestOutcome::Granted);
+        let res = p.request(TxnId(2), ObjectId(0), LockMode::Write);
+        assert!(matches!(res.outcome, RequestOutcome::Blocked { blocker: Some(t) } if t == TxnId(1)));
+        // T1 inherited T2's priority.
+        let boosted: Vec<TxnId> = res.priority_updates.iter().map(|&(t, _)| t).collect();
+        assert_eq!(boosted, vec![TxnId(1)]);
+        assert_eq!(p.effective_priority(TxnId(1)), p.base_priority(TxnId(2)));
+        p.assert_consistent();
+    }
+
+    #[test]
+    fn inheritance_is_transitive() {
+        let mut p = InheritanceProtocol::new(VictimPolicy::LowestPriority);
+        p.register(&spec(1, 3_000, vec![0]));
+        p.register(&spec(2, 2_000, vec![0, 1]));
+        p.register(&spec(3, 100, vec![1]));
+        p.request(TxnId(1), ObjectId(0), LockMode::Write); // T1 holds O0
+        p.request(TxnId(2), ObjectId(1), LockMode::Write); // T2 holds O1
+        p.request(TxnId(2), ObjectId(0), LockMode::Write); // T2 waits on T1
+        let res = p.request(TxnId(3), ObjectId(1), LockMode::Write); // T3 waits on T2
+        assert!(matches!(res.outcome, RequestOutcome::Blocked { .. }));
+        // T3's priority flows through T2 to T1.
+        assert_eq!(p.effective_priority(TxnId(1)), p.base_priority(TxnId(3)));
+        assert_eq!(p.effective_priority(TxnId(2)), p.base_priority(TxnId(3)));
+    }
+
+    #[test]
+    fn inheritance_revoked_on_release() {
+        let mut p = InheritanceProtocol::new(VictimPolicy::LowestPriority);
+        p.register(&spec(1, 1_000, vec![0]));
+        p.register(&spec(2, 100, vec![0]));
+        p.request(TxnId(1), ObjectId(0), LockMode::Write);
+        p.request(TxnId(2), ObjectId(0), LockMode::Write);
+        let rel = p.release_all(TxnId(1), ReleaseReason::Finished);
+        assert_eq!(rel.wakeups.len(), 1);
+        // T1 is gone; only T2 remains, at its own priority.
+        assert_eq!(p.effective_priority(TxnId(2)), p.base_priority(TxnId(2)));
+    }
+
+    #[test]
+    fn deadlock_still_detected() {
+        let mut p = InheritanceProtocol::new(VictimPolicy::LowestPriority);
+        p.register(&spec(1, 100, vec![0, 1]));
+        p.register(&spec(2, 500, vec![0, 1]));
+        p.request(TxnId(1), ObjectId(0), LockMode::Write);
+        p.request(TxnId(2), ObjectId(1), LockMode::Write);
+        p.request(TxnId(1), ObjectId(1), LockMode::Write);
+        match p.request(TxnId(2), ObjectId(0), LockMode::Write).outcome {
+            RequestOutcome::Deadlock { victim } => assert_eq!(victim, TxnId(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

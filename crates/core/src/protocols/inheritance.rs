@@ -1,0 +1,125 @@
+//! Shared priority-inheritance computation.
+//!
+//! Both the basic inheritance protocol and the priority ceiling protocol
+//! execute a blocking transaction "at the highest priority of all the
+//! transactions blocked by" it, transitively. This module computes the
+//! effective-priority fixpoint from the *blocked-by* relation and diffs it
+//! against the previous assignment so callers emit only actual changes.
+
+use std::collections::HashMap;
+
+use rtdb::TxnId;
+use starlite::Priority;
+
+/// Computes effective priorities: for every transaction, the maximum of
+/// its own base priority and the effective priorities of all transactions
+/// (transitively) blocked by it.
+///
+/// `blocked_by` maps each blocked transaction to the transactions it waits
+/// for. Unlisted transactions run at base priority.
+pub(crate) fn effective_priorities(
+    base: &HashMap<TxnId, Priority>,
+    blocked_by: &HashMap<TxnId, Vec<TxnId>>,
+) -> HashMap<TxnId, Priority> {
+    let mut eff = base.clone();
+    // Fixpoint: propagate waiter priorities through blockers. Chains are
+    // short (the ceiling protocol bounds them at one), so this converges
+    // in a couple of passes.
+    loop {
+        let mut changed = false;
+        for (waiter, blockers) in blocked_by {
+            let Some(&wp) = eff.get(waiter) else { continue };
+            for b in blockers {
+                if let Some(bp) = eff.get_mut(b) {
+                    if *bp < wp {
+                        *bp = wp;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return eff;
+        }
+    }
+}
+
+/// Diffs a new effective assignment against the previous one, returning
+/// `(txn, new_priority)` for every transaction whose priority changed.
+/// `previous` is updated in place.
+pub(crate) fn diff_updates(
+    previous: &mut HashMap<TxnId, Priority>,
+    new: HashMap<TxnId, Priority>,
+) -> Vec<(TxnId, Priority)> {
+    let mut updates: Vec<(TxnId, Priority)> = Vec::new();
+    for (&txn, &p) in &new {
+        if previous.get(&txn) != Some(&p) {
+            updates.push((txn, p));
+        }
+    }
+    // Transactions that vanished (deregistered) need no update events.
+    *previous = new;
+    updates.sort_unstable_by_key(|&(t, _)| t);
+    updates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(entries: &[(u64, i64)]) -> HashMap<TxnId, Priority> {
+        entries
+            .iter()
+            .map(|&(t, p)| (TxnId(t), Priority::new(p)))
+            .collect()
+    }
+
+    #[test]
+    fn direct_inheritance() {
+        let b = base(&[(1, 10), (2, 1)]);
+        let blocked: HashMap<TxnId, Vec<TxnId>> =
+            [(TxnId(1), vec![TxnId(2)])].into_iter().collect();
+        let eff = effective_priorities(&b, &blocked);
+        assert_eq!(eff[&TxnId(2)], Priority::new(10));
+        assert_eq!(eff[&TxnId(1)], Priority::new(10));
+    }
+
+    #[test]
+    fn transitive_chain() {
+        let b = base(&[(1, 10), (2, 5), (3, 1)]);
+        let blocked: HashMap<TxnId, Vec<TxnId>> = [
+            (TxnId(1), vec![TxnId(2)]),
+            (TxnId(2), vec![TxnId(3)]),
+        ]
+        .into_iter()
+        .collect();
+        let eff = effective_priorities(&b, &blocked);
+        assert_eq!(eff[&TxnId(3)], Priority::new(10));
+        assert_eq!(eff[&TxnId(2)], Priority::new(10));
+    }
+
+    #[test]
+    fn no_inheritance_without_blocking() {
+        let b = base(&[(1, 10), (2, 1)]);
+        let eff = effective_priorities(&b, &HashMap::new());
+        assert_eq!(eff, b);
+    }
+
+    #[test]
+    fn diff_reports_only_changes() {
+        let mut prev = base(&[(1, 10), (2, 1)]);
+        let new = base(&[(1, 10), (2, 7)]);
+        let ups = diff_updates(&mut prev, new);
+        assert_eq!(ups, vec![(TxnId(2), Priority::new(7))]);
+        assert_eq!(prev[&TxnId(2)], Priority::new(7));
+    }
+
+    #[test]
+    fn unknown_blockers_are_ignored() {
+        let b = base(&[(1, 10)]);
+        let blocked: HashMap<TxnId, Vec<TxnId>> =
+            [(TxnId(1), vec![TxnId(99)])].into_iter().collect();
+        let eff = effective_priorities(&b, &blocked);
+        assert_eq!(eff.len(), 1);
+    }
+}

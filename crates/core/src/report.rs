@@ -1,0 +1,76 @@
+//! Results of one simulation run.
+
+use std::fmt;
+
+use monitor::{Monitor, RunStats};
+use rtdb::ObjectStore;
+use starlite::SimDuration;
+
+/// Temporal-consistency measurements of a run with multiversion reads
+/// enabled (the §4 future-work mechanism).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemporalStats {
+    /// Snapshot reads attempted by read-only transactions.
+    pub snapshot_reads: u64,
+    /// Reads whose pinned snapshot was unconstructible (the version had
+    /// already been evicted — retention shorter than the read lag).
+    pub unconstructible: u64,
+    /// Mean staleness of constructible snapshot reads, in ticks (how far
+    /// behind the latest local version the visible version was).
+    pub mean_lag_ticks: f64,
+    /// Worst observed staleness, in ticks.
+    pub max_lag_ticks: u64,
+    /// Mean replication lag of reads against remote-primary objects: how
+    /// far (in ticks) the local replica's newest version trailed the
+    /// primary copy's newest version at read time.
+    pub mean_replica_lag_ticks: f64,
+    /// Worst observed replication lag, in ticks.
+    pub max_replica_lag_ticks: u64,
+}
+
+/// Everything a finished run reports: the paper's headline metrics plus
+/// protocol- and kernel-level counters, and the full monitor for deeper
+/// inspection (histories, per-transaction records).
+pub struct RunReport {
+    /// Headline metrics (throughput, %missed, response times).
+    pub stats: RunStats,
+    /// The monitor with per-transaction records and the committed history.
+    pub monitor: Monitor,
+    /// Deadlocks detected (two-phase locking protocols only).
+    pub deadlocks: u64,
+    /// Requests denied by the ceiling test (ceiling protocols only).
+    pub ceiling_blocks: u64,
+    /// CPU preemptions performed, summed over sites.
+    pub preemptions: u64,
+    /// Total CPU busy time, summed over sites.
+    pub cpu_busy: SimDuration,
+    /// Messages sent across links (distributed runs only).
+    pub remote_messages: u64,
+    /// Final object stores, one per site (a single-site run has one).
+    pub stores: Vec<ObjectStore>,
+    /// Temporal-consistency measurements, when multiversion reads were
+    /// enabled.
+    pub temporal: Option<TemporalStats>,
+}
+
+impl fmt::Debug for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunReport")
+            .field("stats", &self.stats)
+            .field("deadlocks", &self.deadlocks)
+            .field("ceiling_blocks", &self.ceiling_blocks)
+            .field("preemptions", &self.preemptions)
+            .field("remote_messages", &self.remote_messages)
+            .finish()
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} | deadlocks={} ceiling_blocks={} preemptions={}",
+            self.stats, self.deadlocks, self.ceiling_blocks, self.preemptions
+        )
+    }
+}

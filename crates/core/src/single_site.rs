@@ -1,0 +1,688 @@
+//! The single-site real-time database simulator (the §3 experiments).
+//!
+//! Drives the full transaction lifecycle on one site:
+//!
+//! 1. **Arrive** — register with the protocol (declared read/write sets
+//!    feed the priority ceilings) and the performance monitor; arm the
+//!    deadline timer; assign the EDF priority.
+//! 2. **Execute** — for each object in the access sequence: request the
+//!    lock; when granted, fetch the object (parallel I/O) and process it
+//!    (CPU burst under the protocol's scheduling policy, with preemption
+//!    and priority inheritance).
+//! 3. **Commit** — apply buffered writes, record the committed operations,
+//!    release all locks (two-phase: nothing was released earlier), retire
+//!    from the active set.
+//! 4. **Deadline** — a transaction still running at its deadline is
+//!    aborted and counts as missed; its locks are released and waiters
+//!    wake.
+//! 5. **Deadlock** (2PL only) — the victim releases its locks, keeps its
+//!    deadline, and restarts from scratch; all its work is wasted.
+//!
+//! Writes increment the object's value by one, so a finished store must
+//! satisfy `value == version == committed writes` — an end-to-end
+//! correctness invariant the integration tests check alongside conflict
+//! serialisability.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use monitor::{Monitor, RunStats};
+use rtdb::{Catalog, LockMode, ObjectId, OpKind, Operation, Placement, TxnId, TxnSpec};
+use starlite::{
+    Completion, Cpu, CpuToken, Engine, EventId, IoDevice, Model, Removed, Scheduler, SimTime,
+};
+use workload::{Generator, WorkloadSpec};
+
+use crate::config::SingleSiteConfig;
+use crate::protocols::{
+    make_protocol, LockProtocol, ReleaseReason, RequestOutcome, Wakeup,
+};
+use crate::report::RunReport;
+
+/// Events of the single-site model.
+#[derive(Debug)]
+enum Ev {
+    Arrive(TxnId),
+    IoDone { txn: TxnId, attempt: u32 },
+    BurstDone { token: CpuToken },
+    Deadline(TxnId),
+}
+
+/// Pending control-flow work, processed iteratively to keep deadlock
+/// cascades off the call stack.
+#[derive(Debug)]
+enum Pending {
+    /// Request the lock for the current step (or commit if past the end).
+    Advance(TxnId),
+    /// The current step's lock was just granted by a wakeup: fetch and
+    /// process the object.
+    Resume(TxnId),
+    /// Abort and restart a deadlock victim.
+    Restart(TxnId),
+}
+
+#[derive(Debug)]
+struct Exec {
+    attempt: u32,
+    step: usize,
+    /// Data accesses: the objects actually read or written, in order.
+    seq: Vec<(ObjectId, LockMode)>,
+    /// Lock requests per step: the granule covering each object, with the
+    /// granule's mode (write if the transaction writes anything in it).
+    lock_seq: Vec<(ObjectId, LockMode)>,
+    deadline_ev: EventId,
+    oplog: Vec<(ObjectId, OpKind, SimTime, u64)>,
+    write_buffer: Vec<ObjectId>,
+}
+
+struct SiteModel {
+    config: SingleSiteConfig,
+    /// Logical operation counter: assigned in event-execution order so
+    /// histories stay totally ordered per copy even within one tick.
+    op_seq: u64,
+    protocol: Box<dyn LockProtocol>,
+    cpu: Cpu<TxnId>,
+    /// I/O transfers are keyed by (transaction, attempt) so completions of
+    /// transfers issued before a restart are recognised as stale.
+    io: IoDevice<(TxnId, u32)>,
+    store: rtdb::ObjectStore,
+    monitor: Monitor,
+    specs: HashMap<TxnId, TxnSpec>,
+    exec: HashMap<TxnId, Exec>,
+}
+
+impl fmt::Debug for SiteModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SiteModel")
+            .field("active", &self.exec.len())
+            .field("protocol", &self.protocol.name())
+            .finish()
+    }
+}
+
+impl Model for SiteModel {
+    type Event = Ev;
+
+    fn handle(&mut self, event: Ev, sched: &mut Scheduler<Ev>) {
+        match event {
+            Ev::Arrive(txn) => self.on_arrive(txn, sched),
+            Ev::IoDone { txn, attempt } => self.on_io_done(txn, attempt, sched),
+            Ev::BurstDone { token } => self.on_burst_done(token, sched),
+            Ev::Deadline(txn) => self.on_deadline(txn, sched),
+        }
+    }
+}
+
+impl SiteModel {
+    fn on_arrive(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
+        let spec = self.specs[&txn].clone();
+        self.monitor.register(&spec);
+        let (granule_spec, lock_seq) = self.to_granules(&spec);
+        self.protocol.register(&granule_spec);
+        let deadline_ev = sched.schedule(spec.deadline, Ev::Deadline(txn));
+        self.exec.insert(
+            txn,
+            Exec {
+                attempt: 0,
+                step: 0,
+                seq: spec.access_sequence(),
+                lock_seq,
+                deadline_ev,
+                oplog: Vec::new(),
+                write_buffer: Vec::new(),
+            },
+        );
+        self.monitor.on_start(txn, sched.now());
+        self.pump(VecDeque::from([Pending::Advance(txn)]), sched);
+    }
+
+    /// Maps a transaction's object accesses onto lock granules: a granule
+    /// is write-mode if the transaction writes any object inside it.
+    /// Returns the granule-space declaration (what the protocol sees) and
+    /// the per-step lock requests.
+    fn to_granules(&self, spec: &TxnSpec) -> (TxnSpec, Vec<(ObjectId, LockMode)>) {
+        let g = self.config.lock_granularity;
+        let granule = |o: ObjectId| ObjectId(o.0 / g);
+        let write_granules: std::collections::BTreeSet<ObjectId> =
+            spec.write_set.iter().map(|&o| granule(o)).collect();
+        let read_granules: std::collections::BTreeSet<ObjectId> = spec
+            .read_set
+            .iter()
+            .map(|&o| granule(o))
+            .filter(|gr| !write_granules.contains(gr))
+            .collect();
+        let lock_seq = spec
+            .access_sequence()
+            .into_iter()
+            .map(|(o, _)| {
+                let gr = granule(o);
+                let mode = if write_granules.contains(&gr) {
+                    LockMode::Write
+                } else {
+                    LockMode::Read
+                };
+                (gr, mode)
+            })
+            .collect();
+        let granule_spec = TxnSpec::new(
+            spec.id,
+            spec.arrival,
+            read_granules.into_iter().collect(),
+            write_granules.into_iter().collect(),
+            spec.deadline,
+            spec.home_site,
+        );
+        (granule_spec, lock_seq)
+    }
+
+    fn on_io_done(&mut self, txn: TxnId, attempt: u32, sched: &mut Scheduler<Ev>) {
+        // The physical transfer finished regardless of whether the
+        // transaction still wants it; a freed channel starts the next
+        // queued transfer (bounded-parallelism configurations).
+        if let Some(started) = self.io.complete(sched.now()) {
+            let (queued_txn, queued_attempt) = started.task;
+            sched.schedule(
+                started.finish_at,
+                Ev::IoDone {
+                    txn: queued_txn,
+                    attempt: queued_attempt,
+                },
+            );
+        }
+        let live = self.exec.get(&txn).is_some_and(|e| e.attempt == attempt);
+        if !live {
+            return; // aborted or restarted while the I/O was in flight
+        }
+        self.submit_cpu(txn, sched);
+    }
+
+    fn on_burst_done(&mut self, token: CpuToken, sched: &mut Scheduler<Ev>) {
+        match self.cpu.complete(token, sched.now()) {
+            Completion::Stale => {}
+            Completion::Finished { task, next } => {
+                if let Some(burst) = next {
+                    sched.schedule(burst.finish_at, Ev::BurstDone { token: burst.token });
+                }
+                self.finish_access(task, sched);
+            }
+        }
+    }
+
+    fn on_deadline(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
+        let Some(exec) = self.exec.remove(&txn) else {
+            return; // already finished (its deadline event was cancelled)
+        };
+        drop(exec);
+        self.monitor.on_miss(txn, sched.now());
+        if let Removed::WasRunning { next: Some(burst) } = self.cpu.remove(txn, sched.now()) {
+            sched.schedule(burst.finish_at, Ev::BurstDone { token: burst.token });
+        }
+        let release = self.protocol.release_all(txn, ReleaseReason::Finished);
+        let mut queue = VecDeque::new();
+        self.apply_release(release.wakeups, release.priority_updates, &mut queue, sched);
+        self.pump(queue, sched);
+    }
+
+    /// Processes pending control-flow work until quiescent.
+    fn pump(&mut self, mut queue: VecDeque<Pending>, sched: &mut Scheduler<Ev>) {
+        while let Some(item) = queue.pop_front() {
+            match item {
+                Pending::Advance(txn) => self.advance(txn, &mut queue, sched),
+                Pending::Resume(txn) => self.start_io(txn, sched),
+                Pending::Restart(txn) => self.restart(txn, &mut queue, sched),
+            }
+        }
+    }
+
+    /// Requests the current step's lock (or commits when past the end).
+    fn advance(&mut self, txn: TxnId, queue: &mut VecDeque<Pending>, sched: &mut Scheduler<Ev>) {
+        let Some(exec) = self.exec.get(&txn) else {
+            return; // deadline fired in between
+        };
+        if exec.step == exec.seq.len() {
+            self.commit(txn, queue, sched);
+            return;
+        }
+        let (granule, gmode) = exec.lock_seq[exec.step];
+        let result = self.protocol.request(txn, granule, gmode);
+        self.apply_priority_updates(&result.priority_updates, sched);
+        match result.outcome {
+            RequestOutcome::Granted => self.start_io(txn, sched),
+            RequestOutcome::Blocked { blocker } => {
+                let lower = blocker.filter(|b| {
+                    self.specs
+                        .get(b)
+                        .is_some_and(|s| s.base_priority() < self.specs[&txn].base_priority())
+                });
+                self.monitor.on_block(txn, sched.now(), lower);
+            }
+            RequestOutcome::Deadlock { victim } => {
+                // The requester is queued inside the protocol either way;
+                // record the block, then schedule the victim's restart.
+                self.monitor.on_block(txn, sched.now(), None);
+                queue.push_back(Pending::Restart(victim));
+            }
+        }
+    }
+
+    /// Aborts a deadlock victim and restarts it from its first operation,
+    /// keeping its original deadline and priority.
+    fn restart(&mut self, txn: TxnId, queue: &mut VecDeque<Pending>, sched: &mut Scheduler<Ev>) {
+        let Some(exec) = self.exec.get_mut(&txn) else {
+            return; // its deadline beat the restart
+        };
+        if !self.config.restart_victims {
+            // Treat like a deadline miss: the transaction is aborted for
+            // good.
+            let deadline_ev = exec.deadline_ev;
+            self.exec.remove(&txn);
+            sched.cancel(deadline_ev);
+            self.monitor.on_miss(txn, sched.now());
+            if let Removed::WasRunning { next: Some(burst) } = self.cpu.remove(txn, sched.now()) {
+                sched.schedule(burst.finish_at, Ev::BurstDone { token: burst.token });
+            }
+            let release = self.protocol.release_all(txn, ReleaseReason::Finished);
+            self.apply_release(release.wakeups, release.priority_updates, queue, sched);
+            return;
+        }
+        exec.attempt += 1;
+        exec.step = 0;
+        exec.oplog.clear();
+        exec.write_buffer.clear();
+        self.monitor.on_restart(txn, sched.now());
+        if let Removed::WasRunning { next: Some(burst) } = self.cpu.remove(txn, sched.now()) {
+            sched.schedule(burst.finish_at, Ev::BurstDone { token: burst.token });
+        }
+        let release = self.protocol.release_all(txn, ReleaseReason::Restart);
+        self.apply_release(release.wakeups, release.priority_updates, queue, sched);
+        queue.push_back(Pending::Advance(txn));
+    }
+
+    /// The current step's access was just granted: record the operation
+    /// (the grant instant is the serialisation point — the lock is held
+    /// from here to commit, and timestamp ordering decides here), then
+    /// fetch the object; with a memory-resident database the fetch is
+    /// free and processing starts at once.
+    fn start_io(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        let seq = self.op_seq;
+        self.op_seq += 1;
+        let exec = self.exec.get_mut(&txn).expect("granted txn is live");
+        let (object, mode) = exec.seq[exec.step];
+        match mode {
+            LockMode::Read => exec.oplog.push((object, OpKind::Read, now, seq)),
+            LockMode::Write => {
+                exec.oplog.push((object, OpKind::Write, now, seq));
+                exec.write_buffer.push(object);
+            }
+        }
+        if self.config.io_per_object.is_zero() {
+            self.submit_cpu(txn, sched);
+            return;
+        }
+        let attempt = self.exec[&txn].attempt;
+        if let Some(finish) = self
+            .io
+            .submit((txn, attempt), self.config.io_per_object, sched.now())
+        {
+            sched.schedule(finish, Ev::IoDone { txn, attempt });
+        }
+        // Otherwise the transfer queued behind busy channels; its IoDone
+        // is scheduled when a channel frees up.
+    }
+
+    fn submit_cpu(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
+        let priority = self.protocol.effective_priority(txn);
+        if let Some(burst) = self
+            .cpu
+            .submit(txn, priority, self.config.cpu_per_object, sched.now())
+        {
+            sched.schedule(burst.finish_at, Ev::BurstDone { token: burst.token });
+        }
+    }
+
+    /// The CPU burst for the current object completed: move to the next
+    /// step (the data operation itself was recorded at grant time).
+    fn finish_access(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
+        let Some(exec) = self.exec.get_mut(&txn) else {
+            return;
+        };
+        exec.step += 1;
+        self.pump(VecDeque::from([Pending::Advance(txn)]), sched);
+    }
+
+    /// Commits: applies buffered writes, records history, releases locks,
+    /// retires the transaction.
+    fn commit(&mut self, txn: TxnId, queue: &mut VecDeque<Pending>, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        let exec = self.exec.remove(&txn).expect("committing unknown txn");
+        sched.cancel(exec.deadline_ev);
+        for &obj in &exec.write_buffer {
+            let value = self.store.read(obj).value + 1;
+            self.store.apply_write(obj, value, txn, now);
+        }
+        let site = self.specs[&txn].home_site;
+        for (object, kind, at, seq) in exec.oplog {
+            self.monitor.record_op(Operation {
+                txn,
+                object,
+                kind,
+                at,
+                seq,
+                site,
+            });
+        }
+        self.monitor.on_commit(txn, now);
+        let release = self.protocol.release_all(txn, ReleaseReason::Finished);
+        self.apply_release(release.wakeups, release.priority_updates, queue, sched);
+    }
+
+    fn apply_release(
+        &mut self,
+        wakeups: Vec<Wakeup>,
+        priority_updates: Vec<(TxnId, starlite::Priority)>,
+        queue: &mut VecDeque<Pending>,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        self.apply_priority_updates(&priority_updates, sched);
+        for w in wakeups {
+            debug_assert!(self.exec.contains_key(&w.txn), "wakeup for finished txn");
+            self.monitor.on_unblock(w.txn, sched.now());
+            queue.push_back(Pending::Resume(w.txn));
+        }
+    }
+
+    fn apply_priority_updates(
+        &mut self,
+        updates: &[(TxnId, starlite::Priority)],
+        sched: &mut Scheduler<Ev>,
+    ) {
+        for &(txn, priority) in updates {
+            if let Some(burst) = self.cpu.set_priority(txn, priority, sched.now()) {
+                sched.schedule(burst.finish_at, Ev::BurstDone { token: burst.token });
+            }
+        }
+    }
+}
+
+/// The single-site simulator: configuration, catalog, and workload in;
+/// [`RunReport`] out.
+///
+/// See the [crate-level example](crate) for typical use.
+pub struct Simulator<'a> {
+    config: SingleSiteConfig,
+    catalog: Catalog,
+    workload: &'a WorkloadSpec,
+}
+
+impl fmt::Debug for Simulator<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("config", &self.config)
+            .field("catalog", &self.catalog)
+            .finish()
+    }
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog is not single-site.
+    pub fn new(config: SingleSiteConfig, catalog: Catalog, workload: &'a WorkloadSpec) -> Self {
+        assert_eq!(
+            catalog.placement(),
+            Placement::SingleSite,
+            "the single-site simulator needs a single-site catalog"
+        );
+        Simulator {
+            config,
+            catalog,
+            workload,
+        }
+    }
+
+    /// Generates the workload from `seed` and runs it to completion.
+    pub fn run(&self, seed: u64) -> RunReport {
+        let txns = Generator::new(self.workload, &self.catalog).generate(seed);
+        run_transactions(self.config, &self.catalog, txns)
+    }
+}
+
+/// Runs an explicit transaction list through the single-site model (the
+/// entry point tests use to script exact scenarios).
+///
+/// # Panics
+///
+/// Panics if two transactions share an id.
+pub fn run_transactions(
+    config: SingleSiteConfig,
+    catalog: &Catalog,
+    txns: Vec<TxnSpec>,
+) -> RunReport {
+    let mut specs = HashMap::new();
+    let mut arrivals = Vec::with_capacity(txns.len());
+    for spec in txns {
+        arrivals.push((spec.arrival, spec.id));
+        let prev = specs.insert(spec.id, spec);
+        assert!(prev.is_none(), "duplicate transaction id");
+    }
+    let mut monitor = Monitor::new();
+    if let Some(window) = config.timeline_window {
+        monitor.enable_timeline(window);
+    }
+    let model = SiteModel {
+        config,
+        op_seq: 0,
+        protocol: make_protocol(config.protocol, config.victim_policy),
+        cpu: Cpu::new(config.protocol.cpu_policy()),
+        io: match config.io_parallelism {
+            Some(channels) => IoDevice::bounded(channels),
+            None => IoDevice::parallel(),
+        },
+        store: rtdb::ObjectStore::new(catalog.db_size()),
+        monitor,
+        specs,
+        exec: HashMap::new(),
+    };
+    let mut engine = Engine::new(model);
+    for (arrival, id) in arrivals {
+        engine.scheduler_mut().schedule(arrival, Ev::Arrive(id));
+    }
+    // Generous cap: every transaction contributes a bounded number of
+    // events per attempt, and attempts are bounded by deadlines.
+    engine.run_to_completion(Some(500_000_000));
+    let makespan = engine.now();
+    let model = engine.into_model();
+    assert!(
+        model.exec.is_empty(),
+        "simulation drained with live transactions"
+    );
+    let stats = RunStats::from_monitor(&model.monitor, makespan);
+    RunReport {
+        stats,
+        deadlocks: model.protocol.deadlock_count(),
+        ceiling_blocks: model.protocol.ceiling_block_count(),
+        preemptions: model.cpu.preemption_count(),
+        cpu_busy: model.cpu.busy_time(),
+        remote_messages: 0,
+        monitor: model.monitor,
+        stores: vec![model.store],
+        temporal: None,
+    }
+}
+
+/// Verifies end-to-end value integrity of a finished run: every object's
+/// value equals its version, and the version equals the number of
+/// committed writes recorded for it at that site.
+///
+/// # Panics
+///
+/// Panics on any violated invariant.
+pub fn check_store_integrity(report: &RunReport) {
+    for (site_idx, store) in report.stores.iter().enumerate() {
+        let mut write_counts: HashMap<ObjectId, u64> = HashMap::new();
+        for op in report.monitor.history().operations() {
+            if op.kind == OpKind::Write && op.site.index() == site_idx {
+                *write_counts.entry(op.object).or_default() += 1;
+            }
+        }
+        for (id, obj) in store.iter() {
+            assert_eq!(obj.value, obj.version, "{id} value != version");
+            assert_eq!(
+                obj.version,
+                write_counts.get(&id).copied().unwrap_or(0),
+                "{id} version != committed writes at site {site_idx}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolKind;
+    use starlite::SimDuration;
+    use workload::SizeDistribution;
+
+    fn catalog() -> Catalog {
+        Catalog::new(50, 1, Placement::SingleSite)
+    }
+
+    fn spec(id: u64, arrival: u64, deadline: u64, reads: Vec<u32>, writes: Vec<u32>) -> TxnSpec {
+        TxnSpec::new(
+            TxnId(id),
+            SimTime::from_ticks(arrival),
+            reads.into_iter().map(ObjectId).collect(),
+            writes.into_iter().map(ObjectId).collect(),
+            SimTime::from_ticks(deadline),
+            rtdb::SiteId(0),
+        )
+    }
+
+    fn config(protocol: ProtocolKind) -> SingleSiteConfig {
+        SingleSiteConfig::builder()
+            .protocol(protocol)
+            .cpu_per_object(SimDuration::from_ticks(10))
+            .io_per_object(SimDuration::from_ticks(20))
+            .build()
+    }
+
+    #[test]
+    fn single_transaction_commits() {
+        for kind in ProtocolKind::all() {
+            let report = run_transactions(
+                config(kind),
+                &catalog(),
+                vec![spec(0, 0, 1_000, vec![1, 2], vec![3])],
+            );
+            assert_eq!(report.stats.committed, 1, "{kind} failed");
+            assert_eq!(report.stats.missed, 0);
+            // 3 objects × (20 io + 10 cpu) = 90 ticks.
+            assert_eq!(report.stats.mean_response_ticks, 90.0);
+        }
+    }
+
+    #[test]
+    fn conflicting_transactions_serialise() {
+        for kind in ProtocolKind::all() {
+            let report = run_transactions(
+                config(kind),
+                &catalog(),
+                vec![
+                    spec(0, 0, 10_000, vec![], vec![5]),
+                    spec(1, 1, 10_000, vec![], vec![5]),
+                ],
+            );
+            assert_eq!(report.stats.committed, 2, "{kind} failed");
+            monitor::check_conflict_serializable(report.monitor.history())
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        }
+    }
+
+    #[test]
+    fn unmeetable_deadline_is_missed() {
+        let report = run_transactions(
+            config(ProtocolKind::PriorityCeiling),
+            &catalog(),
+            // Needs 90 ticks, deadline at 50.
+            vec![spec(0, 0, 50, vec![1, 2], vec![3])],
+        );
+        assert_eq!(report.stats.missed, 1);
+        assert_eq!(report.stats.committed, 0);
+        assert_eq!(report.stats.pct_missed, 100.0);
+        // The aborted transaction left nothing in the history.
+        assert!(report.monitor.history().is_empty());
+    }
+
+    #[test]
+    fn deadlock_is_broken_and_both_commit() {
+        // Classic crossing order: T0 takes O1 then O2; T1 takes O2 then O1.
+        // Arrivals interleave so each grabs its first object.
+        let report = run_transactions(
+            config(ProtocolKind::TwoPhaseLockingPriority),
+            &catalog(),
+            vec![
+                spec(0, 0, 100_000, vec![], vec![1, 2]),
+                spec(1, 5, 100_000, vec![], vec![2, 1]),
+            ],
+        );
+        assert_eq!(report.deadlocks, 1);
+        assert_eq!(report.stats.committed, 2);
+        assert!(report.stats.restarts >= 1);
+        monitor::check_conflict_serializable(report.monitor.history()).unwrap();
+    }
+
+    #[test]
+    fn ceiling_protocol_never_deadlocks_on_crossing_order() {
+        let report = run_transactions(
+            config(ProtocolKind::PriorityCeiling),
+            &catalog(),
+            vec![
+                spec(0, 0, 100_000, vec![], vec![1, 2]),
+                spec(1, 5, 100_000, vec![], vec![2, 1]),
+            ],
+        );
+        assert_eq!(report.deadlocks, 0);
+        assert!(report.ceiling_blocks >= 1);
+        assert_eq!(report.stats.committed, 2);
+        assert_eq!(report.stats.restarts, 0);
+    }
+
+    #[test]
+    fn generated_workload_runs_deterministically() {
+        let cat = catalog();
+        let workload = WorkloadSpec::builder()
+            .txn_count(60)
+            .mean_interarrival(SimDuration::from_ticks(60))
+            .size(SizeDistribution::Uniform { min: 2, max: 5 })
+            .read_only_fraction(0.3)
+            .deadline(10.0, SimDuration::from_ticks(30))
+            .build();
+        let sim = Simulator::new(config(ProtocolKind::PriorityCeiling), cat, &workload);
+        let a = sim.run(7);
+        let b = sim.run(7);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.ceiling_blocks, b.ceiling_blocks);
+        assert_eq!(a.stats.processed, 60);
+    }
+
+    #[test]
+    fn heavy_load_misses_deadlines_under_every_protocol() {
+        let cat = catalog();
+        let workload = WorkloadSpec::builder()
+            .txn_count(80)
+            .mean_interarrival(SimDuration::from_ticks(5))
+            .size(SizeDistribution::Fixed(5))
+            .deadline(2.0, SimDuration::from_ticks(30))
+            .build();
+        for kind in ProtocolKind::all() {
+            let report = Simulator::new(config(kind), cat.clone(), &workload).run(3);
+            assert_eq!(report.stats.processed, 80, "{kind}");
+            assert!(report.stats.missed > 0, "{kind} missed nothing under overload");
+            monitor::check_conflict_serializable(report.monitor.history())
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Per-run metric aggregation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use starlite::{SimDuration, SimTime};
+
+use crate::record::{Monitor, Outcome};
+
+/// The paper's headline metrics for one simulation run.
+///
+/// Throughput is *normalised*: "data objects accessed per second for
+/// successful transactions … obtained by multiplying the transaction
+/// completion rate by the transaction size", which here reduces to summing
+/// committed transaction sizes over the run duration. `%missed` follows
+/// §3.3: `100 × missed / processed` where processed = committed + missed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Transactions that finished (committed or missed) during the run.
+    pub processed: u32,
+    /// Transactions that committed before their deadline.
+    pub committed: u32,
+    /// Transactions aborted at their deadline.
+    pub missed: u32,
+    /// `100 × missed / processed` (0 when nothing was processed).
+    pub pct_missed: f64,
+    /// Data objects accessed per simulated second by committed
+    /// transactions.
+    pub throughput: f64,
+    /// Mean response time of committed transactions, in ticks.
+    pub mean_response_ticks: f64,
+    /// Mean blocked time per processed transaction, in ticks.
+    pub mean_blocked_ticks: f64,
+    /// Total deadlock-victim restarts.
+    pub restarts: u32,
+    /// Largest number of distinct lower-priority blockers seen by any
+    /// single transaction (the priority ceiling protocol bounds this by 1).
+    pub max_lower_priority_blockers: u32,
+    /// Virtual time the run covered.
+    pub makespan: SimTime,
+}
+
+impl RunStats {
+    /// Computes run statistics from a monitor at the end of a run.
+    ///
+    /// `makespan` is the virtual time the run covered (used as the
+    /// denominator of throughput).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `makespan` is zero while transactions committed.
+    pub fn from_monitor(monitor: &Monitor, makespan: SimTime) -> Self {
+        let mut committed = 0u32;
+        let mut missed = 0u32;
+        let mut committed_objects = 0u64;
+        let mut response_total = 0u128;
+        let mut blocked_total = 0u128;
+        let mut restarts = 0u32;
+        let mut max_lpb = 0u32;
+
+        for r in monitor.records() {
+            match r.outcome {
+                Outcome::Committed => {
+                    committed += 1;
+                    committed_objects += r.size as u64;
+                    if let Some(resp) = r.response_time() {
+                        response_total += resp.ticks() as u128;
+                    }
+                }
+                Outcome::MissedDeadline => missed += 1,
+                Outcome::InProgress => continue,
+            }
+            blocked_total += r.blocked.ticks() as u128;
+            restarts += r.restarts;
+            max_lpb = max_lpb.max(r.lower_priority_blockers.len() as u32);
+        }
+
+        let processed = committed + missed;
+        let pct_missed = if processed == 0 {
+            0.0
+        } else {
+            100.0 * missed as f64 / processed as f64
+        };
+        let throughput = if committed_objects == 0 {
+            0.0
+        } else {
+            assert!(makespan > SimTime::ZERO, "throughput over an empty run");
+            committed_objects as f64 / makespan.as_secs_f64()
+        };
+        let mean_response_ticks = if committed == 0 {
+            0.0
+        } else {
+            response_total as f64 / committed as f64
+        };
+        let mean_blocked_ticks = if processed == 0 {
+            0.0
+        } else {
+            blocked_total as f64 / processed as f64
+        };
+
+        RunStats {
+            processed,
+            committed,
+            missed,
+            pct_missed,
+            throughput,
+            mean_response_ticks,
+            mean_blocked_ticks,
+            restarts,
+            max_lower_priority_blockers: max_lpb,
+            makespan,
+        }
+    }
+
+    /// Mean blocked time as a duration (rounded down).
+    pub fn mean_blocked(&self) -> SimDuration {
+        SimDuration::from_ticks(self.mean_blocked_ticks as u64)
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "processed={} committed={} missed={} (%missed={:.1}) thrpt={:.1} obj/s",
+            self.processed, self.committed, self.missed, self.pct_missed, self.throughput
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtdb::{ObjectId, SiteId, TxnId, TxnSpec};
+
+    fn spec(id: u64, size: u32) -> TxnSpec {
+        TxnSpec::new(
+            TxnId(id),
+            SimTime::from_ticks(1),
+            (0..size).map(ObjectId).collect(),
+            vec![],
+            SimTime::from_ticks(10_000),
+            SiteId(0),
+        )
+    }
+
+    #[test]
+    fn metrics_match_definitions() {
+        let mut m = Monitor::new();
+        // Two committed (sizes 4 and 6), one missed.
+        for (id, size) in [(1u64, 4u32), (2, 6), (3, 5)] {
+            m.register(&spec(id, size));
+        }
+        m.on_commit(TxnId(1), SimTime::from_ticks(101));
+        m.on_commit(TxnId(2), SimTime::from_ticks(201));
+        m.on_miss(TxnId(3), SimTime::from_ticks(301));
+
+        let stats = RunStats::from_monitor(&m, SimTime::from_secs(2));
+        assert_eq!(stats.processed, 3);
+        assert_eq!(stats.committed, 2);
+        assert_eq!(stats.missed, 1);
+        assert!((stats.pct_missed - 100.0 / 3.0).abs() < 1e-9);
+        // 10 objects over 2 seconds.
+        assert!((stats.throughput - 5.0).abs() < 1e-9);
+        // Mean response: ((101-1)+(201-1))/2 = 150.
+        assert!((stats.mean_response_ticks - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_progress_transactions_excluded() {
+        let mut m = Monitor::new();
+        m.register(&spec(1, 4));
+        m.register(&spec(2, 4));
+        m.on_commit(TxnId(1), SimTime::from_ticks(50));
+        let stats = RunStats::from_monitor(&m, SimTime::from_secs(1));
+        assert_eq!(stats.processed, 1);
+        assert_eq!(stats.pct_missed, 0.0);
+    }
+
+    #[test]
+    fn empty_run_is_all_zero() {
+        let m = Monitor::new();
+        let stats = RunStats::from_monitor(&m, SimTime::ZERO);
+        assert_eq!(stats.processed, 0);
+        assert_eq!(stats.throughput, 0.0);
+        assert_eq!(stats.pct_missed, 0.0);
+    }
+}

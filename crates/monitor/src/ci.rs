@@ -1,0 +1,144 @@
+//! Replication statistics: mean, deviation and confidence intervals.
+//!
+//! The paper averages each data point over 10 runs; [`Summary`] captures
+//! that replication with a mean, a sample standard deviation and a 95 %
+//! confidence half-width (normal approximation, which is what small
+//! simulation studies of this era used).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Mean / deviation / confidence summary of replicated measurements.
+///
+/// # Example
+///
+/// ```
+/// use monitor::Summary;
+/// let s = Summary::of(&[10.0, 12.0, 11.0, 13.0]);
+/// assert!((s.mean - 11.5).abs() < 1e-12);
+/// assert_eq!(s.n, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator); 0 for n < 2.
+    pub std_dev: f64,
+    /// Half-width of the 95 % confidence interval (1.96 · σ/√n).
+    pub ci95: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarises a slice of samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains non-finite values.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarise zero samples");
+        assert!(
+            samples.iter().all(|v| v.is_finite()),
+            "non-finite sample in {samples:?}"
+        );
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let std_dev = if n < 2 {
+            0.0
+        } else {
+            let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+            var.sqrt()
+        };
+        let ci95 = 1.96 * std_dev / (n as f64).sqrt();
+        Summary {
+            mean,
+            std_dev,
+            ci95,
+            n,
+        }
+    }
+
+    /// The interval `(mean − ci95, mean + ci95)`.
+    pub fn interval(&self) -> (f64, f64) {
+        (self.mean - self.ci95, self.mean + self.ci95)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ±{:.3} (n={})", self.mean, self.ci95, self.n)
+    }
+}
+
+/// The ratio of two summarised quantities (Figures 4 and 5 plot ratios of
+/// run metrics); error propagation is first-order.
+///
+/// # Panics
+///
+/// Panics if the denominator mean is zero.
+pub fn ratio(numerator: &Summary, denominator: &Summary) -> Summary {
+    assert!(denominator.mean != 0.0, "ratio with zero denominator");
+    let mean = numerator.mean / denominator.mean;
+    // First-order propagation: (σ_r / r)² ≈ (σ_a/a)² + (σ_b/b)².
+    let rel = if numerator.mean == 0.0 {
+        0.0
+    } else {
+        ((numerator.std_dev / numerator.mean).powi(2)
+            + (denominator.std_dev / denominator.mean).powi(2))
+        .sqrt()
+    };
+    let std_dev = mean.abs() * rel;
+    let n = numerator.n.min(denominator.n);
+    Summary {
+        mean,
+        std_dev,
+        ci95: 1.96 * std_dev / (n.max(1) as f64).sqrt(),
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev of this classic set is ~2.138.
+        assert!((s.std_dev - 2.13809).abs() < 1e-4);
+        let (lo, hi) = s.interval();
+        assert!(lo < s.mean && s.mean < hi);
+    }
+
+    #[test]
+    fn ratio_of_summaries() {
+        let a = Summary::of(&[10.0, 10.0]);
+        let b = Summary::of(&[5.0, 5.0]);
+        let r = ratio(&a, &b);
+        assert!((r.mean - 2.0).abs() < 1e-12);
+        assert_eq!(r.std_dev, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_panics() {
+        Summary::of(&[1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Minimal CSV/table export of experiment series.
+//!
+//! The experiment binaries print the same rows the paper's figures plot;
+//! this module formats them consistently (aligned console table plus CSV
+//! text that plotting tools ingest directly).
+
+use std::fmt::Write as _;
+
+/// A simple rectangular table: named columns, rows of f64 cells.
+///
+/// # Example
+///
+/// ```
+/// use monitor::csv::Table;
+/// let mut t = Table::new(vec!["size".into(), "throughput".into()]);
+/// t.push_row(vec![4.0, 123.5]);
+/// assert!(t.to_csv().contains("size,throughput"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    columns: Vec<String>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty.
+    pub fn new(columns: Vec<String>) -> Self {
+        assert!(!columns.is_empty(), "a table needs columns");
+        Table {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<f64>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Renders RFC-4180-style CSV (header line plus one line per row).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| format_cell(*v)).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders an aligned console table.
+    pub fn to_pretty(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|v| format_cell(*v)).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            let _ = write!(out, "{:>width$}  ", c, width = widths[i]);
+        }
+        out.push('\n');
+        for (i, _) in self.columns.iter().enumerate() {
+            let _ = write!(out, "{:>width$}  ", "-".repeat(widths[i]), width = widths[i]);
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "{:>width$}  ", cell, width = widths[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn format_cell(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_numbers_render_as_integers() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.push_row(vec![4.0, 1.23456]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n4,1.235\n");
+    }
+
+    #[test]
+    fn pretty_table_aligns() {
+        let mut t = Table::new(vec!["size".into(), "x".into()]);
+        t.push_row(vec![10.0, 2.5]);
+        let pretty = t.to_pretty();
+        assert!(pretty.contains("size"));
+        assert!(pretty.lines().count() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.push_row(vec![1.0, 2.0]);
+    }
+}

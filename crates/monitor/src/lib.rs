@@ -1,0 +1,37 @@
+//! # monitor — the performance monitor
+//!
+//! The paper's Performance Monitor "interacts with the transaction managers
+//! to record priority/timestamp and read/write data set for each
+//! transaction, time when each event occurred, statistics for each
+//! transaction in each node", including "arrival time, start time, total
+//! processing time, blocked interval, whether deadline was missed or not,
+//! and the number of aborts". This crate is that component:
+//!
+//! * [`record`] — per-transaction lifecycle records and the [`record::Monitor`]
+//!   collecting them;
+//! * [`aggregate`] — per-run metrics: the paper's normalised throughput
+//!   (data objects accessed per second by successful transactions) and the
+//!   percentage of deadline-missing transactions, `%missed = 100 ×
+//!   missed / processed`;
+//! * [`ci`] — mean / standard deviation / 95 % confidence intervals over
+//!   the 10-seed replication the paper averages over;
+//! * [`csv`] — tabular export of experiment series;
+//! * [`serializability`] — conflict-graph checking of committed histories,
+//!   the correctness bar every protocol must clear.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aggregate;
+pub mod ci;
+pub mod csv;
+pub mod plot;
+pub mod record;
+pub mod serializability;
+pub mod timeline;
+
+pub use aggregate::RunStats;
+pub use ci::Summary;
+pub use record::{Monitor, Outcome, TxnRecord};
+pub use serializability::{check_conflict_serializable, SerializabilityError};
+pub use timeline::Timeline;

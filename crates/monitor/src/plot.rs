@@ -1,0 +1,186 @@
+//! Terminal line plots of experiment series.
+//!
+//! The figure binaries print numeric tables (and CSV) as the primary
+//! output; this module adds a rough ASCII rendering so the *shape* of
+//! each figure — the thing the reproduction is judged on — is visible at
+//! a glance without a plotting tool.
+
+use std::fmt::Write as _;
+
+/// A named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label; its first character is the plot marker.
+    pub label: String,
+    /// Points, in any order (plotting sorts by x).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is empty or any coordinate is not finite.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        let label = label.into();
+        assert!(!label.is_empty(), "a series needs a label");
+        assert!(
+            points.iter().all(|&(x, y)| x.is_finite() && y.is_finite()),
+            "non-finite point in series {label}"
+        );
+        Series { label, points }
+    }
+}
+
+/// Renders one or more series into an ASCII chart of the given size.
+///
+/// Each series is drawn with the first character of its label; where
+/// series overlap, the later one wins. Axes are annotated with the data
+/// ranges.
+///
+/// # Panics
+///
+/// Panics if no series has any points, or the chart area is smaller than
+/// 2×2.
+///
+/// # Example
+///
+/// ```
+/// use monitor::plot::{render, Series};
+/// let chart = render(
+///     &[Series::new("C", vec![(0.0, 1.0), (10.0, 1.1)])],
+///     40,
+///     8,
+/// );
+/// assert!(chart.contains('C'));
+/// ```
+pub fn render(series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 2 && height >= 2, "chart too small");
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    assert!(!all.is_empty(), "nothing to plot");
+
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if x_max == x_min {
+        x_max = x_min + 1.0;
+    }
+    if y_max == y_min {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        let marker = s.label.chars().next().expect("non-empty label");
+        let mut pts = s.points.clone();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // Plot each point, and fill a crude line between consecutive
+        // points by sampling columns.
+        for w in pts.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            let c0 = to_col(x0, x_min, x_max, width);
+            let c1 = to_col(x1, x_min, x_max, width);
+            #[allow(clippy::needless_range_loop)] // `c` drives the interpolation
+            for c in c0..=c1 {
+                let t = if c1 == c0 {
+                    0.0
+                } else {
+                    (c - c0) as f64 / (c1 - c0) as f64
+                };
+                let y = y0 + t * (y1 - y0);
+                let r = to_row(y, y_min, y_max, height);
+                grid[r][c] = marker;
+            }
+        }
+        if pts.len() == 1 {
+            let (x, y) = pts[0];
+            grid[to_row(y, y_min, y_max, height)][to_col(x, x_min, x_max, width)] = marker;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{y_max:>10.1} ┤");
+    for row in &grid {
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{:>10} │{}", "", line);
+    }
+    let _ = writeln!(out, "{y_min:>10.1} ┼{}", "─".repeat(width));
+    let _ = writeln!(
+        out,
+        "{:>10}  {:<width$}",
+        "",
+        format!("{x_min:.0} … {x_max:.0}"),
+        width = width
+    );
+    let labels: Vec<&str> = series.iter().map(|s| s.label.as_str()).collect();
+    let _ = writeln!(out, "{:>10}  series: {}", "", labels.join(", "));
+    out
+}
+
+fn to_col(x: f64, min: f64, max: f64, width: usize) -> usize {
+    let t = (x - min) / (max - min);
+    ((t * (width - 1) as f64).round() as usize).min(width - 1)
+}
+
+fn to_row(y: f64, min: f64, max: f64, height: usize) -> usize {
+    let t = (y - min) / (max - min);
+    // Row 0 is the top.
+    (height - 1) - ((t * (height - 1) as f64).round() as usize).min(height - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markers_and_axes() {
+        let chart = render(
+            &[
+                Series::new("C", vec![(0.0, 10.0), (5.0, 12.0), (10.0, 11.0)]),
+                Series::new("L", vec![(0.0, 10.0), (10.0, 2.0)]),
+            ],
+            30,
+            10,
+        );
+        assert!(chart.contains('C'));
+        assert!(chart.contains('L'));
+        assert!(chart.contains("series: C, L"));
+        assert!(chart.contains("0 … 10"));
+    }
+
+    #[test]
+    fn rising_series_puts_marker_higher_at_the_right() {
+        let chart = render(&[Series::new("R", vec![(0.0, 0.0), (10.0, 10.0)])], 20, 10);
+        let rows: Vec<&str> = chart.lines().collect();
+        // The first grid row (top) should contain the marker near the
+        // right edge; the last grid row near the left edge.
+        let top = rows[1];
+        let bottom = rows[10];
+        assert!(top.rfind('R') > bottom.rfind('R'));
+    }
+
+    #[test]
+    fn single_point_series_renders() {
+        let chart = render(&[Series::new("P", vec![(1.0, 1.0)])], 10, 5);
+        assert!(chart.contains('P'));
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn empty_series_panics() {
+        render(&[Series::new("X", vec![])], 10, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_point_panics() {
+        Series::new("X", vec![(0.0, f64::NAN)]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Windowed time series of run behaviour.
+//!
+//! The paper's monitor records "the time when each event occurred"; this
+//! module aggregates those events into fixed windows so a run's dynamics
+//! (throughput ramp-up, overload onset, post-failure collapse) can be
+//! plotted over virtual time.
+
+use std::fmt;
+
+use starlite::{SimDuration, SimTime};
+
+/// Per-window counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Window {
+    /// Transactions committed in the window.
+    pub committed: u32,
+    /// Deadlines missed in the window.
+    pub missed: u32,
+    /// Data objects accessed by transactions that committed in the window.
+    pub committed_objects: u64,
+}
+
+/// A fixed-window timeline of commits and misses.
+///
+/// # Example
+///
+/// ```
+/// use monitor::timeline::Timeline;
+/// use starlite::{SimDuration, SimTime};
+///
+/// let mut t = Timeline::new(SimDuration::from_ticks(100));
+/// t.record_commit(SimTime::from_ticks(30), 4);
+/// t.record_miss(SimTime::from_ticks(130));
+/// assert_eq!(t.windows().len(), 2);
+/// assert_eq!(t.windows()[0].committed, 1);
+/// assert_eq!(t.windows()[1].missed, 1);
+/// ```
+#[derive(Clone)]
+pub struct Timeline {
+    window: SimDuration,
+    windows: Vec<Window>,
+}
+
+impl fmt::Debug for Timeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Timeline")
+            .field("window_ticks", &self.window.ticks())
+            .field("windows", &self.windows.len())
+            .finish()
+    }
+}
+
+impl Timeline {
+    /// Creates a timeline with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window length is zero.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "window length must be positive");
+        Timeline {
+            window,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Records a commit of a `size`-object transaction at `at`.
+    pub fn record_commit(&mut self, at: SimTime, size: u32) {
+        let w = self.window_mut(at);
+        w.committed += 1;
+        w.committed_objects += size as u64;
+    }
+
+    /// Records a deadline miss at `at`.
+    pub fn record_miss(&mut self, at: SimTime) {
+        self.window_mut(at).missed += 1;
+    }
+
+    /// The window length.
+    pub fn window_length(&self) -> SimDuration {
+        self.window
+    }
+
+    /// All windows, oldest first (empty trailing windows exist only up to
+    /// the last recorded event).
+    pub fn windows(&self) -> &[Window] {
+        &self.windows
+    }
+
+    /// Throughput per window, in objects per simulated second.
+    pub fn throughput_series(&self) -> Vec<(f64, f64)> {
+        let secs = self.window.as_secs_f64();
+        self.windows
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i as f64, w.committed_objects as f64 / secs))
+            .collect()
+    }
+
+    /// Percentage of deadline misses per window (`100 × missed /
+    /// (committed + missed)`, 0 for idle windows).
+    pub fn miss_pct_series(&self) -> Vec<(f64, f64)> {
+        self.windows
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let processed = w.committed + w.missed;
+                let pct = if processed == 0 {
+                    0.0
+                } else {
+                    100.0 * w.missed as f64 / processed as f64
+                };
+                (i as f64, pct)
+            })
+            .collect()
+    }
+
+    fn window_mut(&mut self, at: SimTime) -> &mut Window {
+        let idx = (at.ticks() / self.window.ticks()) as usize;
+        if idx >= self.windows.len() {
+            self.windows.resize(idx + 1, Window::default());
+        }
+        &mut self.windows[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_land_in_their_windows() {
+        let mut t = Timeline::new(SimDuration::from_ticks(10));
+        t.record_commit(SimTime::from_ticks(0), 2);
+        t.record_commit(SimTime::from_ticks(9), 3);
+        t.record_commit(SimTime::from_ticks(10), 1);
+        t.record_miss(SimTime::from_ticks(25));
+        let w = t.windows();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].committed, 2);
+        assert_eq!(w[0].committed_objects, 5);
+        assert_eq!(w[1].committed, 1);
+        assert_eq!(w[2].missed, 1);
+    }
+
+    #[test]
+    fn series_cover_idle_windows() {
+        let mut t = Timeline::new(SimDuration::from_secs(1));
+        t.record_commit(SimTime::from_secs(2), 10);
+        let thr = t.throughput_series();
+        assert_eq!(thr.len(), 3);
+        assert_eq!(thr[0].1, 0.0);
+        assert_eq!(thr[2].1, 10.0);
+        let miss = t.miss_pct_series();
+        assert_eq!(miss[1].1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        Timeline::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,160 @@
+//! Correlation of synchronous (rendezvous) calls.
+//!
+//! A sender performing an Ada-style rendezvous blocks on a private
+//! semaphore until the reply arrives or a timeout fires. [`CallTable`]
+//! tracks the open calls: each gets a [`CallId`] carried inside the request
+//! and echoed in the reply, plus the id of the timeout event to cancel when
+//! the reply wins the race.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use starlite::EventId;
+
+/// Identifies one open synchronous call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CallId(u64);
+
+impl CallId {
+    /// Returns the raw identifier.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for CallId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "call#{}", self.0)
+    }
+}
+
+/// Tracks open synchronous calls and their timeout events.
+///
+/// `K` is the caller's context: whatever it needs to resume the blocked
+/// process when the reply (or timeout) arrives.
+///
+/// # Example
+///
+/// ```
+/// use netsim::CallTable;
+///
+/// let mut calls: CallTable<&str> = CallTable::new();
+/// let id = calls.open("txn 7 lock request", None);
+/// let (ctx, timeout) = calls.close(id).expect("reply matches open call");
+/// assert_eq!(ctx, "txn 7 lock request");
+/// assert!(timeout.is_none());
+/// assert!(calls.close(id).is_none(), "replies after timeout are ignored");
+/// ```
+pub struct CallTable<K> {
+    next: u64,
+    open: HashMap<CallId, (K, Option<EventId>)>,
+    timed_out: u64,
+    completed: u64,
+}
+
+impl<K> fmt::Debug for CallTable<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CallTable")
+            .field("open", &self.open.len())
+            .field("completed", &self.completed)
+            .field("timed_out", &self.timed_out)
+            .finish()
+    }
+}
+
+impl<K> CallTable<K> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        CallTable {
+            next: 0,
+            open: HashMap::new(),
+            timed_out: 0,
+            completed: 0,
+        }
+    }
+
+    /// Opens a call, returning its id. `timeout_event` is the scheduled
+    /// timeout to cancel if the reply arrives first.
+    pub fn open(&mut self, context: K, timeout_event: Option<EventId>) -> CallId {
+        let id = CallId(self.next);
+        self.next += 1;
+        self.open.insert(id, (context, timeout_event));
+        id
+    }
+
+    /// Closes a call on reply arrival. Returns the context and the timeout
+    /// event to cancel, or `None` if the call already timed out (stale
+    /// replies are dropped).
+    pub fn close(&mut self, id: CallId) -> Option<(K, Option<EventId>)> {
+        let entry = self.open.remove(&id);
+        if entry.is_some() {
+            self.completed += 1;
+        }
+        entry
+    }
+
+    /// Closes a call on timeout. Returns the context, or `None` if the
+    /// reply won the race (the timeout event fired anyway before being
+    /// cancelled — callers treat that as stale).
+    pub fn time_out(&mut self, id: CallId) -> Option<K> {
+        let entry = self.open.remove(&id).map(|(ctx, _)| ctx);
+        if entry.is_some() {
+            self.timed_out += 1;
+        }
+        entry
+    }
+
+    /// Number of calls currently awaiting replies.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Number of calls completed by a reply.
+    pub fn completed_count(&self) -> u64 {
+        self.completed
+    }
+
+    /// Number of calls that timed out.
+    pub fn timed_out_count(&self) -> u64 {
+        self.timed_out
+    }
+}
+
+impl<K> Default for CallTable<K> {
+    fn default() -> Self {
+        CallTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_then_timeout_is_stale() {
+        let mut t: CallTable<u32> = CallTable::new();
+        let id = t.open(7, None);
+        assert_eq!(t.close(id).map(|(c, _)| c), Some(7));
+        assert!(t.time_out(id).is_none());
+        assert_eq!(t.completed_count(), 1);
+        assert_eq!(t.timed_out_count(), 0);
+    }
+
+    #[test]
+    fn timeout_then_reply_is_stale() {
+        let mut t: CallTable<u32> = CallTable::new();
+        let id = t.open(7, None);
+        assert_eq!(t.time_out(id), Some(7));
+        assert!(t.close(id).is_none());
+        assert_eq!(t.timed_out_count(), 1);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut t: CallTable<()> = CallTable::new();
+        let a = t.open((), None);
+        let b = t.open((), None);
+        assert_ne!(a, b);
+        assert_eq!(t.open_count(), 2);
+    }
+}

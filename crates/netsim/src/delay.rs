@@ -1,0 +1,128 @@
+//! Communication delay configuration.
+
+use std::fmt;
+
+use rtdb::SiteId;
+use starlite::SimDuration;
+
+/// A symmetric matrix of one-way communication delays between sites.
+///
+/// Intra-site delay is always zero: processes on the same site exchange
+/// messages directly through their ports, bypassing the message server.
+///
+/// # Example
+///
+/// ```
+/// use netsim::DelayMatrix;
+/// use rtdb::SiteId;
+/// use starlite::SimDuration;
+///
+/// let m = DelayMatrix::uniform(3, SimDuration::from_ticks(40));
+/// assert_eq!(m.delay(SiteId(0), SiteId(2)), SimDuration::from_ticks(40));
+/// assert_eq!(m.delay(SiteId(1), SiteId(1)), SimDuration::ZERO);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct DelayMatrix {
+    sites: u8,
+    /// Row-major `sites × sites` one-way delays.
+    delays: Vec<SimDuration>,
+}
+
+impl fmt::Debug for DelayMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DelayMatrix").field("sites", &self.sites).finish()
+    }
+}
+
+impl DelayMatrix {
+    /// A fully connected topology with the same one-way delay on every
+    /// inter-site link (the paper's three-site experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is zero.
+    pub fn uniform(sites: u8, delay: SimDuration) -> Self {
+        Self::from_fn(sites, |a, b| if a == b { SimDuration::ZERO } else { delay })
+    }
+
+    /// Builds a matrix from a function of `(from, to)`.
+    ///
+    /// The function's value on the diagonal is ignored (forced to zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is zero.
+    pub fn from_fn(sites: u8, mut f: impl FnMut(SiteId, SiteId) -> SimDuration) -> Self {
+        assert!(sites > 0, "a network needs at least one site");
+        let n = sites as usize;
+        let mut delays = vec![SimDuration::ZERO; n * n];
+        for a in 0..sites {
+            for b in 0..sites {
+                if a != b {
+                    delays[a as usize * n + b as usize] = f(SiteId(a), SiteId(b));
+                }
+            }
+        }
+        DelayMatrix { sites, delays }
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> u8 {
+        self.sites
+    }
+
+    /// One-way delay from `from` to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either site is out of range.
+    pub fn delay(&self, from: SiteId, to: SiteId) -> SimDuration {
+        assert!(from.0 < self.sites && to.0 < self.sites, "site out of range");
+        self.delays[from.index() * self.sites as usize + to.index()]
+    }
+
+    /// The largest inter-site delay (zero for a single site).
+    pub fn max_delay(&self) -> SimDuration {
+        self.delays.iter().copied().max().unwrap_or(SimDuration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_matrix() {
+        let m = DelayMatrix::uniform(3, SimDuration::from_ticks(7));
+        for a in 0..3 {
+            for b in 0..3 {
+                let expected = if a == b { 0 } else { 7 };
+                assert_eq!(m.delay(SiteId(a), SiteId(b)).ticks(), expected);
+            }
+        }
+        assert_eq!(m.max_delay().ticks(), 7);
+    }
+
+    #[test]
+    fn from_fn_asymmetric() {
+        let m = DelayMatrix::from_fn(2, |a, b| {
+            SimDuration::from_ticks((a.0 as u64 + 1) * 10 + b.0 as u64)
+        });
+        assert_eq!(m.delay(SiteId(0), SiteId(1)).ticks(), 11);
+        assert_eq!(m.delay(SiteId(1), SiteId(0)).ticks(), 20);
+        assert_eq!(m.delay(SiteId(0), SiteId(0)), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn zero_sites_panics() {
+        DelayMatrix::uniform(0, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_site_panics() {
+        let m = DelayMatrix::uniform(2, SimDuration::ZERO);
+        m.delay(SiteId(0), SiteId(2));
+    }
+}

@@ -1,0 +1,34 @@
+//! # netsim — the simulated message server
+//!
+//! The paper's prototyping environment simulates a distributed system on a
+//! single host: a Message Server per site listens on a well-known port,
+//! queues messages from remote sites, and supports both Ada-style
+//! rendezvous (synchronous) and asynchronous message passing, with a
+//! time-out mechanism that unblocks a sender when the receiving site is not
+//! operational. Inter-process communication *within* a site bypasses the
+//! message server.
+//!
+//! This crate reproduces those semantics over the `starlite` kernel:
+//!
+//! * [`delay::DelayMatrix`] — per-pair communication delays (the paper's
+//!   "communication cost" configuration and the delay axis of Figures 4–6);
+//! * [`net::Network`] — send/delivery bookkeeping with per-site
+//!   operational status (failure injection) and FIFO ordering per link;
+//! * [`call::CallTable`] — correlation of synchronous request/reply pairs
+//!   and their timeout events.
+//!
+//! The crate is transport-only: payloads are opaque to it, and the
+//! simulation model schedules the delivery events `Network::send` returns.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod call;
+pub mod delay;
+pub mod net;
+pub mod topology;
+
+pub use call::{CallId, CallTable};
+pub use delay::DelayMatrix;
+pub use net::{Network, SendOutcome};
+pub use topology::Topology;

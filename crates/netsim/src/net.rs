@@ -1,0 +1,201 @@
+//! Message transmission bookkeeping.
+
+use std::fmt;
+
+use rtdb::SiteId;
+use starlite::{SimDuration, SimTime};
+
+use crate::delay::DelayMatrix;
+
+/// Result of offering a message to the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The message will arrive at the destination at this instant; the
+    /// caller schedules a delivery event there.
+    Deliver {
+        /// Delivery instant.
+        at: SimTime,
+    },
+    /// The destination site is not operational; the message is lost. The
+    /// sender should arm its timeout (the paper's unblocking mechanism).
+    Dropped,
+}
+
+/// The simulated network: delays, per-site operational status, counters.
+///
+/// FIFO per link is guaranteed by construction: delays are per-pair
+/// constants, so two messages on the same link never reorder, and the
+/// kernel's same-instant tie-break preserves send order.
+///
+/// # Example
+///
+/// ```
+/// use netsim::{DelayMatrix, Network, SendOutcome};
+/// use rtdb::SiteId;
+/// use starlite::{SimDuration, SimTime};
+///
+/// let mut net = Network::new(DelayMatrix::uniform(2, SimDuration::from_ticks(30)));
+/// match net.send(SiteId(0), SiteId(1), SimTime::from_ticks(10)) {
+///     SendOutcome::Deliver { at } => assert_eq!(at, SimTime::from_ticks(40)),
+///     SendOutcome::Dropped => unreachable!(),
+/// }
+/// ```
+pub struct Network {
+    delays: DelayMatrix,
+    up: Vec<bool>,
+    sent: u64,
+    dropped: u64,
+    remote_sent: u64,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("sites", &self.delays.site_count())
+            .field("sent", &self.sent)
+            .field("dropped", &self.dropped)
+            .finish()
+    }
+}
+
+impl Network {
+    /// Creates a network with all sites operational.
+    pub fn new(delays: DelayMatrix) -> Self {
+        let sites = delays.site_count() as usize;
+        Network {
+            delays,
+            up: vec![true; sites],
+            sent: 0,
+            dropped: 0,
+            remote_sent: 0,
+        }
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> u8 {
+        self.delays.site_count()
+    }
+
+    /// The delay configuration.
+    pub fn delays(&self) -> &DelayMatrix {
+        &self.delays
+    }
+
+    /// Offers a message for transmission at time `now`.
+    ///
+    /// Intra-site messages always deliver with zero delay (they do not go
+    /// through the message server). Messages to a non-operational site are
+    /// dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either site is out of range.
+    pub fn send(&mut self, from: SiteId, to: SiteId, now: SimTime) -> SendOutcome {
+        let d = self.delays.delay(from, to); // validates ranges
+        self.sent += 1;
+        if from != to {
+            self.remote_sent += 1;
+            if !self.up[to.index()] {
+                self.dropped += 1;
+                return SendOutcome::Dropped;
+            }
+        }
+        SendOutcome::Deliver { at: now + d }
+    }
+
+    /// Marks a site operational or failed. Messages already in flight are
+    /// unaffected (their delivery events were scheduled at send time); a
+    /// receiver that fails before delivery is the model's concern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn set_site_up(&mut self, site: SiteId, operational: bool) {
+        assert!(site.0 < self.site_count(), "site out of range");
+        self.up[site.index()] = operational;
+    }
+
+    /// Whether `site` is operational.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn is_site_up(&self, site: SiteId) -> bool {
+        assert!(site.0 < self.site_count(), "site out of range");
+        self.up[site.index()]
+    }
+
+    /// Total messages offered (including intra-site and dropped ones).
+    pub fn sent_count(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages offered across a link (excluding intra-site traffic).
+    pub fn remote_sent_count(&self) -> u64 {
+        self.remote_sent
+    }
+
+    /// Messages dropped because the destination was down.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped
+    }
+
+    /// A reasonable timeout for a synchronous call to `to`: two one-way
+    /// delays plus `slack`.
+    pub fn round_trip_timeout(&self, from: SiteId, to: SiteId, slack: SimDuration) -> SimDuration {
+        self.delays.delay(from, to) * 2 + slack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(delay: u64) -> Network {
+        Network::new(DelayMatrix::uniform(3, SimDuration::from_ticks(delay)))
+    }
+
+    #[test]
+    fn remote_send_adds_delay() {
+        let mut n = net(25);
+        match n.send(SiteId(0), SiteId(2), SimTime::from_ticks(100)) {
+            SendOutcome::Deliver { at } => assert_eq!(at, SimTime::from_ticks(125)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(n.remote_sent_count(), 1);
+    }
+
+    #[test]
+    fn local_send_is_instant_and_not_remote() {
+        let mut n = net(25);
+        match n.send(SiteId(1), SiteId(1), SimTime::from_ticks(5)) {
+            SendOutcome::Deliver { at } => assert_eq!(at, SimTime::from_ticks(5)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(n.remote_sent_count(), 0);
+    }
+
+    #[test]
+    fn down_site_drops_messages() {
+        let mut n = net(25);
+        n.set_site_up(SiteId(2), false);
+        assert_eq!(n.send(SiteId(0), SiteId(2), SimTime::ZERO), SendOutcome::Dropped);
+        assert_eq!(n.dropped_count(), 1);
+        // Local delivery at a down site still works (the site's own
+        // processes are the model's concern, not the network's).
+        n.set_site_up(SiteId(2), true);
+        assert!(matches!(
+            n.send(SiteId(0), SiteId(2), SimTime::ZERO),
+            SendOutcome::Deliver { .. }
+        ));
+    }
+
+    #[test]
+    fn round_trip_timeout_formula() {
+        let n = net(10);
+        assert_eq!(
+            n.round_trip_timeout(SiteId(0), SiteId(1), SimDuration::from_ticks(5)),
+            SimDuration::from_ticks(25)
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Network topologies.
+//!
+//! The paper's system-configuration menu includes "number of sites and
+//! topology". A [`Topology`] describes which sites are directly linked;
+//! [`Topology::delay_matrix`] turns it into per-pair one-way delays by
+//! multiplying shortest-path hop counts with a per-hop delay (messages
+//! are forwarded along the shortest route).
+
+use rtdb::SiteId;
+use serde::{Deserialize, Serialize};
+use starlite::SimDuration;
+
+use crate::delay::DelayMatrix;
+
+/// Which sites are directly connected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Topology {
+    /// Every pair of sites is directly linked (the paper's three-site
+    /// experiments).
+    FullyConnected,
+    /// Sites form a cycle `0 — 1 — … — n-1 — 0`.
+    Ring,
+    /// Every site links to the hub only.
+    Star {
+        /// The central site.
+        hub: SiteId,
+    },
+}
+
+impl Topology {
+    /// Number of hops on the shortest path from `a` to `b` over `sites`
+    /// sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either site is out of range, or the star hub is.
+    pub fn hops(self, sites: u8, a: SiteId, b: SiteId) -> u32 {
+        assert!(a.0 < sites && b.0 < sites, "site out of range");
+        if a == b {
+            return 0;
+        }
+        match self {
+            Topology::FullyConnected => 1,
+            Topology::Ring => {
+                let n = sites as u32;
+                let d = (a.0 as u32).abs_diff(b.0 as u32);
+                d.min(n - d)
+            }
+            Topology::Star { hub } => {
+                assert!(hub.0 < sites, "star hub out of range");
+                if a == hub || b == hub {
+                    1
+                } else {
+                    2
+                }
+            }
+        }
+    }
+
+    /// Builds the delay matrix: `hops × per_hop` one-way delay per pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is zero or the star hub is out of range.
+    pub fn delay_matrix(self, sites: u8, per_hop: SimDuration) -> DelayMatrix {
+        DelayMatrix::from_fn(sites, |a, b| per_hop * self.hops(sites, a, b) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_connected_is_one_hop() {
+        let t = Topology::FullyConnected;
+        assert_eq!(t.hops(4, SiteId(0), SiteId(3)), 1);
+        assert_eq!(t.hops(4, SiteId(2), SiteId(2)), 0);
+    }
+
+    #[test]
+    fn ring_takes_the_short_way_round() {
+        let t = Topology::Ring;
+        assert_eq!(t.hops(6, SiteId(0), SiteId(1)), 1);
+        assert_eq!(t.hops(6, SiteId(0), SiteId(3)), 3);
+        assert_eq!(t.hops(6, SiteId(0), SiteId(5)), 1); // wraps
+        assert_eq!(t.hops(6, SiteId(1), SiteId(5)), 2);
+    }
+
+    #[test]
+    fn star_routes_through_hub() {
+        let t = Topology::Star { hub: SiteId(0) };
+        assert_eq!(t.hops(5, SiteId(0), SiteId(3)), 1);
+        assert_eq!(t.hops(5, SiteId(2), SiteId(4)), 2);
+    }
+
+    #[test]
+    fn delay_matrix_scales_hops() {
+        let m = Topology::Ring.delay_matrix(5, SimDuration::from_ticks(100));
+        assert_eq!(m.delay(SiteId(0), SiteId(2)).ticks(), 200);
+        assert_eq!(m.delay(SiteId(0), SiteId(4)).ticks(), 100);
+        assert_eq!(m.delay(SiteId(1), SiteId(1)), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_site_panics() {
+        Topology::FullyConnected.hops(3, SiteId(0), SiteId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "hub out of range")]
+    fn bad_hub_panics() {
+        Topology::Star { hub: SiteId(9) }.hops(3, SiteId(0), SiteId(1));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the network simulation.
+
+use proptest::prelude::*;
+use netsim::{CallTable, DelayMatrix, Network, SendOutcome, Topology};
+use rtdb::SiteId;
+use starlite::{SimDuration, SimTime};
+
+proptest! {
+    /// Delivery time is exactly `now + delay(from, to)` for operational
+    /// destinations, and intra-site sends are instantaneous.
+    #[test]
+    fn delivery_times_match_the_matrix(
+        sites in 1u8..6,
+        delay in 0u64..10_000,
+        sends in prop::collection::vec((0u8..6, 0u8..6, 0u64..100_000), 1..30),
+    ) {
+        let mut net = Network::new(DelayMatrix::uniform(sites, SimDuration::from_ticks(delay)));
+        for (from, to, at) in sends {
+            let (from, to) = (SiteId(from % sites), SiteId(to % sites));
+            let now = SimTime::from_ticks(at);
+            match net.send(from, to, now) {
+                SendOutcome::Deliver { at: delivered } => {
+                    let expected = if from == to { 0 } else { delay };
+                    prop_assert_eq!(delivered.since(now).ticks(), expected);
+                }
+                SendOutcome::Dropped => prop_assert!(false, "no site is down"),
+            }
+        }
+    }
+
+    /// Messages to failed sites drop; bringing a site back restores
+    /// delivery. Counters stay consistent.
+    #[test]
+    fn failure_drops_and_recovery_restores(
+        sites in 2u8..6,
+        toggles in prop::collection::vec((0u8..6, any::<bool>()), 0..20),
+    ) {
+        let mut net = Network::new(DelayMatrix::uniform(sites, SimDuration::from_ticks(5)));
+        let mut up = vec![true; sites as usize];
+        for (site, state) in toggles {
+            let site = SiteId(site % sites);
+            net.set_site_up(site, state);
+            up[site.index()] = state;
+        }
+        let mut expected_drops = 0;
+        for to in 0..sites {
+            let outcome = net.send(SiteId(0), SiteId(to), SimTime::ZERO);
+            let should_drop = to != 0 && !up[to as usize];
+            if should_drop {
+                expected_drops += 1;
+                prop_assert_eq!(outcome, SendOutcome::Dropped);
+            } else {
+                let delivered = matches!(outcome, SendOutcome::Deliver { .. });
+                prop_assert!(delivered);
+            }
+        }
+        prop_assert_eq!(net.dropped_count(), expected_drops);
+    }
+
+    /// Topology hop counts: zero on the diagonal, symmetric, positive off
+    /// the diagonal, and within the topology's diameter.
+    #[test]
+    fn topology_hops_are_sane(sites in 2u8..8, hub in 0u8..8) {
+        let hub = SiteId(hub % sites);
+        for topology in [
+            Topology::FullyConnected,
+            Topology::Ring,
+            Topology::Star { hub },
+        ] {
+            let diameter = match topology {
+                Topology::FullyConnected => 1,
+                Topology::Ring => (sites as u32) / 2,
+                Topology::Star { .. } => 2,
+            };
+            for a in 0..sites {
+                for b in 0..sites {
+                    let h = topology.hops(sites, SiteId(a), SiteId(b));
+                    let back = topology.hops(sites, SiteId(b), SiteId(a));
+                    prop_assert_eq!(h, back, "{:?} not symmetric", topology);
+                    if a == b {
+                        prop_assert_eq!(h, 0);
+                    } else {
+                        prop_assert!(h >= 1);
+                        prop_assert!(h <= diameter.max(1), "{:?} hops {} > diameter", topology, h);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A call closes exactly once: whichever of reply/timeout comes first
+    /// wins, the other is stale, and the counters add up.
+    #[test]
+    fn call_table_closes_exactly_once(
+        events in prop::collection::vec((0usize..10, any::<bool>()), 1..40),
+    ) {
+        let mut table: CallTable<usize> = CallTable::new();
+        let ids: Vec<_> = (0..10usize).map(|i| table.open(i, None)).collect();
+        let mut closed = [false; 10];
+        for (idx, is_reply) in events {
+            let won = if is_reply {
+                table.close(ids[idx]).is_some()
+            } else {
+                table.time_out(ids[idx]).is_some()
+            };
+            prop_assert_eq!(won, !closed[idx], "call {} double-closed", idx);
+            closed[idx] = true;
+        }
+        let finished = closed.iter().filter(|&&c| c).count();
+        prop_assert_eq!(
+            (table.completed_count() + table.timed_out_count()) as usize,
+            finished
+        );
+        prop_assert_eq!(table.open_count(), 10 - finished);
+    }
+}

@@ -1,0 +1,186 @@
+//! Database configuration: size, placement and replication.
+//!
+//! Mirrors the paper's "database configuration" menu: the database at each
+//! site with user-defined size and level of replication. Two placements are
+//! supported:
+//!
+//! * [`Placement::SingleSite`] — one copy of everything at one site (the
+//!   §3 experiments);
+//! * [`Placement::FullyReplicated`] — every object replicated at every
+//!   site with a designated *primary* copy (the §4 local-ceiling model's
+//!   restriction 1: "every data object is fully replicated at each site").
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ObjectId, SiteId};
+
+/// How the database is laid out across sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// All objects live at a single site; no replication.
+    SingleSite,
+    /// Every object is fully replicated at every site; each object has one
+    /// primary copy (round-robin by object id unless remapped).
+    FullyReplicated,
+}
+
+/// The database catalog: object universe, site count and primary mapping.
+///
+/// # Example
+///
+/// ```
+/// use rtdb::{Catalog, Placement, ObjectId, SiteId};
+///
+/// let cat = Catalog::new(90, 3, Placement::FullyReplicated);
+/// assert_eq!(cat.primary_site(ObjectId(4)), SiteId(1));
+/// assert!(cat.is_replicated_at(ObjectId(4), SiteId(2)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Catalog {
+    db_size: u32,
+    sites: u8,
+    placement: Placement,
+    /// `primary[obj] = site`; defaults to `obj % sites`.
+    primary: Vec<SiteId>,
+}
+
+impl fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Catalog")
+            .field("db_size", &self.db_size)
+            .field("sites", &self.sites)
+            .field("placement", &self.placement)
+            .finish()
+    }
+}
+
+impl Catalog {
+    /// Creates a catalog of `db_size` objects over `sites` sites.
+    ///
+    /// With [`Placement::FullyReplicated`], primaries are assigned
+    /// round-robin (`object id mod sites`), which spreads update load
+    /// evenly, as in the paper's tracking scenario where each station owns
+    /// its own tracks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `db_size` is zero, `sites` is zero, or `placement` is
+    /// [`Placement::SingleSite`] with more than one site.
+    pub fn new(db_size: u32, sites: u8, placement: Placement) -> Self {
+        assert!(db_size > 0, "a database needs at least one object");
+        assert!(sites > 0, "a system needs at least one site");
+        if placement == Placement::SingleSite {
+            assert_eq!(sites, 1, "single-site placement requires exactly one site");
+        }
+        let primary = (0..db_size)
+            .map(|o| SiteId((o % sites as u32) as u8))
+            .collect();
+        Catalog {
+            db_size,
+            sites,
+            placement,
+            primary,
+        }
+    }
+
+    /// Number of objects in the logical database.
+    pub fn db_size(&self) -> u32 {
+        self.db_size
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> u8 {
+        self.sites
+    }
+
+    /// Iterates over all site ids.
+    pub fn sites(&self) -> impl Iterator<Item = SiteId> {
+        (0..self.sites).map(SiteId)
+    }
+
+    /// The placement scheme.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// The site holding the primary copy of `obj`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` is out of range.
+    pub fn primary_site(&self, obj: ObjectId) -> SiteId {
+        self.primary[obj.0 as usize]
+    }
+
+    /// Reassigns the primary copy of `obj` to `site` (the paper's
+    /// restriction 2 requires updated objects to be primary at the updating
+    /// transaction's site; workload placement may use this to co-locate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` or `site` is out of range.
+    pub fn set_primary(&mut self, obj: ObjectId, site: SiteId) {
+        assert!(site.0 < self.sites, "site out of range");
+        self.primary[obj.0 as usize] = site;
+    }
+
+    /// Whether `site` holds a (primary or secondary) copy of `obj`.
+    pub fn is_replicated_at(&self, obj: ObjectId, site: SiteId) -> bool {
+        match self.placement {
+            Placement::SingleSite => site.0 == 0,
+            Placement::FullyReplicated => site.0 < self.sites && obj.0 < self.db_size,
+        }
+    }
+
+    /// All objects whose primary copy lives at `site`.
+    pub fn primaries_at(&self, site: SiteId) -> impl Iterator<Item = ObjectId> + '_ {
+        self.primary
+            .iter()
+            .enumerate()
+            .filter(move |(_, &s)| s == site)
+            .map(|(i, _)| ObjectId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_primaries() {
+        let cat = Catalog::new(10, 3, Placement::FullyReplicated);
+        assert_eq!(cat.primary_site(ObjectId(0)), SiteId(0));
+        assert_eq!(cat.primary_site(ObjectId(1)), SiteId(1));
+        assert_eq!(cat.primary_site(ObjectId(2)), SiteId(2));
+        assert_eq!(cat.primary_site(ObjectId(3)), SiteId(0));
+        assert_eq!(cat.primaries_at(SiteId(0)).count(), 4);
+        assert_eq!(cat.primaries_at(SiteId(1)).count(), 3);
+    }
+
+    #[test]
+    fn set_primary_remaps() {
+        let mut cat = Catalog::new(6, 2, Placement::FullyReplicated);
+        cat.set_primary(ObjectId(0), SiteId(1));
+        assert_eq!(cat.primary_site(ObjectId(0)), SiteId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "single-site placement")]
+    fn single_site_with_many_sites_panics() {
+        Catalog::new(10, 3, Placement::SingleSite);
+    }
+
+    #[test]
+    fn replication_predicate() {
+        let cat = Catalog::new(4, 2, Placement::FullyReplicated);
+        assert!(cat.is_replicated_at(ObjectId(3), SiteId(0)));
+        assert!(cat.is_replicated_at(ObjectId(3), SiteId(1)));
+        assert!(!cat.is_replicated_at(ObjectId(3), SiteId(2)));
+
+        let single = Catalog::new(4, 1, Placement::SingleSite);
+        assert!(single.is_replicated_at(ObjectId(0), SiteId(0)));
+        assert!(!single.is_replicated_at(ObjectId(0), SiteId(1)));
+    }
+}

@@ -1,0 +1,383 @@
+//! Two-phase commit state machines.
+//!
+//! The paper's transaction manager "executes the two-phase commit protocol
+//! to ensure that a transaction commits or aborts globally". These state
+//! machines are transport-agnostic: each transition returns the messages to
+//! send, and the distributed engines in `rtlock` move them through the
+//! simulated network. A coordinator that times out while collecting votes
+//! decides abort, which keeps the protocol safe when a site is down (the
+//! message server's timeout mechanism unblocks the sender).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{SiteId, TxnId};
+
+/// A participant's vote in phase one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Vote {
+    /// Ready to commit; the participant is prepared.
+    Yes,
+    /// Cannot commit; the coordinator must abort.
+    No,
+}
+
+/// What a [`Coordinator`] asks its caller to do next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordinatorAction {
+    /// Send `prepare` to each listed participant.
+    SendPrepare(Vec<SiteId>),
+    /// Send the global commit decision to each listed participant.
+    SendCommit(Vec<SiteId>),
+    /// Send the global abort decision to each listed participant.
+    SendAbort(Vec<SiteId>),
+    /// The protocol finished; `committed` is the global outcome.
+    Done {
+        /// `true` if the transaction committed globally.
+        committed: bool,
+    },
+}
+
+/// What a [`Participant`] asks its caller to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParticipantAction {
+    /// Reply to the coordinator with this vote.
+    Reply(Vote),
+    /// Apply the commit locally, then acknowledge.
+    CommitAndAck,
+    /// Undo local effects, then acknowledge.
+    AbortAndAck,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CoordState {
+    Created,
+    Voting { pending: BTreeSet<SiteId>, any_no: bool },
+    Deciding { commit: bool, pending: BTreeSet<SiteId> },
+    Done { committed: bool },
+}
+
+/// The coordinator side of two-phase commit for one transaction.
+///
+/// # Example
+///
+/// ```
+/// use rtdb::{Coordinator, CoordinatorAction, Vote, TxnId, SiteId};
+///
+/// let mut c = Coordinator::new(TxnId(1), vec![SiteId(1), SiteId(2)]);
+/// assert_eq!(c.start(), CoordinatorAction::SendPrepare(vec![SiteId(1), SiteId(2)]));
+/// assert_eq!(c.on_vote(SiteId(1), Vote::Yes), None);
+/// assert_eq!(
+///     c.on_vote(SiteId(2), Vote::Yes),
+///     Some(CoordinatorAction::SendCommit(vec![SiteId(1), SiteId(2)]))
+/// );
+/// assert_eq!(c.on_ack(SiteId(1)), None);
+/// assert_eq!(c.on_ack(SiteId(2)), Some(CoordinatorAction::Done { committed: true }));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Coordinator {
+    txn: TxnId,
+    participants: Vec<SiteId>,
+    state: CoordState,
+}
+
+impl fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("txn", &self.txn)
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+impl Coordinator {
+    /// Creates a coordinator for `txn` over the given participant sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` is empty or contains duplicates.
+    pub fn new(txn: TxnId, participants: Vec<SiteId>) -> Self {
+        assert!(!participants.is_empty(), "2PC needs at least one participant");
+        let set: BTreeSet<SiteId> = participants.iter().copied().collect();
+        assert_eq!(set.len(), participants.len(), "duplicate participants");
+        Coordinator {
+            txn,
+            participants,
+            state: CoordState::Created,
+        }
+    }
+
+    /// The transaction being committed.
+    pub fn txn(&self) -> TxnId {
+        self.txn
+    }
+
+    /// Begins phase one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn start(&mut self) -> CoordinatorAction {
+        assert_eq!(self.state, CoordState::Created, "coordinator already started");
+        self.state = CoordState::Voting {
+            pending: self.participants.iter().copied().collect(),
+            any_no: false,
+        };
+        CoordinatorAction::SendPrepare(self.participants.clone())
+    }
+
+    /// Records a vote; returns the phase-two broadcast when the tally
+    /// completes.
+    pub fn on_vote(&mut self, from: SiteId, vote: Vote) -> Option<CoordinatorAction> {
+        let CoordState::Voting { pending, any_no } = &mut self.state else {
+            return None; // stale vote after a timeout decision
+        };
+        if !pending.remove(&from) {
+            return None; // duplicate vote
+        }
+        if vote == Vote::No {
+            *any_no = true;
+        }
+        if !pending.is_empty() {
+            return None;
+        }
+        let commit = !*any_no;
+        self.state = CoordState::Deciding {
+            commit,
+            pending: self.participants.iter().copied().collect(),
+        };
+        Some(if commit {
+            CoordinatorAction::SendCommit(self.participants.clone())
+        } else {
+            CoordinatorAction::SendAbort(self.participants.clone())
+        })
+    }
+
+    /// Vote collection timed out (e.g. a site is down); decide abort.
+    /// Returns `None` if a decision was already reached.
+    pub fn on_vote_timeout(&mut self) -> Option<CoordinatorAction> {
+        if !matches!(self.state, CoordState::Voting { .. }) {
+            return None;
+        }
+        self.state = CoordState::Deciding {
+            commit: false,
+            pending: self.participants.iter().copied().collect(),
+        };
+        Some(CoordinatorAction::SendAbort(self.participants.clone()))
+    }
+
+    /// Records an acknowledgement; returns `Done` when all are in.
+    pub fn on_ack(&mut self, from: SiteId) -> Option<CoordinatorAction> {
+        let CoordState::Deciding { commit, pending } = &mut self.state else {
+            return None;
+        };
+        if !pending.remove(&from) {
+            return None;
+        }
+        if pending.is_empty() {
+            let committed = *commit;
+            self.state = CoordState::Done { committed };
+            return Some(CoordinatorAction::Done { committed });
+        }
+        None
+    }
+
+    /// The final outcome, once reached.
+    pub fn outcome(&self) -> Option<bool> {
+        match self.state {
+            CoordState::Done { committed } => Some(committed),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PartState {
+    Working,
+    Prepared,
+    Finished { committed: bool },
+}
+
+/// The participant side of two-phase commit for one transaction at one
+/// site.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Participant {
+    txn: TxnId,
+    state: PartState,
+}
+
+impl fmt::Debug for Participant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Participant")
+            .field("txn", &self.txn)
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+impl Participant {
+    /// Creates a participant still doing work for `txn`.
+    pub fn new(txn: TxnId) -> Self {
+        Participant {
+            txn,
+            state: PartState::Working,
+        }
+    }
+
+    /// The transaction this participant serves.
+    pub fn txn(&self) -> TxnId {
+        self.txn
+    }
+
+    /// Handles the coordinator's prepare request; `can_commit` is the local
+    /// verdict (locks held, constraints satisfied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the participant already voted or finished.
+    pub fn on_prepare(&mut self, can_commit: bool) -> ParticipantAction {
+        assert_eq!(self.state, PartState::Working, "prepare received twice");
+        if can_commit {
+            self.state = PartState::Prepared;
+            ParticipantAction::Reply(Vote::Yes)
+        } else {
+            self.state = PartState::Finished { committed: false };
+            ParticipantAction::Reply(Vote::No)
+        }
+    }
+
+    /// Handles the global decision. A participant that voted `No` has
+    /// already aborted and simply acknowledges an abort decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a commit decision that contradicts a `No` vote (a
+    /// coordinator bug) or on a decision before any vote.
+    pub fn on_decision(&mut self, commit: bool) -> ParticipantAction {
+        match self.state {
+            PartState::Prepared => {
+                self.state = PartState::Finished { committed: commit };
+                if commit {
+                    ParticipantAction::CommitAndAck
+                } else {
+                    ParticipantAction::AbortAndAck
+                }
+            }
+            PartState::Finished { committed: false } if !commit => {
+                ParticipantAction::AbortAndAck
+            }
+            other => panic!("decision (commit={commit}) in state {other:?}"),
+        }
+    }
+
+    /// The local outcome, once decided.
+    pub fn outcome(&self) -> Option<bool> {
+        match self.state {
+            PartState::Finished { committed } => Some(committed),
+            _ => None,
+        }
+    }
+
+    /// `true` while the participant holds a Yes vote awaiting the decision.
+    pub fn is_prepared(&self) -> bool {
+        self.state == PartState::Prepared
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_yes_commits() {
+        let mut c = Coordinator::new(TxnId(1), vec![SiteId(0), SiteId(1)]);
+        c.start();
+        assert!(c.on_vote(SiteId(0), Vote::Yes).is_none());
+        match c.on_vote(SiteId(1), Vote::Yes) {
+            Some(CoordinatorAction::SendCommit(to)) => assert_eq!(to.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        c.on_ack(SiteId(0));
+        assert_eq!(c.on_ack(SiteId(1)), Some(CoordinatorAction::Done { committed: true }));
+        assert_eq!(c.outcome(), Some(true));
+    }
+
+    #[test]
+    fn any_no_aborts() {
+        let mut c = Coordinator::new(TxnId(1), vec![SiteId(0), SiteId(1)]);
+        c.start();
+        c.on_vote(SiteId(0), Vote::No);
+        match c.on_vote(SiteId(1), Vote::Yes) {
+            Some(CoordinatorAction::SendAbort(_)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        c.on_ack(SiteId(0));
+        assert_eq!(c.on_ack(SiteId(1)), Some(CoordinatorAction::Done { committed: false }));
+    }
+
+    #[test]
+    fn vote_timeout_aborts() {
+        let mut c = Coordinator::new(TxnId(1), vec![SiteId(0), SiteId(1)]);
+        c.start();
+        c.on_vote(SiteId(0), Vote::Yes);
+        match c.on_vote_timeout() {
+            Some(CoordinatorAction::SendAbort(_)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // A straggler vote after the timeout decision is ignored.
+        assert!(c.on_vote(SiteId(1), Vote::Yes).is_none());
+        assert!(c.on_vote_timeout().is_none());
+    }
+
+    #[test]
+    fn duplicate_votes_and_acks_ignored() {
+        let mut c = Coordinator::new(TxnId(1), vec![SiteId(0)]);
+        c.start();
+        assert!(c
+            .on_vote(SiteId(0), Vote::Yes)
+            .is_some_and(|a| matches!(a, CoordinatorAction::SendCommit(_))));
+        assert!(c.on_vote(SiteId(0), Vote::Yes).is_none());
+        assert!(c.on_ack(SiteId(0)).is_some());
+        assert!(c.on_ack(SiteId(0)).is_none());
+    }
+
+    #[test]
+    fn participant_happy_path() {
+        let mut p = Participant::new(TxnId(1));
+        assert_eq!(p.on_prepare(true), ParticipantAction::Reply(Vote::Yes));
+        assert!(p.is_prepared());
+        assert_eq!(p.on_decision(true), ParticipantAction::CommitAndAck);
+        assert_eq!(p.outcome(), Some(true));
+    }
+
+    #[test]
+    fn participant_no_vote_self_aborts() {
+        let mut p = Participant::new(TxnId(1));
+        assert_eq!(p.on_prepare(false), ParticipantAction::Reply(Vote::No));
+        assert_eq!(p.outcome(), Some(false));
+        // The abort decision still gets an ack.
+        assert_eq!(p.on_decision(false), ParticipantAction::AbortAndAck);
+    }
+
+    #[test]
+    #[should_panic(expected = "decision")]
+    fn commit_after_no_vote_panics() {
+        let mut p = Participant::new(TxnId(1));
+        p.on_prepare(false);
+        p.on_decision(true);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn empty_participants_panics() {
+        Coordinator::new(TxnId(1), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate participants")]
+    fn duplicate_participants_panics() {
+        Coordinator::new(TxnId(1), vec![SiteId(0), SiteId(0)]);
+    }
+}

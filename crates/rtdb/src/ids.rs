@@ -1,0 +1,60 @@
+//! Newtype identifiers shared across the prototyping environment.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a transaction (globally unique across sites and restarts of
+/// the same logical transaction: a restarted transaction keeps its id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifies a data object in the (logical, replicated) database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u32);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O{}", self.0)
+    }
+}
+
+/// Identifies a site (node) of the distributed system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SiteId(pub u8);
+
+impl SiteId {
+    /// Returns the site index as a usize, for indexing per-site tables.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TxnId(3).to_string(), "T3");
+        assert_eq!(ObjectId(4).to_string(), "O4");
+        assert_eq!(SiteId(1).to_string(), "S1");
+    }
+
+    #[test]
+    fn site_index() {
+        assert_eq!(SiteId(2).index(), 2);
+    }
+}

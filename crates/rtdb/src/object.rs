@@ -1,0 +1,195 @@
+//! Data objects and per-site object stores.
+//!
+//! Objects carry real `u64` values and monotonically increasing version
+//! numbers. The locking protocols are therefore testable for *correctness*
+//! as well as timing: a read observes the value most recently committed
+//! under the serialisation order the protocol enforces, and replication
+//! staleness is measurable as a version lag.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use starlite::SimTime;
+
+use crate::ids::{ObjectId, TxnId};
+
+/// One data object: a value plus its version history metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataObject {
+    /// Current value.
+    pub value: u64,
+    /// Number of committed writes applied so far.
+    pub version: u64,
+    /// Transaction that committed the current version, if any.
+    pub last_writer: Option<TxnId>,
+    /// Virtual time of the last committed write.
+    pub written_at: SimTime,
+}
+
+impl DataObject {
+    /// A fresh object with value 0 at version 0.
+    pub fn new() -> Self {
+        DataObject {
+            value: 0,
+            version: 0,
+            last_writer: None,
+            written_at: SimTime::ZERO,
+        }
+    }
+}
+
+impl Default for DataObject {
+    fn default() -> Self {
+        DataObject::new()
+    }
+}
+
+/// The value store of one site (a copy of the whole database, per the
+/// paper's full-replication restriction, or the single copy of a
+/// single-site system).
+///
+/// # Example
+///
+/// ```
+/// use rtdb::{ObjectStore, ObjectId, TxnId};
+/// use starlite::SimTime;
+///
+/// let mut store = ObjectStore::new(8);
+/// store.apply_write(ObjectId(3), 42, TxnId(1), SimTime::from_ticks(5));
+/// assert_eq!(store.read(ObjectId(3)).value, 42);
+/// assert_eq!(store.read(ObjectId(3)).version, 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectStore {
+    objects: Vec<DataObject>,
+}
+
+impl fmt::Debug for ObjectStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObjectStore")
+            .field("len", &self.objects.len())
+            .finish()
+    }
+}
+
+impl ObjectStore {
+    /// Creates a store of `size` fresh objects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: u32) -> Self {
+        assert!(size > 0, "a database needs at least one object");
+        ObjectStore {
+            objects: vec![DataObject::new(); size as usize],
+        }
+    }
+
+    /// Number of objects in the store.
+    pub fn len(&self) -> u32 {
+        self.objects.len() as u32
+    }
+
+    /// `false`; stores are never empty (see [`ObjectStore::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Reads an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn read(&self, id: ObjectId) -> &DataObject {
+        &self.objects[id.0 as usize]
+    }
+
+    /// Applies a committed write, bumping the version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn apply_write(&mut self, id: ObjectId, value: u64, writer: TxnId, at: SimTime) {
+        let obj = &mut self.objects[id.0 as usize];
+        obj.value = value;
+        obj.version += 1;
+        obj.last_writer = Some(writer);
+        obj.written_at = at;
+    }
+
+    /// Overwrites an object with a specific version (used when installing a
+    /// propagated secondary copy, which must not invent new versions).
+    ///
+    /// Returns `true` if the update was applied, `false` if the store
+    /// already holds that version or a newer one (stale propagation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn install_version(
+        &mut self,
+        id: ObjectId,
+        value: u64,
+        version: u64,
+        writer: TxnId,
+        at: SimTime,
+    ) -> bool {
+        let obj = &mut self.objects[id.0 as usize];
+        if version <= obj.version {
+            return false;
+        }
+        obj.value = value;
+        obj.version = version;
+        obj.last_writer = Some(writer);
+        obj.written_at = at;
+        true
+    }
+
+    /// Iterates over `(ObjectId, &DataObject)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &DataObject)> {
+        self.objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (ObjectId(i as u32), o))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_bump_versions() {
+        let mut s = ObjectStore::new(4);
+        s.apply_write(ObjectId(0), 10, TxnId(1), SimTime::from_ticks(1));
+        s.apply_write(ObjectId(0), 20, TxnId(2), SimTime::from_ticks(2));
+        let o = s.read(ObjectId(0));
+        assert_eq!(o.value, 20);
+        assert_eq!(o.version, 2);
+        assert_eq!(o.last_writer, Some(TxnId(2)));
+    }
+
+    #[test]
+    fn install_version_rejects_stale() {
+        let mut s = ObjectStore::new(2);
+        assert!(s.install_version(ObjectId(1), 5, 3, TxnId(1), SimTime::ZERO));
+        assert!(!s.install_version(ObjectId(1), 9, 3, TxnId(2), SimTime::ZERO));
+        assert!(!s.install_version(ObjectId(1), 9, 2, TxnId(2), SimTime::ZERO));
+        assert_eq!(s.read(ObjectId(1)).value, 5);
+        assert!(s.install_version(ObjectId(1), 9, 4, TxnId(2), SimTime::ZERO));
+        assert_eq!(s.read(ObjectId(1)).version, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one object")]
+    fn empty_store_panics() {
+        ObjectStore::new(0);
+    }
+
+    #[test]
+    fn iter_covers_all_objects() {
+        let s = ObjectStore::new(3);
+        assert_eq!(s.iter().count(), 3);
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -1,0 +1,235 @@
+//! The waits-for graph and deadlock detection.
+//!
+//! Two-phase locking can deadlock (the paper cites the classic result that
+//! deadlock probability grows with the fourth power of transaction size).
+//! The transaction manager records, on every block, which transactions the
+//! blocked one waits for; a cycle through the new edges is a deadlock and
+//! one member must be aborted.
+//!
+//! The priority ceiling protocol never creates cycles — the integration
+//! tests assert that by running the same detector over its blocks.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::ids::TxnId;
+
+/// A directed waits-for graph: an edge `a → b` means `a` waits for `b`.
+///
+/// # Example
+///
+/// ```
+/// use rtdb::{WaitsForGraph, TxnId};
+///
+/// let mut g = WaitsForGraph::new();
+/// g.add_edges(TxnId(1), &[TxnId(2)]);
+/// g.add_edges(TxnId(2), &[TxnId(3)]);
+/// assert!(g.cycle_from(TxnId(1)).is_none());
+/// g.add_edges(TxnId(3), &[TxnId(1)]);
+/// let cycle = g.cycle_from(TxnId(3)).expect("deadlock");
+/// assert_eq!(cycle.len(), 3);
+/// ```
+#[derive(Default, Clone)]
+pub struct WaitsForGraph {
+    edges: HashMap<TxnId, HashSet<TxnId>>,
+}
+
+impl fmt::Debug for WaitsForGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WaitsForGraph")
+            .field("waiters", &self.edges.len())
+            .finish()
+    }
+}
+
+impl WaitsForGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        WaitsForGraph::default()
+    }
+
+    /// Adds edges `waiter → blocker` for every blocker.
+    ///
+    /// Self-edges are ignored: a transaction never waits for itself (lock
+    /// re-requests are granted in place).
+    pub fn add_edges(&mut self, waiter: TxnId, blockers: &[TxnId]) {
+        let set = self.edges.entry(waiter).or_default();
+        for &b in blockers {
+            if b != waiter {
+                set.insert(b);
+            }
+        }
+    }
+
+    /// Replaces the outgoing edges of `waiter` (its blocker set changed).
+    pub fn set_edges(&mut self, waiter: TxnId, blockers: &[TxnId]) {
+        self.edges.remove(&waiter);
+        if !blockers.is_empty() {
+            self.add_edges(waiter, blockers);
+        }
+    }
+
+    /// Removes `waiter`'s outgoing edges (it is no longer blocked).
+    pub fn clear_waiter(&mut self, waiter: TxnId) {
+        self.edges.remove(&waiter);
+    }
+
+    /// Removes a transaction entirely: its outgoing edges and every edge
+    /// pointing at it (it committed or aborted).
+    pub fn remove_txn(&mut self, txn: TxnId) {
+        self.edges.remove(&txn);
+        for set in self.edges.values_mut() {
+            set.remove(&txn);
+        }
+    }
+
+    /// Searches for a cycle reachable from `start`, returning its members
+    /// (in traversal order) if one exists.
+    ///
+    /// Called right after adding the edges for a newly blocked transaction:
+    /// any fresh deadlock must pass through `start`.
+    pub fn cycle_from(&self, start: TxnId) -> Option<Vec<TxnId>> {
+        // Iterative DFS with an explicit path stack.
+        let mut on_path: Vec<TxnId> = Vec::new();
+        let mut on_path_set: HashSet<TxnId> = HashSet::new();
+        let mut visited: HashSet<TxnId> = HashSet::new();
+        // Stack holds (node, next-neighbour-iterator position).
+        let mut stack: Vec<(TxnId, Vec<TxnId>, usize)> = Vec::new();
+
+        let neighbours = |t: TxnId| -> Vec<TxnId> {
+            let mut v: Vec<TxnId> = self
+                .edges
+                .get(&t)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            v.sort_unstable();
+            v
+        };
+
+        stack.push((start, neighbours(start), 0));
+        on_path.push(start);
+        on_path_set.insert(start);
+
+        while let Some((node, ns, idx)) = stack.last_mut() {
+            if *idx >= ns.len() {
+                visited.insert(*node);
+                on_path_set.remove(node);
+                on_path.pop();
+                stack.pop();
+                continue;
+            }
+            let next = ns[*idx];
+            *idx += 1;
+            if on_path_set.contains(&next) {
+                // Cycle: slice of the path from `next` onwards.
+                let pos = on_path
+                    .iter()
+                    .position(|&t| t == next)
+                    .expect("on path");
+                return Some(on_path[pos..].to_vec());
+            }
+            if !visited.contains(&next) {
+                on_path.push(next);
+                on_path_set.insert(next);
+                stack.push((next, neighbours(next), 0));
+            }
+        }
+        None
+    }
+
+    /// Returns `true` if any cycle exists anywhere in the graph (slower;
+    /// used by tests and invariant checks).
+    pub fn has_any_cycle(&self) -> bool {
+        self.edges.keys().any(|&t| self.cycle_from(t).is_some())
+    }
+
+    /// Current outgoing edges of `txn`, sorted.
+    pub fn blockers_of(&self, txn: TxnId) -> Vec<TxnId> {
+        let mut v: Vec<TxnId> = self
+            .edges
+            .get(&txn)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of transactions with outgoing edges.
+    pub fn waiter_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_cycle_in_chain() {
+        let mut g = WaitsForGraph::new();
+        g.add_edges(TxnId(1), &[TxnId(2)]);
+        g.add_edges(TxnId(2), &[TxnId(3)]);
+        assert!(g.cycle_from(TxnId(1)).is_none());
+        assert!(!g.has_any_cycle());
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        let mut g = WaitsForGraph::new();
+        g.add_edges(TxnId(1), &[TxnId(2)]);
+        g.add_edges(TxnId(2), &[TxnId(1)]);
+        let c = g.cycle_from(TxnId(2)).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(&TxnId(1)) && c.contains(&TxnId(2)));
+    }
+
+    #[test]
+    fn self_edges_ignored() {
+        let mut g = WaitsForGraph::new();
+        g.add_edges(TxnId(1), &[TxnId(1)]);
+        assert!(g.cycle_from(TxnId(1)).is_none());
+    }
+
+    #[test]
+    fn cycle_not_reachable_from_start_is_missed_but_found_globally() {
+        let mut g = WaitsForGraph::new();
+        g.add_edges(TxnId(1), &[TxnId(2)]);
+        g.add_edges(TxnId(3), &[TxnId(4)]);
+        g.add_edges(TxnId(4), &[TxnId(3)]);
+        assert!(g.cycle_from(TxnId(1)).is_none());
+        assert!(g.has_any_cycle());
+    }
+
+    #[test]
+    fn remove_txn_breaks_cycle() {
+        let mut g = WaitsForGraph::new();
+        g.add_edges(TxnId(1), &[TxnId(2)]);
+        g.add_edges(TxnId(2), &[TxnId(3)]);
+        g.add_edges(TxnId(3), &[TxnId(1)]);
+        assert!(g.has_any_cycle());
+        g.remove_txn(TxnId(2));
+        assert!(!g.has_any_cycle());
+        assert!(g.blockers_of(TxnId(1)).is_empty());
+        assert_eq!(g.blockers_of(TxnId(3)), vec![TxnId(1)]);
+    }
+
+    #[test]
+    fn set_edges_replaces() {
+        let mut g = WaitsForGraph::new();
+        g.add_edges(TxnId(1), &[TxnId(2), TxnId(3)]);
+        g.set_edges(TxnId(1), &[TxnId(4)]);
+        assert_eq!(g.blockers_of(TxnId(1)), vec![TxnId(4)]);
+        g.set_edges(TxnId(1), &[]);
+        assert_eq!(g.waiter_count(), 0);
+    }
+
+    #[test]
+    fn long_cycle_members_reported() {
+        let mut g = WaitsForGraph::new();
+        for i in 0..10u64 {
+            g.add_edges(TxnId(i), &[TxnId((i + 1) % 10)]);
+        }
+        let c = g.cycle_from(TxnId(0)).unwrap();
+        assert_eq!(c.len(), 10);
+    }
+}

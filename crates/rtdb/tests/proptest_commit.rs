@@ -1,0 +1,129 @@
+//! Property-based tests of the two-phase commit state machines.
+
+use proptest::prelude::*;
+use rtdb::{Coordinator, CoordinatorAction, Participant, ParticipantAction, SiteId, TxnId, Vote};
+
+proptest! {
+    /// For any participant set, any vote assignment, and any delivery
+    /// order (with duplicates), the coordinator decides commit iff every
+    /// participant voted yes, and reaches `Done` after all acks.
+    #[test]
+    fn two_phase_commit_is_atomic_under_any_delivery_order(
+        sites in 1usize..6,
+        yes_mask in prop::collection::vec(any::<bool>(), 6),
+        order in prop::collection::vec(0usize..6, 0..24),
+    ) {
+        let participants: Vec<SiteId> = (0..sites as u8).map(SiteId).collect();
+        let mut coordinator = Coordinator::new(TxnId(1), participants.clone());
+        match coordinator.start() {
+            CoordinatorAction::SendPrepare(to) => prop_assert_eq!(to.len(), sites),
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+        let mut locals: Vec<Participant> = participants
+            .iter()
+            .map(|&_s| Participant::new(TxnId(1)))
+            .collect();
+        // Each participant votes (its local verdict from yes_mask).
+        let votes: Vec<Vote> = (0..sites)
+            .map(|i| match locals[i].on_prepare(yes_mask[i]) {
+                ParticipantAction::Reply(v) => v,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        let all_yes = (0..sites).all(|i| yes_mask[i]);
+
+        // Deliver votes in an arbitrary order with duplicates, using
+        // `order` indices mapped into range; ensure every vote is
+        // eventually delivered by appending the full set.
+        let mut decision: Option<bool> = None;
+        let deliveries: Vec<usize> = order
+            .into_iter()
+            .map(|i| i % sites)
+            .chain(0..sites)
+            .collect();
+        for i in deliveries {
+            if let Some(action) = coordinator.on_vote(participants[i], votes[i]) {
+                match action {
+                    CoordinatorAction::SendCommit(_) => decision = Some(true),
+                    CoordinatorAction::SendAbort(_) => decision = Some(false),
+                    other => prop_assert!(false, "unexpected {other:?}"),
+                }
+            }
+        }
+        prop_assert_eq!(decision, Some(all_yes), "wrong or missing decision");
+
+        // Phase two: every participant applies the decision and acks
+        // (twice — duplicates must be ignored).
+        let mut done = None;
+        for round in 0..2 {
+            for i in 0..sites {
+                if round == 0 {
+                    // A participant that voted No already aborted; it only
+                    // receives an abort decision.
+                    if yes_mask[i] {
+                        let action = locals[i].on_decision(all_yes);
+                        if all_yes {
+                            prop_assert_eq!(action, ParticipantAction::CommitAndAck);
+                        } else {
+                            prop_assert_eq!(action, ParticipantAction::AbortAndAck);
+                        }
+                    } else {
+                        prop_assert_eq!(
+                            locals[i].on_decision(false),
+                            ParticipantAction::AbortAndAck
+                        );
+                    }
+                }
+                if let Some(a) = coordinator.on_ack(participants[i]) {
+                    prop_assert!(done.is_none(), "Done reported twice");
+                    done = Some(a);
+                }
+            }
+        }
+        match done {
+            Some(CoordinatorAction::Done { committed }) => {
+                prop_assert_eq!(committed, all_yes);
+            }
+            other => prop_assert!(false, "no Done: {other:?}"),
+        }
+        // Local outcomes agree with the global decision: yes-voters adopt
+        // it, no-voters are aborted regardless.
+        for (i, p) in locals.iter().enumerate() {
+            let expected = if yes_mask[i] { all_yes } else { false };
+            prop_assert_eq!(p.outcome(), Some(expected));
+        }
+    }
+
+    /// A vote timeout during collection always decides abort, and late
+    /// votes are ignored.
+    #[test]
+    fn timeout_aborts_safely(
+        sites in 1usize..6,
+        votes_before_timeout in 0usize..6,
+    ) {
+        let participants: Vec<SiteId> = (0..sites as u8).map(SiteId).collect();
+        let mut c = Coordinator::new(TxnId(1), participants.clone());
+        c.start();
+        let early = votes_before_timeout.min(sites.saturating_sub(1));
+        for &p in participants.iter().take(early) {
+            prop_assert!(c.on_vote(p, Vote::Yes).is_none());
+        }
+        match c.on_vote_timeout() {
+            Some(CoordinatorAction::SendAbort(_)) => {}
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+        // Stragglers are ignored.
+        for &p in &participants {
+            prop_assert!(c.on_vote(p, Vote::Yes).is_none());
+        }
+        // Acks complete the abort.
+        let mut done = false;
+        for &p in &participants {
+            if let Some(CoordinatorAction::Done { committed }) = c.on_ack(p) {
+                prop_assert!(!committed);
+                done = true;
+            }
+        }
+        prop_assert!(done);
+    }
+}

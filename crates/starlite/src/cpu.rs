@@ -1,0 +1,634 @@
+//! A simulated CPU with preemptive priority or FCFS scheduling.
+//!
+//! The CPU executes *bursts*: finite slices of work submitted on behalf of a
+//! task (in the prototyping environment, one burst is the processing of one
+//! data object by one transaction). The model is pull-free: every state
+//! change returns the burst that must now be timed, and the caller (the
+//! simulation [`Model`](crate::Model)) schedules a completion event at
+//! [`StartedBurst::finish_at`]. Bursts carry a [`CpuToken`]; if a burst is
+//! preempted, its completion event becomes *stale* and
+//! [`Cpu::complete`] reports that, so the caller simply ignores it.
+//!
+//! Priority changes while a task is on the CPU or in the ready queue —
+//! the mechanism priority inheritance relies on — are supported through
+//! [`Cpu::set_priority`] and may themselves trigger preemption.
+//!
+//! # Example
+//!
+//! ```
+//! use starlite::{Cpu, CpuPolicy, Priority, SimTime, SimDuration};
+//!
+//! let mut cpu: Cpu<u32> = Cpu::new(CpuPolicy::PreemptivePriority);
+//! let now = SimTime::ZERO;
+//! let burst = cpu
+//!     .submit(7, Priority::new(1), SimDuration::from_ticks(100), now)
+//!     .expect("idle CPU starts immediately");
+//! assert_eq!(burst.finish_at, SimTime::from_ticks(100));
+//!
+//! // A more urgent task arrives mid-burst and preempts.
+//! let t = SimTime::from_ticks(40);
+//! let urgent = cpu.submit(9, Priority::new(5), SimDuration::from_ticks(10), t);
+//! assert_eq!(urgent.unwrap().task, 9);
+//! ```
+
+use std::fmt;
+use std::hash::Hash;
+
+use crate::priority::Priority;
+use crate::time::{SimDuration, SimTime};
+
+/// The dispatching discipline of a [`Cpu`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpuPolicy {
+    /// Highest effective priority runs; a more urgent arrival preempts the
+    /// running burst (the paper's priority-driven scheduling).
+    PreemptivePriority,
+    /// Bursts run to completion in arrival order, ignoring priorities (the
+    /// paper's two-phase locking *without* priority mode).
+    Fcfs,
+}
+
+/// Identifies one started burst; completion events carry it so stale
+/// completions (for preempted bursts) can be recognised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CpuToken(u64);
+
+impl CpuToken {
+    /// Returns the raw token value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// A burst that just started executing; the caller must schedule a
+/// completion event at [`StartedBurst::finish_at`] carrying
+/// [`StartedBurst::token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StartedBurst<T> {
+    /// The task whose burst started.
+    pub task: T,
+    /// Token to present to [`Cpu::complete`] when the timer fires.
+    pub token: CpuToken,
+    /// Absolute time at which the burst finishes if not preempted.
+    pub finish_at: SimTime,
+}
+
+/// Result of presenting a completion token to [`Cpu::complete`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion<T> {
+    /// The token belonged to a burst that was preempted or removed; ignore.
+    Stale,
+    /// The burst ran to completion; `next` is the burst dispatched in its
+    /// place, if the ready queue was non-empty.
+    Finished {
+        /// Task whose burst completed.
+        task: T,
+        /// Next burst started, to be timed by the caller.
+        next: Option<StartedBurst<T>>,
+    },
+}
+
+/// Result of [`Cpu::remove`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Removed<T> {
+    /// The task was running; `next` is the burst dispatched in its place.
+    WasRunning {
+        /// Next burst started, to be timed by the caller.
+        next: Option<StartedBurst<T>>,
+    },
+    /// The task was waiting in the ready queue.
+    WasReady,
+    /// The task was not on this CPU.
+    NotPresent,
+}
+
+#[derive(Debug)]
+struct Running<T> {
+    task: T,
+    priority: Priority,
+    token: u64,
+    seq: u64,
+    started: SimTime,
+    /// Work remaining when the burst (re)started.
+    remaining: SimDuration,
+}
+
+#[derive(Debug)]
+struct ReadyEntry<T> {
+    task: T,
+    priority: Priority,
+    remaining: SimDuration,
+    /// Dispatch seniority: assigned at first submission, preserved across
+    /// preemptions so equal-priority tasks are served FIFO.
+    seq: u64,
+}
+
+/// A single simulated processor.
+///
+/// See the [module documentation](self) for the driving pattern.
+pub struct Cpu<T> {
+    policy: CpuPolicy,
+    running: Option<Running<T>>,
+    ready: Vec<ReadyEntry<T>>,
+    next_token: u64,
+    next_seq: u64,
+    busy: SimDuration,
+    dispatches: u64,
+    preemptions: u64,
+}
+
+impl<T> fmt::Debug for Cpu<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cpu")
+            .field("policy", &self.policy)
+            .field("busy", &self.running.is_some())
+            .field("ready_len", &self.ready.len())
+            .field("dispatches", &self.dispatches)
+            .field("preemptions", &self.preemptions)
+            .finish()
+    }
+}
+
+impl<T: Copy + Eq + Hash + fmt::Debug> Cpu<T> {
+    /// Creates an idle CPU with the given dispatching policy.
+    pub fn new(policy: CpuPolicy) -> Self {
+        Cpu {
+            policy,
+            running: None,
+            ready: Vec::new(),
+            next_token: 0,
+            next_seq: 0,
+            busy: SimDuration::ZERO,
+            dispatches: 0,
+            preemptions: 0,
+        }
+    }
+
+    /// Submits `work` ticks of processing for `task` at effective priority
+    /// `priority`.
+    ///
+    /// Returns the burst to time if the task starts running immediately —
+    /// either because the CPU was idle or because the submission preempted a
+    /// less urgent burst (preemptive policy only). Returns `None` when the
+    /// task was queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is already on this CPU (running or ready), or if
+    /// `work` is zero.
+    pub fn submit(
+        &mut self,
+        task: T,
+        priority: Priority,
+        work: SimDuration,
+        now: SimTime,
+    ) -> Option<StartedBurst<T>> {
+        assert!(!work.is_zero(), "cannot submit a zero-length burst");
+        assert!(
+            !self.contains(task),
+            "task {task:?} submitted while already on the CPU"
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match &self.running {
+            None => Some(self.start(task, priority, work, seq, now)),
+            Some(run) => {
+                if self.policy == CpuPolicy::PreemptivePriority && priority > run.priority {
+                    self.preempt_running(now);
+                    Some(self.start(task, priority, work, seq, now))
+                } else {
+                    self.ready.push(ReadyEntry {
+                        task,
+                        priority,
+                        remaining: work,
+                        seq,
+                    });
+                    None
+                }
+            }
+        }
+    }
+
+    /// Reports that a completion timer fired for `token`.
+    ///
+    /// Stale tokens (preempted or removed bursts) yield
+    /// [`Completion::Stale`]; live tokens finish the running burst and
+    /// dispatch the next ready task, if any.
+    pub fn complete(&mut self, token: CpuToken, now: SimTime) -> Completion<T> {
+        let is_current = self
+            .running
+            .as_ref()
+            .is_some_and(|run| run.token == token.0);
+        if !is_current {
+            return Completion::Stale;
+        }
+        let run = self.running.take().expect("checked above");
+        debug_assert_eq!(
+            now,
+            run.started + run.remaining,
+            "completion fired at the wrong time"
+        );
+        self.busy += run.remaining;
+        let task = run.task;
+        let next = self.dispatch_next(now);
+        Completion::Finished { task, next }
+    }
+
+    /// Updates `task`'s effective priority (e.g. on priority inheritance).
+    ///
+    /// With the preemptive policy this may change who runs: raising a ready
+    /// task above the running one preempts; lowering the running task below
+    /// a ready one re-dispatches. Any newly started burst is returned so the
+    /// caller can time it. Unknown tasks (e.g. doing I/O or blocked on a
+    /// lock) are ignored: their new priority takes effect at next submit.
+    pub fn set_priority(
+        &mut self,
+        task: T,
+        priority: Priority,
+        now: SimTime,
+    ) -> Option<StartedBurst<T>> {
+        if self.policy == CpuPolicy::Fcfs {
+            // Dispatch order ignores priorities entirely; just record it.
+            if let Some(run) = &mut self.running {
+                if run.task == task {
+                    run.priority = priority;
+                    return None;
+                }
+            }
+            if let Some(entry) = self.ready.iter_mut().find(|e| e.task == task) {
+                entry.priority = priority;
+            }
+            return None;
+        }
+        let runs_task = self.running.as_ref().is_some_and(|run| run.task == task);
+        if runs_task {
+            self.running.as_mut().expect("checked above").priority = priority;
+            // The running task may now be less urgent than a ready one.
+            let must_yield = self
+                .best_ready_index()
+                .is_some_and(|best| self.ready[best].priority > priority);
+            if must_yield {
+                self.preempt_running(now);
+                return self.dispatch_next(now);
+            }
+            return None;
+        }
+        if let Some(idx) = self.ready.iter().position(|e| e.task == task) {
+            self.ready[idx].priority = priority;
+            // CPU idle with a non-empty ready queue cannot happen: we
+            // always dispatch eagerly.
+            let running_priority = self
+                .running
+                .as_ref()
+                .map(|run| run.priority)
+                .expect("ready task with idle CPU");
+            if priority > running_priority {
+                self.preempt_running(now);
+                return self.dispatch_next(now);
+            }
+        }
+        None
+    }
+
+    /// Removes `task` from the CPU entirely (the transaction aborted).
+    ///
+    /// Work already executed stays accounted in the utilisation figures —
+    /// an aborted transaction's cycles are wasted, not refunded.
+    pub fn remove(&mut self, task: T, now: SimTime) -> Removed<T> {
+        let runs_task = self.running.as_ref().is_some_and(|run| run.task == task);
+        if runs_task {
+            let run = self.running.take().expect("checked above");
+            let elapsed = now.since(run.started);
+            self.busy += elapsed.min(run.remaining);
+            let next = self.dispatch_next(now);
+            return Removed::WasRunning { next };
+        }
+        if let Some(idx) = self.ready.iter().position(|e| e.task == task) {
+            self.ready.swap_remove(idx);
+            return Removed::WasReady;
+        }
+        Removed::NotPresent
+    }
+
+    /// Returns `true` if `task` is running or ready on this CPU.
+    pub fn contains(&self, task: T) -> bool {
+        self.running.as_ref().is_some_and(|r| r.task == task)
+            || self.ready.iter().any(|e| e.task == task)
+    }
+
+    /// The task currently holding the CPU, if any.
+    pub fn running_task(&self) -> Option<T> {
+        self.running.as_ref().map(|r| r.task)
+    }
+
+    /// Number of tasks waiting in the ready queue.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Total busy time accumulated so far (completed plus preempted work).
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Number of bursts dispatched (initial starts plus resumptions).
+    pub fn dispatch_count(&self) -> u64 {
+        self.dispatches
+    }
+
+    /// Number of preemptions performed.
+    pub fn preemption_count(&self) -> u64 {
+        self.preemptions
+    }
+
+    fn start(
+        &mut self,
+        task: T,
+        priority: Priority,
+        remaining: SimDuration,
+        seq: u64,
+        now: SimTime,
+    ) -> StartedBurst<T> {
+        debug_assert!(self.running.is_none());
+        let token = self.next_token;
+        self.next_token += 1;
+        self.dispatches += 1;
+        self.running = Some(Running {
+            task,
+            priority,
+            token,
+            seq,
+            started: now,
+            remaining,
+        });
+        StartedBurst {
+            task,
+            token: CpuToken(token),
+            finish_at: now + remaining,
+        }
+    }
+
+    /// Moves the running burst back to the ready queue, preserving its
+    /// seniority and charging the CPU for the work already done.
+    fn preempt_running(&mut self, now: SimTime) {
+        let run = self.running.take().expect("preempt with idle CPU");
+        let elapsed = now.since(run.started);
+        let done = elapsed.min(run.remaining);
+        self.busy += done;
+        self.preemptions += 1;
+        self.ready.push(ReadyEntry {
+            task: run.task,
+            priority: run.priority,
+            remaining: run.remaining.saturating_sub(elapsed),
+            seq: run.seq,
+        });
+    }
+
+    /// Picks and starts the next ready task according to the policy.
+    fn dispatch_next(&mut self, now: SimTime) -> Option<StartedBurst<T>> {
+        let idx = self.best_ready_index()?;
+        let entry = self.ready.swap_remove(idx);
+        if entry.remaining.is_zero() {
+            // A burst preempted at its exact finish instant: it is done,
+            // but its completion must still flow through the normal path so
+            // the caller observes it. Start a zero-length burst; the caller
+            // schedules its completion at `now`.
+            let token = self.next_token;
+            self.next_token += 1;
+            self.dispatches += 1;
+            self.running = Some(Running {
+                task: entry.task,
+                priority: entry.priority,
+                token,
+                seq: entry.seq,
+                started: now,
+                remaining: SimDuration::ZERO,
+            });
+            return Some(StartedBurst {
+                task: entry.task,
+                token: CpuToken(token),
+                finish_at: now,
+            });
+        }
+        Some(self.start(entry.task, entry.priority, entry.remaining, entry.seq, now))
+    }
+
+    fn best_ready_index(&self) -> Option<usize> {
+        if self.ready.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for i in 1..self.ready.len() {
+            let better = match self.policy {
+                CpuPolicy::PreemptivePriority => {
+                    let (a, b) = (&self.ready[i], &self.ready[best]);
+                    a.priority > b.priority || (a.priority == b.priority && a.seq < b.seq)
+                }
+                CpuPolicy::Fcfs => self.ready[i].seq < self.ready[best].seq,
+            };
+            if better {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ticks: u64) -> SimTime {
+        SimTime::from_ticks(ticks)
+    }
+
+    fn d(ticks: u64) -> SimDuration {
+        SimDuration::from_ticks(ticks)
+    }
+
+    #[test]
+    fn idle_cpu_starts_immediately() {
+        let mut cpu: Cpu<u8> = Cpu::new(CpuPolicy::PreemptivePriority);
+        let b = cpu.submit(1, Priority::new(0), d(50), t(0)).unwrap();
+        assert_eq!(b.task, 1);
+        assert_eq!(b.finish_at, t(50));
+        assert_eq!(cpu.running_task(), Some(1));
+    }
+
+    #[test]
+    fn lower_priority_arrival_queues() {
+        let mut cpu: Cpu<u8> = Cpu::new(CpuPolicy::PreemptivePriority);
+        cpu.submit(1, Priority::new(5), d(50), t(0)).unwrap();
+        assert!(cpu.submit(2, Priority::new(1), d(10), t(5)).is_none());
+        assert_eq!(cpu.ready_len(), 1);
+    }
+
+    #[test]
+    fn higher_priority_arrival_preempts_and_resumes_remainder() {
+        let mut cpu: Cpu<u8> = Cpu::new(CpuPolicy::PreemptivePriority);
+        let b1 = cpu.submit(1, Priority::new(1), d(100), t(0)).unwrap();
+        let b2 = cpu.submit(2, Priority::new(9), d(30), t(40)).unwrap();
+        assert_eq!(b2.finish_at, t(70));
+        assert_eq!(cpu.preemption_count(), 1);
+
+        // The original completion is now stale.
+        assert_eq!(cpu.complete(b1.token, t(100)), Completion::Stale);
+
+        // When task 2 finishes, task 1 resumes with 60 ticks remaining.
+        match cpu.complete(b2.token, t(70)) {
+            Completion::Finished { task, next } => {
+                assert_eq!(task, 2);
+                let n = next.unwrap();
+                assert_eq!(n.task, 1);
+                assert_eq!(n.finish_at, t(70 + 60));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fcfs_never_preempts() {
+        let mut cpu: Cpu<u8> = Cpu::new(CpuPolicy::Fcfs);
+        let b1 = cpu.submit(1, Priority::new(0), d(100), t(0)).unwrap();
+        assert!(cpu.submit(2, Priority::new(99), d(10), t(1)).is_none());
+        match cpu.complete(b1.token, t(100)) {
+            Completion::Finished { task: 1, next } => {
+                assert_eq!(next.unwrap().task, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fcfs_dispatches_in_arrival_order_despite_priorities() {
+        let mut cpu: Cpu<u8> = Cpu::new(CpuPolicy::Fcfs);
+        let b = cpu.submit(1, Priority::new(0), d(10), t(0)).unwrap();
+        cpu.submit(2, Priority::new(1), d(10), t(1));
+        cpu.submit(3, Priority::new(9), d(10), t(2));
+        match cpu.complete(b.token, t(10)) {
+            Completion::Finished { next, .. } => assert_eq!(next.unwrap().task, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equal_priority_is_fifo() {
+        let mut cpu: Cpu<u8> = Cpu::new(CpuPolicy::PreemptivePriority);
+        let b = cpu.submit(1, Priority::new(5), d(10), t(0)).unwrap();
+        cpu.submit(2, Priority::new(5), d(10), t(1));
+        cpu.submit(3, Priority::new(5), d(10), t(2));
+        match cpu.complete(b.token, t(10)) {
+            Completion::Finished { next, .. } => assert_eq!(next.unwrap().task, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn raising_ready_task_priority_preempts() {
+        let mut cpu: Cpu<u8> = Cpu::new(CpuPolicy::PreemptivePriority);
+        cpu.submit(1, Priority::new(5), d(100), t(0)).unwrap();
+        cpu.submit(2, Priority::new(1), d(40), t(10));
+        // Priority inheritance boosts task 2 above task 1.
+        let started = cpu.set_priority(2, Priority::new(9), t(20)).unwrap();
+        assert_eq!(started.task, 2);
+        assert_eq!(started.finish_at, t(60));
+        assert_eq!(cpu.running_task(), Some(2));
+    }
+
+    #[test]
+    fn lowering_running_task_priority_redispatches() {
+        let mut cpu: Cpu<u8> = Cpu::new(CpuPolicy::PreemptivePriority);
+        cpu.submit(1, Priority::new(5), d(100), t(0)).unwrap();
+        cpu.submit(2, Priority::new(4), d(40), t(10));
+        let started = cpu.set_priority(1, Priority::new(0), t(30)).unwrap();
+        assert_eq!(started.task, 2);
+        // Task 1 ran 30 ticks; it resumes later with 70 remaining.
+        match cpu.complete(started.token, t(70)) {
+            Completion::Finished { task: 2, next } => {
+                assert_eq!(next.unwrap().finish_at, t(70 + 70));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_priority_for_unknown_task_is_ignored() {
+        let mut cpu: Cpu<u8> = Cpu::new(CpuPolicy::PreemptivePriority);
+        cpu.submit(1, Priority::new(5), d(100), t(0)).unwrap();
+        assert!(cpu.set_priority(42, Priority::new(9), t(1)).is_none());
+    }
+
+    #[test]
+    fn remove_running_task_dispatches_next() {
+        let mut cpu: Cpu<u8> = Cpu::new(CpuPolicy::PreemptivePriority);
+        cpu.submit(1, Priority::new(5), d(100), t(0)).unwrap();
+        cpu.submit(2, Priority::new(1), d(40), t(0));
+        match cpu.remove(1, t(25)) {
+            Removed::WasRunning { next } => {
+                let n = next.unwrap();
+                assert_eq!(n.task, 2);
+                assert_eq!(n.finish_at, t(65));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // 25 ticks of wasted work remain charged.
+        assert_eq!(cpu.busy_time(), d(25));
+    }
+
+    #[test]
+    fn remove_ready_and_absent_tasks() {
+        let mut cpu: Cpu<u8> = Cpu::new(CpuPolicy::PreemptivePriority);
+        cpu.submit(1, Priority::new(5), d(100), t(0)).unwrap();
+        cpu.submit(2, Priority::new(1), d(40), t(0));
+        assert_eq!(cpu.remove(2, t(5)), Removed::WasReady);
+        assert_eq!(cpu.remove(3, t(5)), Removed::NotPresent);
+        assert_eq!(cpu.ready_len(), 0);
+    }
+
+    #[test]
+    fn preemption_at_exact_finish_instant_yields_zero_burst() {
+        let mut cpu: Cpu<u8> = Cpu::new(CpuPolicy::PreemptivePriority);
+        let b1 = cpu.submit(1, Priority::new(1), d(50), t(0)).unwrap();
+        // Higher-priority arrival at exactly t=50, processed before the
+        // completion event in the same instant.
+        let b2 = cpu.submit(2, Priority::new(9), d(10), t(50)).unwrap();
+        assert_eq!(cpu.complete(b1.token, t(50)), Completion::Stale);
+        match cpu.complete(b2.token, t(60)) {
+            Completion::Finished { task: 2, next } => {
+                let n = next.unwrap();
+                assert_eq!(n.task, 1);
+                // Zero remaining: finishes at once.
+                assert_eq!(n.finish_at, t(60));
+                match cpu.complete(n.token, t(60)) {
+                    Completion::Finished { task: 1, next: None } => {}
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn busy_time_accounts_completed_work() {
+        let mut cpu: Cpu<u8> = Cpu::new(CpuPolicy::PreemptivePriority);
+        let b = cpu.submit(1, Priority::new(1), d(50), t(0)).unwrap();
+        cpu.complete(b.token, t(50));
+        assert_eq!(cpu.busy_time(), d(50));
+        assert_eq!(cpu.dispatch_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already on the CPU")]
+    fn double_submit_panics() {
+        let mut cpu: Cpu<u8> = Cpu::new(CpuPolicy::PreemptivePriority);
+        cpu.submit(1, Priority::new(1), d(50), t(0));
+        cpu.submit(1, Priority::new(1), d(50), t(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length burst")]
+    fn zero_work_panics() {
+        let mut cpu: Cpu<u8> = Cpu::new(CpuPolicy::PreemptivePriority);
+        cpu.submit(1, Priority::new(1), SimDuration::ZERO, t(0));
+    }
+}

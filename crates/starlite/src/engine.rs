@@ -1,0 +1,376 @@
+//! The simulation engine: a logical clock driving a cancellable event queue.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use crate::event::{EventId, Scheduled};
+use crate::time::{SimDuration, SimTime};
+
+/// A simulation model: the state machine the engine drives.
+///
+/// The engine pops the next event, advances the clock, and calls
+/// [`Model::handle`]. The handler reacts by mutating model state and by
+/// scheduling (or cancelling) future events through the [`Scheduler`].
+///
+/// See the [crate-level example](crate) for a complete model.
+pub trait Model {
+    /// The event payload type delivered to [`Model::handle`].
+    type Event;
+
+    /// Reacts to one event at the current virtual time.
+    fn handle(&mut self, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// The clock and event queue shared by the engine and the running model.
+///
+/// A `Scheduler` is handed to [`Model::handle`] so handlers can read the
+/// clock, schedule future events, and cancel previously scheduled ones.
+pub struct Scheduler<E> {
+    clock: SimTime,
+    queue: BinaryHeap<Reverse<Scheduled<E>>>,
+    /// Ids of queue entries that are still live (scheduled, not yet fired or
+    /// cancelled). Bounded by the queue length.
+    pending: HashSet<EventId>,
+    /// Ids of queue entries cancelled but not yet physically removed; they
+    /// are skipped (and purged) when popped.
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+    executed: u64,
+}
+
+impl<E> fmt::Debug for Scheduler<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("clock", &self.clock)
+            .field("pending", &self.queue.len())
+            .field("cancelled", &self.cancelled.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Scheduler {
+            clock: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            executed: 0,
+        }
+    }
+
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// Events scheduled for the same instant fire in the order they were
+    /// scheduled. Returns a handle usable with [`Scheduler::cancel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past; the clock is monotone.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.clock,
+            "cannot schedule an event in the past ({at} < {})",
+            self.clock
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(seq);
+        self.pending.insert(id);
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            id,
+            payload: event,
+        }));
+        id
+    }
+
+    /// Schedules `event` to fire `after` from now.
+    pub fn schedule_after(&mut self, after: SimDuration, event: E) -> EventId {
+        self.schedule(self.clock + after, event)
+    }
+
+    /// Schedules `event` to fire at the current instant, after all handlers
+    /// already queued for this instant.
+    pub fn schedule_now(&mut self, event: E) -> EventId {
+        self.schedule(self.clock, event)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired (and now never will),
+    /// `false` if it already fired or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.pending.remove(&id) {
+            self.cancelled.insert(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns `true` if `id` is scheduled and has neither fired nor been
+    /// cancelled.
+    pub fn is_pending(&self, id: EventId) -> bool {
+        self.pending.contains(&id)
+    }
+
+    /// Pops the next live event, advancing the clock to its firing time.
+    fn pop_next(&mut self) -> Option<Scheduled<E>> {
+        while let Some(Reverse(entry)) = self.queue.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.clock, "event queue went backwards");
+            self.pending.remove(&entry.id);
+            self.clock = entry.at;
+            self.executed += 1;
+            return Some(entry);
+        }
+        None
+    }
+
+    /// Number of events executed so far.
+    pub fn executed_count(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending (excluding cancelled entries not
+    /// yet purged from the queue).
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// The discrete-event simulation engine.
+///
+/// Owns the [`Model`] and its [`Scheduler`], and runs the classic DES loop:
+/// pop the earliest event, advance the clock, dispatch to the model.
+///
+/// See the [crate-level example](crate).
+pub struct Engine<M: Model> {
+    sched: Scheduler<M::Event>,
+    model: M,
+}
+
+impl<M: Model> fmt::Debug for Engine<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine").field("sched", &self.sched).finish()
+    }
+}
+
+impl<M: Model> Engine<M> {
+    /// Creates an engine at time zero with an empty event queue.
+    pub fn new(model: M) -> Self {
+        Engine {
+            sched: Scheduler::new(),
+            model,
+        }
+    }
+
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Borrows the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutably borrows the model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Borrows the scheduler, e.g. to seed initial events.
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler<M::Event> {
+        &mut self.sched
+    }
+
+    /// Executes the next pending event, if any. Returns `false` when the
+    /// queue is exhausted.
+    pub fn step(&mut self) -> bool {
+        match self.sched.pop_next() {
+            Some(entry) => {
+                self.model.handle(entry.payload, &mut self.sched);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the queue is empty or `horizon` would be crossed; events
+    /// scheduled exactly at the horizon still fire. Returns the number of
+    /// events executed.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let mut n = 0;
+        loop {
+            match self.sched.queue.peek() {
+                Some(Reverse(entry)) if entry.at <= horizon => {}
+                _ => break,
+            }
+            if !self.step() {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Runs until the event queue drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_events` is `Some(n)` and more than `n` events fire —
+    /// a guard against accidentally divergent models.
+    pub fn run_to_completion(&mut self, max_events: Option<u64>) -> u64 {
+        let mut n = 0;
+        while self.step() {
+            n += 1;
+            if let Some(limit) = max_events {
+                assert!(n <= limit, "simulation exceeded {limit} events");
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(u64, u32)>,
+    }
+
+    #[derive(Debug)]
+    enum Ev {
+        Tag(u32),
+        CancelAndStop(EventId),
+    }
+
+    impl Model for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, ev: Ev, sched: &mut Scheduler<Ev>) {
+            match ev {
+                Ev::Tag(tag) => self.seen.push((sched.now().ticks(), tag)),
+                Ev::CancelAndStop(id) => {
+                    assert!(sched.cancel(id));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_then_fifo_order() {
+        let mut eng = Engine::new(Recorder::default());
+        let s = eng.scheduler_mut();
+        s.schedule(SimTime::from_ticks(20), Ev::Tag(1));
+        s.schedule(SimTime::from_ticks(10), Ev::Tag(2));
+        s.schedule(SimTime::from_ticks(10), Ev::Tag(3));
+        s.schedule(SimTime::from_ticks(5), Ev::Tag(4));
+        eng.run_to_completion(None);
+        assert_eq!(eng.model().seen, vec![(5, 4), (10, 2), (10, 3), (20, 1)]);
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut eng = Engine::new(Recorder::default());
+        let s = eng.scheduler_mut();
+        let victim = s.schedule(SimTime::from_ticks(50), Ev::Tag(9));
+        s.schedule(SimTime::from_ticks(1), Ev::CancelAndStop(victim));
+        s.schedule(SimTime::from_ticks(60), Ev::Tag(7));
+        eng.run_to_completion(None);
+        assert_eq!(eng.model().seen, vec![(60, 7)]);
+    }
+
+    #[test]
+    fn cancel_after_fire_reports_false() {
+        let mut eng = Engine::new(Recorder::default());
+        let id = eng.scheduler_mut().schedule(SimTime::from_ticks(1), Ev::Tag(0));
+        eng.run_to_completion(None);
+        assert!(!eng.scheduler_mut().cancel(id));
+    }
+
+    #[test]
+    fn double_cancel_reports_false() {
+        let mut eng = Engine::new(Recorder::default());
+        let id = eng.scheduler_mut().schedule(SimTime::from_ticks(1), Ev::Tag(0));
+        assert!(eng.scheduler_mut().cancel(id));
+        assert!(!eng.scheduler_mut().cancel(id));
+        eng.run_to_completion(None);
+        assert!(eng.model().seen.is_empty());
+    }
+
+    #[test]
+    fn run_until_respects_horizon_inclusively() {
+        let mut eng = Engine::new(Recorder::default());
+        let s = eng.scheduler_mut();
+        s.schedule(SimTime::from_ticks(10), Ev::Tag(1));
+        s.schedule(SimTime::from_ticks(20), Ev::Tag(2));
+        s.schedule(SimTime::from_ticks(21), Ev::Tag(3));
+        eng.run_until(SimTime::from_ticks(20));
+        assert_eq!(eng.model().seen, vec![(10, 1), (20, 2)]);
+        assert_eq!(eng.now(), SimTime::from_ticks(20));
+        eng.run_to_completion(None);
+        assert_eq!(eng.model().seen.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut eng = Engine::new(Recorder::default());
+        eng.scheduler_mut().schedule(SimTime::from_ticks(10), Ev::Tag(1));
+        eng.step();
+        eng.scheduler_mut().schedule(SimTime::from_ticks(5), Ev::Tag(2));
+    }
+
+    #[test]
+    fn schedule_now_runs_after_current_instant_handlers() {
+        struct Chain {
+            order: Vec<u32>,
+        }
+        enum CEv {
+            First,
+            Second,
+            Injected,
+        }
+        impl Model for Chain {
+            type Event = CEv;
+            fn handle(&mut self, ev: CEv, sched: &mut Scheduler<CEv>) {
+                match ev {
+                    CEv::First => {
+                        self.order.push(1);
+                        sched.schedule_now(CEv::Injected);
+                    }
+                    CEv::Second => self.order.push(2),
+                    CEv::Injected => self.order.push(3),
+                }
+            }
+        }
+        let mut eng = Engine::new(Chain { order: vec![] });
+        let s = eng.scheduler_mut();
+        s.schedule(SimTime::from_ticks(5), CEv::First);
+        s.schedule(SimTime::from_ticks(5), CEv::Second);
+        eng.run_to_completion(None);
+        // Injected was scheduled while handling First, so it fires after
+        // Second (which was enqueued earlier for the same instant).
+        assert_eq!(eng.model().order, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Event identities and queue entries.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// A unique handle for a scheduled event, usable for cancellation.
+///
+/// Identifiers are never reused within one [`crate::Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventId(pub(crate) u64);
+
+impl EventId {
+    /// Returns the raw identifier value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ev#{}", self.0)
+    }
+}
+
+/// A queue entry: an event payload with its firing time and a sequence
+/// number providing a deterministic total order among same-time events.
+#[derive(Debug)]
+pub(crate) struct Scheduled<E> {
+    pub at: SimTime,
+    pub seq: u64,
+    pub id: EventId,
+    pub payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    /// Orders by firing time, then by scheduling sequence; this is the
+    /// kernel's deterministic tie-break.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at
+            .cmp(&other.at)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(at: u64, seq: u64) -> Scheduled<()> {
+        Scheduled {
+            at: SimTime::from_ticks(at),
+            seq,
+            id: EventId(seq),
+            payload: (),
+        }
+    }
+
+    #[test]
+    fn orders_by_time_then_sequence() {
+        assert!(entry(1, 9) < entry(2, 0));
+        assert!(entry(5, 1) < entry(5, 2));
+        assert_eq!(entry(5, 1), entry(5, 1));
+    }
+}

@@ -1,0 +1,205 @@
+//! A simulated I/O subsystem.
+//!
+//! The paper's single-site experiments assume *parallel I/O processing*:
+//! disk reads issued by concurrent transactions do not queue behind each
+//! other. [`IoDevice`] models that as its default (unbounded parallelism)
+//! while also supporting a bounded number of channels for sensitivity
+//! studies. Like [`Cpu`](crate::Cpu), the device is caller-timed: each
+//! accepted request returns a completion instant for the caller to schedule.
+//!
+//! # Example
+//!
+//! ```
+//! use starlite::{IoDevice, SimTime, SimDuration};
+//!
+//! let mut io: IoDevice<u32> = IoDevice::parallel();
+//! let done_at = io.submit(7, SimDuration::from_ticks(20), SimTime::ZERO);
+//! assert_eq!(done_at, Some(SimTime::from_ticks(20)));
+//! io.complete(SimTime::from_ticks(20));
+//! assert_eq!(io.in_flight(), 0);
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A started I/O transfer waiting for a previously queued request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StartedIo<T> {
+    /// The task whose transfer started.
+    pub task: T,
+    /// When the transfer completes.
+    pub finish_at: SimTime,
+}
+
+/// A simulated I/O device with configurable parallelism.
+pub struct IoDevice<T> {
+    channels: Option<usize>,
+    in_flight: usize,
+    waiting: VecDeque<(T, SimDuration)>,
+    completed: u64,
+    total_latency: SimDuration,
+}
+
+impl<T> fmt::Debug for IoDevice<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IoDevice")
+            .field("channels", &self.channels)
+            .field("in_flight", &self.in_flight)
+            .field("waiting", &self.waiting.len())
+            .field("completed", &self.completed)
+            .finish()
+    }
+}
+
+impl<T: Copy + fmt::Debug> IoDevice<T> {
+    /// Creates a device with unbounded parallelism (the paper's model).
+    pub fn parallel() -> Self {
+        IoDevice {
+            channels: None,
+            in_flight: 0,
+            waiting: VecDeque::new(),
+            completed: 0,
+            total_latency: SimDuration::ZERO,
+        }
+    }
+
+    /// Creates a device that can carry at most `channels` concurrent
+    /// transfers; excess requests queue FIFO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn bounded(channels: usize) -> Self {
+        assert!(channels > 0, "an I/O device needs at least one channel");
+        IoDevice {
+            channels: Some(channels),
+            ..IoDevice::parallel()
+        }
+    }
+
+    /// Submits a transfer of duration `latency` for `task`.
+    ///
+    /// Returns the completion instant if the transfer starts now (the caller
+    /// schedules a completion event there), or `None` if it queued behind
+    /// busy channels.
+    pub fn submit(&mut self, task: T, latency: SimDuration, now: SimTime) -> Option<SimTime> {
+        if self
+            .channels
+            .is_some_and(|limit| self.in_flight >= limit)
+        {
+            self.waiting.push_back((task, latency));
+            return None;
+        }
+        self.in_flight += 1;
+        self.total_latency += latency;
+        Some(now + latency)
+    }
+
+    /// Reports one transfer completion; returns the next queued transfer
+    /// started in its place, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transfer is in flight.
+    pub fn complete(&mut self, now: SimTime) -> Option<StartedIo<T>> {
+        assert!(self.in_flight > 0, "I/O completion with nothing in flight");
+        self.in_flight -= 1;
+        self.completed += 1;
+        if let Some((task, latency)) = self.waiting.pop_front() {
+            self.in_flight += 1;
+            self.total_latency += latency;
+            return Some(StartedIo {
+                task,
+                finish_at: now + latency,
+            });
+        }
+        None
+    }
+
+    /// Number of transfers currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Number of transfers waiting for a channel.
+    pub fn queued(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Number of transfers completed so far.
+    pub fn completed_count(&self) -> u64 {
+        self.completed
+    }
+
+    /// Sum of all transfer latencies started so far.
+    pub fn total_latency(&self) -> SimDuration {
+        self.total_latency
+    }
+}
+
+impl<T: Copy + fmt::Debug> Default for IoDevice<T> {
+    fn default() -> Self {
+        IoDevice::parallel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ticks: u64) -> SimTime {
+        SimTime::from_ticks(ticks)
+    }
+
+    fn d(ticks: u64) -> SimDuration {
+        SimDuration::from_ticks(ticks)
+    }
+
+    #[test]
+    fn parallel_device_never_queues() {
+        let mut io: IoDevice<u8> = IoDevice::parallel();
+        for i in 0..100 {
+            assert!(io.submit(i, d(10), t(0)).is_some());
+        }
+        assert_eq!(io.in_flight(), 100);
+        assert_eq!(io.queued(), 0);
+    }
+
+    #[test]
+    fn bounded_device_queues_fifo() {
+        let mut io: IoDevice<u8> = IoDevice::bounded(1);
+        assert_eq!(io.submit(1, d(10), t(0)), Some(t(10)));
+        assert_eq!(io.submit(2, d(5), t(2)), None);
+        assert_eq!(io.submit(3, d(7), t(3)), None);
+        let next = io.complete(t(10)).unwrap();
+        assert_eq!(next.task, 2);
+        assert_eq!(next.finish_at, t(15));
+        let next = io.complete(t(15)).unwrap();
+        assert_eq!(next.task, 3);
+        assert_eq!(io.complete(t(22)), None);
+        assert_eq!(io.completed_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing in flight")]
+    fn completing_idle_device_panics() {
+        let mut io: IoDevice<u8> = IoDevice::parallel();
+        io.complete(t(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_panics() {
+        let _: IoDevice<u8> = IoDevice::bounded(0);
+    }
+
+    #[test]
+    fn latency_accounting() {
+        let mut io: IoDevice<u8> = IoDevice::parallel();
+        io.submit(1, d(10), t(0));
+        io.submit(2, d(20), t(0));
+        assert_eq!(io.total_latency(), d(30));
+    }
+}

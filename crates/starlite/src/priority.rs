@@ -1,0 +1,97 @@
+//! Scheduling priorities.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// A scheduling priority; greater values are more urgent.
+///
+/// The paper assigns the highest priority to the transaction with the
+/// earliest deadline; [`Priority::earliest_deadline_first`] implements that
+/// mapping. Ties between equal priorities are broken by the consumer
+/// (typically by arrival order), never by the priority value itself.
+///
+/// # Example
+///
+/// ```
+/// use starlite::{Priority, SimTime};
+/// let urgent = Priority::earliest_deadline_first(SimTime::from_ticks(100));
+/// let relaxed = Priority::earliest_deadline_first(SimTime::from_ticks(900));
+/// assert!(urgent > relaxed);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Priority(i64);
+
+impl Priority {
+    /// The least urgent priority.
+    pub const MIN: Priority = Priority(i64::MIN);
+
+    /// The most urgent priority.
+    pub const MAX: Priority = Priority(i64::MAX);
+
+    /// Creates a priority from a raw level; greater is more urgent.
+    pub const fn new(level: i64) -> Self {
+        Priority(level)
+    }
+
+    /// Returns the raw level.
+    pub const fn level(self) -> i64 {
+        self.0
+    }
+
+    /// Maps a deadline to a priority so that earlier deadlines are more
+    /// urgent (the paper's priority assignment rule).
+    pub fn earliest_deadline_first(deadline: SimTime) -> Self {
+        debug_assert!(deadline.ticks() <= i64::MAX as u64, "deadline out of range");
+        Priority(-(deadline.ticks() as i64))
+    }
+
+    /// Returns the more urgent of `self` and `other`.
+    #[must_use]
+    pub fn max(self, other: Priority) -> Priority {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl Default for Priority {
+    fn default() -> Self {
+        Priority::MIN
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earlier_deadline_is_more_urgent() {
+        let early = Priority::earliest_deadline_first(SimTime::from_ticks(10));
+        let late = Priority::earliest_deadline_first(SimTime::from_ticks(20));
+        assert!(early > late);
+        assert_eq!(early.max(late), early);
+    }
+
+    #[test]
+    fn extremes_bracket_everything() {
+        let p = Priority::new(42);
+        assert!(Priority::MIN < p);
+        assert!(p < Priority::MAX);
+    }
+
+    #[test]
+    fn default_is_least_urgent() {
+        assert_eq!(Priority::default(), Priority::MIN);
+    }
+}

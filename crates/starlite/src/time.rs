@@ -1,0 +1,288 @@
+//! Virtual time for the simulation kernel.
+//!
+//! All timing in the prototyping environment is expressed in *ticks* of
+//! simulated time. One tick is nominally one microsecond, but nothing in the
+//! kernel depends on that interpretation; experiments define their own "time
+//! unit" (the paper's communication-delay axis, for example, is measured in
+//! multiples of the per-object processing time).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of ticks per simulated millisecond.
+pub const TICKS_PER_MS: u64 = 1_000;
+
+/// Number of ticks per simulated second.
+pub const TICKS_PER_SEC: u64 = 1_000_000;
+
+/// An absolute instant of virtual time, measured in ticks since the start of
+/// the simulation.
+///
+/// `SimTime` is totally ordered; the simulation clock never moves backwards.
+///
+/// # Example
+///
+/// ```
+/// use starlite::{SimTime, SimDuration};
+/// let t = SimTime::from_ticks(5) + SimDuration::from_ticks(10);
+/// assert_eq!(t.ticks(), 15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The greatest representable instant; useful as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `ticks` ticks after the start of the simulation.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// Creates an instant `ms` simulated milliseconds after the start.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * TICKS_PER_MS)
+    }
+
+    /// Creates an instant `secs` simulated seconds after the start.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * TICKS_PER_SEC)
+    }
+
+    /// Returns the number of ticks since the start of the simulation.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as fractional simulated seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SEC as f64
+    }
+
+    /// Returns the duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`; the simulation clock is
+    /// monotone, so this indicates a logic error in the caller.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("`since` called with a later instant"),
+        )
+    }
+
+    /// Returns the duration elapsed since `earlier`, or zero if `earlier`
+    /// is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+/// A span of virtual time, measured in ticks.
+///
+/// # Example
+///
+/// ```
+/// use starlite::SimDuration;
+/// let d = SimDuration::from_millis(2) + SimDuration::from_ticks(500);
+/// assert_eq!(d.ticks(), 2_500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration of `ticks` ticks.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimDuration(ticks)
+    }
+
+    /// Creates a duration of `ms` simulated milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * TICKS_PER_MS)
+    }
+
+    /// Creates a duration of `secs` simulated seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * TICKS_PER_SEC)
+    }
+
+    /// Returns the duration in ticks.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration as fractional simulated seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SEC as f64
+    }
+
+    /// Returns `true` for the zero-length duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the difference `self - other`, or zero when `other` is longer.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Scales the duration by a non-negative factor, rounding to the
+    /// nearest tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "duration scale factor must be finite and non-negative"
+        );
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = SimTime::from_millis(3);
+        let d = SimDuration::from_ticks(250);
+        assert_eq!((t + d).since(t), d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn since_measures_elapsed_ticks() {
+        let a = SimTime::from_ticks(100);
+        let b = SimTime::from_ticks(175);
+        assert_eq!(b.since(a).ticks(), 75);
+    }
+
+    #[test]
+    #[should_panic(expected = "later instant")]
+    fn since_panics_when_clock_would_run_backwards() {
+        let a = SimTime::from_ticks(10);
+        let b = SimTime::from_ticks(20);
+        let _ = a.since(b);
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let a = SimTime::from_ticks(10);
+        let b = SimTime::from_ticks(20);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_since(a).ticks(), 10);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_ticks(100);
+        assert_eq!(d.mul_f64(1.5).ticks(), 150);
+        assert_eq!(d.mul_f64(0.0), SimDuration::ZERO);
+        assert_eq!((d * 3).ticks(), 300);
+        assert_eq!((d / 4).ticks(), 25);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_ticks).sum();
+        assert_eq!(total.ticks(), 10);
+    }
+
+    #[test]
+    fn seconds_conversions() {
+        assert_eq!(SimTime::from_secs(2).ticks(), 2 * TICKS_PER_SEC);
+        assert!((SimDuration::from_secs(1).as_secs_f64() - 1.0).abs() < 1e-12);
+    }
+}

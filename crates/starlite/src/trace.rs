@@ -1,0 +1,139 @@
+//! A lightweight, optionally enabled event trace.
+//!
+//! The paper's performance monitor records "the time when each event
+//! occurred" per transaction. [`Trace`] is the kernel-level half of that:
+//! a bounded, timestamped log that models can write to and tests can
+//! inspect. Tracing is off by default so large experiment runs pay nothing.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A bounded, timestamped record of simulation happenings.
+///
+/// # Example
+///
+/// ```
+/// use starlite::{Trace, SimTime};
+/// let mut trace: Trace<&str> = Trace::enabled(16);
+/// trace.record(SimTime::from_ticks(5), "txn 1 blocked");
+/// assert_eq!(trace.len(), 1);
+/// ```
+pub struct Trace<E> {
+    entries: VecDeque<(SimTime, E)>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl<E: fmt::Debug> fmt::Debug for Trace<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Trace")
+            .field("enabled", &self.enabled)
+            .field("len", &self.entries.len())
+            .field("dropped", &self.dropped)
+            .finish()
+    }
+}
+
+impl<E> Trace<E> {
+    /// Creates a disabled trace; [`Trace::record`] becomes a no-op.
+    pub fn disabled() -> Self {
+        Trace {
+            entries: VecDeque::new(),
+            capacity: 0,
+            enabled: false,
+            dropped: 0,
+        }
+    }
+
+    /// Creates an enabled trace retaining the last `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enabled(capacity: usize) -> Self {
+        assert!(capacity > 0, "an enabled trace needs capacity");
+        Trace {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an entry; the oldest entry is evicted when full.
+    pub fn record(&mut self, at: SimTime, entry: E) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back((at, entry));
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries evicted due to the capacity bound.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over retained `(time, entry)` pairs, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &(SimTime, E)> {
+        self.entries.iter()
+    }
+}
+
+impl<E> Default for Trace<E> {
+    fn default() -> Self {
+        Trace::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut trace: Trace<u32> = Trace::disabled();
+        trace.record(SimTime::ZERO, 1);
+        assert!(trace.is_empty());
+        assert!(!trace.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_keeps_most_recent() {
+        let mut trace: Trace<u32> = Trace::enabled(3);
+        for i in 0..5 {
+            trace.record(SimTime::from_ticks(i), i as u32);
+        }
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.dropped_count(), 2);
+        let kept: Vec<u32> = trace.iter().map(|&(_, e)| e).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn zero_capacity_panics() {
+        let _: Trace<u32> = Trace::enabled(0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Edge-case tests of the kernel's public API beyond the module unit
+//! tests: pending counts, horizon semantics, and bounded-I/O refills.
+
+use starlite::{Engine, IoDevice, Model, Scheduler, SimDuration, SimTime};
+
+struct Sink;
+
+enum Ev {
+    Nop,
+}
+
+impl Model for Sink {
+    type Event = Ev;
+    fn handle(&mut self, _ev: Ev, _sched: &mut Scheduler<Ev>) {}
+}
+
+#[test]
+fn pending_count_tracks_schedule_cancel_and_fire() {
+    let mut engine = Engine::new(Sink);
+    let s = engine.scheduler_mut();
+    let a = s.schedule(SimTime::from_ticks(10), Ev::Nop);
+    let b = s.schedule(SimTime::from_ticks(20), Ev::Nop);
+    s.schedule(SimTime::from_ticks(30), Ev::Nop);
+    assert_eq!(s.pending_count(), 3);
+    assert!(s.is_pending(a));
+    assert!(s.cancel(b));
+    assert_eq!(s.pending_count(), 2);
+    assert!(!s.is_pending(b));
+    engine.step();
+    let s = engine.scheduler_mut();
+    assert_eq!(s.pending_count(), 1);
+    assert!(!s.is_pending(a));
+    assert_eq!(s.executed_count(), 1);
+}
+
+#[test]
+fn run_until_exact_horizon_then_nothing() {
+    let mut engine = Engine::new(Sink);
+    engine.scheduler_mut().schedule(SimTime::from_ticks(5), Ev::Nop);
+    assert_eq!(engine.run_until(SimTime::from_ticks(4)), 0);
+    assert_eq!(engine.now(), SimTime::ZERO, "clock holds until an event fires");
+    assert_eq!(engine.run_until(SimTime::from_ticks(5)), 1);
+    assert_eq!(engine.run_until(SimTime::MAX), 0);
+}
+
+#[test]
+fn run_to_completion_respects_event_cap() {
+    struct Forever;
+    impl Model for Forever {
+        type Event = Ev;
+        fn handle(&mut self, _ev: Ev, sched: &mut Scheduler<Ev>) {
+            sched.schedule_after(SimDuration::from_ticks(1), Ev::Nop);
+        }
+    }
+    let mut engine = Engine::new(Forever);
+    engine.scheduler_mut().schedule(SimTime::ZERO, Ev::Nop);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.run_to_completion(Some(100));
+    }));
+    assert!(result.is_err(), "the divergence guard must trip");
+}
+
+#[test]
+fn bounded_io_chains_refills_in_fifo_order() {
+    let mut io: IoDevice<u8> = IoDevice::bounded(2);
+    let now = SimTime::ZERO;
+    assert!(io.submit(1, SimDuration::from_ticks(10), now).is_some());
+    assert!(io.submit(2, SimDuration::from_ticks(10), now).is_some());
+    assert!(io.submit(3, SimDuration::from_ticks(10), now).is_none());
+    assert!(io.submit(4, SimDuration::from_ticks(10), now).is_none());
+    assert_eq!(io.queued(), 2);
+    let first = io.complete(SimTime::from_ticks(10)).expect("refill");
+    assert_eq!(first.task, 3);
+    let second = io.complete(SimTime::from_ticks(10)).expect("refill");
+    assert_eq!(second.task, 4);
+    assert_eq!(io.queued(), 0);
+    assert_eq!(io.in_flight(), 2);
+}

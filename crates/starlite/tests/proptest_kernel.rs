@@ -1,0 +1,184 @@
+//! Property-based tests of the simulation kernel.
+
+use proptest::prelude::*;
+use starlite::{Cpu, CpuPolicy, Engine, Model, Priority, Scheduler, SimDuration, SimTime};
+
+// ---- engine ordering ----------------------------------------------------
+
+struct Collector {
+    fired: Vec<(u64, usize)>,
+}
+
+enum Ev {
+    Tag(usize),
+}
+
+impl Model for Collector {
+    type Event = Ev;
+    fn handle(&mut self, Ev::Tag(i): Ev, sched: &mut Scheduler<Ev>) {
+        self.fired.push((sched.now().ticks(), i));
+    }
+}
+
+proptest! {
+    /// Events fire in (time, scheduling order): sorting the input by
+    /// (time, index) must reproduce the firing order exactly.
+    #[test]
+    fn engine_fires_in_time_then_fifo_order(times in prop::collection::vec(0u64..1_000, 1..64)) {
+        let mut engine = Engine::new(Collector { fired: Vec::new() });
+        for (i, &t) in times.iter().enumerate() {
+            engine.scheduler_mut().schedule(SimTime::from_ticks(t), Ev::Tag(i));
+        }
+        engine.run_to_completion(None);
+        let mut expected: Vec<(u64, usize)> = times.iter().copied().zip(0..).collect();
+        expected.sort();
+        prop_assert_eq!(&engine.model().fired, &expected);
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn cancellation_removes_exactly_the_cancelled(
+        times in prop::collection::vec(1u64..1_000, 1..64),
+        cancel_mask in prop::collection::vec(any::<bool>(), 64),
+    ) {
+        let mut engine = Engine::new(Collector { fired: Vec::new() });
+        let mut ids = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            ids.push(engine.scheduler_mut().schedule(SimTime::from_ticks(t), Ev::Tag(i)));
+        }
+        let mut kept: Vec<(u64, usize)> = Vec::new();
+        for (i, (&t, id)) in times.iter().zip(ids).enumerate() {
+            if cancel_mask[i % cancel_mask.len()] {
+                prop_assert!(engine.scheduler_mut().cancel(id));
+            } else {
+                kept.push((t, i));
+            }
+        }
+        engine.run_to_completion(None);
+        kept.sort();
+        prop_assert_eq!(&engine.model().fired, &kept);
+    }
+}
+
+// ---- CPU work conservation ------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum CpuOp {
+    Submit { task: u8, priority: i64, work: u64 },
+    SetPriority { task: u8, priority: i64 },
+    Remove { task: u8 },
+    AdvanceToCompletion,
+}
+
+fn cpu_op_strategy() -> impl Strategy<Value = CpuOp> {
+    prop_oneof![
+        (0u8..6, -5i64..5, 1u64..50).prop_map(|(task, priority, work)| CpuOp::Submit {
+            task,
+            priority,
+            work
+        }),
+        (0u8..6, -5i64..5).prop_map(|(task, priority)| CpuOp::SetPriority { task, priority }),
+        (0u8..6).prop_map(|task| CpuOp::Remove { task }),
+        Just(CpuOp::AdvanceToCompletion),
+    ]
+}
+
+proptest! {
+    /// Whatever the interleaving of submissions, priority changes and
+    /// removals, the CPU never loses or invents work: when all pending
+    /// bursts complete, total busy time equals the work of completed
+    /// bursts plus partial work of removed ones, and it never exceeds the
+    /// sum of all submitted work.
+    #[test]
+    fn cpu_conserves_work(
+        policy_priority in any::<bool>(),
+        ops in prop::collection::vec(cpu_op_strategy(), 1..40),
+    ) {
+        let policy = if policy_priority {
+            CpuPolicy::PreemptivePriority
+        } else {
+            CpuPolicy::Fcfs
+        };
+        let mut cpu: Cpu<u8> = Cpu::new(policy);
+        let mut now = SimTime::ZERO;
+        // Outstanding completion timers: (finish_at, token).
+        let mut timers: Vec<(SimTime, starlite::CpuToken)> = Vec::new();
+        let mut submitted: u64 = 0;
+        let mut on_cpu: std::collections::HashSet<u8> = std::collections::HashSet::new();
+
+        let drain = |cpu: &mut Cpu<u8>,
+                         timers: &mut Vec<(SimTime, starlite::CpuToken)>,
+                         now: &mut SimTime,
+                         on_cpu: &mut std::collections::HashSet<u8>| {
+            while !timers.is_empty() {
+                timers.sort_by_key(|&(t, _)| t);
+                let (at, token) = timers.remove(0);
+                if at > *now {
+                    *now = at;
+                }
+                match cpu.complete(token, at) {
+                    starlite::Completion::Stale => {}
+                    starlite::Completion::Finished { task, next } => {
+                        on_cpu.remove(&task);
+                        if let Some(b) = next {
+                            timers.push((b.finish_at, b.token));
+                        }
+                    }
+                }
+            }
+        };
+
+        for op in ops {
+            match op {
+                CpuOp::Submit { task, priority, work } => {
+                    if on_cpu.contains(&task) {
+                        continue;
+                    }
+                    on_cpu.insert(task);
+                    submitted += work;
+                    if let Some(b) = cpu.submit(
+                        task,
+                        Priority::new(priority),
+                        SimDuration::from_ticks(work),
+                        now,
+                    ) {
+                        timers.push((b.finish_at, b.token));
+                    }
+                }
+                CpuOp::SetPriority { task, priority } => {
+                    if let Some(b) = cpu.set_priority(task, Priority::new(priority), now) {
+                        timers.push((b.finish_at, b.token));
+                    }
+                }
+                CpuOp::Remove { task } => {
+                    match cpu.remove(task, now) {
+                        starlite::Removed::NotPresent => {}
+                        starlite::Removed::WasReady => {
+                            on_cpu.remove(&task);
+                        }
+                        starlite::Removed::WasRunning { next } => {
+                            on_cpu.remove(&task);
+                            if let Some(b) = next {
+                                timers.push((b.finish_at, b.token));
+                            }
+                        }
+                    }
+                }
+                CpuOp::AdvanceToCompletion => {
+                    drain(&mut cpu, &mut timers, &mut now, &mut on_cpu);
+                }
+            }
+            // Time moves forward a little between operations.
+            now += SimDuration::from_ticks(1);
+        }
+        drain(&mut cpu, &mut timers, &mut now, &mut on_cpu);
+        prop_assert!(cpu.running_task().is_none(), "CPU should drain");
+        prop_assert_eq!(cpu.ready_len(), 0, "ready queue should drain");
+        prop_assert!(
+            cpu.busy_time().ticks() <= submitted,
+            "busy {} exceeds submitted {}",
+            cpu.busy_time().ticks(),
+            submitted
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! # workload — real-time transaction load generation
+//!
+//! Reproduces the paper's "load characteristics" menu: the number of
+//! transactions to execute, the size of their read and write sets,
+//! transaction types (read-only/update and periodic/aperiodic) with their
+//! priorities, and the mean interarrival time of aperiodic transactions.
+//!
+//! The paper's workload model (§3.3, §4):
+//!
+//! * transactions are generated with **exponentially distributed
+//!   interarrival times**;
+//! * data objects are chosen **uniformly from the database**;
+//! * each transaction's **deadline is proportional to its size** and the
+//!   system workload, and the **earliest deadline gets the highest
+//!   priority**;
+//! * in the distributed experiments, **update transactions are assigned to
+//!   a site based on their write-set** (their writes must be primary
+//!   copies at that site) and **read-only transactions are distributed
+//!   randomly**.
+//!
+//! Everything is deterministic in the seed handed to
+//! [`Generator::generate`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod generator;
+pub mod periodic;
+pub mod spec;
+
+pub use generator::Generator;
+pub use periodic::PeriodicTask;
+pub use spec::{DeadlineRule, SizeDistribution, WorkloadSpec, WorkloadSpecBuilder};

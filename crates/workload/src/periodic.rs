@@ -1,0 +1,102 @@
+//! Periodic transaction tasks.
+//!
+//! The paper's motivating applications (tracking) run periodic update
+//! transactions — each radar station refreshes its view of its own tracks
+//! every scan — alongside aperiodic queries. A [`PeriodicTask`] describes
+//! one such stream: a fixed access set re-executed every period, with each
+//! instance's deadline at the end of its period (the classic implicit
+//! deadline).
+
+use serde::{Deserialize, Serialize};
+use starlite::SimDuration;
+
+use rtdb::{ObjectId, SiteId};
+
+/// One periodic transaction stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeriodicTask {
+    /// Period between consecutive instances (also the relative deadline).
+    pub period: SimDuration,
+    /// Objects read (not written) by each instance.
+    pub read_set: Vec<ObjectId>,
+    /// Objects written by each instance.
+    pub write_set: Vec<ObjectId>,
+    /// Site the instances execute at.
+    pub site: SiteId,
+    /// Number of instances to release (bounds the generated load).
+    pub instances: u32,
+}
+
+impl PeriodicTask {
+    /// Creates a periodic task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero, the access sets are both empty or
+    /// overlap, or `instances` is zero.
+    pub fn new(
+        period: SimDuration,
+        read_set: Vec<ObjectId>,
+        write_set: Vec<ObjectId>,
+        site: SiteId,
+        instances: u32,
+    ) -> Self {
+        assert!(!period.is_zero(), "period must be positive");
+        assert!(
+            !(read_set.is_empty() && write_set.is_empty()),
+            "a periodic task must access at least one object"
+        );
+        assert!(
+            read_set.iter().all(|o| !write_set.contains(o)),
+            "read and write sets must be disjoint"
+        );
+        assert!(instances > 0, "a periodic task needs at least one instance");
+        PeriodicTask {
+            period,
+            read_set,
+            write_set,
+            site,
+            instances,
+        }
+    }
+
+    /// Objects accessed per instance.
+    pub fn size(&self) -> usize {
+        self.read_set.len() + self.write_set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_size() {
+        let t = PeriodicTask::new(
+            SimDuration::from_millis(10),
+            vec![ObjectId(1)],
+            vec![ObjectId(2), ObjectId(3)],
+            SiteId(0),
+            5,
+        );
+        assert_eq!(t.size(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        PeriodicTask::new(SimDuration::ZERO, vec![ObjectId(1)], vec![], SiteId(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_sets_panic() {
+        PeriodicTask::new(
+            SimDuration::from_ticks(5),
+            vec![ObjectId(1)],
+            vec![ObjectId(1)],
+            SiteId(0),
+            1,
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! Workload specification and builder.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use starlite::SimDuration;
+
+use crate::periodic::PeriodicTask;
+
+/// Distribution of transaction sizes (number of objects accessed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SizeDistribution {
+    /// Every transaction accesses exactly this many objects.
+    Fixed(u32),
+    /// Uniform over the inclusive range.
+    Uniform {
+        /// Smallest size.
+        min: u32,
+        /// Largest size.
+        max: u32,
+    },
+}
+
+impl SizeDistribution {
+    /// The expected size under the distribution.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            SizeDistribution::Fixed(n) => n as f64,
+            SizeDistribution::Uniform { min, max } => (min + max) as f64 / 2.0,
+        }
+    }
+
+    /// The largest possible size.
+    pub fn max(&self) -> u32 {
+        match *self {
+            SizeDistribution::Fixed(n) => n,
+            SizeDistribution::Uniform { max, .. } => max,
+        }
+    }
+
+    fn validate(&self) {
+        match *self {
+            SizeDistribution::Fixed(n) => assert!(n > 0, "transaction size must be positive"),
+            SizeDistribution::Uniform { min, max } => {
+                assert!(min > 0 && min <= max, "invalid size range");
+            }
+        }
+    }
+}
+
+/// How deadlines are assigned.
+///
+/// The paper sets each deadline "in proportion to its size and system
+/// workload": `deadline = arrival + slack_factor × size × per_object_cost`.
+/// The per-object cost is the transaction's nominal per-object processing
+/// time (CPU + I/O), and the slack factor encodes how tight the system is
+/// run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeadlineRule {
+    /// Multiplier on the nominal execution time.
+    pub slack_factor: f64,
+    /// Nominal time to process one object.
+    pub per_object_cost: SimDuration,
+}
+
+impl DeadlineRule {
+    /// The deadline offset for a transaction of `size` objects.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use workload::DeadlineRule;
+    /// use starlite::SimDuration;
+    ///
+    /// let rule = DeadlineRule {
+    ///     slack_factor: 3.0,
+    ///     per_object_cost: SimDuration::from_ticks(10),
+    /// };
+    /// assert_eq!(rule.offset(4), SimDuration::from_ticks(120));
+    /// ```
+    pub fn offset(&self, size: u32) -> SimDuration {
+        (self.per_object_cost * size as u64).mul_f64(self.slack_factor)
+    }
+}
+
+/// A complete workload description; build one with [`WorkloadSpec::builder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of aperiodic transactions to generate.
+    pub txn_count: u32,
+    /// Mean of the exponential interarrival distribution.
+    pub mean_interarrival: SimDuration,
+    /// Transaction size distribution.
+    pub size: SizeDistribution,
+    /// Fraction of transactions that are read-only (the Figure 4/6 "mix"
+    /// axis).
+    pub read_only_fraction: f64,
+    /// Within an update transaction, the fraction of accesses that are
+    /// writes (at least one write is forced).
+    pub write_fraction: f64,
+    /// Deadline assignment rule.
+    pub deadline: DeadlineRule,
+    /// Periodic tasks generated alongside the aperiodic stream.
+    pub periodic: Vec<PeriodicTask>,
+}
+
+impl WorkloadSpec {
+    /// Starts building a specification.
+    pub fn builder() -> WorkloadSpecBuilder {
+        WorkloadSpecBuilder::new()
+    }
+
+    /// The offered load in objects per tick: mean size over mean
+    /// interarrival. Values near or above `1 / per_object_cpu` saturate
+    /// the CPU.
+    pub fn offered_object_rate(&self) -> f64 {
+        self.size.mean() / self.mean_interarrival.ticks() as f64
+    }
+}
+
+/// Builder for [`WorkloadSpec`].
+///
+/// # Example
+///
+/// ```
+/// use workload::{WorkloadSpec, SizeDistribution};
+/// use starlite::SimDuration;
+///
+/// let spec = WorkloadSpec::builder()
+///     .txn_count(200)
+///     .mean_interarrival(SimDuration::from_ticks(120))
+///     .size(SizeDistribution::Fixed(8))
+///     .read_only_fraction(0.5)
+///     .deadline(4.0, SimDuration::from_ticks(30))
+///     .build();
+/// assert_eq!(spec.txn_count, 200);
+/// ```
+#[derive(Clone)]
+pub struct WorkloadSpecBuilder {
+    spec: WorkloadSpec,
+}
+
+impl fmt::Debug for WorkloadSpecBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkloadSpecBuilder").field("spec", &self.spec).finish()
+    }
+}
+
+impl WorkloadSpecBuilder {
+    /// Creates a builder with conservative defaults: 100 transactions,
+    /// mean interarrival 1 ms, fixed size 4, all-update with a 50 % write
+    /// fraction, slack factor 5 over a 100-tick per-object cost.
+    pub fn new() -> Self {
+        WorkloadSpecBuilder {
+            spec: WorkloadSpec {
+                txn_count: 100,
+                mean_interarrival: SimDuration::from_millis(1),
+                size: SizeDistribution::Fixed(4),
+                read_only_fraction: 0.0,
+                write_fraction: 0.5,
+                deadline: DeadlineRule {
+                    slack_factor: 5.0,
+                    per_object_cost: SimDuration::from_ticks(100),
+                },
+                periodic: Vec::new(),
+            },
+        }
+    }
+
+    /// Sets the number of aperiodic transactions.
+    pub fn txn_count(mut self, n: u32) -> Self {
+        self.spec.txn_count = n;
+        self
+    }
+
+    /// Sets the mean interarrival time.
+    pub fn mean_interarrival(mut self, d: SimDuration) -> Self {
+        self.spec.mean_interarrival = d;
+        self
+    }
+
+    /// Sets the size distribution.
+    pub fn size(mut self, s: SizeDistribution) -> Self {
+        self.spec.size = s;
+        self
+    }
+
+    /// Sets the read-only fraction of the mix.
+    pub fn read_only_fraction(mut self, f: f64) -> Self {
+        self.spec.read_only_fraction = f;
+        self
+    }
+
+    /// Sets the write fraction within update transactions.
+    pub fn write_fraction(mut self, f: f64) -> Self {
+        self.spec.write_fraction = f;
+        self
+    }
+
+    /// Sets the deadline rule.
+    pub fn deadline(mut self, slack_factor: f64, per_object_cost: SimDuration) -> Self {
+        self.spec.deadline = DeadlineRule {
+            slack_factor,
+            per_object_cost,
+        };
+        self
+    }
+
+    /// Adds a periodic task.
+    pub fn periodic(mut self, task: PeriodicTask) -> Self {
+        self.spec.periodic.push(task);
+        self
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters: zero counts or durations, fractions
+    /// outside `[0, 1]`, non-positive slack, or an invalid size range.
+    pub fn build(self) -> WorkloadSpec {
+        let s = &self.spec;
+        assert!(
+            s.txn_count > 0 || !s.periodic.is_empty(),
+            "a workload needs transactions"
+        );
+        assert!(!s.mean_interarrival.is_zero(), "interarrival mean must be positive");
+        s.size.validate();
+        assert!(
+            (0.0..=1.0).contains(&s.read_only_fraction),
+            "read-only fraction out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&s.write_fraction),
+            "write fraction out of range"
+        );
+        assert!(s.deadline.slack_factor > 0.0, "slack factor must be positive");
+        assert!(
+            !s.deadline.per_object_cost.is_zero(),
+            "per-object cost must be positive"
+        );
+        self.spec
+    }
+}
+
+impl Default for WorkloadSpecBuilder {
+    fn default() -> Self {
+        WorkloadSpecBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_distribution_stats() {
+        assert_eq!(SizeDistribution::Fixed(8).mean(), 8.0);
+        assert_eq!(SizeDistribution::Uniform { min: 2, max: 6 }.mean(), 4.0);
+        assert_eq!(SizeDistribution::Uniform { min: 2, max: 6 }.max(), 6);
+    }
+
+    #[test]
+    fn deadline_offset_scales_with_size() {
+        let rule = DeadlineRule {
+            slack_factor: 2.5,
+            per_object_cost: SimDuration::from_ticks(20),
+        };
+        assert_eq!(rule.offset(2), SimDuration::from_ticks(100));
+        assert_eq!(rule.offset(10), SimDuration::from_ticks(500));
+    }
+
+    #[test]
+    fn offered_rate() {
+        let spec = WorkloadSpec::builder()
+            .size(SizeDistribution::Fixed(10))
+            .mean_interarrival(SimDuration::from_ticks(100))
+            .build();
+        assert!((spec.offered_object_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only fraction")]
+    fn bad_fraction_panics() {
+        WorkloadSpec::builder().read_only_fraction(1.5).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid size range")]
+    fn bad_size_range_panics() {
+        WorkloadSpec::builder()
+            .size(SizeDistribution::Uniform { min: 5, max: 2 })
+            .build();
+    }
+}

@@ -1,0 +1,1 @@
+//! Shared helpers for rtlock-suite integration tests and examples.

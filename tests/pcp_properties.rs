@@ -1,0 +1,203 @@
+//! The priority ceiling protocol's two defining properties, asserted on
+//! whole simulations:
+//!
+//! 1. **freedom from deadlock** — no cycle ever forms, so the simulator
+//!    never reports a deadlock and every transaction either commits or
+//!    misses its deadline (never hangs);
+//! 2. **blocking by at most one lower-priority transaction** — no
+//!    transaction accumulates two distinct lower-priority blockers.
+
+use rtlock::prelude::*;
+
+fn config(kind: ProtocolKind) -> SingleSiteConfig {
+    SingleSiteConfig::builder()
+        .protocol(kind)
+        .cpu_per_object(SimDuration::from_ticks(1_000))
+        .io_per_object(SimDuration::from_ticks(500))
+        .build()
+}
+
+fn conflict_heavy(seed_size: u32) -> WorkloadSpec {
+    WorkloadSpec::builder()
+        .txn_count(300)
+        .mean_interarrival(SimDuration::from_ticks(seed_size as u64 * 1_300))
+        .size(SizeDistribution::Uniform {
+            min: seed_size / 2,
+            max: seed_size + seed_size / 2,
+        })
+        .write_fraction(0.6)
+        .deadline(5.0, SimDuration::from_ticks(1_500))
+        .build()
+}
+
+#[test]
+fn ceiling_protocol_never_deadlocks() {
+    let catalog = Catalog::new(40, 1, Placement::SingleSite);
+    for size in [6u32, 12, 20] {
+        let workload = conflict_heavy(size);
+        for kind in [
+            ProtocolKind::PriorityCeiling,
+            ProtocolKind::PriorityCeilingExclusive,
+        ] {
+            for seed in 0..4 {
+                let report = Simulator::new(config(kind), catalog.clone(), &workload).run(seed);
+                assert_eq!(report.deadlocks, 0, "{kind} size={size} seed={seed}");
+                assert_eq!(report.stats.restarts, 0, "{kind} restarted a transaction");
+                assert_eq!(report.stats.processed, 300, "{kind} lost transactions");
+            }
+        }
+    }
+}
+
+#[test]
+fn static_transaction_set_blocks_at_most_once() {
+    // Sha's block-at-most-once bound is proved for a *static* set of
+    // transactions whose ceilings account for every transaction in the
+    // system. A batch that is entirely present before any lock is taken
+    // reproduces that setting: every ceiling covers every transaction.
+    // (Simultaneous arrivals register before any of them acquires a lock
+    // only if no lock is granted at the arrival tick itself, so stagger
+    // the first arrival after the registrations via distinct ticks with
+    // generous deadlines.)
+    let catalog = Catalog::new(12, 1, Placement::SingleSite);
+    // Three transactions with interlocking write sets and strictly
+    // decreasing urgency; the scenario from §3.1's chained-blocking
+    // example.
+    let txns = vec![
+        TxnSpec::new(
+            TxnId(3), // lowest priority, grabs O2 first
+            SimTime::from_ticks(0),
+            vec![],
+            vec![ObjectId(2)],
+            SimTime::from_ticks(300_000),
+            SiteId(0),
+        ),
+        TxnSpec::new(
+            TxnId(2), // medium, wants O1
+            SimTime::from_ticks(100),
+            vec![],
+            vec![ObjectId(1)],
+            SimTime::from_ticks(200_000),
+            SiteId(0),
+        ),
+        TxnSpec::new(
+            TxnId(1), // highest, needs O1 then O2 (the chained-block bait)
+            SimTime::from_ticks(200),
+            vec![],
+            vec![ObjectId(1), ObjectId(2)],
+            SimTime::from_ticks(100_000),
+            SiteId(0),
+        ),
+    ];
+    let report = run_transactions(config(ProtocolKind::PriorityCeiling), &catalog, txns);
+    assert_eq!(report.stats.committed, 3);
+    let t1 = report.monitor.record(TxnId(1)).expect("registered");
+    // Under 2PL T1 would wait once for T2 (O1) and once for T3 (O2); the
+    // ceiling protocol bounds it to a single lower-priority blocker.
+    assert!(
+        t1.lower_priority_blockers.len() <= 1,
+        "T1 blocked by {:?}",
+        t1.lower_priority_blockers
+    );
+}
+
+#[test]
+fn dynamic_arrivals_keep_lower_priority_blocking_near_the_bound() {
+    // With *dynamic* arrivals the single-blocker bound is not a theorem:
+    // a newly arrived transaction can meet several locks that were
+    // granted before it existed (its priority was not yet part of any
+    // ceiling). The count stays small — bounded by the handful of
+    // lock holders predating the arrival — rather than growing with the
+    // conflict chain length as under 2PL. This documents the deviation;
+    // deadlock freedom and serialisability are unaffected (see the other
+    // tests).
+    let catalog = Catalog::new(40, 1, Placement::SingleSite);
+    for size in [6u32, 12, 20] {
+        let workload = conflict_heavy(size);
+        for seed in 0..4 {
+            let report = Simulator::new(
+                config(ProtocolKind::PriorityCeiling),
+                catalog.clone(),
+                &workload,
+            )
+            .run(seed);
+            assert!(
+                report.stats.max_lower_priority_blockers <= 5,
+                "size={size} seed={seed}: {} distinct lower-priority blockers",
+                report.stats.max_lower_priority_blockers
+            );
+        }
+    }
+}
+
+#[test]
+fn two_phase_locking_violates_block_at_most_once() {
+    // The property the ceiling protocol buys is absent from plain 2PL:
+    // under the same conflict-heavy load some transaction is blocked by
+    // several distinct lower-priority transactions.
+    let catalog = Catalog::new(40, 1, Placement::SingleSite);
+    let workload = conflict_heavy(20);
+    let mut violated = false;
+    for seed in 0..6 {
+        let report = Simulator::new(
+            config(ProtocolKind::TwoPhaseLocking),
+            catalog.clone(),
+            &workload,
+        )
+        .run(seed);
+        if report.stats.max_lower_priority_blockers > 1 {
+            violated = true;
+            break;
+        }
+    }
+    assert!(
+        violated,
+        "expected 2PL to show chained lower-priority blocking under heavy conflict"
+    );
+}
+
+#[test]
+fn paper_example_ceiling_blocks_medium_transaction() {
+    // The §3.2 example: T1 (high) and T3 (low) share O5; T2 (medium)
+    // touches only O7. T3 locks O5 first; T2 must be ceiling-blocked on
+    // the *unlocked* O7 and T1 must preempt and finish first.
+    let catalog = Catalog::new(10, 1, Placement::SingleSite);
+    let txns = vec![
+        // T3: low priority (latest deadline), arrives first, writes O5.
+        TxnSpec::new(
+            TxnId(3),
+            SimTime::from_ticks(0),
+            vec![],
+            vec![ObjectId(5)],
+            SimTime::from_ticks(100_000),
+            SiteId(0),
+        ),
+        // T2: medium, arrives while T3 holds O5, writes only O7.
+        TxnSpec::new(
+            TxnId(2),
+            SimTime::from_ticks(100),
+            vec![],
+            vec![ObjectId(7)],
+            SimTime::from_ticks(50_000),
+            SiteId(0),
+        ),
+        // T1: high, arrives last, writes O5.
+        TxnSpec::new(
+            TxnId(1),
+            SimTime::from_ticks(200),
+            vec![],
+            vec![ObjectId(5)],
+            SimTime::from_ticks(20_000),
+            SiteId(0),
+        ),
+    ];
+    let report = run_transactions(config(ProtocolKind::PriorityCeiling), &catalog, txns);
+    assert_eq!(report.stats.committed, 3);
+    assert!(report.ceiling_blocks >= 1, "T2 should be ceiling blocked");
+    // T2 was blocked by the lower-priority T3 — but only once.
+    let t2 = report.monitor.record(TxnId(2)).expect("registered");
+    assert!(t2.lower_priority_blockers.len() <= 1);
+    // Commit order respects priority: T1 before T2.
+    let t1 = report.monitor.record(TxnId(1)).expect("registered");
+    assert!(t1.finish.unwrap() < t2.finish.unwrap(), "T1 must finish before T2");
+}
