@@ -2,7 +2,9 @@
 //! CPU scheduling operations.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use starlite::{Completion, Cpu, CpuPolicy, Engine, Model, Priority, Scheduler, SimDuration, SimTime};
+use starlite::{
+    Completion, Cpu, CpuPolicy, Engine, Model, Priority, Scheduler, SimDuration, SimTime,
+};
 
 struct Ping {
     remaining: u64,

@@ -18,7 +18,11 @@ fn bench_lock_table(c: &mut Criterion) {
                         let outcome = table.request(
                             TxnId(t),
                             ObjectId((t as u32 + o) % 8),
-                            if o % 2 == 0 { LockMode::Read } else { LockMode::Write },
+                            if o % 2 == 0 {
+                                LockMode::Read
+                            } else {
+                                LockMode::Write
+                            },
                             Priority::new((t % 5) as i64),
                         );
                         if matches!(outcome, rtdb::LockOutcome::Waiting { .. }) {
@@ -86,5 +90,10 @@ fn bench_wfg(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_lock_table, bench_ceiling_admission, bench_wfg);
+criterion_group!(
+    benches,
+    bench_lock_table,
+    bench_ceiling_admission,
+    bench_wfg
+);
 criterion_main!(benches);

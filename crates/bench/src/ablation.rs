@@ -1,12 +1,9 @@
 //! Ablation studies for the design choices the paper raises.
 
 use monitor::Summary;
-use rtdb::{Catalog, Placement};
-use rtlock::{ProtocolKind, SingleSiteConfig, Simulator, VictimPolicy};
-use starlite::SimDuration;
-use workload::{SizeDistribution, WorkloadSpec};
+use rtlock::{ProtocolKind, VictimPolicy};
 
-use crate::params;
+use crate::harness::{self, RunSpec, SimSpec, SingleSiteSpec, Sweep};
 
 /// A measured protocol-vs-metric row for an ablation table.
 #[derive(Debug, Clone)]
@@ -47,6 +44,16 @@ impl AblationCase {
             read_only_fraction: 0.0,
         }
     }
+
+    /// The harness spec this case runs at one mean `size`.
+    pub fn spec(&self, size: u32, txn_count: u32) -> SingleSiteSpec {
+        SingleSiteSpec {
+            read_only_fraction: self.read_only_fraction,
+            victim_policy: self.victim_policy,
+            restart_victims: self.restart_victims,
+            ..SingleSiteSpec::ablation(self.protocol, size, txn_count)
+        }
+    }
 }
 
 /// Runs one case at one mean size. Sizes are drawn uniformly from
@@ -59,38 +66,18 @@ pub fn measure(
     txn_count: u32,
     seeds: u64,
 ) -> AblationRow {
-    assert!(size >= 2, "ablation sizes start at 2");
-    let catalog = Catalog::new(params::DB_SIZE, 1, Placement::SingleSite);
-    let per_object_cost = SimDuration::from_ticks(
-        params::CPU_PER_OBJECT.ticks() + params::IO_PER_OBJECT.ticks(),
-    );
-    let workload = WorkloadSpec::builder()
-        .txn_count(txn_count)
-        .mean_interarrival(params::interarrival_for(size))
-        .size(SizeDistribution::Uniform {
-            min: size / 2,
-            max: size + size / 2,
-        })
-        .read_only_fraction(case.read_only_fraction)
-        .write_fraction(0.5)
-        .deadline(params::SLACK_FACTOR, per_object_cost)
-        .build();
-    let config = SingleSiteConfig::builder()
-        .protocol(case.protocol)
-        .cpu_per_object(params::CPU_PER_OBJECT)
-        .io_per_object(params::IO_PER_OBJECT)
-        .victim_policy(case.victim_policy)
-        .restart_victims(case.restart_victims)
-        .build();
-    let sim = Simulator::new(config, catalog, &workload);
     let mut throughput = Vec::new();
     let mut pct_missed = Vec::new();
     let mut deadlocks = Vec::new();
     for seed in 0..seeds {
-        let report = sim.run(seed);
-        throughput.push(report.stats.throughput);
-        pct_missed.push(report.stats.pct_missed);
-        deadlocks.push(report.deadlocks as f64);
+        let m = harness::execute(&RunSpec {
+            label: String::new(),
+            seed,
+            sim: SimSpec::SingleSite(case.spec(size, txn_count)),
+        });
+        throughput.push(m.throughput);
+        pct_missed.push(m.pct_missed);
+        deadlocks.push(m.deadlocks as f64);
     }
     AblationRow {
         label: label.to_string(),
@@ -98,6 +85,39 @@ pub fn measure(
         throughput: Summary::of(&throughput),
         pct_missed: Summary::of(&pct_missed),
         deadlocks: Summary::of(&deadlocks),
+    }
+}
+
+/// The sweep label of one ablation point.
+pub fn case_label(label: &str, size: u32) -> String {
+    format!("{label}/size={size}")
+}
+
+/// Declares one case at one mean size on a [`Sweep`], labelled by
+/// [`case_label`].
+pub fn declare_case(
+    sweep: &mut Sweep,
+    label: &str,
+    case: AblationCase,
+    size: u32,
+    txn_count: u32,
+    seeds: u64,
+) {
+    sweep.point(
+        case_label(label, size),
+        seeds,
+        SimSpec::SingleSite(case.spec(size, txn_count)),
+    );
+}
+
+/// Builds an [`AblationRow`] from a harness point result.
+pub fn row_from(point: &crate::harness::PointResult, label: &str, size: u32) -> AblationRow {
+    AblationRow {
+        label: label.to_string(),
+        size,
+        throughput: point.throughput(),
+        pct_missed: point.pct_missed(),
+        deadlocks: point.deadlocks(),
     }
 }
 

@@ -6,12 +6,14 @@
 //! ceiling protocol and priority 2PL.
 
 use monitor::csv::Table;
-use monitor::Summary;
-use rtdb::{Catalog, Placement};
-use rtlock::{ProtocolKind, SingleSiteConfig, Simulator};
+use rtlock::ProtocolKind;
+use rtlock_bench::harness::{default_workers, SimSpec, SingleSiteSpec, Sweep};
 use rtlock_bench::params;
-use starlite::SimDuration;
-use workload::{SizeDistribution, WorkloadSpec};
+use rtlock_bench::results::{self, Json};
+
+fn label(kind: ProtocolKind, g: u32) -> String {
+    format!("{}/granularity={g}", kind.label())
+}
 
 fn main() {
     let size = 8u32;
@@ -21,6 +23,21 @@ fn main() {
         ProtocolKind::TwoPhaseLockingPriority,
     ];
 
+    let mut sweep = Sweep::new();
+    for &g in &granularities {
+        for &kind in &protocols {
+            sweep.point(
+                label(kind, g),
+                params::SEEDS,
+                SimSpec::SingleSite(SingleSiteSpec {
+                    lock_granularity: g,
+                    ..SingleSiteSpec::figure(kind, size, params::TXNS_PER_RUN)
+                }),
+            );
+        }
+    }
+    let swept = sweep.run(default_workers());
+
     let mut columns = vec!["granularity".to_string()];
     for p in &protocols {
         columns.push(format!("{}_pct_missed", p.label()));
@@ -28,44 +45,15 @@ fn main() {
     }
     columns.push("P_deadlocks".into());
     let mut table = Table::new(columns);
-
-    let catalog = Catalog::new(params::DB_SIZE, 1, Placement::SingleSite);
-    let per_object_cost = SimDuration::from_ticks(
-        params::CPU_PER_OBJECT.ticks() + params::IO_PER_OBJECT.ticks(),
-    );
-    let workload = WorkloadSpec::builder()
-        .txn_count(params::TXNS_PER_RUN)
-        .mean_interarrival(params::interarrival_for(size))
-        .size(SizeDistribution::Fixed(size))
-        .write_fraction(0.5)
-        .deadline(params::SLACK_FACTOR, per_object_cost)
-        .build();
-
-    for g in granularities {
+    for &g in &granularities {
         let mut row = vec![g as f64];
         let mut p_deadlocks = 0.0;
         for &kind in &protocols {
-            let config = SingleSiteConfig::builder()
-                .protocol(kind)
-                .cpu_per_object(params::CPU_PER_OBJECT)
-                .io_per_object(params::IO_PER_OBJECT)
-                .restart_victims(false)
-                .lock_granularity(g)
-                .build();
-            let sim = Simulator::new(config, catalog.clone(), &workload);
-            let mut miss = Vec::new();
-            let mut blocked = Vec::new();
-            let mut deadlocks = 0.0;
-            for seed in 0..params::SEEDS {
-                let r = sim.run(seed);
-                miss.push(r.stats.pct_missed);
-                blocked.push(r.stats.mean_blocked_ticks / 1_000.0);
-                deadlocks += r.deadlocks as f64;
-            }
-            row.push(Summary::of(&miss).mean);
-            row.push(Summary::of(&blocked).mean);
+            let point = swept.point(&label(kind, g));
+            row.push(point.pct_missed().mean);
+            row.push(point.mean_blocked_ticks().mean / 1_000.0);
             if kind == ProtocolKind::TwoPhaseLockingPriority {
-                p_deadlocks = deadlocks / params::SEEDS as f64;
+                p_deadlocks = point.deadlocks().mean;
             }
         }
         row.push(p_deadlocks);
@@ -74,4 +62,18 @@ fn main() {
     println!("Extension E4: locking granularity (size {size}, all-update mix)");
     print!("{}", table.to_pretty());
     println!("\nCSV:\n{}", table.to_csv());
+    results::emit(
+        "ablation_granularity",
+        &swept,
+        "Extension E4: locking granularity",
+        vec![
+            ("size", size.into()),
+            ("txns_per_run", params::TXNS_PER_RUN.into()),
+            ("seeds", params::SEEDS.into()),
+            (
+                "granularities",
+                Json::Array(granularities.iter().map(|&g| g.into()).collect()),
+            ),
+        ],
+    );
 }

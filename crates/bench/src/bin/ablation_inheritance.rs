@@ -8,8 +8,10 @@
 
 use monitor::csv::Table;
 use rtlock::ProtocolKind;
-use rtlock_bench::ablation::{measure, AblationCase};
+use rtlock_bench::ablation::{case_label, declare_case, row_from, AblationCase};
+use rtlock_bench::harness::{default_workers, Sweep};
 use rtlock_bench::params;
+use rtlock_bench::results::{self, Json};
 
 fn main() {
     let sizes = [4u32, 8, 12, 16, 20];
@@ -19,6 +21,21 @@ fn main() {
         ("P", ProtocolKind::TwoPhaseLockingPriority),
         ("L", ProtocolKind::TwoPhaseLocking),
     ];
+    let mut sweep = Sweep::new();
+    for &size in &sizes {
+        for (label, kind) in &configs {
+            declare_case(
+                &mut sweep,
+                label,
+                AblationCase::canonical(*kind),
+                size,
+                params::TXNS_PER_RUN,
+                params::SEEDS,
+            );
+        }
+    }
+    let swept = sweep.run(default_workers());
+
     let mut columns = vec!["size".to_string()];
     for (label, _) in &configs {
         columns.push(format!("{label}_pct_missed"));
@@ -30,14 +47,8 @@ fn main() {
     for &size in &sizes {
         let mut misses = Vec::new();
         let mut deadlocks = Vec::new();
-        for (label, kind) in &configs {
-            let r = measure(
-                label,
-                AblationCase::canonical(*kind),
-                size,
-                params::TXNS_PER_RUN,
-                params::SEEDS,
-            );
+        for (label, _) in &configs {
+            let r = row_from(swept.point(&case_label(label, size)), label, size);
             misses.push(r.pct_missed.mean);
             deadlocks.push(r.deadlocks.mean);
         }
@@ -49,4 +60,21 @@ fn main() {
     println!("Ablation A2: %missed and deadlocks across the protocol ladder");
     print!("{}", table.to_pretty());
     println!("\nCSV:\n{}", table.to_csv());
+    results::emit(
+        "ablation_inheritance",
+        &swept,
+        "Ablation A2: protocol ladder (C/I/P/L)",
+        vec![
+            ("txns_per_run", params::TXNS_PER_RUN.into()),
+            ("seeds", params::SEEDS.into()),
+            (
+                "sizes",
+                Json::Array(sizes.iter().map(|&s| s.into()).collect()),
+            ),
+            (
+                "protocols",
+                Json::Array(configs.iter().map(|(l, _)| (*l).into()).collect()),
+            ),
+        ],
+    );
 }

@@ -6,12 +6,15 @@
 //! how the assumption shapes the protocols' relative standing.
 
 use monitor::csv::Table;
-use monitor::Summary;
-use rtdb::{Catalog, Placement};
-use rtlock::{ProtocolKind, SingleSiteConfig, Simulator};
+use rtlock::ProtocolKind;
+use rtlock_bench::harness::{default_workers, SimSpec, SingleSiteSpec, Sweep};
 use rtlock_bench::params;
+use rtlock_bench::results::{self, Json};
 use starlite::SimDuration;
-use workload::{SizeDistribution, WorkloadSpec};
+
+fn label(kind: ProtocolKind, ch: Option<usize>) -> String {
+    format!("{}/channels={}", kind.label(), ch.map_or(0, |c| c))
+}
 
 fn main() {
     let size = 12u32;
@@ -24,50 +27,61 @@ fn main() {
         ProtocolKind::TwoPhaseLockingPriority,
     ];
 
+    let per_object_cost = SimDuration::from_ticks(params::CPU_PER_OBJECT.ticks() + io_cost.ticks());
+    let mut sweep = Sweep::new();
+    for ch in channels {
+        for &kind in &protocols {
+            sweep.point(
+                label(kind, ch),
+                params::SEEDS,
+                SimSpec::SingleSite(SingleSiteSpec {
+                    io_per_object: io_cost,
+                    io_parallelism: ch,
+                    deadline_per_object: per_object_cost,
+                    ..SingleSiteSpec::figure(kind, size, params::TXNS_PER_RUN)
+                }),
+            );
+        }
+    }
+    let swept = sweep.run(default_workers());
+
     let mut columns = vec!["io_channels".to_string()];
     for p in &protocols {
         columns.push(format!("{}_throughput", p.label()));
         columns.push(format!("{}_pct_missed", p.label()));
     }
     let mut table = Table::new(columns);
-
-    let catalog = Catalog::new(params::DB_SIZE, 1, Placement::SingleSite);
-    let per_object_cost =
-        SimDuration::from_ticks(params::CPU_PER_OBJECT.ticks() + io_cost.ticks());
-    let workload = WorkloadSpec::builder()
-        .txn_count(params::TXNS_PER_RUN)
-        .mean_interarrival(params::interarrival_for(size))
-        .size(SizeDistribution::Fixed(size))
-        .write_fraction(0.5)
-        .deadline(params::SLACK_FACTOR, per_object_cost)
-        .build();
-
     for ch in channels {
         // 0 encodes "unbounded" in the printed table.
         let mut row = vec![ch.map_or(0.0, |c| c as f64)];
         for &kind in &protocols {
-            let mut builder = SingleSiteConfig::builder()
-                .protocol(kind)
-                .cpu_per_object(params::CPU_PER_OBJECT)
-                .io_per_object(io_cost)
-                .restart_victims(false);
-            if let Some(c) = ch {
-                builder = builder.io_parallelism(c);
-            }
-            let sim = Simulator::new(builder.build(), catalog.clone(), &workload);
-            let mut thr = Vec::new();
-            let mut miss = Vec::new();
-            for seed in 0..params::SEEDS {
-                let r = sim.run(seed);
-                thr.push(r.stats.throughput);
-                miss.push(r.stats.pct_missed);
-            }
-            row.push(Summary::of(&thr).mean);
-            row.push(Summary::of(&miss).mean);
+            let point = swept.point(&label(kind, ch));
+            row.push(point.throughput().mean);
+            row.push(point.pct_missed().mean);
         }
         table.push_row(row);
     }
     println!("Extension E2: I/O parallelism sensitivity (size {size}; 0 channels = unbounded)");
     print!("{}", table.to_pretty());
     println!("\nCSV:\n{}", table.to_csv());
+    results::emit(
+        "ablation_io",
+        &swept,
+        "Extension E2: I/O parallelism sensitivity",
+        vec![
+            ("size", size.into()),
+            ("io_cost_ticks", io_cost.ticks().into()),
+            ("txns_per_run", params::TXNS_PER_RUN.into()),
+            ("seeds", params::SEEDS.into()),
+            (
+                "channels",
+                Json::Array(
+                    channels
+                        .iter()
+                        .map(|ch| ch.map_or(Json::Null, |c| c.into()))
+                        .collect(),
+                ),
+            ),
+        ],
+    );
 }

@@ -9,12 +9,43 @@
 
 use monitor::csv::Table;
 use rtlock::ProtocolKind;
-use rtlock_bench::ablation::{measure, AblationCase};
+use rtlock_bench::ablation::{case_label, declare_case, row_from, AblationCase};
+use rtlock_bench::harness::{default_workers, Sweep};
 use rtlock_bench::params;
+use rtlock_bench::results::{self, Json};
 
 fn main() {
     let sizes = [4u32, 8, 12, 16, 20];
     let mix = 0.6;
+    let rw_case = AblationCase {
+        read_only_fraction: mix,
+        ..AblationCase::canonical(ProtocolKind::PriorityCeiling)
+    };
+    let excl_case = AblationCase {
+        read_only_fraction: mix,
+        ..AblationCase::canonical(ProtocolKind::PriorityCeilingExclusive)
+    };
+    let mut sweep = Sweep::new();
+    for &size in &sizes {
+        declare_case(
+            &mut sweep,
+            "rw",
+            rw_case,
+            size,
+            params::TXNS_PER_RUN,
+            params::SEEDS,
+        );
+        declare_case(
+            &mut sweep,
+            "exclusive",
+            excl_case,
+            size,
+            params::TXNS_PER_RUN,
+            params::SEEDS,
+        );
+    }
+    let swept = sweep.run(default_workers());
+
     let mut table = Table::new(vec![
         "size".into(),
         "rw_throughput".into(),
@@ -23,16 +54,12 @@ fn main() {
         "excl_pct_missed".into(),
     ]);
     for &size in &sizes {
-        let rw_case = AblationCase {
-            read_only_fraction: mix,
-            ..AblationCase::canonical(ProtocolKind::PriorityCeiling)
-        };
-        let excl_case = AblationCase {
-            read_only_fraction: mix,
-            ..AblationCase::canonical(ProtocolKind::PriorityCeilingExclusive)
-        };
-        let rw = measure("rw", rw_case, size, params::TXNS_PER_RUN, params::SEEDS);
-        let excl = measure("exclusive", excl_case, size, params::TXNS_PER_RUN, params::SEEDS);
+        let rw = row_from(swept.point(&case_label("rw", size)), "rw", size);
+        let excl = row_from(
+            swept.point(&case_label("exclusive", size)),
+            "exclusive",
+            size,
+        );
         table.push_row(vec![
             size as f64,
             rw.throughput.mean,
@@ -44,4 +71,18 @@ fn main() {
     println!("Ablation A1: ceiling protocol lock semantics (60% read-only mix)");
     print!("{}", table.to_pretty());
     println!("\nCSV:\n{}", table.to_csv());
+    results::emit(
+        "ablation_rw_semantics",
+        &swept,
+        "Ablation A1: ceiling protocol lock semantics",
+        vec![
+            ("read_only_fraction", mix.into()),
+            ("txns_per_run", params::TXNS_PER_RUN.into()),
+            ("seeds", params::SEEDS.into()),
+            (
+                "sizes",
+                Json::Array(sizes.iter().map(|&s| s.into()).collect()),
+            ),
+        ],
+    );
 }

@@ -6,29 +6,44 @@
 //! respond to the communication delay and the version retention depth.
 
 use monitor::csv::Table;
-use rtdb::{Catalog, Placement};
-use rtlock::distributed::{CeilingArchitecture, DistributedConfig, DistributedSimulator};
+use rtlock::distributed::CeilingArchitecture;
+use rtlock_bench::harness::{default_workers, DistributedSpec, SimSpec, Sweep};
 use rtlock_bench::params;
-use starlite::SimDuration;
-use workload::{SizeDistribution, WorkloadSpec};
+use rtlock_bench::results::{self, Json};
+
+fn label(delay: u32, keep: usize) -> String {
+    format!("local/delay={delay}/keep={keep}")
+}
 
 fn main() {
     let delays = [0u32, 2, 4, 8];
     let retentions = [2usize, 8, 32];
-    let catalog = Catalog::new(params::DIST_DB_SIZE, params::DIST_SITES, Placement::FullyReplicated);
-    let workload = WorkloadSpec::builder()
-        .txn_count(params::DIST_TXNS_PER_RUN)
-        .mean_interarrival(params::dist_interarrival())
-        .size(SizeDistribution::Uniform {
-            min: params::DIST_SIZE_MIN,
-            max: params::DIST_SIZE_MAX,
-        })
-        .read_only_fraction(0.5)
-        .write_fraction(0.5)
-        .deadline(params::DIST_SLACK_FACTOR, params::CPU_PER_OBJECT)
-        .build();
 
-    let mut columns = vec!["delay_units".to_string(), "mean_replica_lag".into(), "max_replica_lag".into()];
+    let mut sweep = Sweep::new();
+    for &d in &delays {
+        for &keep in &retentions {
+            sweep.point(
+                label(d, keep),
+                params::SEEDS,
+                SimSpec::Distributed(DistributedSpec {
+                    temporal_versions: Some(keep),
+                    ..DistributedSpec::figure(
+                        CeilingArchitecture::LocalReplicated,
+                        0.5,
+                        d,
+                        params::DIST_TXNS_PER_RUN,
+                    )
+                }),
+            );
+        }
+    }
+    let swept = sweep.run(default_workers());
+
+    let mut columns = vec![
+        "delay_units".to_string(),
+        "mean_replica_lag".into(),
+        "max_replica_lag".into(),
+    ];
     for k in retentions {
         columns.push(format!("unconstructible_k{k}"));
     }
@@ -39,19 +54,12 @@ fn main() {
         let mut lag_filled = false;
         let mut unconstructible = Vec::new();
         for &keep in &retentions {
-            let config = DistributedConfig::builder()
-                .architecture(CeilingArchitecture::LocalReplicated)
-                .comm_delay(SimDuration::from_ticks(params::TIME_UNIT.ticks() * d as u64))
-                .cpu_per_object(params::CPU_PER_OBJECT)
-                .apply_cost(params::APPLY_COST)
-                .temporal_versions(keep)
-                .build();
-            let sim = DistributedSimulator::new(config, catalog.clone(), &workload);
+            let point = swept.point(&label(d, keep));
             let mut mean_lag = 0.0;
             let mut max_lag = 0u64;
             let mut uncon = 0.0;
-            for seed in 0..params::SEEDS {
-                let t = sim.run(seed).temporal.expect("enabled");
+            for (_, m) in &point.runs {
+                let t = m.temporal.expect("enabled");
                 mean_lag += t.mean_replica_lag_ticks;
                 max_lag = max_lag.max(t.max_replica_lag_ticks);
                 uncon += 100.0 * t.unconstructible as f64 / t.snapshot_reads.max(1) as f64;
@@ -69,7 +77,27 @@ fn main() {
         table.push_row(row);
     }
     println!("Extension E3: replica staleness and snapshot constructibility");
-    println!("(local ceiling architecture, 50% read-only mix; lag in ticks, unconstructible in %)\n");
+    println!(
+        "(local ceiling architecture, 50% read-only mix; lag in ticks, unconstructible in %)\n"
+    );
     print!("{}", table.to_pretty());
     println!("\nCSV:\n{}", table.to_csv());
+    results::emit(
+        "ablation_temporal",
+        &swept,
+        "Extension E3: replica staleness and snapshot constructibility",
+        vec![
+            ("txns_per_run", params::DIST_TXNS_PER_RUN.into()),
+            ("seeds", params::SEEDS.into()),
+            ("read_only_fraction", 0.5.into()),
+            (
+                "delay_units",
+                Json::Array(delays.iter().map(|&d| d.into()).collect()),
+            ),
+            (
+                "retentions",
+                Json::Array(retentions.iter().map(|&k| k.into()).collect()),
+            ),
+        ],
+    );
 }

@@ -8,8 +8,10 @@
 
 use monitor::csv::Table;
 use rtlock::ProtocolKind;
-use rtlock_bench::ablation::{measure, AblationCase};
+use rtlock_bench::ablation::{case_label, declare_case, row_from, AblationCase};
+use rtlock_bench::harness::{default_workers, Sweep};
 use rtlock_bench::params;
+use rtlock_bench::results::{self, Json};
 
 fn main() {
     let sizes = [4u32, 8, 12, 16, 20];
@@ -18,6 +20,27 @@ fn main() {
         ("P", ProtocolKind::TwoPhaseLockingPriority),
         ("T", ProtocolKind::TimestampOrdering),
     ];
+    let mut sweep = Sweep::new();
+    for &size in &sizes {
+        for (label, kind) in &configs {
+            // T/O victims must restart (a rejection is not a deadline
+            // miss); locking runs the canonical no-restart policy.
+            let case = AblationCase {
+                restart_victims: *kind == ProtocolKind::TimestampOrdering,
+                ..AblationCase::canonical(*kind)
+            };
+            declare_case(
+                &mut sweep,
+                label,
+                case,
+                size,
+                params::TXNS_PER_RUN,
+                params::SEEDS,
+            );
+        }
+    }
+    let swept = sweep.run(default_workers());
+
     let mut columns = vec!["size".to_string()];
     for (label, _) in &configs {
         columns.push(format!("{label}_pct_missed"));
@@ -28,13 +51,7 @@ fn main() {
         let mut row = vec![size as f64];
         let mut rejections = 0.0;
         for (label, kind) in &configs {
-            // T/O victims must restart (a rejection is not a deadline
-            // miss); locking runs the canonical no-restart policy.
-            let case = AblationCase {
-                restart_victims: *kind == ProtocolKind::TimestampOrdering,
-                ..AblationCase::canonical(*kind)
-            };
-            let r = measure(label, case, size, params::TXNS_PER_RUN, params::SEEDS);
+            let r = row_from(swept.point(&case_label(label, size)), label, size);
             row.push(r.pct_missed.mean);
             if *kind == ProtocolKind::TimestampOrdering {
                 rejections = r.deadlocks.mean;
@@ -46,4 +63,21 @@ fn main() {
     println!("Extension E1: timestamp ordering vs locking (all-update mix)");
     print!("{}", table.to_pretty());
     println!("\nCSV:\n{}", table.to_csv());
+    results::emit(
+        "ablation_timestamp",
+        &swept,
+        "Extension E1: timestamp ordering vs locking",
+        vec![
+            ("txns_per_run", params::TXNS_PER_RUN.into()),
+            ("seeds", params::SEEDS.into()),
+            (
+                "sizes",
+                Json::Array(sizes.iter().map(|&s| s.into()).collect()),
+            ),
+            (
+                "protocols",
+                Json::Array(configs.iter().map(|(l, _)| (*l).into()).collect()),
+            ),
+        ],
+    );
 }

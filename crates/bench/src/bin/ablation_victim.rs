@@ -8,8 +8,10 @@
 
 use monitor::csv::Table;
 use rtlock::{ProtocolKind, VictimPolicy};
-use rtlock_bench::ablation::{measure, AblationCase};
+use rtlock_bench::ablation::{case_label, declare_case, row_from, AblationCase};
+use rtlock_bench::harness::{default_workers, Sweep};
 use rtlock_bench::params;
+use rtlock_bench::results::{self, Json};
 
 fn main() {
     let sizes = [8u32, 12, 16, 20];
@@ -19,13 +21,8 @@ fn main() {
         ("lowest_restart", VictimPolicy::LowestPriority, true),
         ("youngest_restart", VictimPolicy::Youngest, true),
     ];
-    let mut columns = vec!["size".to_string()];
-    for (label, _, _) in &cases {
-        columns.push(format!("{label}_pct_missed"));
-    }
-    let mut table = Table::new(columns);
+    let mut sweep = Sweep::new();
     for &size in &sizes {
-        let mut row = vec![size as f64];
         for (label, policy, restart) in &cases {
             let case = AblationCase {
                 protocol: ProtocolKind::TwoPhaseLockingPriority,
@@ -33,7 +30,27 @@ fn main() {
                 restart_victims: *restart,
                 read_only_fraction: 0.0,
             };
-            let r = measure(label, case, size, params::TXNS_PER_RUN, params::SEEDS);
+            declare_case(
+                &mut sweep,
+                label,
+                case,
+                size,
+                params::TXNS_PER_RUN,
+                params::SEEDS,
+            );
+        }
+    }
+    let swept = sweep.run(default_workers());
+
+    let mut columns = vec!["size".to_string()];
+    for (label, _, _) in &cases {
+        columns.push(format!("{label}_pct_missed"));
+    }
+    let mut table = Table::new(columns);
+    for &size in &sizes {
+        let mut row = vec![size as f64];
+        for (label, _, _) in &cases {
+            let r = row_from(swept.point(&case_label(label, size)), label, size);
             row.push(r.pct_missed.mean);
         }
         table.push_row(row);
@@ -41,4 +58,21 @@ fn main() {
     println!("Ablation A3: deadlock victim policy and restart economics (protocol P)");
     print!("{}", table.to_pretty());
     println!("\nCSV:\n{}", table.to_csv());
+    results::emit(
+        "ablation_victim",
+        &swept,
+        "Ablation A3: deadlock victim policy and restart economics",
+        vec![
+            ("txns_per_run", params::TXNS_PER_RUN.into()),
+            ("seeds", params::SEEDS.into()),
+            (
+                "sizes",
+                Json::Array(sizes.iter().map(|&s| s.into()).collect()),
+            ),
+            (
+                "cases",
+                Json::Array(cases.iter().map(|(l, _, _)| (*l).into()).collect()),
+            ),
+        ],
+    );
 }

@@ -1,40 +1,70 @@
 //! Runs every figure's experiment at reduced scale and checks the
 //! paper's qualitative claims — a fast end-to-end sanity pass over the
 //! whole reproduction (the full-scale binaries are `fig2` … `fig6`).
+//!
+//! The whole pass runs as one sweep on the parallel harness; its
+//! wall-clock time is appended to `results/BENCH_SWEEP.json`.
 
+use rtlock::distributed::CeilingArchitecture;
 use rtlock::ProtocolKind;
-use rtlock_bench::distributed::measure_pair;
-use rtlock_bench::single_site::measure_size_point;
+use rtlock_bench::distributed::{dist_label, pair_from};
+use rtlock_bench::harness::{default_workers, DistributedSpec, SimSpec, SingleSiteSpec, Sweep};
+use rtlock_bench::results;
+use rtlock_bench::single_site::size_label;
 
 fn main() {
     let txns = 150;
     let seeds = 3;
+    let dist_delays = [0u32, 4];
+
+    let mut sweep = Sweep::new();
+    for kind in [ProtocolKind::PriorityCeiling, ProtocolKind::TwoPhaseLocking] {
+        for size in [5u32, 20] {
+            sweep.point(
+                size_label(kind, size),
+                seeds,
+                SimSpec::SingleSite(SingleSiteSpec::figure(kind, size, txns)),
+            );
+        }
+    }
+    for &delay in &dist_delays {
+        for arch in [
+            CeilingArchitecture::LocalReplicated,
+            CeilingArchitecture::GlobalManager,
+        ] {
+            sweep.point(
+                dist_label(arch, 0.5, delay),
+                seeds,
+                SimSpec::Distributed(DistributedSpec::figure(arch, 0.5, delay, txns)),
+            );
+        }
+    }
+    let swept = sweep.run(default_workers());
+
+    let size_point = |kind: ProtocolKind, size: u32| {
+        let p = swept.point(&size_label(kind, size));
+        (p.throughput().mean, p.pct_missed().mean)
+    };
 
     println!("== quick single-site pass (Figures 2 & 3) ==");
-    let c_small = measure_size_point(ProtocolKind::PriorityCeiling, 5, txns, seeds);
-    let c_large = measure_size_point(ProtocolKind::PriorityCeiling, 20, txns, seeds);
-    let l_small = measure_size_point(ProtocolKind::TwoPhaseLocking, 5, txns, seeds);
-    let l_large = measure_size_point(ProtocolKind::TwoPhaseLocking, 20, txns, seeds);
+    let c_small = size_point(ProtocolKind::PriorityCeiling, 5);
+    let c_large = size_point(ProtocolKind::PriorityCeiling, 20);
+    let l_small = size_point(ProtocolKind::TwoPhaseLocking, 5);
+    let l_large = size_point(ProtocolKind::TwoPhaseLocking, 20);
     println!(
         "C: size 5 -> {:.0} obj/s, {:.1}% missed | size 20 -> {:.0} obj/s, {:.1}% missed",
-        c_small.throughput.mean,
-        c_small.pct_missed.mean,
-        c_large.throughput.mean,
-        c_large.pct_missed.mean
+        c_small.0, c_small.1, c_large.0, c_large.1
     );
     println!(
         "L: size 5 -> {:.0} obj/s, {:.1}% missed | size 20 -> {:.0} obj/s, {:.1}% missed",
-        l_small.throughput.mean,
-        l_small.pct_missed.mean,
-        l_large.throughput.mean,
-        l_large.pct_missed.mean
+        l_small.0, l_small.1, l_large.0, l_large.1
     );
-    let claim_f3 = l_large.pct_missed.mean > c_large.pct_missed.mean;
+    let claim_f3 = l_large.1 > c_large.1;
     println!("claim (Fig 3: L misses more than C at size 20): {claim_f3}");
 
     println!("\n== quick distributed pass (Figures 4-6) ==");
-    for delay in [0u32, 4] {
-        let (local, global) = measure_pair(0.5, delay, txns, seeds);
+    for &delay in &dist_delays {
+        let (local, global) = pair_from(&swept, 0.5, delay);
         println!(
             "delay {delay}: local {:.0} obj/s ({:.1}% missed) vs global {:.0} obj/s ({:.1}% missed)",
             local.throughput.mean,
@@ -42,6 +72,17 @@ fn main() {
             global.throughput.mean,
             global.pct_missed.mean
         );
+    }
+
+    results::emit(
+        "all_figures",
+        &swept,
+        "Reduced-scale end-to-end pass over Figures 2-6",
+        vec![("txns_per_run", txns.into()), ("seeds", seeds.into())],
+    );
+    match results::record_wall_clock("all_figures", &swept) {
+        Ok(path) => println!("wall clock recorded: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_SWEEP.json: {e}"),
     }
     println!("\ndone — run fig2..fig6 for the full-scale series");
 }

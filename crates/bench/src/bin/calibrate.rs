@@ -5,7 +5,7 @@
 //! prints throughput / %missed / deadlocks per point.
 
 use rtdb::{Catalog, Placement};
-use rtlock::{ProtocolKind, SingleSiteConfig, Simulator};
+use rtlock::{ProtocolKind, Simulator, SingleSiteConfig};
 use starlite::SimDuration;
 use workload::{SizeDistribution, WorkloadSpec};
 
@@ -23,8 +23,15 @@ fn main() {
     let seeds = args.get(6).copied().unwrap_or(5.0) as u64;
     let restart = args.get(7).copied().unwrap_or(1.0) != 0.0;
 
-    println!("cpu={} io={} util={util} slack={slack} wf={write_frac} txns={txns} seeds={seeds}", cpu.ticks(), io.ticks());
-    println!("{:>4} {:>3} {:>9} {:>8} {:>9} {:>9}", "size", "p", "thrpt", "%missed", "deadlocks", "restarts");
+    println!(
+        "cpu={} io={} util={util} slack={slack} wf={write_frac} txns={txns} seeds={seeds}",
+        cpu.ticks(),
+        io.ticks()
+    );
+    println!(
+        "{:>4} {:>3} {:>9} {:>8} {:>9} {:>9}",
+        "size", "p", "thrpt", "%missed", "deadlocks", "restarts"
+    );
     for size in [2u32, 5, 8, 11, 14, 17, 20] {
         let interarrival =
             SimDuration::from_ticks((size as f64 * cpu.ticks() as f64 / util).round() as u64);

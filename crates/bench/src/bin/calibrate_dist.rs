@@ -27,7 +27,10 @@ fn main() {
     let interarrival =
         SimDuration::from_ticks((mean_size * cpu as f64 / util / 3.0).round() as u64);
 
-    println!("util={util} slack={slack} interarrival={}", interarrival.ticks());
+    println!(
+        "util={util} slack={slack} interarrival={}",
+        interarrival.ticks()
+    );
     println!(
         "{:>5} {:>6} {:>9} {:>8} {:>9} {:>8} {:>7}",
         "delay", "arch", "thrpt", "%missed", "msgs", "ratioT", "ratioM"
@@ -42,7 +45,10 @@ fn main() {
             let workload = WorkloadSpec::builder()
                 .txn_count(300)
                 .mean_interarrival(interarrival)
-                .size(SizeDistribution::Uniform { min: smin, max: smax })
+                .size(SizeDistribution::Uniform {
+                    min: smin,
+                    max: smax,
+                })
                 .read_only_fraction(0.5)
                 .write_fraction(0.5)
                 .deadline(slack, SimDuration::from_ticks(cpu))
@@ -62,13 +68,27 @@ fn main() {
                 miss += r.stats.pct_missed;
                 msgs += r.remote_messages as f64;
             }
-            results.push((arch, thr / seeds as f64, miss / seeds as f64, msgs / seeds as f64));
+            results.push((
+                arch,
+                thr / seeds as f64,
+                miss / seeds as f64,
+                msgs / seeds as f64,
+            ));
         }
         let (l, g) = (&results[0], &results[1]);
         println!(
             "{:>5} {:>6} {:>9.0} {:>8.1} {:>9.0} {:>7.2} {:>7.1}",
-            d, "local", l.1, l.2, l.3, l.1 / g.1.max(1.0), g.2 / l.2.max(0.25)
+            d,
+            "local",
+            l.1,
+            l.2,
+            l.3,
+            l.1 / g.1.max(1.0),
+            g.2 / l.2.max(0.25)
         );
-        println!("{:>5} {:>6} {:>9.0} {:>8.1} {:>9.0}", d, "global", g.1, g.2, g.3);
+        println!(
+            "{:>5} {:>6} {:>9.0} {:>8.1} {:>9.0}",
+            d, "global", g.1, g.2, g.3
+        );
     }
 }

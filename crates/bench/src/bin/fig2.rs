@@ -11,12 +11,17 @@
 
 use monitor::csv::Table;
 use monitor::plot::{render, Series};
+use rtlock_bench::harness::{default_workers, Sweep};
 use rtlock_bench::params;
-use rtlock_bench::single_site::{figure_protocols, sweep_sizes};
+use rtlock_bench::results::{self, Json};
+use rtlock_bench::single_site::{declare_size_grid, figure_protocols, size_points_from};
 
 fn main() {
     let protocols = figure_protocols();
-    let points = sweep_sizes(&protocols, params::TXNS_PER_RUN, params::SEEDS);
+    let mut sweep = Sweep::new();
+    declare_size_grid(&mut sweep, &protocols, params::TXNS_PER_RUN, params::SEEDS);
+    let swept = sweep.run(default_workers());
+    let points = size_points_from(&swept, &protocols);
 
     let mut table = Table::new(vec![
         "size".into(),
@@ -73,4 +78,20 @@ fn main() {
         .collect();
     println!("\n{}", render(&series, 60, 16));
     println!("CSV:\n{}", table.to_csv());
+    results::emit(
+        "fig2",
+        &swept,
+        "Figure 2: Transaction Throughput (single site)",
+        vec![
+            ("db_size", params::DB_SIZE.into()),
+            ("utilization", params::UTILIZATION.into()),
+            ("slack_factor", params::SLACK_FACTOR.into()),
+            ("txns_per_run", params::TXNS_PER_RUN.into()),
+            ("seeds", params::SEEDS.into()),
+            (
+                "sizes",
+                Json::Array(params::SIZES.iter().map(|&s| s.into()).collect()),
+            ),
+        ],
+    );
 }

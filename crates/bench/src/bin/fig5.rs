@@ -8,11 +8,18 @@
 
 use monitor::csv::Table;
 use monitor::plot::{render, Series};
-use rtlock_bench::distributed::{measure_pair, safe_ratio};
+use rtlock_bench::distributed::{declare_pair_grid, pair_from, safe_ratio};
+use rtlock_bench::harness::{default_workers, Sweep};
 use rtlock_bench::params;
+use rtlock_bench::results::{self, Json};
 
 fn main() {
     let delays = [0u32, 1, 2, 3, 4, 6, 8];
+    let grid: Vec<(f64, u32)> = delays.iter().map(|&d| (0.5, d)).collect();
+    let mut sweep = Sweep::new();
+    declare_pair_grid(&mut sweep, &grid, params::DIST_TXNS_PER_RUN, params::SEEDS);
+    let swept = sweep.run(default_workers());
+
     let mut table = Table::new(vec![
         "delay_units".into(),
         "global_pct_missed".into(),
@@ -21,7 +28,7 @@ fn main() {
     ]);
     let mut ratio_points = Vec::new();
     for &d in &delays {
-        let (local, global) = measure_pair(0.5, d, params::DIST_TXNS_PER_RUN, params::SEEDS);
+        let (local, global) = pair_from(&swept, 0.5, d);
         // Guard the ratio against a (near-)zero local miss rate; 0.25 %
         // (roughly one transaction per run) is the measurement floor.
         let r = safe_ratio(global.pct_missed.mean, local.pct_missed.mean, 0.25);
@@ -48,4 +55,20 @@ fn main() {
         render(&[Series::new("R (miss ratio)", ratio_points)], 60, 14)
     );
     println!("CSV:\n{}", table.to_csv());
+    results::emit(
+        "fig5",
+        &swept,
+        "Figure 5: Deadline Missing Ratio (distributed)",
+        vec![
+            ("sites", params::DIST_SITES.into()),
+            ("db_size", params::DIST_DB_SIZE.into()),
+            ("txns_per_run", params::DIST_TXNS_PER_RUN.into()),
+            ("seeds", params::SEEDS.into()),
+            ("read_only_fraction", 0.5.into()),
+            (
+                "delay_units",
+                Json::Array(delays.iter().map(|&d| d.into()).collect()),
+            ),
+        ],
+    );
 }

@@ -8,11 +8,21 @@
 //! approaches widens with the communication delay.
 
 use monitor::csv::Table;
-use rtlock_bench::distributed::{measure_pair, MIXES};
+use rtlock_bench::distributed::{declare_pair_grid, pair_from, MIXES};
+use rtlock_bench::harness::{default_workers, Sweep};
 use rtlock_bench::params;
+use rtlock_bench::results::{self, Json};
 
 fn main() {
     let delays = [2u32, 6];
+    let grid: Vec<(f64, u32)> = MIXES
+        .iter()
+        .flat_map(|&mix| delays.iter().map(move |&d| (mix, d)))
+        .collect();
+    let mut sweep = Sweep::new();
+    declare_pair_grid(&mut sweep, &grid, params::DIST_TXNS_PER_RUN, params::SEEDS);
+    let swept = sweep.run(default_workers());
+
     let mut columns = vec!["pct_read_only".to_string()];
     for &d in &delays {
         columns.push(format!("global_d{d}"));
@@ -22,7 +32,7 @@ fn main() {
     for &mix in &MIXES {
         let mut row = vec![mix * 100.0];
         for &d in &delays {
-            let (local, global) = measure_pair(mix, d, params::DIST_TXNS_PER_RUN, params::SEEDS);
+            let (local, global) = pair_from(&swept, mix, d);
             row.push(global.pct_missed.mean);
             row.push(local.pct_missed.mean);
         }
@@ -39,4 +49,23 @@ fn main() {
     );
     print!("{}", table.to_pretty());
     println!("\nCSV:\n{}", table.to_csv());
+    results::emit(
+        "fig6",
+        &swept,
+        "Figure 6: Deadline Missing Transaction Percentage (distributed)",
+        vec![
+            ("sites", params::DIST_SITES.into()),
+            ("db_size", params::DIST_DB_SIZE.into()),
+            ("txns_per_run", params::DIST_TXNS_PER_RUN.into()),
+            ("seeds", params::SEEDS.into()),
+            (
+                "mixes",
+                Json::Array(MIXES.iter().map(|&m| m.into()).collect()),
+            ),
+            (
+                "delay_units",
+                Json::Array(delays.iter().map(|&d| d.into()).collect()),
+            ),
+        ],
+    );
 }

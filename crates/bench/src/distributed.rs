@@ -1,12 +1,9 @@
 //! Distributed sweeps: the data behind Figures 4, 5 and 6.
 
 use monitor::Summary;
-use rtdb::{Catalog, Placement};
-use rtlock::distributed::{CeilingArchitecture, DistributedConfig, DistributedSimulator};
-use starlite::SimDuration;
-use workload::{SizeDistribution, WorkloadSpec};
+use rtlock::distributed::CeilingArchitecture;
 
-use crate::params;
+use crate::harness::{self, DistributedSpec, RunSpec, SimSpec, Sweep};
 
 /// One measured point of a distributed sweep.
 #[derive(Debug, Clone)]
@@ -33,36 +30,23 @@ pub fn measure_dist_point(
     txn_count: u32,
     seeds: u64,
 ) -> DistPoint {
-    let catalog = Catalog::new(params::DIST_DB_SIZE, params::DIST_SITES, Placement::FullyReplicated);
-    let workload = WorkloadSpec::builder()
-        .txn_count(txn_count)
-        .mean_interarrival(params::dist_interarrival())
-        .size(SizeDistribution::Uniform {
-            min: params::DIST_SIZE_MIN,
-            max: params::DIST_SIZE_MAX,
-        })
-        .read_only_fraction(read_only_fraction)
-        .write_fraction(0.5)
-        .deadline(params::DIST_SLACK_FACTOR, params::CPU_PER_OBJECT)
-        .build();
-    let config = DistributedConfig::builder()
-        .architecture(architecture)
-        .comm_delay(SimDuration::from_ticks(
-            params::TIME_UNIT.ticks() * delay_units as u64,
-        ))
-        .cpu_per_object(params::CPU_PER_OBJECT)
-        .apply_cost(params::APPLY_COST)
-        .build();
-    let sim = DistributedSimulator::new(config, catalog, &workload);
-
     let mut throughput = Vec::new();
     let mut pct_missed = Vec::new();
     let mut remote = Vec::new();
     for seed in 0..seeds {
-        let report = sim.run(seed);
-        throughput.push(report.stats.throughput);
-        pct_missed.push(report.stats.pct_missed);
-        remote.push(report.remote_messages as f64);
+        let m = harness::execute(&RunSpec {
+            label: String::new(),
+            seed,
+            sim: SimSpec::Distributed(DistributedSpec::figure(
+                architecture,
+                read_only_fraction,
+                delay_units,
+                txn_count,
+            )),
+        });
+        throughput.push(m.throughput);
+        pct_missed.push(m.pct_missed);
+        remote.push(m.remote_messages as f64);
     }
     DistPoint {
         architecture,
@@ -72,6 +56,52 @@ pub fn measure_dist_point(
         pct_missed: Summary::of(&pct_missed),
         remote_messages: Summary::of(&remote),
     }
+}
+
+/// The sweep label of one distributed point.
+pub fn dist_label(architecture: CeilingArchitecture, mix: f64, delay_units: u32) -> String {
+    format!("{}/ro={:.2}/delay={delay_units}", architecture.label(), mix)
+}
+
+/// Declares both architectures at every `(mix, delay)` point on a
+/// [`Sweep`], labelled by [`dist_label`].
+pub fn declare_pair_grid(sweep: &mut Sweep, points: &[(f64, u32)], txn_count: u32, seeds: u64) {
+    for &(mix, delay) in points {
+        for arch in [
+            CeilingArchitecture::LocalReplicated,
+            CeilingArchitecture::GlobalManager,
+        ] {
+            sweep.point(
+                dist_label(arch, mix, delay),
+                seeds,
+                SimSpec::Distributed(DistributedSpec::figure(arch, mix, delay, txn_count)),
+            );
+        }
+    }
+}
+
+/// Extracts the `(local, global)` pair of one `(mix, delay)` point from a
+/// sweep declared by [`declare_pair_grid`].
+pub fn pair_from(
+    results: &crate::harness::SweepResults,
+    mix: f64,
+    delay_units: u32,
+) -> (DistPoint, DistPoint) {
+    let extract = |arch: CeilingArchitecture| {
+        let p = results.point(&dist_label(arch, mix, delay_units));
+        DistPoint {
+            architecture: arch,
+            read_only_fraction: mix,
+            delay_units,
+            throughput: p.throughput(),
+            pct_missed: p.pct_missed(),
+            remote_messages: p.remote_messages(),
+        }
+    };
+    (
+        extract(CeilingArchitecture::LocalReplicated),
+        extract(CeilingArchitecture::GlobalManager),
+    )
 }
 
 /// Measures both architectures at one point and returns

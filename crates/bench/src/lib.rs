@@ -8,14 +8,21 @@
 //! * [`distributed`] — the §4 sweeps behind Figures 4, 5 and 6;
 //! * [`ablation`] — the design-choice studies the paper raises but does
 //!   not plot (read/write vs exclusive ceiling semantics, inheritance
-//!   without ceilings, deadlock victim policies).
+//!   without ceilings, deadlock victim policies);
+//! * [`harness`] — the deterministic parallel sweep executor every binary
+//!   fans its run grid over;
+//! * [`results`] — JSON artifacts written to `results/` alongside the
+//!   ASCII tables.
 //!
 //! Each `fig*` binary prints the same series the corresponding figure
-//! plots, as an aligned table and as CSV.
+//! plots, as an aligned table and as CSV, and records the sweep (per-seed
+//! raw metrics plus summaries) as JSON.
 
 #![warn(missing_docs)]
 
 pub mod ablation;
 pub mod distributed;
+pub mod harness;
 pub mod params;
+pub mod results;
 pub mod single_site;

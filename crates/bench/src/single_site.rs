@@ -1,11 +1,9 @@
 //! Single-site sweeps: the data behind Figures 2 and 3.
 
 use monitor::Summary;
-use rtdb::{Catalog, Placement};
-use rtlock::{ProtocolKind, SingleSiteConfig, Simulator};
-use starlite::SimDuration;
-use workload::{SizeDistribution, WorkloadSpec};
+use rtlock::ProtocolKind;
 
+use crate::harness::{self, RunSpec, SimSpec, SingleSiteSpec, Sweep};
 use crate::params;
 
 /// One measured point of the Figure 2/3 sweep.
@@ -36,38 +34,23 @@ pub fn measure_size_point(
     txn_count: u32,
     seeds: u64,
 ) -> SizePoint {
-    let catalog = Catalog::new(params::DB_SIZE, 1, Placement::SingleSite);
-    let per_object_cost = SimDuration::from_ticks(
-        params::CPU_PER_OBJECT.ticks() + params::IO_PER_OBJECT.ticks(),
-    );
-    let workload = WorkloadSpec::builder()
-        .txn_count(txn_count)
-        .mean_interarrival(params::interarrival_for(size))
-        .size(SizeDistribution::Fixed(size))
-        .read_only_fraction(0.0)
-        .write_fraction(0.5)
-        .deadline(params::SLACK_FACTOR, per_object_cost)
-        .build();
-    let config = SingleSiteConfig::builder()
-        .protocol(protocol)
-        .cpu_per_object(params::CPU_PER_OBJECT)
-        .io_per_object(params::IO_PER_OBJECT)
-        // Deadlock victims are aborted outright (they miss), as in the
-        // paper's era; the restart economics are studied in ablation A3.
-        .restart_victims(false)
-        .build();
-    let sim = Simulator::new(config, catalog, &workload);
-
+    // Deadlock victims are aborted outright (they miss), as in the paper's
+    // era; the restart economics are studied in ablation A3. The whole
+    // configuration lives in [`SingleSiteSpec::figure`].
     let mut throughput = Vec::new();
     let mut pct_missed = Vec::new();
     let mut deadlocks = Vec::new();
     let mut restarts = Vec::new();
     for seed in 0..seeds {
-        let report = sim.run(seed);
-        throughput.push(report.stats.throughput);
-        pct_missed.push(report.stats.pct_missed);
-        deadlocks.push(report.deadlocks as f64);
-        restarts.push(report.stats.restarts as f64);
+        let m = harness::execute(&RunSpec {
+            label: String::new(),
+            seed,
+            sim: SimSpec::SingleSite(SingleSiteSpec::figure(protocol, size, txn_count)),
+        });
+        throughput.push(m.throughput);
+        pct_missed.push(m.pct_missed);
+        deadlocks.push(m.deadlocks as f64);
+        restarts.push(m.restarts as f64);
     }
     SizePoint {
         protocol,
@@ -79,15 +62,60 @@ pub fn measure_size_point(
     }
 }
 
-/// Sweeps every size in [`params::SIZES`] for the given protocols.
-pub fn sweep_sizes(protocols: &[ProtocolKind], txn_count: u32, seeds: u64) -> Vec<SizePoint> {
+/// The sweep label of one Figure 2/3 point.
+pub fn size_label(protocol: ProtocolKind, size: u32) -> String {
+    format!("{}/size={size}", protocol.label())
+}
+
+/// Declares the full Figure 2/3 grid — every size in [`params::SIZES`]
+/// for every protocol — on a [`Sweep`], labelled by [`size_label`].
+pub fn declare_size_grid(
+    sweep: &mut Sweep,
+    protocols: &[ProtocolKind],
+    txn_count: u32,
+    seeds: u64,
+) {
+    for &size in &params::SIZES {
+        for &p in protocols {
+            sweep.point(
+                size_label(p, size),
+                seeds,
+                SimSpec::SingleSite(SingleSiteSpec::figure(p, size, txn_count)),
+            );
+        }
+    }
+}
+
+/// Extracts [`SizePoint`]s — size-major, protocol-minor, the order
+/// [`declare_size_grid`] declares — from a finished sweep.
+pub fn size_points_from(
+    swept: &crate::harness::SweepResults,
+    protocols: &[ProtocolKind],
+) -> Vec<SizePoint> {
     let mut points = Vec::new();
     for &size in &params::SIZES {
         for &p in protocols {
-            points.push(measure_size_point(p, size, txn_count, seeds));
+            let point = swept.point(&size_label(p, size));
+            points.push(SizePoint {
+                protocol: p,
+                size,
+                throughput: point.throughput(),
+                pct_missed: point.pct_missed(),
+                deadlocks: point.deadlocks(),
+                restarts: point.restarts(),
+            });
         }
     }
     points
+}
+
+/// Sweeps every size in [`params::SIZES`] for the given protocols over
+/// the parallel harness.
+pub fn sweep_sizes(protocols: &[ProtocolKind], txn_count: u32, seeds: u64) -> Vec<SizePoint> {
+    let mut sweep = Sweep::new();
+    declare_size_grid(&mut sweep, protocols, txn_count, seeds);
+    let results = sweep.run(harness::default_workers());
+    size_points_from(&results, protocols)
 }
 
 /// The protocols Figures 2 and 3 compare: C, P, L.
@@ -125,6 +153,8 @@ mod tests {
         let protocols = [ProtocolKind::PriorityCeiling];
         let points = sweep_sizes(&protocols, 40, 1);
         assert_eq!(points.len(), crate::params::SIZES.len());
-        assert!(points.iter().all(|p| p.protocol == ProtocolKind::PriorityCeiling));
+        assert!(points
+            .iter()
+            .all(|p| p.protocol == ProtocolKind::PriorityCeiling));
     }
 }

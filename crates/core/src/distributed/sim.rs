@@ -271,12 +271,7 @@ impl DistModel {
         match self.config.architecture {
             CeilingArchitecture::GlobalManager => {
                 let home = spec.home_site;
-                self.send(
-                    home,
-                    self.manager_site(),
-                    Message::RegisterTxn(spec),
-                    sched,
-                );
+                self.send(home, self.manager_site(), Message::RegisterTxn(spec), sched);
                 self.advance_global(txn, sched);
             }
             CeilingArchitecture::LocalReplicated => {
@@ -402,7 +397,8 @@ impl DistModel {
             }
         }
         // Close any open lock RPC.
-        if let Some((call, timeout_ev)) = self.exec.get_mut(&txn).and_then(|e| e.pending_call.take())
+        if let Some((call, timeout_ev)) =
+            self.exec.get_mut(&txn).and_then(|e| e.pending_call.take())
         {
             sched.cancel(timeout_ev);
             self.calls.close(call);
@@ -422,12 +418,24 @@ impl DistModel {
         }
         match self.config.architecture {
             CeilingArchitecture::GlobalManager => {
-                self.send(home, self.manager_site(), Message::ReleaseTxn { txn }, sched);
+                self.send(
+                    home,
+                    self.manager_site(),
+                    Message::ReleaseTxn { txn },
+                    sched,
+                );
             }
             CeilingArchitecture::LocalReplicated => {
-                let release = self.local_pcps[home.index()].release_all(txn, ReleaseReason::Finished);
+                let release =
+                    self.local_pcps[home.index()].release_all(txn, ReleaseReason::Finished);
                 let mut queue = VecDeque::new();
-                self.apply_local_release(home, release.wakeups, release.priority_updates, &mut queue, sched);
+                self.apply_local_release(
+                    home,
+                    release.wakeups,
+                    release.priority_updates,
+                    &mut queue,
+                    sched,
+                );
                 self.pump_local(queue, sched);
             }
         }
@@ -449,7 +457,9 @@ impl DistModel {
         let home = self.home(txn);
         let manager = self.manager_site();
         let call = self.calls.open(txn, None);
-        let timeout = self.net.round_trip_timeout(home, manager, self.config.lock_timeout_slack);
+        let timeout = self
+            .net
+            .round_trip_timeout(home, manager, self.config.lock_timeout_slack);
         let timeout_ev = sched.schedule_after(timeout, Ev::LockTimeout { call });
         self.exec.get_mut(&txn).expect("checked above").pending_call = Some((call, timeout_ev));
         self.send(
@@ -483,7 +493,12 @@ impl DistModel {
         self.monitor.on_miss(txn, sched.now());
         let home = self.home(txn);
         // Best-effort release towards the (possibly dead) manager.
-        self.send(home, self.manager_site(), Message::ReleaseTxn { txn }, sched);
+        self.send(
+            home,
+            self.manager_site(),
+            Message::ReleaseTxn { txn },
+            sched,
+        );
     }
 
     /// Begins the commit phase: read-only transactions finish immediately;
@@ -496,8 +511,11 @@ impl DistModel {
             self.finalize_global(txn, sched);
             return;
         }
-        let mut participant_sites: Vec<SiteId> =
-            spec.write_set.iter().map(|&o| self.catalog.primary_site(o)).collect();
+        let mut participant_sites: Vec<SiteId> = spec
+            .write_set
+            .iter()
+            .map(|&o| self.catalog.primary_site(o))
+            .collect();
         participant_sites.sort_unstable();
         participant_sites.dedup();
         let mut coordinator = Coordinator::new(txn, participant_sites);
@@ -506,7 +524,15 @@ impl DistModel {
         };
         self.exec.get_mut(&txn).expect("live txn").coordinator = Some(coordinator);
         for s in sites {
-            self.send(home, s, Message::Prepare { txn, coordinator: home }, sched);
+            self.send(
+                home,
+                s,
+                Message::Prepare {
+                    txn,
+                    coordinator: home,
+                },
+                sched,
+            );
         }
     }
 
@@ -532,7 +558,12 @@ impl DistModel {
             self.monitor.on_commit(txn, sched.now());
         }
         let home = self.home(txn);
-        self.send(home, self.manager_site(), Message::ReleaseTxn { txn }, sched);
+        self.send(
+            home,
+            self.manager_site(),
+            Message::ReleaseTxn { txn },
+            sched,
+        );
     }
 
     /// Routes priority updates from the manager to the home sites.
@@ -547,7 +578,10 @@ impl DistModel {
                 self.send(
                     self.manager_site(),
                     to,
-                    Message::PriorityUpdate { txn: t, priority: p },
+                    Message::PriorityUpdate {
+                        txn: t,
+                        priority: p,
+                    },
                     sched,
                 );
             }
@@ -588,7 +622,7 @@ impl DistModel {
         match result.outcome {
             RequestOutcome::Granted => {
                 if mode == LockMode::Read {
-                    self.probe_snapshot(txn, object, home);
+                    self.probe_snapshot(txn, object, home, sched.now());
                 }
                 self.submit_cpu(txn, home, sched)
             }
@@ -671,7 +705,13 @@ impl DistModel {
         }
         self.monitor.on_commit(txn, now);
         let release = self.local_pcps[home.index()].release_all(txn, ReleaseReason::Finished);
-        self.apply_local_release(home, release.wakeups, release.priority_updates, queue, sched);
+        self.apply_local_release(
+            home,
+            release.wakeups,
+            release.priority_updates,
+            queue,
+            sched,
+        );
     }
 
     /// A propagated update arrived: run it as a short system transaction
@@ -754,7 +794,13 @@ impl DistModel {
         self.specs.remove(&txn);
         let release = self.local_pcps[site.index()].release_all(txn, ReleaseReason::Finished);
         let mut queue = VecDeque::new();
-        self.apply_local_release(site, release.wakeups, release.priority_updates, &mut queue, sched);
+        self.apply_local_release(
+            site,
+            release.wakeups,
+            release.priority_updates,
+            &mut queue,
+            sched,
+        );
         self.pump_local(queue, sched);
     }
 
@@ -801,7 +847,7 @@ impl DistModel {
     /// Probes the temporally consistent view for a read-only transaction:
     /// can a snapshot pinned at its arrival be constructed from the
     /// retained versions, and how stale is it?
-    fn probe_snapshot(&mut self, txn: TxnId, object: ObjectId, site: SiteId) {
+    fn probe_snapshot(&mut self, txn: TxnId, object: ObjectId, site: SiteId, now: SimTime) {
         if self.version_stores.is_empty() || self.is_system(txn) {
             return;
         }
@@ -827,31 +873,49 @@ impl DistModel {
             self.replica_lag_max = self.replica_lag_max.max(lag.ticks());
         }
         let vs = &self.version_stores[site.index()];
-        if vs.latest(object).is_none() {
-            // Never written: the initial value is trivially consistent.
-            return;
-        }
-        match vs.lag_at(object, pin) {
-            Some(lag) => {
-                self.lag_total += lag.ticks() as u128;
-                self.lag_max = self.lag_max.max(lag.ticks());
+        if vs.latest(object).is_some() && vs.read_at(object, pin).is_none() {
+            // No retained version at or before the pin. If the first
+            // version was never evicted, the object's initial value
+            // serves the snapshot; only evicted history makes it
+            // genuinely unconstructible.
+            let oldest = vs.oldest(object).expect("latest exists, so oldest does");
+            if oldest.version != 1 {
+                self.unconstructible += 1;
+                return;
             }
-            None => {
-                // No retained version at or before the pin. If the first
-                // version was never evicted, the object's initial value
-                // serves the snapshot; only evicted history makes it
-                // genuinely unconstructible.
-                let oldest = vs.oldest(object).expect("latest exists, so oldest does");
-                if oldest.version == 1 {
-                    let latest = vs.latest(object).expect("checked above");
-                    let lag = latest.at.saturating_since(pin);
-                    self.lag_total += lag.ticks() as u128;
-                    self.lag_max = self.lag_max.max(lag.ticks());
-                } else {
-                    self.unconstructible += 1;
+        }
+        // Staleness of the constructible snapshot: the version the pinned
+        // view needs is the one the *primary* copy serves at the pin; the
+        // lag is how long after its commit that version became available
+        // at the reading site (zero at the primary itself). This is the
+        // paper's "time lag in the distributed versions": it grows with
+        // the propagation delay, not with how rarely the object happens
+        // to be written.
+        let needed = self.version_stores[primary.index()].read_at(object, pin);
+        let lag = match needed {
+            // Nothing committed anywhere by the pin: the initial value is
+            // fresh everywhere.
+            None => 0,
+            Some(v) => match vs.find_version(object, v.version) {
+                // Available locally since `lv.at` (its commit time at the
+                // primary, its apply time at a replica).
+                Some(lv) => lv.at.saturating_since(v.at).ticks(),
+                None => {
+                    let behind = vs.latest(object).is_none_or(|l| l.version < v.version);
+                    if behind {
+                        // Still in flight: the view has been waiting on it
+                        // at least since its commit.
+                        now.saturating_since(v.at).ticks()
+                    } else {
+                        // Evicted locally, so it arrived and was long since
+                        // superseded: settled.
+                        0
+                    }
                 }
-            }
-        }
+            },
+        };
+        self.lag_total += lag as u128;
+        self.lag_max = self.lag_max.max(lag);
     }
 
     fn base_priority_of(&self, txn: TxnId) -> Option<Priority> {
@@ -886,7 +950,15 @@ impl DistModel {
                 self.broadcast_priority_updates(result.priority_updates, sched);
                 match result.outcome {
                     RequestOutcome::Granted => {
-                        self.send(to, from, Message::LockGrant { txn, call: Some(call) }, sched);
+                        self.send(
+                            to,
+                            from,
+                            Message::LockGrant {
+                                txn,
+                                call: Some(call),
+                            },
+                            sched,
+                        );
                     }
                     RequestOutcome::Blocked { blocker } => {
                         let pcp = self.global_pcp.as_ref().expect("global architecture");
@@ -927,7 +999,8 @@ impl DistModel {
                 if let Some((_, timeout_ev)) = exec.pending_call.take() {
                     sched.cancel(timeout_ev);
                 }
-                self.monitor.on_block(txn, sched.now(), lower_priority_blocker);
+                self.monitor
+                    .on_block(txn, sched.now(), lower_priority_blocker);
             }
             Message::LockGrant { txn, call } => {
                 if let Some(c) = call {
@@ -1024,7 +1097,8 @@ impl DistModel {
                     return;
                 };
                 let primary = self.catalog.primary_site(object);
-                exec.oplog.push((object, OpKind::Read, served_at, served_seq, primary));
+                exec.oplog
+                    .push((object, OpKind::Read, served_at, served_seq, primary));
                 let home = self.home(txn);
                 self.submit_cpu(txn, home, sched);
             }
@@ -1222,7 +1296,10 @@ pub fn run_transactions_distributed(
     let mut specs = HashMap::new();
     let mut arrivals = Vec::with_capacity(txns.len());
     for spec in txns {
-        assert!(spec.id.0 < SYSTEM_TXN_BASE, "transaction id in system range");
+        assert!(
+            spec.id.0 < SYSTEM_TXN_BASE,
+            "transaction id in system range"
+        );
         arrivals.push((spec.arrival, spec.id));
         let prev = specs.insert(spec.id, spec);
         assert!(prev.is_none(), "duplicate transaction id");
@@ -1293,7 +1370,13 @@ pub fn run_transactions_distributed(
         .global_pcp
         .as_ref()
         .map(|p| p.ceiling_block_count())
-        .unwrap_or_else(|| model.local_pcps.iter().map(|p| p.ceiling_block_count()).sum());
+        .unwrap_or_else(|| {
+            model
+                .local_pcps
+                .iter()
+                .map(|p| p.ceiling_block_count())
+                .sum()
+        });
     RunReport {
         stats,
         deadlocks: 0,

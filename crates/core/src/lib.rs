@@ -60,5 +60,5 @@ pub mod report;
 pub mod single_site;
 
 pub use config::{ProtocolKind, SingleSiteConfig, VictimPolicy};
-pub use report::RunReport;
+pub use report::{RunReport, TemporalStats};
 pub use single_site::Simulator;

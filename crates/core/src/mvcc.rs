@@ -163,6 +163,15 @@ impl VersionStore {
         Some(latest.at.saturating_since(seen.at))
     }
 
+    /// The retained version of `obj` with the given version number.
+    pub fn find_version(&self, obj: ObjectId, version: u64) -> Option<Version> {
+        self.versions
+            .get(&obj)?
+            .iter()
+            .find(|v| v.version == version)
+            .copied()
+    }
+
     /// Number of retained versions of `obj`.
     pub fn version_count(&self, obj: ObjectId) -> usize {
         self.versions.get(&obj).map_or(0, Vec::len)
@@ -179,8 +188,18 @@ mod tests {
         for (v, t) in [(10, 100), (20, 200), (30, 300)] {
             s.install(ObjectId(0), v, TxnId(v), SimTime::from_ticks(t));
         }
-        assert_eq!(s.read_at(ObjectId(0), SimTime::from_ticks(250)).unwrap().value, 20);
-        assert_eq!(s.read_at(ObjectId(0), SimTime::from_ticks(300)).unwrap().value, 30);
+        assert_eq!(
+            s.read_at(ObjectId(0), SimTime::from_ticks(250))
+                .unwrap()
+                .value,
+            20
+        );
+        assert_eq!(
+            s.read_at(ObjectId(0), SimTime::from_ticks(300))
+                .unwrap()
+                .value,
+            30
+        );
         assert!(s.read_at(ObjectId(0), SimTime::from_ticks(50)).is_none());
     }
 
@@ -202,7 +221,12 @@ mod tests {
         s.install(ObjectId(0), 2, TxnId(2), SimTime::from_ticks(400));
         let lag = s.lag_at(ObjectId(0), SimTime::from_ticks(200)).unwrap();
         assert_eq!(lag.ticks(), 300);
-        assert_eq!(s.lag_at(ObjectId(0), SimTime::from_ticks(500)).unwrap().ticks(), 0);
+        assert_eq!(
+            s.lag_at(ObjectId(0), SimTime::from_ticks(500))
+                .unwrap()
+                .ticks(),
+            0
+        );
     }
 
     #[test]

@@ -11,8 +11,6 @@ pub use crate::single_site::{check_store_integrity, run_transactions, Simulator}
 
 pub use monitor::{check_conflict_serializable, Monitor, Outcome, RunStats, Summary};
 pub use netsim::DelayMatrix;
-pub use rtdb::{
-    Catalog, LockMode, ObjectId, Placement, SiteId, TxnId, TxnKind, TxnSpec,
-};
+pub use rtdb::{Catalog, LockMode, ObjectId, Placement, SiteId, TxnId, TxnKind, TxnSpec};
 pub use starlite::{Priority, SimDuration, SimTime};
 pub use workload::{DeadlineRule, PeriodicTask, SizeDistribution, WorkloadSpec};

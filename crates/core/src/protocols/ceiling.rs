@@ -149,11 +149,78 @@ impl PriorityCeilingProtocol {
         }
     }
 
-    /// The ceiling admission test: `txn` may lock iff its priority is
-    /// strictly higher than every rw-ceiling of objects locked by other
-    /// transactions. On failure, returns the holders of the
-    /// highest-ceiling lock (the transactions that block `txn`).
+    /// True once `txn` holds at least one lock: it has been admitted
+    /// into its locking phase.
+    fn in_phase(&self, txn: TxnId) -> bool {
+        self.held_by.get(&txn).is_some_and(|v| !v.is_empty())
+    }
+
+    /// Whether the declared access sets of `a` and `b` conflict under
+    /// the protocol's lock semantics.
+    fn sets_conflict(&self, a: &ActiveTxn, b: &ActiveTxn) -> bool {
+        let overlap = |xs: &[ObjectId], ys: &[ObjectId]| xs.iter().any(|o| ys.contains(o));
+        match self.semantics {
+            CeilingSemantics::Exclusive => {
+                overlap(&a.writes, &b.writes)
+                    || overlap(&a.writes, &b.reads)
+                    || overlap(&a.reads, &b.writes)
+                    || overlap(&a.reads, &b.reads)
+            }
+            CeilingSemantics::ReadWrite => {
+                overlap(&a.writes, &b.writes)
+                    || overlap(&a.writes, &b.reads)
+                    || overlap(&a.reads, &b.writes)
+            }
+        }
+    }
+
+    /// The admission test gating entry into the locking phase. A
+    /// transaction may acquire its *first* lock iff
+    ///
+    /// 1. its declared access sets do not conflict with the declared
+    ///    sets of any transaction already in its locking phase, and
+    /// 2. its priority is strictly higher than every rw-ceiling of
+    ///    objects locked by other transactions (the paper's ceiling
+    ///    rule).
+    ///
+    /// On failure, returns the transactions that block `txn` (the
+    /// conflicting in-phase transactions, or the holders of the
+    /// highest-ceiling lock).
+    ///
+    /// Access sets are predeclared, so granting a transaction its first
+    /// lock conceptually grants its whole set: gate 1 keeps concurrent
+    /// locking phases pairwise conflict-free, which means an admitted
+    /// transaction finds every lock it will ever request free and is
+    /// never re-tested mid-phase. That split is what makes the protocol
+    /// deadlock-free under dynamic arrivals: transactions registering
+    /// after a grant raise ceilings, so re-running the ceiling test
+    /// against held locks on *every* request (which the static-ceiling
+    /// proof of the paper's uniprocessor protocol never needs) can block
+    /// two lock holders on each other's raised ceilings and wedge the
+    /// system in a wait cycle. Here only entrants — which hold nothing —
+    /// ever block, so no wait cycle can involve a lock holder, and a
+    /// transaction blocks at most once, before its first lock.
     fn admission_check(&self, txn: TxnId) -> Result<(), Vec<TxnId>> {
+        if self.in_phase(txn) {
+            return Ok(());
+        }
+        // Gate 1: set-level conflicts with in-phase transactions.
+        let me = &self.active[&txn];
+        let mut phase_txns: Vec<TxnId> = self
+            .held_by
+            .iter()
+            .filter(|&(&t, objs)| t != txn && !objs.is_empty())
+            .map(|(&t, _)| t)
+            .collect();
+        phase_txns.sort_unstable();
+        let conflictors: Vec<TxnId> = phase_txns
+            .into_iter()
+            .filter(|h| self.sets_conflict(me, &self.active[h]))
+            .collect();
+        if !conflictors.is_empty() {
+            return Err(conflictors);
+        }
+        // Gate 2: the ceiling shield over currently locked objects.
         let p = self.base_priority(txn);
         let mut objs: Vec<ObjectId> = self.locked.keys().copied().collect();
         objs.sort_unstable();
@@ -162,12 +229,7 @@ impl PriorityCeilingProtocol {
         let mut any = false;
         for obj in objs {
             let lock = &self.locked[&obj];
-            let others: Vec<TxnId> = lock
-                .holders
-                .iter()
-                .copied()
-                .filter(|&t| t != txn)
-                .collect();
+            let others: Vec<TxnId> = lock.holders.iter().copied().filter(|&t| t != txn).collect();
             if others.is_empty() {
                 continue;
             }
@@ -457,6 +519,15 @@ impl LockProtocol for PriorityCeilingProtocol {
         for (&t, &e) in &self.effective {
             assert!(e >= self.base[&t], "{t} effective below base");
         }
+        // Inheritance operates on registered transactions only: every
+        // waiter and every blocker in the edge set must have a base
+        // priority (effective_priorities relies on this).
+        for (w, blockers) in &self.blocked_edges {
+            assert!(self.base.contains_key(w), "waiter {w} unregistered");
+            for b in blockers {
+                assert!(self.base.contains_key(b), "blocker {b} unregistered");
+            }
+        }
     }
 }
 
@@ -504,7 +575,7 @@ mod tests {
         p.register(&spec(1, 100, vec![], vec![5])); // T1 high, writes O5
         p.register(&spec(2, 500, vec![], vec![7])); // T2 medium, writes O7
         p.register(&spec(3, 900, vec![], vec![5])); // T3 low, writes O5
-        // T3 locks O5 (nothing else is locked).
+                                                    // T3 locks O5 (nothing else is locked).
         assert_eq!(
             p.request(TxnId(3), ObjectId(5), LockMode::Write).outcome,
             RequestOutcome::Granted
@@ -516,10 +587,7 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // T3 inherited T2's priority.
-        assert_eq!(
-            p.effective_priority(TxnId(3)),
-            p.base_priority(TxnId(2))
-        );
+        assert_eq!(p.effective_priority(TxnId(3)), p.base_priority(TxnId(2)));
         // When T3 finishes, T2 is woken.
         let rel = p.release_all(TxnId(3), ReleaseReason::Finished);
         assert_eq!(rel.wakeups.len(), 1);
@@ -642,8 +710,14 @@ mod tests {
     fn self_re_request_is_granted() {
         let mut p = PriorityCeilingProtocol::read_write();
         p.register(&spec(1, 100, vec![0], vec![]));
-        assert_eq!(p.request(TxnId(1), ObjectId(0), LockMode::Read).outcome, RequestOutcome::Granted);
-        assert_eq!(p.request(TxnId(1), ObjectId(0), LockMode::Read).outcome, RequestOutcome::Granted);
+        assert_eq!(
+            p.request(TxnId(1), ObjectId(0), LockMode::Read).outcome,
+            RequestOutcome::Granted
+        );
+        assert_eq!(
+            p.request(TxnId(1), ObjectId(0), LockMode::Read).outcome,
+            RequestOutcome::Granted
+        );
         p.assert_consistent();
     }
 

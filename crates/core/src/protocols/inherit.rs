@@ -11,7 +11,9 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use rtdb::{LockMode, LockOutcome, LockTable, ObjectId, QueuePolicy, TxnId, TxnSpec, WaitsForGraph};
+use rtdb::{
+    LockMode, LockOutcome, LockTable, ObjectId, QueuePolicy, TxnId, TxnSpec, WaitsForGraph,
+};
 use starlite::Priority;
 
 use crate::config::VictimPolicy;
@@ -195,9 +197,14 @@ mod tests {
         let mut p = InheritanceProtocol::new(VictimPolicy::LowestPriority);
         p.register(&spec(1, 1_000, vec![0])); // low priority (late deadline)
         p.register(&spec(2, 100, vec![0])); // high priority
-        assert_eq!(p.request(TxnId(1), ObjectId(0), LockMode::Write).outcome, RequestOutcome::Granted);
+        assert_eq!(
+            p.request(TxnId(1), ObjectId(0), LockMode::Write).outcome,
+            RequestOutcome::Granted
+        );
         let res = p.request(TxnId(2), ObjectId(0), LockMode::Write);
-        assert!(matches!(res.outcome, RequestOutcome::Blocked { blocker: Some(t) } if t == TxnId(1)));
+        assert!(
+            matches!(res.outcome, RequestOutcome::Blocked { blocker: Some(t) } if t == TxnId(1))
+        );
         // T1 inherited T2's priority.
         let boosted: Vec<TxnId> = res.priority_updates.iter().map(|&(t, _)| t).collect();
         assert_eq!(boosted, vec![TxnId(1)]);

@@ -17,6 +17,15 @@ use starlite::Priority;
 ///
 /// `blocked_by` maps each blocked transaction to the transactions it waits
 /// for. Unlisted transactions run at base priority.
+///
+/// Every waiter key must be registered in `base`: a transaction can only
+/// wait after a `request`, which requires registration, and
+/// deregistration drops the transaction's edges before the next
+/// recompute. A waiter missing from `base` would silently contribute no
+/// inheritance (dropping the transitive boost its blockers are owed), so
+/// it trips a debug assertion. Blockers missing from `base` are merely
+/// skipped: edge refreshes already prune departed holders, and a stale
+/// blocker has nobody left to boost.
 pub(crate) fn effective_priorities(
     base: &HashMap<TxnId, Priority>,
     blocked_by: &HashMap<TxnId, Vec<TxnId>>,
@@ -28,7 +37,10 @@ pub(crate) fn effective_priorities(
     loop {
         let mut changed = false;
         for (waiter, blockers) in blocked_by {
-            let Some(&wp) = eff.get(waiter) else { continue };
+            let Some(&wp) = eff.get(waiter) else {
+                debug_assert!(false, "waiter {waiter} in blocked_by but not registered");
+                continue;
+            };
             for b in blockers {
                 if let Some(bp) = eff.get_mut(b) {
                     if *bp < wp {
@@ -87,12 +99,10 @@ mod tests {
     #[test]
     fn transitive_chain() {
         let b = base(&[(1, 10), (2, 5), (3, 1)]);
-        let blocked: HashMap<TxnId, Vec<TxnId>> = [
-            (TxnId(1), vec![TxnId(2)]),
-            (TxnId(2), vec![TxnId(3)]),
-        ]
-        .into_iter()
-        .collect();
+        let blocked: HashMap<TxnId, Vec<TxnId>> =
+            [(TxnId(1), vec![TxnId(2)]), (TxnId(2), vec![TxnId(3)])]
+                .into_iter()
+                .collect();
         let eff = effective_priorities(&b, &blocked);
         assert_eq!(eff[&TxnId(3)], Priority::new(10));
         assert_eq!(eff[&TxnId(2)], Priority::new(10));
@@ -121,5 +131,39 @@ mod tests {
             [(TxnId(1), vec![TxnId(99)])].into_iter().collect();
         let eff = effective_priorities(&b, &blocked);
         assert_eq!(eff.len(), 1);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "not registered"))]
+    fn unregistered_waiter_trips_debug_assertion() {
+        // A waiter that is not in `base` cannot pass its priority on; the
+        // protocols never produce this state, and the computation flags it
+        // instead of silently dropping inheritance.
+        let b = base(&[(2, 1)]);
+        let blocked: HashMap<TxnId, Vec<TxnId>> =
+            [(TxnId(1), vec![TxnId(2)])].into_iter().collect();
+        let eff = effective_priorities(&b, &blocked);
+        // Release builds skip the waiter and leave the blocker unboosted.
+        assert_eq!(eff[&TxnId(2)], Priority::new(1));
+    }
+
+    #[test]
+    fn long_chain_converges_regardless_of_edge_order() {
+        // A four-link chain needs several fixpoint passes when the map
+        // iterates the edges back to front; the result must not depend on
+        // HashMap iteration order.
+        let b = base(&[(1, 50), (2, 40), (3, 30), (4, 20), (5, 10)]);
+        let blocked: HashMap<TxnId, Vec<TxnId>> = [
+            (TxnId(1), vec![TxnId(2)]),
+            (TxnId(2), vec![TxnId(3)]),
+            (TxnId(3), vec![TxnId(4)]),
+            (TxnId(4), vec![TxnId(5)]),
+        ]
+        .into_iter()
+        .collect();
+        let eff = effective_priorities(&b, &blocked);
+        for t in 1..=5 {
+            assert_eq!(eff[&TxnId(t)], Priority::new(50), "txn {t}");
+        }
     }
 }

@@ -29,9 +29,7 @@ use std::fmt;
 use rtdb::{LockMode, ObjectId, TxnId, TxnSpec};
 use starlite::Priority;
 
-use crate::protocols::{
-    LockProtocol, ReleaseReason, ReleaseResult, RequestOutcome, RequestResult,
-};
+use crate::protocols::{LockProtocol, ReleaseReason, ReleaseResult, RequestOutcome, RequestResult};
 
 #[derive(Debug, Clone, Copy, Default)]
 struct ObjectStamps {
@@ -99,7 +97,10 @@ impl LockProtocol for TimestampOrderingProtocol {
     }
 
     fn request(&mut self, txn: TxnId, object: ObjectId, mode: LockMode) -> RequestResult {
-        let ts = *self.ts.get(&txn).unwrap_or_else(|| panic!("{txn} not registered"));
+        let ts = *self
+            .ts
+            .get(&txn)
+            .unwrap_or_else(|| panic!("{txn} not registered"));
         let stamps = self.stamps.entry(object).or_default();
         let ok = match mode {
             LockMode::Read => ts >= stamps.write_ts,
@@ -187,8 +188,14 @@ mod tests {
         let mut p = TimestampOrderingProtocol::new();
         p.register(&spec(1, 100, 0)); // ts 1
         p.register(&spec(2, 200, 0)); // ts 2
-        assert_eq!(p.request(TxnId(1), ObjectId(0), LockMode::Write).outcome, RequestOutcome::Granted);
-        assert_eq!(p.request(TxnId(2), ObjectId(0), LockMode::Write).outcome, RequestOutcome::Granted);
+        assert_eq!(
+            p.request(TxnId(1), ObjectId(0), LockMode::Write).outcome,
+            RequestOutcome::Granted
+        );
+        assert_eq!(
+            p.request(TxnId(2), ObjectId(0), LockMode::Write).outcome,
+            RequestOutcome::Granted
+        );
         assert_eq!(p.rejection_count(), 0);
     }
 
@@ -197,7 +204,7 @@ mod tests {
         let mut p = TimestampOrderingProtocol::new();
         p.register(&spec(1, 100, 0)); // ts 1
         p.register(&spec(2, 200, 0)); // ts 2
-        // T2 (younger) writes first; T1's later write is out of order.
+                                      // T2 (younger) writes first; T1's later write is out of order.
         p.request(TxnId(2), ObjectId(0), LockMode::Write);
         match p.request(TxnId(1), ObjectId(0), LockMode::Write).outcome {
             RequestOutcome::Deadlock { victim } => assert_eq!(victim, TxnId(1)),
@@ -229,7 +236,10 @@ mod tests {
             RequestOutcome::Deadlock { .. }
         ));
         p.release_all(TxnId(1), ReleaseReason::Restart); // fresh ts 3
-        assert_eq!(p.request(TxnId(1), ObjectId(0), LockMode::Write).outcome, RequestOutcome::Granted);
+        assert_eq!(
+            p.request(TxnId(1), ObjectId(0), LockMode::Write).outcome,
+            RequestOutcome::Granted
+        );
     }
 
     #[test]

@@ -17,7 +17,9 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use rtdb::{LockMode, LockOutcome, LockTable, ObjectId, QueuePolicy, TxnId, TxnSpec, WaitsForGraph};
+use rtdb::{
+    LockMode, LockOutcome, LockTable, ObjectId, QueuePolicy, TxnId, TxnSpec, WaitsForGraph,
+};
 use starlite::Priority;
 
 use crate::config::VictimPolicy;
@@ -104,7 +106,12 @@ pub(crate) fn select_victim(
         VictimPolicy::LowestPriority => cycle
             .iter()
             .copied()
-            .min_by_key(|t| (base.get(t).copied().unwrap_or(Priority::MIN), std::cmp::Reverse(*t)))
+            .min_by_key(|t| {
+                (
+                    base.get(t).copied().unwrap_or(Priority::MIN),
+                    std::cmp::Reverse(*t),
+                )
+            })
             .expect("non-empty cycle"),
         VictimPolicy::Youngest => cycle.iter().copied().max().expect("non-empty cycle"),
     }
@@ -250,8 +257,14 @@ mod tests {
         // T1 deadline 100 (urgent), T2 deadline 500 (lax → lower priority).
         p.register(&spec(1, 100, vec![], vec![0, 1]));
         p.register(&spec(2, 500, vec![], vec![0, 1]));
-        assert_eq!(p.request(TxnId(1), ObjectId(0), LockMode::Write).outcome, RequestOutcome::Granted);
-        assert_eq!(p.request(TxnId(2), ObjectId(1), LockMode::Write).outcome, RequestOutcome::Granted);
+        assert_eq!(
+            p.request(TxnId(1), ObjectId(0), LockMode::Write).outcome,
+            RequestOutcome::Granted
+        );
+        assert_eq!(
+            p.request(TxnId(2), ObjectId(1), LockMode::Write).outcome,
+            RequestOutcome::Granted
+        );
         assert!(matches!(
             p.request(TxnId(1), ObjectId(1), LockMode::Write).outcome,
             RequestOutcome::Blocked { .. }
@@ -271,7 +284,10 @@ mod tests {
     fn youngest_victim_policy() {
         let cycle = vec![TxnId(3), TxnId(7), TxnId(5)];
         let base: HashMap<TxnId, Priority> = HashMap::new();
-        assert_eq!(select_victim(&cycle, VictimPolicy::Youngest, &base), TxnId(7));
+        assert_eq!(
+            select_victim(&cycle, VictimPolicy::Youngest, &base),
+            TxnId(7)
+        );
     }
 
     #[test]
@@ -303,7 +319,10 @@ mod tests {
         p.register(&spec(1, 100, vec![0], vec![]));
         p.request(TxnId(1), ObjectId(0), LockMode::Read);
         p.release_all(TxnId(1), ReleaseReason::Restart);
-        assert_eq!(p.base_priority(TxnId(1)), Priority::earliest_deadline_first(SimTime::from_ticks(100)));
+        assert_eq!(
+            p.base_priority(TxnId(1)),
+            Priority::earliest_deadline_first(SimTime::from_ticks(100))
+        );
     }
 
     #[test]

@@ -15,8 +15,10 @@ pub struct TemporalStats {
     /// Reads whose pinned snapshot was unconstructible (the version had
     /// already been evicted — retention shorter than the read lag).
     pub unconstructible: u64,
-    /// Mean staleness of constructible snapshot reads, in ticks (how far
-    /// behind the latest local version the visible version was).
+    /// Mean staleness of constructible snapshot reads, in ticks: how long
+    /// after its commit at the primary the version the pinned view needs
+    /// became (or will have become) available at the reading site. Zero
+    /// for reads at the primary itself.
     pub mean_lag_ticks: f64,
     /// Worst observed staleness, in ticks.
     pub max_lag_ticks: u64,

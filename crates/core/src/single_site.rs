@@ -34,9 +34,7 @@ use starlite::{
 use workload::{Generator, WorkloadSpec};
 
 use crate::config::SingleSiteConfig;
-use crate::protocols::{
-    make_protocol, LockProtocol, ReleaseReason, RequestOutcome, Wakeup,
-};
+use crate::protocols::{make_protocol, LockProtocol, ReleaseReason, RequestOutcome, Wakeup};
 use crate::report::RunReport;
 
 /// Events of the single-site model.
@@ -680,7 +678,10 @@ mod tests {
         for kind in ProtocolKind::all() {
             let report = Simulator::new(config(kind), cat.clone(), &workload).run(3);
             assert_eq!(report.stats.processed, 80, "{kind}");
-            assert!(report.stats.missed > 0, "{kind} missed nothing under overload");
+            assert!(
+                report.stats.missed > 0,
+                "{kind} missed nothing under overload"
+            );
             monitor::check_conflict_serializable(report.monitor.history())
                 .unwrap_or_else(|e| panic!("{kind}: {e}"));
         }

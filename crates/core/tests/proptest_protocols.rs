@@ -5,17 +5,24 @@ use std::collections::{HashMap, HashSet};
 
 use proptest::prelude::*;
 use rtdb::{ObjectId, SiteId, TxnId, TxnSpec, WaitsForGraph};
-use rtlock::protocols::{
-    make_protocol, LockProtocol, ReleaseReason, RequestOutcome,
-};
+use rtlock::protocols::{make_protocol, LockProtocol, ReleaseReason, RequestOutcome};
 use rtlock::{ProtocolKind, VictimPolicy};
 use starlite::SimTime;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Register { txn: u8, deadline: u64, reads: Vec<u8>, writes: Vec<u8> },
-    RequestNext { txn: u8 },
-    Finish { txn: u8 },
+    Register {
+        txn: u8,
+        deadline: u64,
+        reads: Vec<u8>,
+        writes: Vec<u8>,
+    },
+    RequestNext {
+        txn: u8,
+    },
+    Finish {
+        txn: u8,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -41,10 +48,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 /// model of who is registered / blocked / finished, and returns the
 /// protocol plus an external waits-for graph built from reported
 /// blockers.
-fn drive(
-    kind: ProtocolKind,
-    ops: &[Op],
-) -> (Box<dyn LockProtocol>, WaitsForGraph, u64) {
+fn drive(kind: ProtocolKind, ops: &[Op]) -> (Box<dyn LockProtocol>, WaitsForGraph, u64) {
     let mut protocol = make_protocol(kind, VictimPolicy::LowestPriority);
     let mut wfg = WaitsForGraph::new();
     let mut registered: HashMap<TxnId, TxnSpec> = HashMap::new();
@@ -55,13 +59,17 @@ fn drive(
 
     for op in ops {
         match op.clone() {
-            Op::Register { txn, deadline, reads, writes } => {
+            Op::Register {
+                txn,
+                deadline,
+                reads,
+                writes,
+            } => {
                 let id = TxnId(txn as u64);
                 if registered.contains_key(&id) {
                     continue;
                 }
-                let reads: Vec<ObjectId> =
-                    reads.into_iter().map(|o| ObjectId(o as u32)).collect();
+                let reads: Vec<ObjectId> = reads.into_iter().map(|o| ObjectId(o as u32)).collect();
                 let writes: Vec<ObjectId> = writes
                     .into_iter()
                     .filter(|o| !reads.iter().any(|r| r.0 == *o as u32))
@@ -88,7 +96,9 @@ fn drive(
             }
             Op::RequestNext { txn } => {
                 let id = TxnId(txn as u64);
-                let Some(spec) = registered.get(&id) else { continue };
+                let Some(spec) = registered.get(&id) else {
+                    continue;
+                };
                 if blocked.contains(&id) {
                     continue;
                 }

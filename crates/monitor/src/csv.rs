@@ -98,7 +98,12 @@ impl Table {
         }
         out.push('\n');
         for (i, _) in self.columns.iter().enumerate() {
-            let _ = write!(out, "{:>width$}  ", "-".repeat(widths[i]), width = widths[i]);
+            let _ = write!(
+                out,
+                "{:>width$}  ",
+                "-".repeat(widths[i]),
+                width = widths[i]
+            );
         }
         out.push('\n');
         for row in &rendered {

@@ -57,7 +57,10 @@ impl Series {
 /// ```
 pub fn render(series: &[Series], width: usize, height: usize) -> String {
     assert!(width >= 2 && height >= 2, "chart too small");
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     assert!(!all.is_empty(), "nothing to plot");
 
     let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);

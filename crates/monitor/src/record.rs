@@ -165,7 +165,10 @@ impl Monitor {
     /// the blocked one — the quantity the priority ceiling protocol bounds.
     pub fn on_block(&mut self, txn: TxnId, now: SimTime, lower_priority_blocker: Option<TxnId>) {
         let r = self.rec(txn);
-        assert!(r.blocked_since.is_none(), "{txn} blocked twice without resuming");
+        assert!(
+            r.blocked_since.is_none(),
+            "{txn} blocked twice without resuming"
+        );
         r.blocked_since = Some(now);
         r.block_episodes += 1;
         if let Some(b) = lower_priority_blocker {
@@ -325,7 +328,10 @@ mod tests {
         m.register(&spec(1));
         m.on_start(TxnId(1), SimTime::from_ticks(12));
         m.on_start(TxnId(1), SimTime::from_ticks(40));
-        assert_eq!(m.record(TxnId(1)).unwrap().start, Some(SimTime::from_ticks(12)));
+        assert_eq!(
+            m.record(TxnId(1)).unwrap().start,
+            Some(SimTime::from_ticks(12))
+        );
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub struct DelayMatrix {
 
 impl fmt::Debug for DelayMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("DelayMatrix").field("sites", &self.sites).finish()
+        f.debug_struct("DelayMatrix")
+            .field("sites", &self.sites)
+            .finish()
     }
 }
 
@@ -77,13 +79,20 @@ impl DelayMatrix {
     ///
     /// Panics if either site is out of range.
     pub fn delay(&self, from: SiteId, to: SiteId) -> SimDuration {
-        assert!(from.0 < self.sites && to.0 < self.sites, "site out of range");
+        assert!(
+            from.0 < self.sites && to.0 < self.sites,
+            "site out of range"
+        );
         self.delays[from.index() * self.sites as usize + to.index()]
     }
 
     /// The largest inter-site delay (zero for a single site).
     pub fn max_delay(&self) -> SimDuration {
-        self.delays.iter().copied().max().unwrap_or(SimDuration::ZERO)
+        self.delays
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO)
     }
 }
 

@@ -179,7 +179,10 @@ mod tests {
     fn down_site_drops_messages() {
         let mut n = net(25);
         n.set_site_up(SiteId(2), false);
-        assert_eq!(n.send(SiteId(0), SiteId(2), SimTime::ZERO), SendOutcome::Dropped);
+        assert_eq!(
+            n.send(SiteId(0), SiteId(2), SimTime::ZERO),
+            SendOutcome::Dropped
+        );
         assert_eq!(n.dropped_count(), 1);
         // Local delivery at a down site still works (the site's own
         // processes are the model's concern, not the network's).

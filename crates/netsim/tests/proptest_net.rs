@@ -1,7 +1,7 @@
 //! Property-based tests of the network simulation.
 
-use proptest::prelude::*;
 use netsim::{CallTable, DelayMatrix, Network, SendOutcome, Topology};
+use proptest::prelude::*;
 use rtdb::SiteId;
 use starlite::{SimDuration, SimTime};
 

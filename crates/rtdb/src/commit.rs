@@ -54,9 +54,17 @@ pub enum ParticipantAction {
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum CoordState {
     Created,
-    Voting { pending: BTreeSet<SiteId>, any_no: bool },
-    Deciding { commit: bool, pending: BTreeSet<SiteId> },
-    Done { committed: bool },
+    Voting {
+        pending: BTreeSet<SiteId>,
+        any_no: bool,
+    },
+    Deciding {
+        commit: bool,
+        pending: BTreeSet<SiteId>,
+    },
+    Done {
+        committed: bool,
+    },
 }
 
 /// The coordinator side of two-phase commit for one transaction.
@@ -99,7 +107,10 @@ impl Coordinator {
     ///
     /// Panics if `participants` is empty or contains duplicates.
     pub fn new(txn: TxnId, participants: Vec<SiteId>) -> Self {
-        assert!(!participants.is_empty(), "2PC needs at least one participant");
+        assert!(
+            !participants.is_empty(),
+            "2PC needs at least one participant"
+        );
         let set: BTreeSet<SiteId> = participants.iter().copied().collect();
         assert_eq!(set.len(), participants.len(), "duplicate participants");
         Coordinator {
@@ -120,7 +131,11 @@ impl Coordinator {
     ///
     /// Panics if called twice.
     pub fn start(&mut self) -> CoordinatorAction {
-        assert_eq!(self.state, CoordState::Created, "coordinator already started");
+        assert_eq!(
+            self.state,
+            CoordState::Created,
+            "coordinator already started"
+        );
         self.state = CoordState::Voting {
             pending: self.participants.iter().copied().collect(),
             any_no: false,
@@ -265,9 +280,7 @@ impl Participant {
                     ParticipantAction::AbortAndAck
                 }
             }
-            PartState::Finished { committed: false } if !commit => {
-                ParticipantAction::AbortAndAck
-            }
+            PartState::Finished { committed: false } if !commit => ParticipantAction::AbortAndAck,
             other => panic!("decision (commit={commit}) in state {other:?}"),
         }
     }
@@ -300,7 +313,10 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         c.on_ack(SiteId(0));
-        assert_eq!(c.on_ack(SiteId(1)), Some(CoordinatorAction::Done { committed: true }));
+        assert_eq!(
+            c.on_ack(SiteId(1)),
+            Some(CoordinatorAction::Done { committed: true })
+        );
         assert_eq!(c.outcome(), Some(true));
     }
 
@@ -314,7 +330,10 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         c.on_ack(SiteId(0));
-        assert_eq!(c.on_ack(SiteId(1)), Some(CoordinatorAction::Done { committed: false }));
+        assert_eq!(
+            c.on_ack(SiteId(1)),
+            Some(CoordinatorAction::Done { committed: false })
+        );
     }
 
     #[test]

@@ -75,7 +75,9 @@ pub struct History {
 
 impl fmt::Debug for History {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("History").field("ops", &self.ops.len()).finish()
+        f.debug_struct("History")
+            .field("ops", &self.ops.len())
+            .finish()
     }
 }
 

@@ -114,7 +114,10 @@ struct ObjectLock {
 
 impl ObjectLock {
     fn holder_mode(&self, txn: TxnId) -> Option<LockMode> {
-        self.holders.iter().find(|(t, _)| *t == txn).map(|&(_, m)| m)
+        self.holders
+            .iter()
+            .find(|(t, _)| *t == txn)
+            .map(|&(_, m)| m)
     }
 
     fn conflicts_with_holders(&self, txn: TxnId, mode: LockMode) -> Vec<TxnId> {
@@ -280,8 +283,11 @@ impl LockTable {
     }
 
     /// Releases every lock held or awaited by `txn` and wakes eligible
-    /// waiters, in discipline order. Returns the requests granted by this
-    /// release.
+    /// waiters. Affected objects are processed in ascending id order; per
+    /// object, waiters wake in discipline order (FIFO: arrival order;
+    /// Priority: most urgent first, ties by arrival), except that a
+    /// grantable read-to-write upgrade is always served first. Returns the
+    /// requests granted by this release.
     pub fn release_all(&mut self, txn: TxnId) -> Vec<GrantedLock> {
         let mut affected: Vec<ObjectId> = Vec::new();
         if let Some(objs) = self.held_by.remove(&txn) {
@@ -347,6 +353,14 @@ impl LockTable {
             return Vec::new();
         };
         let mut blockers = state.conflicts_with_holders(txn, me.mode);
+        // An upgrade waits only for the other holders: it is served before
+        // any queued request, so counting queued writers here would inject
+        // phantom waits-for edges (and spurious deadlock cycles).
+        if me.upgrade {
+            blockers.sort_unstable();
+            blockers.dedup();
+            return blockers;
+        }
         for w in &state.queue {
             if w.txn == txn {
                 continue;
@@ -430,6 +444,14 @@ impl LockTable {
                     "{} queued on {obj} while holding it (non-upgrade)",
                     w.txn
                 );
+                if w.upgrade {
+                    assert_eq!(
+                        state.holder_mode(w.txn),
+                        Some(LockMode::Read),
+                        "upgrade waiter {} does not hold a read lock on {obj}",
+                        w.txn
+                    );
+                }
                 assert_eq!(
                     self.waiting_on.get(&w.txn),
                     Some(obj),
@@ -441,7 +463,12 @@ impl LockTable {
     }
 
     /// Wakes as many waiters of `object` as compatibility allows, in
-    /// discipline order.
+    /// discipline order, except that an *eligible* upgrade waiter is always
+    /// served first regardless of discipline: the upgrader already holds a
+    /// read lock, so no conflicting waiter can make progress before it
+    /// anyway, and selecting a more urgent (but ineligible) writer instead
+    /// would park the pass and strand the grantable upgrade forever — a
+    /// spurious head-of-line deadlock.
     fn grant_pass(&mut self, object: ObjectId, granted: &mut Vec<GrantedLock>) {
         loop {
             let Some(state) = self.locks.get_mut(&object) else {
@@ -453,27 +480,32 @@ impl LockTable {
                 }
                 return;
             }
-            let idx = match self.policy {
-                QueuePolicy::Fifo => 0,
-                QueuePolicy::Priority => {
-                    let mut best = 0;
-                    for i in 1..state.queue.len() {
-                        let (a, b) = (&state.queue[i], &state.queue[best]);
-                        if a.priority > b.priority
-                            || (a.priority == b.priority && a.seq < b.seq)
-                        {
-                            best = i;
+            let eligible_upgrade = state
+                .queue
+                .iter()
+                .position(|w| w.upgrade && state.holders.iter().all(|&(t, _)| t == w.txn));
+            let idx = if let Some(i) = eligible_upgrade {
+                i
+            } else {
+                match self.policy {
+                    QueuePolicy::Fifo => 0,
+                    QueuePolicy::Priority => {
+                        let mut best = 0;
+                        for i in 1..state.queue.len() {
+                            let (a, b) = (&state.queue[i], &state.queue[best]);
+                            if a.priority > b.priority
+                                || (a.priority == b.priority && a.seq < b.seq)
+                            {
+                                best = i;
+                            }
                         }
+                        best
                     }
-                    best
                 }
             };
             let w = &state.queue[idx];
             let eligible = if w.upgrade {
-                state
-                    .holders
-                    .iter()
-                    .all(|&(t, _)| t == w.txn)
+                state.holders.iter().all(|&(t, _)| t == w.txn)
             } else {
                 state.conflicts_with_holders(w.txn, w.mode).is_empty()
             };
@@ -515,8 +547,14 @@ mod tests {
     fn readers_share() {
         let mut lt = LockTable::new(QueuePolicy::Fifo);
         let o = ObjectId(1);
-        assert_eq!(lt.request(TxnId(1), o, LockMode::Read, p(0)), LockOutcome::Granted);
-        assert_eq!(lt.request(TxnId(2), o, LockMode::Read, p(0)), LockOutcome::Granted);
+        assert_eq!(
+            lt.request(TxnId(1), o, LockMode::Read, p(0)),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lt.request(TxnId(2), o, LockMode::Read, p(0)),
+            LockOutcome::Granted
+        );
         lt.check_invariants();
         assert_eq!(lt.holders(o).len(), 2);
     }
@@ -527,16 +565,30 @@ mod tests {
         let o = ObjectId(1);
         lt.request(TxnId(1), o, LockMode::Write, p(0));
         let out = lt.request(TxnId(2), o, LockMode::Write, p(9));
-        assert_eq!(out, LockOutcome::Waiting { blockers: vec![TxnId(1)] });
+        assert_eq!(
+            out,
+            LockOutcome::Waiting {
+                blockers: vec![TxnId(1)]
+            }
+        );
         let out = lt.request(TxnId(3), o, LockMode::Write, p(5));
         assert_eq!(
             out,
-            LockOutcome::Waiting { blockers: vec![TxnId(1), TxnId(2)] }
+            LockOutcome::Waiting {
+                blockers: vec![TxnId(1), TxnId(2)]
+            }
         );
         lt.check_invariants();
         // FIFO: T2 first despite T3's request later with lower priority.
         let woken = lt.release_all(TxnId(1));
-        assert_eq!(woken, vec![GrantedLock { txn: TxnId(2), object: o, mode: LockMode::Write }]);
+        assert_eq!(
+            woken,
+            vec![GrantedLock {
+                txn: TxnId(2),
+                object: o,
+                mode: LockMode::Write
+            }]
+        );
         let woken = lt.release_all(TxnId(2));
         assert_eq!(woken.len(), 1);
         assert_eq!(woken[0].txn, TxnId(3));
@@ -603,7 +655,10 @@ mod tests {
         let mut lt = LockTable::new(QueuePolicy::Fifo);
         let o = ObjectId(1);
         lt.request(TxnId(1), o, LockMode::Read, p(0));
-        assert_eq!(lt.request(TxnId(1), o, LockMode::Write, p(0)), LockOutcome::Granted);
+        assert_eq!(
+            lt.request(TxnId(1), o, LockMode::Write, p(0)),
+            LockOutcome::Granted
+        );
         assert_eq!(lt.held_mode(TxnId(1), o), Some(LockMode::Write));
         assert_eq!(lt.upgrade_count(), 1);
     }
@@ -629,12 +684,114 @@ mod tests {
     }
 
     #[test]
+    fn upgrade_not_starved_by_more_urgent_queued_writer() {
+        // T1 and T2 hold reads; T1 queues an upgrade; a high-priority
+        // writer T3 queues behind it. When T2 releases, the upgrade is the
+        // only grantable request — selecting T3 by priority and giving up
+        // would strand T1 on an object only T1 holds.
+        let mut lt = LockTable::new(QueuePolicy::Priority);
+        let o = ObjectId(1);
+        lt.request(TxnId(1), o, LockMode::Read, p(1));
+        lt.request(TxnId(2), o, LockMode::Read, p(2));
+        let out = lt.request(TxnId(1), o, LockMode::Write, p(1));
+        assert_eq!(
+            out,
+            LockOutcome::Waiting {
+                blockers: vec![TxnId(2)]
+            }
+        );
+        lt.request(TxnId(3), o, LockMode::Write, p(9));
+        let woken = lt.release_all(TxnId(2));
+        assert_eq!(
+            woken,
+            vec![GrantedLock {
+                txn: TxnId(1),
+                object: o,
+                mode: LockMode::Write
+            }]
+        );
+        assert_eq!(lt.held_mode(TxnId(1), o), Some(LockMode::Write));
+        lt.check_invariants();
+        // T3 follows once the upgraded writer finishes.
+        let woken = lt.release_all(TxnId(1));
+        assert_eq!(woken[0].txn, TxnId(3));
+    }
+
+    #[test]
+    fn two_upgraders_report_mutual_blockers() {
+        // Both readers request an upgrade: a genuine deadlock the table
+        // cannot resolve itself. Each must report the other as a blocker so
+        // the waits-for graph sees the cycle; aborting either victim lets
+        // the survivor's upgrade through.
+        let mut lt = LockTable::new(QueuePolicy::Fifo);
+        let o = ObjectId(1);
+        lt.request(TxnId(1), o, LockMode::Read, p(0));
+        lt.request(TxnId(2), o, LockMode::Read, p(0));
+        let out = lt.request(TxnId(1), o, LockMode::Write, p(0));
+        assert_eq!(
+            out,
+            LockOutcome::Waiting {
+                blockers: vec![TxnId(2)]
+            }
+        );
+        let out = lt.request(TxnId(2), o, LockMode::Write, p(0));
+        assert_eq!(
+            out,
+            LockOutcome::Waiting {
+                blockers: vec![TxnId(1)]
+            }
+        );
+        assert_eq!(lt.current_blockers(TxnId(1)), vec![TxnId(2)]);
+        assert_eq!(lt.current_blockers(TxnId(2)), vec![TxnId(1)]);
+        lt.check_invariants();
+        // Deadlock resolution aborts T2; T1's upgrade becomes grantable.
+        let woken = lt.release_all(TxnId(2));
+        assert_eq!(
+            woken,
+            vec![GrantedLock {
+                txn: TxnId(1),
+                object: o,
+                mode: LockMode::Write
+            }]
+        );
+        assert_eq!(lt.held_mode(TxnId(1), o), Some(LockMode::Write));
+        lt.check_invariants();
+    }
+
+    #[test]
+    fn upgrade_blockers_exclude_queued_writers() {
+        // The upgrade is served before any queued request, so its reported
+        // blockers are the other holders only — no phantom edges to queued
+        // writers that would fake a deadlock cycle.
+        let mut lt = LockTable::new(QueuePolicy::Priority);
+        let o = ObjectId(1);
+        lt.request(TxnId(1), o, LockMode::Read, p(1));
+        lt.request(TxnId(2), o, LockMode::Read, p(2));
+        lt.request(TxnId(3), o, LockMode::Write, p(9));
+        let out = lt.request(TxnId(1), o, LockMode::Write, p(1));
+        assert_eq!(
+            out,
+            LockOutcome::Waiting {
+                blockers: vec![TxnId(2)]
+            }
+        );
+        assert_eq!(lt.current_blockers(TxnId(1)), vec![TxnId(2)]);
+        lt.check_invariants();
+    }
+
+    #[test]
     fn re_request_held_lock_is_granted() {
         let mut lt = LockTable::new(QueuePolicy::Fifo);
         let o = ObjectId(1);
         lt.request(TxnId(1), o, LockMode::Write, p(0));
-        assert_eq!(lt.request(TxnId(1), o, LockMode::Read, p(0)), LockOutcome::Granted);
-        assert_eq!(lt.request(TxnId(1), o, LockMode::Write, p(0)), LockOutcome::Granted);
+        assert_eq!(
+            lt.request(TxnId(1), o, LockMode::Read, p(0)),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lt.request(TxnId(1), o, LockMode::Write, p(0)),
+            LockOutcome::Granted
+        );
     }
 
     #[test]

@@ -122,10 +122,7 @@ impl WaitsForGraph {
             *idx += 1;
             if on_path_set.contains(&next) {
                 // Cycle: slice of the path from `next` onwards.
-                let pos = on_path
-                    .iter()
-                    .position(|&t| t == next)
-                    .expect("on path");
+                let pos = on_path.iter().position(|&t| t == next).expect("on path");
                 return Some(on_path[pos..].to_vec());
             }
             if !visited.contains(&next) {

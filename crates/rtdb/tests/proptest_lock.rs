@@ -8,8 +8,15 @@ use starlite::Priority;
 
 #[derive(Debug, Clone)]
 enum LockOp {
-    Request { txn: u8, obj: u8, write: bool, priority: i64 },
-    ReleaseAll { txn: u8 },
+    Request {
+        txn: u8,
+        obj: u8,
+        write: bool,
+        priority: i64,
+    },
+    ReleaseAll {
+        txn: u8,
+    },
 }
 
 fn lock_op_strategy() -> impl Strategy<Value = LockOp> {
@@ -26,12 +33,21 @@ fn run_ops(policy: QueuePolicy, ops: &[LockOp]) -> LockTable {
     let mut waiting: HashSet<TxnId> = HashSet::new();
     for op in ops {
         match *op {
-            LockOp::Request { txn, obj, write, priority } => {
+            LockOp::Request {
+                txn,
+                obj,
+                write,
+                priority,
+            } => {
                 let txn = TxnId(txn as u64);
                 if waiting.contains(&txn) {
                     continue; // blocked transactions cannot issue requests
                 }
-                let mode = if write { LockMode::Write } else { LockMode::Read };
+                let mode = if write {
+                    LockMode::Write
+                } else {
+                    LockMode::Read
+                };
                 match table.request(txn, ObjectId(obj as u32), mode, Priority::new(priority)) {
                     LockOutcome::Granted => {}
                     LockOutcome::Waiting { .. } => {

@@ -600,7 +600,10 @@ mod tests {
                 // Zero remaining: finishes at once.
                 assert_eq!(n.finish_at, t(60));
                 match cpu.complete(n.token, t(60)) {
-                    Completion::Finished { task: 1, next: None } => {}
+                    Completion::Finished {
+                        task: 1,
+                        next: None,
+                    } => {}
                     other => panic!("unexpected {other:?}"),
                 }
             }

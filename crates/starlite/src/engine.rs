@@ -164,7 +164,9 @@ pub struct Engine<M: Model> {
 
 impl<M: Model> fmt::Debug for Engine<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Engine").field("sched", &self.sched).finish()
+        f.debug_struct("Engine")
+            .field("sched", &self.sched)
+            .finish()
     }
 }
 
@@ -303,7 +305,9 @@ mod tests {
     #[test]
     fn cancel_after_fire_reports_false() {
         let mut eng = Engine::new(Recorder::default());
-        let id = eng.scheduler_mut().schedule(SimTime::from_ticks(1), Ev::Tag(0));
+        let id = eng
+            .scheduler_mut()
+            .schedule(SimTime::from_ticks(1), Ev::Tag(0));
         eng.run_to_completion(None);
         assert!(!eng.scheduler_mut().cancel(id));
     }
@@ -311,7 +315,9 @@ mod tests {
     #[test]
     fn double_cancel_reports_false() {
         let mut eng = Engine::new(Recorder::default());
-        let id = eng.scheduler_mut().schedule(SimTime::from_ticks(1), Ev::Tag(0));
+        let id = eng
+            .scheduler_mut()
+            .schedule(SimTime::from_ticks(1), Ev::Tag(0));
         assert!(eng.scheduler_mut().cancel(id));
         assert!(!eng.scheduler_mut().cancel(id));
         eng.run_to_completion(None);
@@ -336,9 +342,11 @@ mod tests {
     #[should_panic(expected = "in the past")]
     fn scheduling_in_the_past_panics() {
         let mut eng = Engine::new(Recorder::default());
-        eng.scheduler_mut().schedule(SimTime::from_ticks(10), Ev::Tag(1));
+        eng.scheduler_mut()
+            .schedule(SimTime::from_ticks(10), Ev::Tag(1));
         eng.step();
-        eng.scheduler_mut().schedule(SimTime::from_ticks(5), Ev::Tag(2));
+        eng.scheduler_mut()
+            .schedule(SimTime::from_ticks(5), Ev::Tag(2));
     }
 
     #[test]

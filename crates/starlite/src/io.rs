@@ -85,10 +85,7 @@ impl<T: Copy + fmt::Debug> IoDevice<T> {
     /// schedules a completion event there), or `None` if it queued behind
     /// busy channels.
     pub fn submit(&mut self, task: T, latency: SimDuration, now: SimTime) -> Option<SimTime> {
-        if self
-            .channels
-            .is_some_and(|limit| self.in_flight >= limit)
-        {
+        if self.channels.is_some_and(|limit| self.in_flight >= limit) {
             self.waiting.push_back((task, latency));
             return None;
         }

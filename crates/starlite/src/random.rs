@@ -8,10 +8,48 @@
 
 use std::fmt;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 use crate::time::SimDuration;
+
+/// xoshiro256++ with SplitMix64 seeding — the same construction
+/// `rand::rngs::SmallRng::seed_from_u64` uses on 64-bit targets, inlined so
+/// the kernel has no external dependency. Deterministic across platforms.
+#[derive(Clone)]
+struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the four state words; the
+        // all-zero state (unreachable from SplitMix64 output) is excluded.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256PlusPlus {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
 
 /// A deterministic random source.
 ///
@@ -24,13 +62,15 @@ use crate::time::SimDuration;
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
 pub struct RandomSource {
-    rng: SmallRng,
+    rng: Xoshiro256PlusPlus,
     seed: u64,
 }
 
 impl fmt::Debug for RandomSource {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("RandomSource").field("seed", &self.seed).finish()
+        f.debug_struct("RandomSource")
+            .field("seed", &self.seed)
+            .finish()
     }
 }
 
@@ -38,7 +78,7 @@ impl RandomSource {
     /// Creates a source from a seed.
     pub fn new(seed: u64) -> Self {
         RandomSource {
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Xoshiro256PlusPlus::seed_from_u64(seed),
             seed,
         }
     }
@@ -63,7 +103,8 @@ impl RandomSource {
 
     /// Uniform value in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        // 53 random mantissa bits, as rand's `Standard` distribution does.
+        (self.rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[lo, hi]` (inclusive).
@@ -73,7 +114,20 @@ impl RandomSource {
     /// Panics if `lo > hi`.
     pub fn uniform_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty uniform range");
-        self.rng.gen_range(lo..=hi)
+        let span = hi.wrapping_sub(lo).wrapping_add(1);
+        if span == 0 {
+            // Full u64 domain.
+            return self.rng.next_u64();
+        }
+        // Lemire's widening-multiply mapping with rejection of the biased
+        // low zone, so every value in the span is exactly equally likely.
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let wide = self.rng.next_u64() as u128 * span as u128;
+            if (wide as u64) >= threshold {
+                return lo + ((wide >> 64) as u64);
+            }
+        }
     }
 
     /// Bernoulli draw: `true` with probability `p`.
@@ -83,7 +137,7 @@ impl RandomSource {
     /// Panics if `p` is not within `[0, 1]`.
     pub fn chance(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
-        self.rng.gen::<f64>() < p
+        self.unit() < p
     }
 
     /// Exponentially distributed duration with the given mean (inverse
@@ -96,7 +150,7 @@ impl RandomSource {
     pub fn exponential(&mut self, mean: SimDuration) -> SimDuration {
         assert!(!mean.is_zero(), "exponential mean must be positive");
         // u ∈ (0, 1]; -ln(u) is Exp(1).
-        let u = 1.0 - self.rng.gen::<f64>();
+        let u = 1.0 - self.unit();
         let ticks = (-(u.ln()) * mean.ticks() as f64).round();
         // Clamp to at least one tick so arrivals keep a total order that
         // does not depend on float rounding of near-zero gaps.

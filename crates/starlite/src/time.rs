@@ -30,7 +30,9 @@ pub const TICKS_PER_SEC: u64 = 1_000_000;
 /// let t = SimTime::from_ticks(5) + SimDuration::from_ticks(10);
 /// assert_eq!(t.ticks(), 15);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -101,7 +103,9 @@ impl fmt::Display for SimTime {
 /// let d = SimDuration::from_millis(2) + SimDuration::from_ticks(500);
 /// assert_eq!(d.ticks(), 2_500);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimDuration {

@@ -36,9 +36,15 @@ fn pending_count_tracks_schedule_cancel_and_fire() {
 #[test]
 fn run_until_exact_horizon_then_nothing() {
     let mut engine = Engine::new(Sink);
-    engine.scheduler_mut().schedule(SimTime::from_ticks(5), Ev::Nop);
+    engine
+        .scheduler_mut()
+        .schedule(SimTime::from_ticks(5), Ev::Nop);
     assert_eq!(engine.run_until(SimTime::from_ticks(4)), 0);
-    assert_eq!(engine.now(), SimTime::ZERO, "clock holds until an event fires");
+    assert_eq!(
+        engine.now(),
+        SimTime::ZERO,
+        "clock holds until an event fires"
+    );
     assert_eq!(engine.run_until(SimTime::from_ticks(5)), 1);
     assert_eq!(engine.run_until(SimTime::MAX), 0);
 }

@@ -63,9 +63,15 @@ impl<'a> Generator<'a> {
         );
         for task in &spec.periodic {
             for o in task.read_set.iter().chain(&task.write_set) {
-                assert!(o.0 < catalog.db_size(), "periodic task object {o} out of range");
+                assert!(
+                    o.0 < catalog.db_size(),
+                    "periodic task object {o} out of range"
+                );
             }
-            assert!(task.site.0 < catalog.site_count(), "periodic task site out of range");
+            assert!(
+                task.site.0 < catalog.site_count(),
+                "periodic task site out of range"
+            );
         }
         Generator { spec, catalog }
     }
@@ -188,14 +194,16 @@ impl<'a> Generator<'a> {
         );
         // Draw writes from the site's primaries.
         let write_idx = rng.sample_distinct(writes, primaries.len() as u64);
-        let write_set: Vec<ObjectId> = write_idx.into_iter().map(|i| primaries[i as usize]).collect();
+        let write_set: Vec<ObjectId> = write_idx
+            .into_iter()
+            .map(|i| primaries[i as usize])
+            .collect();
         // Draw reads from the remaining objects (any site; local replicas
         // serve them).
         let mut read_set = Vec::with_capacity(reads);
         while read_set.len() < reads {
-            let candidate = ObjectId(
-                rng.uniform_inclusive(0, self.catalog.db_size() as u64 - 1) as u32,
-            );
+            let candidate =
+                ObjectId(rng.uniform_inclusive(0, self.catalog.db_size() as u64 - 1) as u32);
             if !write_set.contains(&candidate) && !read_set.contains(&candidate) {
                 read_set.push(candidate);
             }

@@ -142,7 +142,9 @@ pub struct WorkloadSpecBuilder {
 
 impl fmt::Debug for WorkloadSpecBuilder {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("WorkloadSpecBuilder").field("spec", &self.spec).finish()
+        f.debug_struct("WorkloadSpecBuilder")
+            .field("spec", &self.spec)
+            .finish()
     }
 }
 
@@ -224,7 +226,10 @@ impl WorkloadSpecBuilder {
             s.txn_count > 0 || !s.periodic.is_empty(),
             "a workload needs transactions"
         );
-        assert!(!s.mean_interarrival.is_zero(), "interarrival mean must be positive");
+        assert!(
+            !s.mean_interarrival.is_zero(),
+            "interarrival mean must be positive"
+        );
         s.size.validate();
         assert!(
             (0.0..=1.0).contains(&s.read_only_fraction),
@@ -234,7 +239,10 @@ impl WorkloadSpecBuilder {
             (0.0..=1.0).contains(&s.write_fraction),
             "write fraction out of range"
         );
-        assert!(s.deadline.slack_factor > 0.0, "slack factor must be positive");
+        assert!(
+            s.deadline.slack_factor > 0.0,
+            "slack factor must be positive"
+        );
         assert!(
             !s.deadline.per_object_cost.is_zero(),
             "per-object cost must be positive"

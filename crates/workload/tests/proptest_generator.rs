@@ -7,32 +7,30 @@ use workload::{Generator, SizeDistribution, WorkloadSpec};
 
 fn spec_strategy() -> impl Strategy<Value = (WorkloadSpec, u8, u32)> {
     (
-        1u32..80,         // txn count
-        100u64..5_000,    // mean interarrival
-        1u32..6,          // min size
-        0u32..8,          // extra size
-        0.0f64..=1.0,     // read-only fraction
-        0.05f64..=1.0,    // write fraction
-        1.0f64..10.0,     // slack
-        1u8..4,           // sites
-        30u32..120,       // db size
+        1u32..80,      // txn count
+        100u64..5_000, // mean interarrival
+        1u32..6,       // min size
+        0u32..8,       // extra size
+        0.0f64..=1.0,  // read-only fraction
+        0.05f64..=1.0, // write fraction
+        1.0f64..10.0,  // slack
+        1u8..4,        // sites
+        30u32..120,    // db size
     )
-        .prop_map(
-            |(n, inter, smin, sextra, ro, wf, slack, sites, db)| {
-                let spec = WorkloadSpec::builder()
-                    .txn_count(n)
-                    .mean_interarrival(SimDuration::from_ticks(inter))
-                    .size(SizeDistribution::Uniform {
-                        min: smin,
-                        max: smin + sextra,
-                    })
-                    .read_only_fraction(ro)
-                    .write_fraction(wf)
-                    .deadline(slack, SimDuration::from_ticks(500))
-                    .build();
-                (spec, sites, db)
-            },
-        )
+        .prop_map(|(n, inter, smin, sextra, ro, wf, slack, sites, db)| {
+            let spec = WorkloadSpec::builder()
+                .txn_count(n)
+                .mean_interarrival(SimDuration::from_ticks(inter))
+                .size(SizeDistribution::Uniform {
+                    min: smin,
+                    max: smin + sextra,
+                })
+                .read_only_fraction(ro)
+                .write_fraction(wf)
+                .deadline(slack, SimDuration::from_ticks(500))
+                .build();
+            (spec, sites, db)
+        })
 }
 
 proptest! {

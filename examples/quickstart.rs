@@ -34,12 +34,27 @@ fn main() {
     println!("protocol          : priority ceiling (the paper's `C`)");
     println!("processed         : {}", report.stats.processed);
     println!("committed         : {}", report.stats.committed);
-    println!("deadline missed   : {} ({:.1} %)", report.stats.missed, report.stats.pct_missed);
-    println!("throughput        : {:.0} objects/second", report.stats.throughput);
-    println!("mean response     : {:.1} ms", report.stats.mean_response_ticks / 1_000.0);
-    println!("mean blocked      : {:.1} ms", report.stats.mean_blocked_ticks / 1_000.0);
+    println!(
+        "deadline missed   : {} ({:.1} %)",
+        report.stats.missed, report.stats.pct_missed
+    );
+    println!(
+        "throughput        : {:.0} objects/second",
+        report.stats.throughput
+    );
+    println!(
+        "mean response     : {:.1} ms",
+        report.stats.mean_response_ticks / 1_000.0
+    );
+    println!(
+        "mean blocked      : {:.1} ms",
+        report.stats.mean_blocked_ticks / 1_000.0
+    );
     println!("ceiling blocks    : {}", report.ceiling_blocks);
-    println!("deadlocks         : {} (the ceiling protocol never deadlocks)", report.deadlocks);
+    println!(
+        "deadlocks         : {} (the ceiling protocol never deadlocks)",
+        report.deadlocks
+    );
 
     // The committed history is conflict serialisable — verify it.
     check_conflict_serializable(report.monitor.history()).expect("history must be serialisable");

@@ -18,7 +18,11 @@ fn main() {
     // 30 tracks per station, fully replicated across 3 stations.
     let sites = 3u8;
     let tracks_per_site = 30u32;
-    let catalog = Catalog::new(tracks_per_site * sites as u32, sites, Placement::FullyReplicated);
+    let catalog = Catalog::new(
+        tracks_per_site * sites as u32,
+        sites,
+        Placement::FullyReplicated,
+    );
 
     // Each station refreshes five of its own tracks every scan (10 ms
     // period, deadline = period), for 50 scans.
@@ -59,8 +63,14 @@ fn main() {
     println!("tracking scenario : 3 stations, periodic track updates + queries");
     println!("processed         : {}", report.stats.processed);
     println!("committed         : {}", report.stats.committed);
-    println!("deadline missed   : {} ({:.1} %)", report.stats.missed, report.stats.pct_missed);
-    println!("update messages   : {} across the network", report.remote_messages);
+    println!(
+        "deadline missed   : {} ({:.1} %)",
+        report.stats.missed, report.stats.pct_missed
+    );
+    println!(
+        "update messages   : {} across the network",
+        report.remote_messages
+    );
 
     // Every station converged to the same track picture once propagation
     // drained (single-writer per track guarantees this).

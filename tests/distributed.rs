@@ -98,7 +98,10 @@ fn global_architecture_is_serialisable_and_atomic() {
         // 2PC atomicity: every object's version equals the committed
         // writes recorded against it at its primary site.
         check_store_integrity(&report);
-        assert!(report.stats.processed == 200, "delay {delay} lost transactions");
+        assert!(
+            report.stats.processed == 200,
+            "delay {delay} lost transactions"
+        );
     }
 }
 

@@ -2,9 +2,7 @@
 //! lock-upgrade deadlocks, grant/abort message crossings, and restart
 //! storms.
 
-use rtlock::distributed::{
-    run_transactions_distributed, CeilingArchitecture, DistributedConfig,
-};
+use rtlock::distributed::{run_transactions_distributed, CeilingArchitecture, DistributedConfig};
 use rtlock::prelude::*;
 
 fn dist_config(delay: u64) -> DistributedConfig {
@@ -64,7 +62,10 @@ fn deadline_after_commit_decision_completes_but_counts_missed() {
     if report.stats.missed == 1 {
         // The decided commit stands physically.
         let s1 = &report.stores[1];
-        assert_eq!(s1.read(ObjectId(4)).version + s1.read(ObjectId(7)).version, 2);
+        assert_eq!(
+            s1.read(ObjectId(4)).version + s1.read(ObjectId(7)).version,
+            2
+        );
         // And the history records the applied writes (the checker and the
         // store agree).
         assert_eq!(report.monitor.history().len(), 2);
@@ -114,7 +115,10 @@ fn upgrade_deadlock_between_two_readers_is_broken() {
         ),
     ];
     let report = run_transactions(config, &catalog, txns);
-    assert_eq!(report.stats.committed, 2, "both must commit after resolution");
+    assert_eq!(
+        report.stats.committed, 2,
+        "both must commit after resolution"
+    );
     assert!(report.deadlocks >= 1, "the crossing writes must deadlock");
     check_conflict_serializable(report.monitor.history()).expect("serialisable");
     check_store_integrity(&report);
@@ -140,7 +144,10 @@ fn restart_storm_preserves_value_integrity() {
         .restart_victims(true)
         .build();
     let report = Simulator::new(config, catalog, &workload).run(7);
-    assert!(report.stats.restarts > 0, "the workload must trigger restarts");
+    assert!(
+        report.stats.restarts > 0,
+        "the workload must trigger restarts"
+    );
     check_store_integrity(&report);
     check_conflict_serializable(report.monitor.history()).expect("serialisable");
 }
@@ -160,12 +167,8 @@ fn distributed_timeline_collects_windows() {
         .read_only_fraction(0.5)
         .deadline(20.0, SimDuration::from_ticks(300))
         .build();
-    let report = rtlock::distributed::DistributedSimulator::new(
-        config,
-        dist_catalog(),
-        &workload,
-    )
-    .run(4);
+    let report =
+        rtlock::distributed::DistributedSimulator::new(config, dist_catalog(), &workload).run(4);
     let timeline = report.monitor.timeline().expect("enabled");
     assert!(!timeline.windows().is_empty());
     let total: u32 = timeline.windows().iter().map(|w| w.committed).sum();

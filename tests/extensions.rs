@@ -106,8 +106,7 @@ fn bounded_io_parallelism_degrades_two_phase_locking() {
         .cpu_per_object(SimDuration::from_ticks(1_000))
         .io_per_object(SimDuration::from_ticks(2_000));
     let parallel = Simulator::new(base.clone().build(), catalog.clone(), &workload).run(1);
-    let single_disk =
-        Simulator::new(base.io_parallelism(1).build(), catalog, &workload).run(1);
+    let single_disk = Simulator::new(base.io_parallelism(1).build(), catalog, &workload).run(1);
     // One disk at 2000 ticks per fetch cannot carry 8 objects per 12000
     // ticks once transactions overlap; misses must rise.
     assert!(
@@ -140,7 +139,10 @@ fn temporal_snapshots_are_constructible_with_enough_versions() {
         .build();
     let report = DistributedSimulator::new(config, catalog, &workload).run(8);
     let temporal = report.temporal.expect("temporal measurement enabled");
-    assert!(temporal.snapshot_reads > 0, "read-only queries probe snapshots");
+    assert!(
+        temporal.snapshot_reads > 0,
+        "read-only queries probe snapshots"
+    );
     assert_eq!(
         temporal.unconstructible, 0,
         "32 retained versions must cover the read lag"

@@ -199,5 +199,8 @@ fn paper_example_ceiling_blocks_medium_transaction() {
     assert!(t2.lower_priority_blockers.len() <= 1);
     // Commit order respects priority: T1 before T2.
     let t1 = report.monitor.record(TxnId(1)).expect("registered");
-    assert!(t1.finish.unwrap() < t2.finish.unwrap(), "T1 must finish before T2");
+    assert!(
+        t1.finish.unwrap() < t2.finish.unwrap(),
+        "T1 must finish before T2"
+    );
 }

@@ -4,9 +4,7 @@
 //! (global architecture), and replay deterministically.
 
 use proptest::prelude::*;
-use rtlock::distributed::{
-    run_transactions_distributed, CeilingArchitecture, DistributedConfig,
-};
+use rtlock::distributed::{run_transactions_distributed, CeilingArchitecture, DistributedConfig};
 use rtlock::prelude::*;
 
 const SITES: u8 = 3;

@@ -50,7 +50,10 @@ fn runs_are_bit_deterministic() {
         let sim = Simulator::new(config(kind, true), catalog.clone(), &workload);
         let a = sim.run(99);
         let b = sim.run(99);
-        assert_eq!(a.stats, b.stats, "{kind} stats differ across identical runs");
+        assert_eq!(
+            a.stats, b.stats,
+            "{kind} stats differ across identical runs"
+        );
         assert_eq!(a.deadlocks, b.deadlocks);
         assert_eq!(a.ceiling_blocks, b.ceiling_blocks);
         assert_eq!(a.preemptions, b.preemptions);
@@ -67,7 +70,11 @@ fn runs_are_bit_deterministic() {
 fn different_seeds_differ() {
     let catalog = Catalog::new(100, 1, Placement::SingleSite);
     let workload = heavy_workload(10, 0.3);
-    let sim = Simulator::new(config(ProtocolKind::PriorityCeiling, true), catalog, &workload);
+    let sim = Simulator::new(
+        config(ProtocolKind::PriorityCeiling, true),
+        catalog,
+        &workload,
+    );
     let a = sim.run(1);
     let b = sim.run(2);
     assert_ne!(

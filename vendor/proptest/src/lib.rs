@@ -1,0 +1,600 @@
+//! Offline stand-in for `proptest`, resolved by path from the workspace.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`, integer-range and
+//! `any::<bool>()` strategies, tuple composition, `prop::collection::vec` /
+//! `btree_set`, weighted [`prop_oneof!`], `prop_assert!` family, and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! deterministic seed sequence (stable across runs and machines, so CI is
+//! reproducible), there is no shrinking (the failing case index and its
+//! inputs are printed instead), and `.proptest-regressions` files are not
+//! replayed.
+
+use std::cell::Cell;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration. Only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic split-mix style generator driving case generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed for the `case`-th execution of a named test. The test name is
+    /// mixed in so sibling tests see different streams.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            state: h ^ ((case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Widening-multiply mapping is unbiased enough for test generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A generation strategy. Object-safe so heterogeneous strategies can be
+/// boxed for [`prop_oneof!`].
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Extension adaptors (kept separate so `Strategy` stays object-safe).
+pub trait StrategyExt: Strategy + Sized {
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<S: Strategy + Sized> StrategyExt for S {}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Constant strategy.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u64;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = rng.next_u64() as $t / (u64::MAX as $t + 1.0);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                // Uniform in [0, 1] with the endpoint reachable.
+                let unit = rng.next_u64() as $t / u64::MAX as $t;
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_range_strategies!(f32, f64);
+
+/// `any::<T>()` — uniform draw over the whole domain.
+pub trait Arbitrary {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = Map<AnyBits, fn(u64) -> $t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyBits.prop_map(|v| v as $t)
+            }
+        }
+    )*};
+}
+
+pub struct AnyBits;
+
+impl Strategy for AnyBits {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+macro_rules! tuple_strategies {
+    ($(($($t:ident),+))+) => {$(
+        #[allow(non_snake_case)]
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($t,)+) = self;
+                ($($t.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+    (A, B, C, D, E, F, G, H, I)
+    (A, B, C, D, E, F, G, H, I, J)
+    (A, B, C, D, E, F, G, H, I, J, K)
+    (A, B, C, D, E, F, G, H, I, J, K, L)
+}
+
+/// Size specification for collection strategies: an exact count or a range.
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi - self.lo) as u64) as usize
+    }
+}
+
+pub mod collection {
+    use super::*;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            // Like real proptest, duplicate draws shrink the set; a bounded
+            // number of extra attempts keeps sizes close to the request.
+            let target = self.size.sample(rng);
+            let mut set = std::collections::BTreeSet::new();
+            let mut attempts = 0;
+            while set.len() < target && attempts < target * 4 + 8 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// `prop::` namespace mirror (`use proptest::prelude::*` exposes `prop`).
+pub mod strategy_mod {
+    pub use crate::collection;
+}
+
+/// Weighted union used by [`prop_oneof!`].
+pub struct Union<T> {
+    pub options: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.options.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted option");
+        let mut pick = rng.below(total);
+        for (w, s) in &self.options {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!()
+    }
+}
+
+/// Failure value for property bodies that use `?` / early return, mirroring
+/// `proptest::test_runner::TestCaseError`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: format!("rejected: {}", message.into()),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl<E: std::error::Error> From<E> for TestCaseError {
+    fn from(e: E) -> Self {
+        TestCaseError::fail(e.to_string())
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+thread_local! {
+    static CURRENT_CASE: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Runs `cases` executions of a property body. Used by [`proptest!`].
+pub fn run_cases<F: FnMut(&mut TestRng)>(name: &str, config: &ProptestConfig, mut body: F) {
+    for case in 0..config.cases {
+        CURRENT_CASE.with(|c| c.set(case));
+        let mut rng = TestRng::for_case(name, case);
+        body(&mut rng);
+    }
+}
+
+/// Drop guard that reports the failing case index when a property panics.
+pub struct CaseReporter<'a> {
+    pub name: &'a str,
+    pub inputs: String,
+}
+
+impl Drop for CaseReporter<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let case = CURRENT_CASE.with(|c| c.get());
+            eprintln!(
+                "proptest stub: property `{}` failed at case {} with inputs:\n{}",
+                self.name, case, self.inputs
+            );
+        }
+    }
+}
+
+/// Formats generated inputs for failure reports.
+pub fn describe_input<T: Debug>(name: &str, value: &T) -> String {
+    format!("  {name} = {value:?}\n")
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @cfg ($cfg) $($rest)* }
+    };
+    (@cfg ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident(
+            $($arg:pat_param in $strat:expr),+ $(,)?
+        ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(stringify!($name), &config, |rng| {
+                    let mut __inputs = String::new();
+                    // Generate, record, then destructure: `$arg` may be a
+                    // tuple pattern, so the whole value is described before
+                    // the pattern takes it apart.
+                    $(
+                        let __generated = $crate::Strategy::generate(&($strat), rng);
+                        __inputs.push_str(&$crate::describe_input(
+                            stringify!($arg), &__generated));
+                        let $arg = __generated;
+                    )+
+                    let __reporter = $crate::CaseReporter {
+                        name: stringify!($name),
+                        inputs: __inputs,
+                    };
+                    // The body may use `?` with `TestCaseError`, so run it
+                    // in a closure returning `TestCaseResult`.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __result: $crate::TestCaseResult = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!("property failed: {e}");
+                    }
+                    drop(__reporter);
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union {
+            options: vec![
+                $(($weight as u32, $crate::StrategyExt::boxed($strat)),)+
+            ],
+        }
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union {
+            options: vec![
+                $((1u32, $crate::StrategyExt::boxed($strat)),)+
+            ],
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy, StrategyExt, TestCaseError, TestCaseResult,
+    };
+
+    /// `prop::collection::...` paths.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        // No `#[test]` meta here: the macro emits one itself, and a second
+        // would trip clippy's duplicated_attributes in this crate.
+        fn ranges_stay_in_bounds(
+            x in 3u8..9,
+            y in -4i64..4,
+            v in prop::collection::vec(0u32..5, 1..10),
+        ) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-4..4).contains(&y));
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        fn oneof_and_map_compose(
+            op in prop_oneof![
+                3 => (0u8..8).prop_map(|n| n as u32),
+                1 => (100u8..108).prop_map(|n| n as u32),
+            ],
+        ) {
+            prop_assert!(op < 8 || (100..108).contains(&op));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = prop::collection::vec(0u64..1_000, 5..20);
+        let a: Vec<_> = {
+            let mut rng = crate::TestRng::for_case("det", 7);
+            s.generate(&mut rng)
+        };
+        let b: Vec<_> = {
+            let mut rng = crate::TestRng::for_case("det", 7);
+            s.generate(&mut rng)
+        };
+        assert_eq!(a, b);
+    }
+}

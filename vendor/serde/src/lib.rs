@@ -1,0 +1,289 @@
+//! Offline stand-in for `serde`, resolved by path from the workspace.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this crate supplies the subset of serde the workspace actually relies on:
+//!
+//! * a [`Serialize`] trait that renders values as JSON text (the only data
+//!   format the experiment harness emits), with `#[derive(Serialize)]`
+//!   provided by the sibling `serde_derive` stub;
+//! * a [`Deserialize`] marker trait so existing `#[derive(Deserialize)]`
+//!   annotations keep compiling (nothing in the workspace parses input).
+//!
+//! The derive macros accept plain structs (named, tuple, unit) and enums
+//! (unit and data-carrying variants). `#[serde(...)]` attributes are not
+//! supported — the workspace does not use any.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization into JSON text.
+///
+/// Implementors append a valid JSON value to `out`. The derive macro emits
+/// objects for named-field structs, the inner value for one-field tuple
+/// structs (newtype transparency, matching serde_json), arrays for wider
+/// tuple structs, and strings / tagged objects for enum variants.
+pub trait Serialize {
+    /// Appends this value rendered as JSON to `out`.
+    fn json_into(&self, out: &mut String);
+
+    /// Renders this value as a standalone JSON string.
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.json_into(&mut s);
+        s
+    }
+}
+
+/// Marker for types that could be deserialized; no decoding is provided.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_into(&self, out: &mut String) {
+                use std::fmt::Write;
+                let _ = write!(out, "{}", self);
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_into(&self, out: &mut String) {
+                if self.is_finite() {
+                    // Rust's shortest-roundtrip Display keeps output stable
+                    // across runs and platforms.
+                    let s = self.to_string();
+                    out.push_str(&s);
+                    // JSON has no integer/float distinction, but keeping a
+                    // fractional marker makes the field type self-describing.
+                    if !s.contains('.') && !s.contains('e') && !s.contains("inf") {
+                        out.push_str(".0");
+                    }
+                } else {
+                    // serde_json renders non-finite floats as null.
+                    out.push_str("null");
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn json_into(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+impl<'de> Deserialize<'de> for bool {}
+
+impl Serialize for str {
+    fn json_into(&self, out: &mut String) {
+        json::escape_str(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn json_into(&self, out: &mut String) {
+        json::escape_str(self, out);
+    }
+}
+impl<'de> Deserialize<'de> for String {}
+
+impl Serialize for char {
+    fn json_into(&self, out: &mut String) {
+        json::escape_str(&self.to_string(), out);
+    }
+}
+impl<'de> Deserialize<'de> for char {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json_into(&self, out: &mut String) {
+        (**self).json_into(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn json_into(&self, out: &mut String) {
+        (**self).json_into(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json_into(&self, out: &mut String) {
+        match self {
+            Some(v) => v.json_into(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json_into(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.json_into(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json_into(&self, out: &mut String) {
+        self.as_slice().json_into(out);
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn json_into(&self, out: &mut String) {
+        self.as_slice().json_into(out);
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn json_into(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.json_into(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )+};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn json_into(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::escape_str(&k.to_string(), out);
+            out.push(':');
+            v.json_into(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<K: ToString, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn json_into(&self, out: &mut String) {
+        // Sort keys so the rendered JSON is independent of hash iteration
+        // order — a hard requirement for the bench harness determinism test.
+        let mut entries: Vec<(String, &V)> = self.iter().map(|(k, v)| (k.to_string(), v)).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        out.push('{');
+        for (i, (k, v)) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::escape_str(k, out);
+            out.push(':');
+            v.json_into(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn json_into(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.json_into(out);
+        }
+        out.push(']');
+    }
+}
+
+/// Support utilities used by the derive expansion and by hand-written impls.
+pub mod json {
+    /// Appends `s` as a quoted, escaped JSON string.
+    pub fn escape_str(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Appends `"key":` (with a leading comma unless first) — derive helper.
+    pub fn key(out: &mut String, name: &str, first: bool) {
+        if !first {
+            out.push(',');
+        }
+        escape_str(name, out);
+        out.push(':');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_render() {
+        assert_eq!(42u32.to_json(), "42");
+        assert_eq!((-3i64).to_json(), "-3");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(1.5f64.to_json(), "1.5");
+        assert_eq!(2.0f64.to_json(), "2.0");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!("a\"b".to_json(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers_render() {
+        assert_eq!(vec![1u8, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!(Some(7u8).to_json(), "7");
+        assert_eq!(Option::<u8>::None.to_json(), "null");
+        assert_eq!((1u8, "x").to_json(), "[1,\"x\"]");
+    }
+
+    #[test]
+    fn hashmap_keys_are_sorted() {
+        let mut m = std::collections::HashMap::new();
+        m.insert("b".to_string(), 2u8);
+        m.insert("a".to_string(), 1u8);
+        assert_eq!(m.to_json(), "{\"a\":1,\"b\":2}");
+    }
+}

@@ -1,0 +1,383 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are not
+//! available; parsing is done directly on the `proc_macro` token stream.
+//! Supported inputs: structs (named / tuple / unit) and enums whose variants
+//! are unit, tuple, or struct-like. Generic parameters are supported with a
+//! blanket `T: Serialize` bound per type parameter. `#[serde(...)]`
+//! attributes are not interpreted (the workspace does not use them).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    /// Type parameter identifiers (lifetimes and const params excluded).
+    type_params: Vec<String>,
+    /// Lifetime parameter names, without the leading tick.
+    lifetimes: Vec<String>,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Splits the tokens of a brace/paren group into top-level field chunks,
+/// treating `<`/`>` nesting as one level so commas inside generic arguments
+/// do not split a field.
+fn split_top_level(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !current.is_empty() {
+                    chunks.push(std::mem::take(&mut current));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Strips leading outer attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`) from a field/variant chunk.
+fn strip_attrs_and_vis(chunk: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // `#` followed by a bracket group.
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &chunk[i..]
+}
+
+/// Field name of a named-field chunk: the identifier before the first `:`.
+fn field_name(chunk: &[TokenTree]) -> Option<String> {
+    let chunk = strip_attrs_and_vis(chunk);
+    match chunk.first() {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes and visibility before the `struct`/`enum` keyword.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    // Generics: collect parameter idents between balanced `<` and `>`.
+    let mut type_params = Vec::new();
+    let mut lifetimes = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1i32;
+            // A parameter ident appears right after `<` or a depth-1 comma;
+            // `'` marks a lifetime, `const` a const parameter.
+            let mut expect_param = true;
+            while depth > 0 {
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                    Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                        expect_param = true;
+                        i += 1;
+                        continue;
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '\'' && depth == 1 => {
+                        if expect_param {
+                            if let Some(TokenTree::Ident(id)) = tokens.get(i + 1) {
+                                lifetimes.push(id.to_string());
+                            }
+                            expect_param = false;
+                        }
+                        i += 2;
+                        continue;
+                    }
+                    Some(TokenTree::Ident(id)) if depth == 1 && expect_param => {
+                        let s = id.to_string();
+                        if s == "const" {
+                            // Const parameter: record nothing; the impl
+                            // header repeats the declaration verbatim below
+                            // is not supported — none exist in-tree.
+                            panic!("serde derive: const generics unsupported");
+                        }
+                        type_params.push(s);
+                        expect_param = false;
+                    }
+                    None => panic!("serde derive: unbalanced generics"),
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+
+    // Skip an optional where-clause: everything until the body group / `;`.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let chunks = split_top_level(g.stream().into_iter().collect());
+                if keyword == "struct" {
+                    let fields: Vec<String> = chunks.iter().filter_map(|c| field_name(c)).collect();
+                    break Kind::NamedStruct(fields);
+                } else {
+                    let variants = chunks.iter().map(|c| parse_variant(c)).collect::<Vec<_>>();
+                    break Kind::Enum(variants);
+                }
+            }
+            Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Parenthesis && keyword == "struct" =>
+            {
+                let n = split_top_level(g.stream().into_iter().collect()).len();
+                break Kind::TupleStruct(n);
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                break Kind::UnitStruct;
+            }
+            Some(_) => i += 1,
+            None => break Kind::UnitStruct,
+        }
+    };
+
+    Input {
+        name,
+        type_params,
+        lifetimes,
+        kind,
+    }
+}
+
+fn parse_variant(chunk: &[TokenTree]) -> Variant {
+    let chunk = strip_attrs_and_vis(chunk);
+    let name = match chunk.first() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected variant name, got {other:?}"),
+    };
+    let fields = match chunk.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            VariantFields::Tuple(split_top_level(g.stream().into_iter().collect()).len())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let names = split_top_level(g.stream().into_iter().collect())
+                .iter()
+                .filter_map(|c| field_name(c))
+                .collect();
+            VariantFields::Named(names)
+        }
+        // Unit variant, possibly with `= discr` (ignored).
+        _ => VariantFields::Unit,
+    };
+    Variant { name, fields }
+}
+
+/// `Name<T, U>` / `Name<'a, T>` type header for impl blocks.
+fn ty_header(input: &Input) -> String {
+    if input.type_params.is_empty() && input.lifetimes.is_empty() {
+        input.name.clone()
+    } else {
+        let mut parts: Vec<String> = input.lifetimes.iter().map(|l| format!("'{l}")).collect();
+        parts.extend(input.type_params.iter().cloned());
+        format!("{}<{}>", input.name, parts.join(", "))
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let mut generics: Vec<String> = input.lifetimes.iter().map(|l| format!("'{l}")).collect();
+    generics.extend(
+        input
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: serde::Serialize")),
+    );
+    let generics = if generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", generics.join(", "))
+    };
+
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut b = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                b.push_str(&format!(
+                    "serde::json::key(out, \"{f}\", {first});\n\
+                     serde::Serialize::json_into(&self.{f}, out);\n",
+                    first = i == 0
+                ));
+            }
+            b.push_str("out.push('}');\n");
+            b
+        }
+        Kind::TupleStruct(1) => {
+            // Newtype transparency, matching serde_json's behaviour.
+            String::from("serde::Serialize::json_into(&self.0, out);\n")
+        }
+        Kind::TupleStruct(n) => {
+            let mut b = String::from("out.push('[');\n");
+            for i in 0..*n {
+                if i > 0 {
+                    b.push_str("out.push(',');\n");
+                }
+                b.push_str(&format!("serde::Serialize::json_into(&self.{i}, out);\n"));
+            }
+            b.push_str("out.push(']');\n");
+            b
+        }
+        Kind::UnitStruct => format!("serde::json::escape_str(\"{}\", out);\n", input.name),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        arms.push_str(&format!(
+                            "Self::{vn} => serde::json::escape_str(\"{vn}\", out),\n"
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let mut inner = String::new();
+                        if *n == 1 {
+                            inner.push_str("serde::Serialize::json_into(f0, out);");
+                        } else {
+                            inner.push_str("out.push('[');");
+                            for (i, b) in binds.iter().enumerate() {
+                                if i > 0 {
+                                    inner.push_str("out.push(',');");
+                                }
+                                inner.push_str(&format!("serde::Serialize::json_into({b}, out);"));
+                            }
+                            inner.push_str("out.push(']');");
+                        }
+                        arms.push_str(&format!(
+                            "Self::{vn}({params}) => {{\n\
+                             out.push('{{');\n\
+                             serde::json::key(out, \"{vn}\", true);\n\
+                             {inner}\n\
+                             out.push('}}');\n\
+                             }}\n",
+                            params = binds.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let mut inner = String::from("out.push('{');");
+                        for (i, f) in fields.iter().enumerate() {
+                            inner.push_str(&format!(
+                                "serde::json::key(out, \"{f}\", {first});\
+                                 serde::Serialize::json_into({f}, out);",
+                                first = i == 0
+                            ));
+                        }
+                        inner.push_str("out.push('}');");
+                        arms.push_str(&format!(
+                            "Self::{vn} {{ {params} }} => {{\n\
+                             out.push('{{');\n\
+                             serde::json::key(out, \"{vn}\", true);\n\
+                             {inner}\n\
+                             out.push('}}');\n\
+                             }}\n",
+                            params = fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+
+    format!(
+        "impl{generics} serde::Serialize for {ty} {{\n\
+         fn json_into(&self, out: &mut String) {{\n\
+         {body}\
+         }}\n\
+         }}\n",
+        ty = ty_header(&input)
+    )
+    .parse()
+    .expect("serde derive: generated impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let mut generics: Vec<String> = vec!["'de".to_string()];
+    generics.extend(input.lifetimes.iter().map(|l| format!("'{l}")));
+    generics.extend(input.type_params.iter().cloned());
+    format!(
+        "impl<{}> serde::Deserialize<'de> for {} {{}}\n",
+        generics.join(", "),
+        ty_header(&input)
+    )
+    .parse()
+    .expect("serde derive: generated impl failed to parse")
+}
