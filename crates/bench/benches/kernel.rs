@@ -49,6 +49,34 @@ fn bench_event_queue(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_schedule_cancel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/event_queue");
+    for &n in &[1_000u64, 10_000] {
+        // Cancel-heavy workload: half the scheduled events are cancelled
+        // before the queue drains, exercising O(1) cancellation, tombstone
+        // skipping at pop, and the periodic heap purge.
+        group.bench_with_input(BenchmarkId::new("schedule_cancel_drain", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut engine = Engine::new(Ping { remaining: 0 });
+                let mut ids = Vec::with_capacity(n as usize);
+                for i in 0..n {
+                    ids.push(
+                        engine
+                            .scheduler_mut()
+                            .schedule(SimTime::from_ticks(i % 257), Ev::Tick),
+                    );
+                }
+                let mut cancelled = 0u64;
+                for id in ids.into_iter().step_by(2) {
+                    cancelled += u64::from(engine.scheduler_mut().cancel(id));
+                }
+                engine.run_to_completion(None) + cancelled
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_cpu_scheduler(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel/cpu");
     for policy in [CpuPolicy::PreemptivePriority, CpuPolicy::Fcfs] {
@@ -84,5 +112,59 @@ fn bench_cpu_scheduler(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_cpu_scheduler);
+fn bench_cpu_ready_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/cpu");
+    for &n in &[64u32, 512] {
+        // A deep ready queue with priority churn: the inheritance path
+        // (set_priority) and dispatch both pay O(log n) on the heap where
+        // the old implementation scanned the whole ready vector.
+        group.bench_with_input(BenchmarkId::new("ready_churn", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cpu: Cpu<u32> = Cpu::new(CpuPolicy::PreemptivePriority);
+                let now = SimTime::ZERO;
+                let mut running = cpu
+                    .submit(0, Priority::new(100), SimDuration::from_ticks(10), now)
+                    .expect("idle CPU starts");
+                for i in 1..n {
+                    cpu.submit(
+                        i,
+                        Priority::new((i % 13) as i64),
+                        SimDuration::from_ticks(10),
+                        now,
+                    );
+                }
+                // Churn priorities across the ready queue, then drain.
+                for i in 1..n {
+                    if let Some(b2) = cpu.set_priority(i, Priority::new((i % 29) as i64), now) {
+                        running = b2;
+                    }
+                }
+                let mut done = 0u32;
+                loop {
+                    match cpu.complete(running.token, running.finish_at) {
+                        Completion::Finished { next: Some(b2), .. } => {
+                            done += 1;
+                            running = b2;
+                        }
+                        Completion::Finished { next: None, .. } => {
+                            done += 1;
+                            break;
+                        }
+                        Completion::Stale => unreachable!("only live tokens are completed"),
+                    }
+                }
+                done
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_schedule_cancel,
+    bench_cpu_scheduler,
+    bench_cpu_ready_queue
+);
 criterion_main!(benches);

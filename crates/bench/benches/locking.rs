@@ -41,6 +41,55 @@ fn bench_lock_table(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_lock_fast_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locking/lock_table");
+    // The dominant pattern in the simulations: a transaction acquires its
+    // read/write set uncontended and releases everything at commit. The
+    // grant path must not allocate (inline holder vectors, scratch-buffer
+    // conflict checks).
+    group.bench_function("uncontended_request_release_64", |b| {
+        let mut table = LockTable::new(QueuePolicy::Priority);
+        b.iter(|| {
+            for t in 0..8u64 {
+                for o in 0..8u32 {
+                    table.request(
+                        TxnId(t),
+                        ObjectId(t as u32 * 8 + o),
+                        if o % 2 == 0 {
+                            LockMode::Read
+                        } else {
+                            LockMode::Write
+                        },
+                        Priority::new((t % 5) as i64),
+                    );
+                }
+            }
+            let mut woken = 0usize;
+            for t in 0..8u64 {
+                woken += table.release_all(TxnId(t)).len();
+            }
+            woken
+        });
+    });
+    // Read-shared object: every transaction holds the same lock, so the
+    // holder list grows past the inline capacity and conflict checks scan
+    // it on each request.
+    group.bench_function("shared_readers_32", |b| {
+        let mut table = LockTable::new(QueuePolicy::Priority);
+        b.iter(|| {
+            for t in 0..32u64 {
+                table.request(TxnId(t), ObjectId(0), LockMode::Read, Priority::new(0));
+            }
+            let mut woken = 0usize;
+            for t in 0..32u64 {
+                woken += table.release_all(TxnId(t)).len();
+            }
+            woken
+        });
+    });
+    group.finish();
+}
+
 fn bench_ceiling_admission(c: &mut Criterion) {
     let mut group = c.benchmark_group("locking/ceiling");
     for active in [16u64, 64] {
@@ -93,6 +142,7 @@ fn bench_wfg(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_lock_table,
+    bench_lock_fast_path,
     bench_ceiling_admission,
     bench_wfg
 );

@@ -173,6 +173,11 @@ pub struct RunMetrics {
     pub preemptions: u64,
     /// Messages across links (distributed runs).
     pub remote_messages: u64,
+    /// Kernel events executed by the run's simulation engine. Not part of
+    /// the serialised figure data (it measures the simulator, not the
+    /// protocols); the sweep harness aggregates it into an events-per-
+    /// second throughput figure for `BENCH_SWEEP.json`.
+    pub events: u64,
     /// Temporal-consistency measurements, when multiversion reads ran.
     pub temporal: Option<rtlock::TemporalStats>,
 }
@@ -192,6 +197,7 @@ impl RunMetrics {
             ceiling_blocks: report.ceiling_blocks,
             preemptions: report.preemptions,
             remote_messages: report.remote_messages,
+            events: report.events,
             temporal: report.temporal,
         }
     }
@@ -329,6 +335,25 @@ impl SweepResults {
     /// Total runs executed.
     pub fn run_count(&self) -> usize {
         self.points.iter().map(|p| p.runs.len()).sum()
+    }
+
+    /// Total kernel events executed across all runs.
+    pub fn event_count(&self) -> u64 {
+        self.points
+            .iter()
+            .flat_map(|p| p.runs.iter().map(|(_, m)| m.events))
+            .sum()
+    }
+
+    /// Kernel events per wall-clock second over the whole sweep — the
+    /// headline simulator-throughput figure recorded in `BENCH_SWEEP.json`.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall_clock.as_secs_f64();
+        if secs > 0.0 {
+            self.event_count() as f64 / secs
+        } else {
+            0.0
+        }
     }
 }
 

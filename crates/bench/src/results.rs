@@ -326,18 +326,20 @@ pub fn emit(
 }
 
 /// Appends one record to `BENCH_SWEEP.json` in the repository root format:
-/// a JSON array of `{experiment, runs, workers, wall_clock_seconds}`
-/// entries (the file is rewritten whole each time).
+/// a JSON array of `{experiment, runs, events, workers, wall_clock_seconds,
+/// events_per_sec}` entries (the file is rewritten whole each time).
 pub fn record_wall_clock(experiment: &str, results: &SweepResults) -> io::Result<PathBuf> {
     let path = Path::new("BENCH_SWEEP.json").to_path_buf();
     let entry = Json::object([
         ("experiment", experiment.into()),
         ("runs", results.run_count().into()),
+        ("events", results.event_count().into()),
         ("workers", results.workers.into()),
         (
             "wall_clock_seconds",
             results.wall_clock.as_secs_f64().into(),
         ),
+        ("events_per_sec", results.events_per_sec().into()),
     ]);
     // Keep prior entries when the file already holds a JSON array of
     // objects; anything unparsable starts fresh.

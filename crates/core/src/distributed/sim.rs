@@ -28,7 +28,7 @@
 //! writes stand (and are recorded in the history), and it is *counted as
 //! deadline-missing* — the hard-deadline accounting the paper uses.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
 use monitor::{Monitor, RunStats};
@@ -38,8 +38,8 @@ use rtdb::{
     ParticipantAction, Placement, SiteId, TxnId, TxnSpec, Vote,
 };
 use starlite::{
-    Completion, Cpu, CpuPolicy, CpuToken, Engine, EventId, Model, Priority, Removed, Scheduler,
-    SimTime,
+    Completion, Cpu, CpuPolicy, CpuToken, Engine, EventId, FxHashMap, Model, Priority, Removed,
+    Scheduler, SimTime,
 };
 use workload::{Generator, WorkloadSpec};
 
@@ -173,13 +173,13 @@ struct DistModel {
     /// Local architecture: one protocol instance per site.
     local_pcps: Vec<PriorityCeilingProtocol>,
     monitor: Monitor,
-    specs: HashMap<TxnId, TxnSpec>,
-    exec: HashMap<TxnId, DExec>,
+    specs: FxHashMap<TxnId, TxnSpec>,
+    exec: FxHashMap<TxnId, DExec>,
     /// Home-site view of each transaction's effective priority (global
     /// architecture; updated by `PriorityUpdate` messages).
-    eff_prio: HashMap<TxnId, Priority>,
+    eff_prio: FxHashMap<TxnId, Priority>,
     calls: CallTable<TxnId>,
-    participants: HashMap<(TxnId, SiteId), Participant>,
+    participants: FxHashMap<(TxnId, SiteId), Participant>,
     next_system_id: u64,
     applied_updates: u64,
     stale_updates: u64,
@@ -1293,7 +1293,7 @@ pub fn run_transactions_distributed(
 ) -> RunReport {
     let sites = catalog.site_count();
     let delays = config.topology.delay_matrix(sites, config.comm_delay);
-    let mut specs = HashMap::new();
+    let mut specs = FxHashMap::default();
     let mut arrivals = Vec::with_capacity(txns.len());
     for spec in txns {
         assert!(
@@ -1330,10 +1330,10 @@ pub fn run_transactions_distributed(
         },
         monitor,
         specs,
-        exec: HashMap::new(),
-        eff_prio: HashMap::new(),
+        exec: FxHashMap::default(),
+        eff_prio: FxHashMap::default(),
         calls: CallTable::new(),
-        participants: HashMap::new(),
+        participants: FxHashMap::default(),
         next_system_id: 0,
         applied_updates: 0,
         stale_updates: 0,
@@ -1358,7 +1358,7 @@ pub fn run_transactions_distributed(
     for (arrival, id) in arrivals {
         engine.scheduler_mut().schedule(arrival, Ev::Arrive(id));
     }
-    engine.run_to_completion(Some(500_000_000));
+    let events = engine.run_to_completion(Some(500_000_000));
     let makespan = engine.now();
     let model = engine.into_model();
     assert!(
@@ -1384,6 +1384,7 @@ pub fn run_transactions_distributed(
         preemptions: model.cpus.iter().map(|c| c.preemption_count()).sum(),
         cpu_busy: model.cpus.iter().map(|c| c.busy_time()).sum(),
         remote_messages: model.net.remote_sent_count(),
+        events,
         monitor: model.monitor,
         stores: model.stores,
         temporal: config.temporal_versions.map(|_| {

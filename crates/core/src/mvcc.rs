@@ -14,11 +14,10 @@
 //! `t` sees, for every object, the latest version committed at or before
 //! `t` — a consistent snapshot even while newer updates stream in.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use rtdb::{ObjectId, TxnId};
-use starlite::SimTime;
+use starlite::{FxHashMap, SimTime};
 
 /// One committed version of an object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +50,7 @@ pub struct Version {
 /// ```
 pub struct VersionStore {
     keep: usize,
-    versions: HashMap<ObjectId, Vec<Version>>,
+    versions: FxHashMap<ObjectId, Vec<Version>>,
 }
 
 impl fmt::Debug for VersionStore {
@@ -73,7 +72,7 @@ impl VersionStore {
         assert!(keep > 0, "must retain at least one version");
         VersionStore {
             keep,
-            versions: HashMap::new(),
+            versions: FxHashMap::default(),
         }
     }
 

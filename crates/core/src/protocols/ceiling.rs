@@ -24,11 +24,10 @@
 //! treats every lock as exclusive, making the rw-ceiling always equal to
 //! the absolute ceiling.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use rtdb::{LockMode, ObjectId, TxnId, TxnSpec};
-use starlite::Priority;
+use starlite::{FxHashMap, Priority};
 
 use crate::protocols::inheritance::{diff_updates, effective_priorities};
 use crate::protocols::{
@@ -69,17 +68,17 @@ struct BlockedReq {
 /// The priority ceiling protocol engine for one site.
 pub struct PriorityCeilingProtocol {
     semantics: CeilingSemantics,
-    active: HashMap<TxnId, ActiveTxn>,
+    active: FxHashMap<TxnId, ActiveTxn>,
     /// Ceiling contributions: active transactions that may write / access
     /// each object.
-    writers: HashMap<ObjectId, Vec<(TxnId, Priority)>>,
-    accessors: HashMap<ObjectId, Vec<(TxnId, Priority)>>,
-    locked: HashMap<ObjectId, Locked>,
-    held_by: HashMap<TxnId, Vec<ObjectId>>,
+    writers: FxHashMap<ObjectId, Vec<(TxnId, Priority)>>,
+    accessors: FxHashMap<ObjectId, Vec<(TxnId, Priority)>>,
+    locked: FxHashMap<ObjectId, Locked>,
+    held_by: FxHashMap<TxnId, Vec<ObjectId>>,
     blocked: Vec<BlockedReq>,
-    blocked_edges: HashMap<TxnId, Vec<TxnId>>,
-    base: HashMap<TxnId, Priority>,
-    effective: HashMap<TxnId, Priority>,
+    blocked_edges: FxHashMap<TxnId, Vec<TxnId>>,
+    base: FxHashMap<TxnId, Priority>,
+    effective: FxHashMap<TxnId, Priority>,
     next_seq: u64,
     ceiling_blocks: u64,
 }
@@ -110,15 +109,15 @@ impl PriorityCeilingProtocol {
     pub fn with_semantics(semantics: CeilingSemantics) -> Self {
         PriorityCeilingProtocol {
             semantics,
-            active: HashMap::new(),
-            writers: HashMap::new(),
-            accessors: HashMap::new(),
-            locked: HashMap::new(),
-            held_by: HashMap::new(),
+            active: FxHashMap::default(),
+            writers: FxHashMap::default(),
+            accessors: FxHashMap::default(),
+            locked: FxHashMap::default(),
+            held_by: FxHashMap::default(),
             blocked: Vec::new(),
-            blocked_edges: HashMap::new(),
-            base: HashMap::new(),
-            effective: HashMap::new(),
+            blocked_edges: FxHashMap::default(),
+            base: FxHashMap::default(),
+            effective: FxHashMap::default(),
             next_seq: 0,
             ceiling_blocks: 0,
         }

@@ -8,13 +8,12 @@
 //! to remove, and both observable with this implementation (see the
 //! ablation benches).
 
-use std::collections::HashMap;
 use std::fmt;
 
 use rtdb::{
     LockMode, LockOutcome, LockTable, ObjectId, QueuePolicy, TxnId, TxnSpec, WaitsForGraph,
 };
-use starlite::Priority;
+use starlite::{FxHashMap, Priority};
 
 use crate::config::VictimPolicy;
 use crate::protocols::inheritance::{diff_updates, effective_priorities};
@@ -28,9 +27,13 @@ pub struct InheritanceProtocol {
     table: LockTable,
     wfg: WaitsForGraph,
     victim_policy: VictimPolicy,
-    base: HashMap<TxnId, Priority>,
-    effective: HashMap<TxnId, Priority>,
+    base: FxHashMap<TxnId, Priority>,
+    effective: FxHashMap<TxnId, Priority>,
     deadlocks: u64,
+    /// Scratch buffers reused by the inheritance fixpoint and waits-for
+    /// graph refresh, both of which run on every block and release.
+    scratch_waiters: Vec<TxnId>,
+    scratch_blockers: Vec<TxnId>,
 }
 
 impl fmt::Debug for InheritanceProtocol {
@@ -49,9 +52,11 @@ impl InheritanceProtocol {
             table: LockTable::new(QueuePolicy::Priority),
             wfg: WaitsForGraph::new(),
             victim_policy,
-            base: HashMap::new(),
-            effective: HashMap::new(),
+            base: FxHashMap::default(),
+            effective: FxHashMap::default(),
             deadlocks: 0,
+            scratch_waiters: Vec::new(),
+            scratch_blockers: Vec::new(),
         }
     }
 
@@ -59,8 +64,9 @@ impl InheritanceProtocol {
     /// changes. Also refreshes waiter priorities inside the lock table so
     /// queue positions follow inherited urgency.
     fn recompute(&mut self) -> Vec<(TxnId, Priority)> {
-        let mut blocked_by: HashMap<TxnId, Vec<TxnId>> = HashMap::new();
-        for t in self.table.waiters() {
+        let mut blocked_by: FxHashMap<TxnId, Vec<TxnId>> = FxHashMap::default();
+        self.table.waiters_into(&mut self.scratch_waiters);
+        for &t in &self.scratch_waiters {
             blocked_by.insert(t, self.table.current_blockers(t));
         }
         let eff = effective_priorities(&self.base, &blocked_by);
@@ -72,9 +78,11 @@ impl InheritanceProtocol {
     }
 
     fn refresh_wfg(&mut self) {
-        for t in self.table.waiters() {
-            let blockers = self.table.current_blockers(t);
-            self.wfg.set_edges(t, &blockers);
+        self.table.waiters_into(&mut self.scratch_waiters);
+        for &t in &self.scratch_waiters {
+            self.table
+                .current_blockers_into(t, &mut self.scratch_blockers);
+            self.wfg.set_edges(t, &self.scratch_blockers);
         }
     }
 }

@@ -6,10 +6,8 @@
 //! effective-priority fixpoint from the *blocked-by* relation and diffs it
 //! against the previous assignment so callers emit only actual changes.
 
-use std::collections::HashMap;
-
 use rtdb::TxnId;
-use starlite::Priority;
+use starlite::{FxHashMap, Priority};
 
 /// Computes effective priorities: for every transaction, the maximum of
 /// its own base priority and the effective priorities of all transactions
@@ -27,9 +25,9 @@ use starlite::Priority;
 /// skipped: edge refreshes already prune departed holders, and a stale
 /// blocker has nobody left to boost.
 pub(crate) fn effective_priorities(
-    base: &HashMap<TxnId, Priority>,
-    blocked_by: &HashMap<TxnId, Vec<TxnId>>,
-) -> HashMap<TxnId, Priority> {
+    base: &FxHashMap<TxnId, Priority>,
+    blocked_by: &FxHashMap<TxnId, Vec<TxnId>>,
+) -> FxHashMap<TxnId, Priority> {
     let mut eff = base.clone();
     // Fixpoint: propagate waiter priorities through blockers. Chains are
     // short (the ceiling protocol bounds them at one), so this converges
@@ -60,8 +58,8 @@ pub(crate) fn effective_priorities(
 /// `(txn, new_priority)` for every transaction whose priority changed.
 /// `previous` is updated in place.
 pub(crate) fn diff_updates(
-    previous: &mut HashMap<TxnId, Priority>,
-    new: HashMap<TxnId, Priority>,
+    previous: &mut FxHashMap<TxnId, Priority>,
+    new: FxHashMap<TxnId, Priority>,
 ) -> Vec<(TxnId, Priority)> {
     let mut updates: Vec<(TxnId, Priority)> = Vec::new();
     for (&txn, &p) in &new {
@@ -79,7 +77,7 @@ pub(crate) fn diff_updates(
 mod tests {
     use super::*;
 
-    fn base(entries: &[(u64, i64)]) -> HashMap<TxnId, Priority> {
+    fn base(entries: &[(u64, i64)]) -> FxHashMap<TxnId, Priority> {
         entries
             .iter()
             .map(|&(t, p)| (TxnId(t), Priority::new(p)))
@@ -89,7 +87,7 @@ mod tests {
     #[test]
     fn direct_inheritance() {
         let b = base(&[(1, 10), (2, 1)]);
-        let blocked: HashMap<TxnId, Vec<TxnId>> =
+        let blocked: FxHashMap<TxnId, Vec<TxnId>> =
             [(TxnId(1), vec![TxnId(2)])].into_iter().collect();
         let eff = effective_priorities(&b, &blocked);
         assert_eq!(eff[&TxnId(2)], Priority::new(10));
@@ -99,7 +97,7 @@ mod tests {
     #[test]
     fn transitive_chain() {
         let b = base(&[(1, 10), (2, 5), (3, 1)]);
-        let blocked: HashMap<TxnId, Vec<TxnId>> =
+        let blocked: FxHashMap<TxnId, Vec<TxnId>> =
             [(TxnId(1), vec![TxnId(2)]), (TxnId(2), vec![TxnId(3)])]
                 .into_iter()
                 .collect();
@@ -111,7 +109,7 @@ mod tests {
     #[test]
     fn no_inheritance_without_blocking() {
         let b = base(&[(1, 10), (2, 1)]);
-        let eff = effective_priorities(&b, &HashMap::new());
+        let eff = effective_priorities(&b, &FxHashMap::default());
         assert_eq!(eff, b);
     }
 
@@ -127,7 +125,7 @@ mod tests {
     #[test]
     fn unknown_blockers_are_ignored() {
         let b = base(&[(1, 10)]);
-        let blocked: HashMap<TxnId, Vec<TxnId>> =
+        let blocked: FxHashMap<TxnId, Vec<TxnId>> =
             [(TxnId(1), vec![TxnId(99)])].into_iter().collect();
         let eff = effective_priorities(&b, &blocked);
         assert_eq!(eff.len(), 1);
@@ -140,7 +138,7 @@ mod tests {
         // protocols never produce this state, and the computation flags it
         // instead of silently dropping inheritance.
         let b = base(&[(2, 1)]);
-        let blocked: HashMap<TxnId, Vec<TxnId>> =
+        let blocked: FxHashMap<TxnId, Vec<TxnId>> =
             [(TxnId(1), vec![TxnId(2)])].into_iter().collect();
         let eff = effective_priorities(&b, &blocked);
         // Release builds skip the waiter and leave the blocker unboosted.
@@ -151,9 +149,9 @@ mod tests {
     fn long_chain_converges_regardless_of_edge_order() {
         // A four-link chain needs several fixpoint passes when the map
         // iterates the edges back to front; the result must not depend on
-        // HashMap iteration order.
+        // FxHashMap iteration order.
         let b = base(&[(1, 50), (2, 40), (3, 30), (4, 20), (5, 10)]);
-        let blocked: HashMap<TxnId, Vec<TxnId>> = [
+        let blocked: FxHashMap<TxnId, Vec<TxnId>> = [
             (TxnId(1), vec![TxnId(2)]),
             (TxnId(2), vec![TxnId(3)]),
             (TxnId(3), vec![TxnId(4)]),

@@ -23,11 +23,10 @@
 //! the transaction manager's existing restart machinery drives it; the
 //! name is historical, the semantics are "abort and restart".
 
-use std::collections::HashMap;
 use std::fmt;
 
 use rtdb::{LockMode, ObjectId, TxnId, TxnSpec};
-use starlite::Priority;
+use starlite::{FxHashMap, Priority};
 
 use crate::protocols::{LockProtocol, ReleaseReason, ReleaseResult, RequestOutcome, RequestResult};
 
@@ -43,9 +42,9 @@ pub struct TimestampOrderingProtocol {
     next_ts: u64,
     /// Current timestamp of each active transaction (refreshed on
     /// restart).
-    ts: HashMap<TxnId, u64>,
-    base: HashMap<TxnId, Priority>,
-    stamps: HashMap<ObjectId, ObjectStamps>,
+    ts: FxHashMap<TxnId, u64>,
+    base: FxHashMap<TxnId, Priority>,
+    stamps: FxHashMap<ObjectId, ObjectStamps>,
     rejections: u64,
 }
 
@@ -63,9 +62,9 @@ impl TimestampOrderingProtocol {
     pub fn new() -> Self {
         TimestampOrderingProtocol {
             next_ts: 1,
-            ts: HashMap::new(),
-            base: HashMap::new(),
-            stamps: HashMap::new(),
+            ts: FxHashMap::default(),
+            base: FxHashMap::default(),
+            stamps: FxHashMap::default(),
             rejections: 0,
         }
     }

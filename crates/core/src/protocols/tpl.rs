@@ -14,13 +14,12 @@
 //! deadline-miss growth the paper observes for large transactions
 //! (deadlock probability grows with the fourth power of transaction size).
 
-use std::collections::HashMap;
 use std::fmt;
 
 use rtdb::{
     LockMode, LockOutcome, LockTable, ObjectId, QueuePolicy, TxnId, TxnSpec, WaitsForGraph,
 };
-use starlite::Priority;
+use starlite::{FxHashMap, Priority};
 
 use crate::config::VictimPolicy;
 use crate::protocols::{
@@ -32,9 +31,13 @@ pub struct TwoPhaseLockingProtocol {
     table: LockTable,
     wfg: WaitsForGraph,
     victim_policy: VictimPolicy,
-    base: HashMap<TxnId, Priority>,
+    base: FxHashMap<TxnId, Priority>,
     priority_mode: bool,
     deadlocks: u64,
+    /// Scratch buffers for [`Self::refresh_wfg`], reused across calls so
+    /// the per-release graph rebuild stops allocating once warm.
+    scratch_waiters: Vec<TxnId>,
+    scratch_blockers: Vec<TxnId>,
 }
 
 impl fmt::Debug for TwoPhaseLockingProtocol {
@@ -54,9 +57,11 @@ impl TwoPhaseLockingProtocol {
             table: LockTable::new(QueuePolicy::Fifo),
             wfg: WaitsForGraph::new(),
             victim_policy,
-            base: HashMap::new(),
+            base: FxHashMap::default(),
             priority_mode: false,
             deadlocks: 0,
+            scratch_waiters: Vec::new(),
+            scratch_blockers: Vec::new(),
         }
     }
 
@@ -66,9 +71,11 @@ impl TwoPhaseLockingProtocol {
             table: LockTable::new(QueuePolicy::Priority),
             wfg: WaitsForGraph::new(),
             victim_policy,
-            base: HashMap::new(),
+            base: FxHashMap::default(),
             priority_mode: true,
             deadlocks: 0,
+            scratch_waiters: Vec::new(),
+            scratch_blockers: Vec::new(),
         }
     }
 
@@ -84,9 +91,11 @@ impl TwoPhaseLockingProtocol {
     /// Rebuilds waits-for edges for every still-waiting transaction; the
     /// blocker sets shift whenever grants reorder the queues.
     fn refresh_wfg(&mut self) {
-        for t in self.table.waiters() {
-            let blockers = self.table.current_blockers(t);
-            self.wfg.set_edges(t, &blockers);
+        self.table.waiters_into(&mut self.scratch_waiters);
+        for &t in &self.scratch_waiters {
+            self.table
+                .current_blockers_into(t, &mut self.scratch_blockers);
+            self.wfg.set_edges(t, &self.scratch_blockers);
         }
     }
 }
@@ -99,7 +108,7 @@ impl TwoPhaseLockingProtocol {
 pub(crate) fn select_victim(
     cycle: &[TxnId],
     policy: VictimPolicy,
-    base: &HashMap<TxnId, Priority>,
+    base: &FxHashMap<TxnId, Priority>,
 ) -> TxnId {
     assert!(!cycle.is_empty(), "empty deadlock cycle");
     match policy {
@@ -283,7 +292,7 @@ mod tests {
     #[test]
     fn youngest_victim_policy() {
         let cycle = vec![TxnId(3), TxnId(7), TxnId(5)];
-        let base: HashMap<TxnId, Priority> = HashMap::new();
+        let base: FxHashMap<TxnId, Priority> = FxHashMap::default();
         assert_eq!(
             select_victim(&cycle, VictimPolicy::Youngest, &base),
             TxnId(7)
@@ -293,7 +302,7 @@ mod tests {
     #[test]
     fn lowest_priority_victim_breaks_ties_towards_youngest() {
         let cycle = vec![TxnId(3), TxnId(7)];
-        let mut base = HashMap::new();
+        let mut base = FxHashMap::default();
         base.insert(TxnId(3), Priority::new(5));
         base.insert(TxnId(7), Priority::new(5));
         assert_eq!(

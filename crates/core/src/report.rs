@@ -48,6 +48,10 @@ pub struct RunReport {
     pub cpu_busy: SimDuration,
     /// Messages sent across links (distributed runs only).
     pub remote_messages: u64,
+    /// Kernel events executed by the simulation engine — the denominator
+    /// of the events-per-second throughput figure the bench harness
+    /// reports.
+    pub events: u64,
     /// Final object stores, one per site (a single-site run has one).
     pub stores: Vec<ObjectStore>,
     /// Temporal-consistency measurements, when multiversion reads were

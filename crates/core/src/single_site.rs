@@ -23,13 +23,14 @@
 //! correctness invariant the integration tests check alongside conflict
 //! serialisability.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
 use monitor::{Monitor, RunStats};
 use rtdb::{Catalog, LockMode, ObjectId, OpKind, Operation, Placement, TxnId, TxnSpec};
 use starlite::{
-    Completion, Cpu, CpuToken, Engine, EventId, IoDevice, Model, Removed, Scheduler, SimTime,
+    Completion, Cpu, CpuToken, Engine, EventId, FxHashMap, IoDevice, Model, Removed, Scheduler,
+    SimTime,
 };
 use workload::{Generator, WorkloadSpec};
 
@@ -85,8 +86,8 @@ struct SiteModel {
     io: IoDevice<(TxnId, u32)>,
     store: rtdb::ObjectStore,
     monitor: Monitor,
-    specs: HashMap<TxnId, TxnSpec>,
-    exec: HashMap<TxnId, Exec>,
+    specs: FxHashMap<TxnId, TxnSpec>,
+    exec: FxHashMap<TxnId, Exec>,
 }
 
 impl fmt::Debug for SiteModel {
@@ -459,7 +460,7 @@ pub fn run_transactions(
     catalog: &Catalog,
     txns: Vec<TxnSpec>,
 ) -> RunReport {
-    let mut specs = HashMap::new();
+    let mut specs = FxHashMap::default();
     let mut arrivals = Vec::with_capacity(txns.len());
     for spec in txns {
         arrivals.push((spec.arrival, spec.id));
@@ -482,7 +483,7 @@ pub fn run_transactions(
         store: rtdb::ObjectStore::new(catalog.db_size()),
         monitor,
         specs,
-        exec: HashMap::new(),
+        exec: FxHashMap::default(),
     };
     let mut engine = Engine::new(model);
     for (arrival, id) in arrivals {
@@ -490,7 +491,7 @@ pub fn run_transactions(
     }
     // Generous cap: every transaction contributes a bounded number of
     // events per attempt, and attempts are bounded by deadlines.
-    engine.run_to_completion(Some(500_000_000));
+    let events = engine.run_to_completion(Some(500_000_000));
     let makespan = engine.now();
     let model = engine.into_model();
     assert!(
@@ -505,6 +506,7 @@ pub fn run_transactions(
         preemptions: model.cpu.preemption_count(),
         cpu_busy: model.cpu.busy_time(),
         remote_messages: 0,
+        events,
         monitor: model.monitor,
         stores: vec![model.store],
         temporal: None,
@@ -520,7 +522,7 @@ pub fn run_transactions(
 /// Panics on any violated invariant.
 pub fn check_store_integrity(report: &RunReport) {
     for (site_idx, store) in report.stores.iter().enumerate() {
-        let mut write_counts: HashMap<ObjectId, u64> = HashMap::new();
+        let mut write_counts: FxHashMap<ObjectId, u64> = FxHashMap::default();
         for op in report.monitor.history().operations() {
             if op.kind == OpKind::Write && op.site.index() == site_idx {
                 *write_counts.entry(op.object).or_default() += 1;

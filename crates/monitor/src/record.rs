@@ -1,6 +1,6 @@
 //! Per-transaction lifecycle records.
 
-use std::collections::HashMap;
+use starlite::FxHashMap;
 use std::fmt;
 
 use rtdb::{History, Operation, TxnId, TxnKind, TxnSpec};
@@ -106,7 +106,7 @@ impl TxnRecord {
 /// ```
 #[derive(Default)]
 pub struct Monitor {
-    records: HashMap<TxnId, TxnRecord>,
+    records: FxHashMap<TxnId, TxnRecord>,
     history: History,
     timeline: Option<Timeline>,
 }

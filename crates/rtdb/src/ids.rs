@@ -6,7 +6,9 @@ use serde::{Deserialize, Serialize};
 
 /// Identifies a transaction (globally unique across sites and restarts of
 /// the same logical transaction: a restarted transaction keeps its id).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct TxnId(pub u64);
 
 impl fmt::Display for TxnId {
@@ -16,7 +18,9 @@ impl fmt::Display for TxnId {
 }
 
 /// Identifies a data object in the (logical, replicated) database.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct ObjectId(pub u32);
 
 impl fmt::Display for ObjectId {

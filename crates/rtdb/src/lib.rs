@@ -28,6 +28,7 @@ pub mod history;
 pub mod ids;
 pub mod lock;
 pub mod object;
+pub mod small;
 pub mod txn;
 pub mod wfg;
 
@@ -37,5 +38,6 @@ pub use history::{History, OpKind, Operation};
 pub use ids::{ObjectId, SiteId, TxnId};
 pub use lock::{GrantedLock, LockMode, LockOutcome, LockTable, QueuePolicy};
 pub use object::{DataObject, ObjectStore};
+pub use small::InlineVec;
 pub use txn::{TxnKind, TxnSpec, TxnState};
 pub use wfg::WaitsForGraph;

@@ -37,18 +37,20 @@
 //! assert_eq!(woken[0].txn, TxnId(2));
 //! ```
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
-use starlite::Priority;
+use starlite::{FxHashMap, FxHashSet, Priority};
 
 use crate::ids::{ObjectId, TxnId};
+use crate::small::InlineVec;
 
 /// Lock modes with the usual compatibility: reads share, writes exclude.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum LockMode {
     /// Shared access.
+    #[default]
     Read,
     /// Exclusive access.
     Write,
@@ -108,7 +110,9 @@ struct Waiter {
 
 #[derive(Debug, Default)]
 struct ObjectLock {
-    holders: Vec<(TxnId, LockMode)>,
+    /// Holders stay inline for up to four concurrent readers — the common
+    /// case allocates nothing on first lock.
+    holders: InlineVec<(TxnId, LockMode), 4>,
     queue: VecDeque<Waiter>,
 }
 
@@ -120,12 +124,22 @@ impl ObjectLock {
             .map(|&(_, m)| m)
     }
 
-    fn conflicts_with_holders(&self, txn: TxnId, mode: LockMode) -> Vec<TxnId> {
+    /// Allocation-free conflict test for the grant fast path.
+    fn has_holder_conflict(&self, txn: TxnId, mode: LockMode) -> bool {
         self.holders
             .iter()
-            .filter(|(t, m)| *t != txn && !m.compatible(mode))
-            .map(|&(t, _)| t)
-            .collect()
+            .any(|&(t, m)| t != txn && !m.compatible(mode))
+    }
+
+    /// Appends the conflicting holders to `out` (callers own the buffer, so
+    /// the hot path can reuse one).
+    fn conflicts_into(&self, txn: TxnId, mode: LockMode, out: &mut Vec<TxnId>) {
+        out.extend(
+            self.holders
+                .iter()
+                .filter(|&&(t, m)| t != txn && !m.compatible(mode))
+                .map(|&(t, _)| t),
+        );
     }
 }
 
@@ -134,13 +148,16 @@ impl ObjectLock {
 /// See the [module documentation](self) for semantics and an example.
 pub struct LockTable {
     policy: QueuePolicy,
-    locks: HashMap<ObjectId, ObjectLock>,
-    held_by: HashMap<TxnId, HashSet<ObjectId>>,
-    waiting_on: HashMap<TxnId, ObjectId>,
+    locks: FxHashMap<ObjectId, ObjectLock>,
+    held_by: FxHashMap<TxnId, FxHashSet<ObjectId>>,
+    waiting_on: FxHashMap<TxnId, ObjectId>,
     next_seq: u64,
     grants: u64,
     waits: u64,
     upgrades: u64,
+    /// Reused by [`LockTable::release_all`] for the affected-object list, so
+    /// the per-commit release path stops allocating once warm.
+    scratch_objs: Vec<ObjectId>,
 }
 
 impl fmt::Debug for LockTable {
@@ -159,13 +176,14 @@ impl LockTable {
     pub fn new(policy: QueuePolicy) -> Self {
         LockTable {
             policy,
-            locks: HashMap::new(),
-            held_by: HashMap::new(),
-            waiting_on: HashMap::new(),
+            locks: FxHashMap::default(),
+            held_by: FxHashMap::default(),
+            waiting_on: FxHashMap::default(),
             next_seq: 0,
             grants: 0,
             waits: 0,
             upgrades: 0,
+            scratch_objs: Vec::new(),
         }
     }
 
@@ -207,9 +225,8 @@ impl LockTable {
             }
             Some(LockMode::Read) => {
                 // Upgrade request.
-                let others = state.conflicts_with_holders(txn, LockMode::Write);
-                if others.is_empty() {
-                    for h in &mut state.holders {
+                if !state.has_holder_conflict(txn, LockMode::Write) {
+                    for h in state.holders.iter_mut() {
                         if h.0 == txn {
                             h.1 = LockMode::Write;
                         }
@@ -218,6 +235,8 @@ impl LockTable {
                     self.upgrades += 1;
                     return LockOutcome::Granted;
                 }
+                let mut others = Vec::new();
+                state.conflicts_into(txn, LockMode::Write, &mut others);
                 let waiter = Waiter {
                     txn,
                     mode: LockMode::Write,
@@ -235,7 +254,6 @@ impl LockTable {
             None => {}
         }
 
-        let holder_conflicts = state.conflicts_with_holders(txn, mode);
         // The request may be granted directly only if no waiter that would
         // be served before it conflicts with it. Under FIFO every queued
         // waiter is served first; under Priority only the more urgent ones.
@@ -246,7 +264,7 @@ impl LockTable {
                 .iter()
                 .all(|w| w.priority < priority || w.mode.compatible(mode)),
         };
-        if holder_conflicts.is_empty() && can_bypass_queue {
+        if can_bypass_queue && !state.has_holder_conflict(txn, mode) {
             state.holders.push((txn, mode));
             self.held_by.entry(txn).or_default().insert(object);
             self.grants += 1;
@@ -255,7 +273,8 @@ impl LockTable {
 
         // Blockers: conflicting holders plus conflicting waiters that will
         // be served before this request.
-        let mut blockers = holder_conflicts;
+        let mut blockers = Vec::new();
+        state.conflicts_into(txn, mode, &mut blockers);
         for w in &state.queue {
             let ahead = match self.policy {
                 QueuePolicy::Fifo => true,
@@ -289,7 +308,8 @@ impl LockTable {
     /// grantable read-to-write upgrade is always served first. Returns the
     /// requests granted by this release.
     pub fn release_all(&mut self, txn: TxnId) -> Vec<GrantedLock> {
-        let mut affected: Vec<ObjectId> = Vec::new();
+        let mut affected = std::mem::take(&mut self.scratch_objs);
+        affected.clear();
         if let Some(objs) = self.held_by.remove(&txn) {
             for obj in objs {
                 if let Some(state) = self.locks.get_mut(&obj) {
@@ -308,9 +328,10 @@ impl LockTable {
         affected.dedup();
 
         let mut granted = Vec::new();
-        for obj in affected {
+        for &obj in &affected {
             self.grant_pass(obj, &mut granted);
         }
+        self.scratch_objs = affected;
         granted
     }
 
@@ -334,50 +355,63 @@ impl LockTable {
 
     /// All transactions currently waiting for some lock, sorted by id.
     pub fn waiters(&self) -> Vec<TxnId> {
-        let mut v: Vec<TxnId> = self.waiting_on.keys().copied().collect();
-        v.sort_unstable();
+        let mut v = Vec::new();
+        self.waiters_into(&mut v);
         v
+    }
+
+    /// Like [`LockTable::waiters`], writing into a caller-owned buffer so
+    /// periodic deadlock-detection passes can reuse one allocation.
+    pub fn waiters_into(&self, out: &mut Vec<TxnId>) {
+        out.clear();
+        out.extend(self.waiting_on.keys().copied());
+        out.sort_unstable();
     }
 
     /// The transactions currently blocking `txn` (empty when not waiting).
     /// This recomputes the same set [`LockTable::request`] reported, against
     /// the current table state.
     pub fn current_blockers(&self, txn: TxnId) -> Vec<TxnId> {
+        let mut v = Vec::new();
+        self.current_blockers_into(txn, &mut v);
+        v
+    }
+
+    /// Like [`LockTable::current_blockers`], writing into a caller-owned
+    /// buffer (cleared first) so waits-for-graph refreshes can reuse one.
+    pub fn current_blockers_into(&self, txn: TxnId, out: &mut Vec<TxnId>) {
+        out.clear();
         let Some(&obj) = self.waiting_on.get(&txn) else {
-            return Vec::new();
+            return;
         };
         let Some(state) = self.locks.get(&obj) else {
-            return Vec::new();
+            return;
         };
         let Some(me) = state.queue.iter().find(|w| w.txn == txn) else {
-            return Vec::new();
+            return;
         };
-        let mut blockers = state.conflicts_with_holders(txn, me.mode);
+        state.conflicts_into(txn, me.mode, out);
         // An upgrade waits only for the other holders: it is served before
         // any queued request, so counting queued writers here would inject
         // phantom waits-for edges (and spurious deadlock cycles).
-        if me.upgrade {
-            blockers.sort_unstable();
-            blockers.dedup();
-            return blockers;
-        }
-        for w in &state.queue {
-            if w.txn == txn {
-                continue;
-            }
-            let ahead = match self.policy {
-                QueuePolicy::Fifo => w.seq < me.seq,
-                QueuePolicy::Priority => {
-                    w.priority > me.priority || (w.priority == me.priority && w.seq < me.seq)
+        if !me.upgrade {
+            for w in &state.queue {
+                if w.txn == txn {
+                    continue;
                 }
-            };
-            if ahead && !w.mode.compatible(me.mode) {
-                blockers.push(w.txn);
+                let ahead = match self.policy {
+                    QueuePolicy::Fifo => w.seq < me.seq,
+                    QueuePolicy::Priority => {
+                        w.priority > me.priority || (w.priority == me.priority && w.seq < me.seq)
+                    }
+                };
+                if ahead && !w.mode.compatible(me.mode) {
+                    out.push(w.txn);
+                }
             }
         }
-        blockers.sort_unstable();
-        blockers.dedup();
-        blockers
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Mode held by `txn` on `object`, if any.
@@ -397,12 +431,13 @@ impl LockTable {
             .unwrap_or_default()
     }
 
-    /// Current holders of `object` with their modes.
-    pub fn holders(&self, object: ObjectId) -> Vec<(TxnId, LockMode)> {
+    /// Current holders of `object` with their modes, as a borrowed view
+    /// (the hot monitoring path must not clone the holder list).
+    pub fn holders(&self, object: ObjectId) -> &[(TxnId, LockMode)] {
         self.locks
             .get(&object)
-            .map(|s| s.holders.clone())
-            .unwrap_or_default()
+            .map(|s| s.holders.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Number of requests granted so far (including re-grants and upgrades).
@@ -507,14 +542,14 @@ impl LockTable {
             let eligible = if w.upgrade {
                 state.holders.iter().all(|&(t, _)| t == w.txn)
             } else {
-                state.conflicts_with_holders(w.txn, w.mode).is_empty()
+                !state.has_holder_conflict(w.txn, w.mode)
             };
             if !eligible {
                 return;
             }
             let w = state.queue.remove(idx).expect("index in range");
             if w.upgrade {
-                for h in &mut state.holders {
+                for h in state.holders.iter_mut() {
                     if h.0 == w.txn {
                         h.1 = LockMode::Write;
                     }

@@ -1,0 +1,219 @@
+//! A small-vector type for hot-path collections.
+//!
+//! Lock holder lists are overwhelmingly short: most objects have one
+//! holder, read-shared objects a handful. Storing them in a `Vec` puts a
+//! heap allocation on every first lock of an object; [`InlineVec`] keeps up
+//! to `N` elements inline in the parent struct and only spills to the heap
+//! beyond that.
+//!
+//! This is a deliberately minimal, `unsafe`-free take on the usual
+//! small-vector design: elements must be `Copy + Default` so the inline
+//! buffer can be a plain array (vacant cells hold `T::default()` and are
+//! never observed). Once a spill happens, all elements live in the heap
+//! vector until the collection empties — re-inlining on shrink would buy
+//! little and complicate the invariant.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A vector storing up to `N` elements inline, spilling to the heap beyond.
+///
+/// Invariant: either `spill` is empty and the first `len` cells of `inline`
+/// hold the elements, or `spill` holds *all* elements (`len == spill.len()`).
+#[derive(Clone)]
+pub struct InlineVec<T: Copy + Default, const N: usize> {
+    inline: [T; N],
+    len: usize,
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// Creates an empty vector (no heap allocation).
+    pub fn new() -> Self {
+        InlineVec {
+            inline: [T::default(); N],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Appends an element, spilling to the heap past `N` elements.
+    pub fn push(&mut self, value: T) {
+        if self.spill.is_empty() {
+            if self.len < N {
+                self.inline[self.len] = value;
+                self.len += 1;
+                return;
+            }
+            // First spill: move the inline prefix to the heap.
+            self.spill.reserve(N + 1);
+            self.spill.extend_from_slice(&self.inline[..self.len]);
+        }
+        self.spill.push(value);
+        self.len += 1;
+    }
+
+    /// Keeps only the elements for which `f` returns `true`, preserving
+    /// order.
+    pub fn retain(&mut self, mut f: impl FnMut(&T) -> bool) {
+        if self.spill.is_empty() {
+            let mut kept = 0;
+            for i in 0..self.len {
+                if f(&self.inline[i]) {
+                    self.inline[kept] = self.inline[i];
+                    kept += 1;
+                }
+            }
+            self.len = kept;
+        } else {
+            self.spill.retain(|v| f(v));
+            self.len = self.spill.len();
+        }
+    }
+
+    /// Removes all elements, keeping any spill capacity.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// The elements as a contiguous slice.
+    pub fn as_slice(&self) -> &[T] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// The elements as a contiguous mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.spill.is_empty() {
+            &mut self.inline[..self.len]
+        } else {
+            &mut self.spill
+        }
+    }
+
+    /// `true` once elements have spilled to the heap.
+    pub fn spilled(&self) -> bool {
+        !self.spill.is_empty()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Deref for InlineVec<T, N> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> DerefMut for InlineVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(!v.spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn spills_past_capacity_preserving_order() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        assert!(v.spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn retain_inline_and_spilled() {
+        let mut v: InlineVec<u32, 3> = InlineVec::new();
+        for i in 0..3 {
+            v.push(i);
+        }
+        v.retain(|&x| x != 1);
+        assert_eq!(v.as_slice(), &[0, 2]);
+
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for i in 0..6 {
+            v.push(i);
+        }
+        v.retain(|&x| x % 2 == 0);
+        assert_eq!(v.as_slice(), &[0, 2, 4]);
+        // Spilled representation persists after shrinking below N.
+        v.retain(|&x| x == 0);
+        assert_eq!(v.as_slice(), &[0]);
+        v.push(9);
+        assert_eq!(v.as_slice(), &[0, 9]);
+    }
+
+    #[test]
+    fn clear_returns_to_inline_mode() {
+        let mut v: InlineVec<u32, 1> = InlineVec::new();
+        v.push(1);
+        v.push(2);
+        assert!(v.spilled());
+        v.clear();
+        assert!(v.is_empty());
+        assert!(!v.spilled());
+        v.push(7);
+        assert_eq!(v.as_slice(), &[7]);
+    }
+
+    #[test]
+    fn slice_ops_via_deref() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        v.push(3);
+        v.push(1);
+        assert!(v.contains(&3));
+        assert_eq!(v[1], 1);
+        for x in v.iter_mut() {
+            *x += 10;
+        }
+        assert_eq!(v.as_slice(), &[13, 11]);
+    }
+}

@@ -9,7 +9,7 @@
 //! The priority ceiling protocol never creates cycles — the integration
 //! tests assert that by running the same detector over its blocks.
 
-use std::collections::{HashMap, HashSet};
+use starlite::{FxHashMap, FxHashSet};
 use std::fmt;
 
 use crate::ids::TxnId;
@@ -31,7 +31,7 @@ use crate::ids::TxnId;
 /// ```
 #[derive(Default, Clone)]
 pub struct WaitsForGraph {
-    edges: HashMap<TxnId, HashSet<TxnId>>,
+    edges: FxHashMap<TxnId, FxHashSet<TxnId>>,
 }
 
 impl fmt::Debug for WaitsForGraph {
@@ -91,8 +91,8 @@ impl WaitsForGraph {
     pub fn cycle_from(&self, start: TxnId) -> Option<Vec<TxnId>> {
         // Iterative DFS with an explicit path stack.
         let mut on_path: Vec<TxnId> = Vec::new();
-        let mut on_path_set: HashSet<TxnId> = HashSet::new();
-        let mut visited: HashSet<TxnId> = HashSet::new();
+        let mut on_path_set: FxHashSet<TxnId> = FxHashSet::default();
+        let mut visited: FxHashSet<TxnId> = FxHashSet::default();
         // Stack holds (node, next-neighbour-iterator position).
         let mut stack: Vec<(TxnId, Vec<TxnId>, usize)> = Vec::new();
 

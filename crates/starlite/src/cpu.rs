@@ -13,6 +13,18 @@
 //! the mechanism priority inheritance relies on — are supported through
 //! [`Cpu::set_priority`] and may themselves trigger preemption.
 //!
+//! # Ready-queue layout
+//!
+//! The ready queue is a binary heap of `(priority, Reverse(seq))` keys over
+//! a slab of entries, so picking the next task is O(log n) instead of a
+//! linear scan, while FIFO order within equal priorities is preserved (the
+//! seniority sequence number is assigned at first submission and survives
+//! preemptions). Membership tests and priority updates go through an
+//! index keyed by task id; a priority update invalidates the task's old
+//! heap key by bumping its slab slot's generation and pushes a fresh key,
+//! and stale keys are skipped when popped. Under FCFS every key carries
+//! the same priority, so the heap degenerates to pure arrival order.
+//!
 //! # Example
 //!
 //! ```
@@ -31,9 +43,12 @@
 //! assert_eq!(urgent.unwrap().task, 9);
 //! ```
 
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 use std::fmt;
 use std::hash::Hash;
 
+use crate::hashing::FxHashMap;
 use crate::priority::Priority;
 use crate::time::{SimDuration, SimTime};
 
@@ -123,13 +138,53 @@ struct ReadyEntry<T> {
     seq: u64,
 }
 
+/// One ready-slab slot. The generation counts invalidations (vacates and
+/// priority changes); heap keys carry the generation they were pushed
+/// under, so a stale key is recognised in O(1) when popped.
+#[derive(Debug)]
+struct ReadySlot<T> {
+    generation: u32,
+    entry: Option<ReadyEntry<T>>,
+}
+
+/// A dispatch-order key: most urgent priority first, then earliest
+/// seniority. Under FCFS all keys carry [`Priority::MIN`], so ordering
+/// falls through to pure seniority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ReadyKey {
+    priority: Priority,
+    seq: u64,
+    slot: u32,
+    generation: u32,
+}
+
+impl PartialOrd for ReadyKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ReadyKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: higher priority wins, then the *smaller* sequence
+        // number (FIFO within a priority level).
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
 /// A single simulated processor.
 ///
 /// See the [module documentation](self) for the driving pattern.
 pub struct Cpu<T> {
     policy: CpuPolicy,
     running: Option<Running<T>>,
-    ready: Vec<ReadyEntry<T>>,
+    heap: BinaryHeap<ReadyKey>,
+    slots: Vec<ReadySlot<T>>,
+    free: Vec<u32>,
+    index: FxHashMap<T, u32>,
+    ready: usize,
     next_token: u64,
     next_seq: u64,
     busy: SimDuration,
@@ -142,7 +197,7 @@ impl<T> fmt::Debug for Cpu<T> {
         f.debug_struct("Cpu")
             .field("policy", &self.policy)
             .field("busy", &self.running.is_some())
-            .field("ready_len", &self.ready.len())
+            .field("ready_len", &self.ready)
             .field("dispatches", &self.dispatches)
             .field("preemptions", &self.preemptions)
             .finish()
@@ -155,13 +210,92 @@ impl<T: Copy + Eq + Hash + fmt::Debug> Cpu<T> {
         Cpu {
             policy,
             running: None,
-            ready: Vec::new(),
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: FxHashMap::default(),
+            ready: 0,
             next_token: 0,
             next_seq: 0,
             busy: SimDuration::ZERO,
             dispatches: 0,
             preemptions: 0,
         }
+    }
+
+    /// The heap rank of a ready entry: its priority under the preemptive
+    /// policy, a constant under FCFS (so dispatch order ignores it).
+    fn rank(&self, priority: Priority) -> Priority {
+        match self.policy {
+            CpuPolicy::PreemptivePriority => priority,
+            CpuPolicy::Fcfs => Priority::MIN,
+        }
+    }
+
+    /// Parks an entry in the ready slab and pushes its dispatch key.
+    fn enqueue_ready(&mut self, entry: ReadyEntry<T>) {
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("ready slab exceeds u32 slots");
+                self.slots.push(ReadySlot {
+                    generation: 0,
+                    entry: None,
+                });
+                slot
+            }
+        };
+        let key = ReadyKey {
+            priority: self.rank(entry.priority),
+            seq: entry.seq,
+            slot,
+            generation: self.slots[slot as usize].generation,
+        };
+        self.index.insert(entry.task, slot);
+        let cell = &mut self.slots[slot as usize];
+        debug_assert!(cell.entry.is_none(), "free list returned an occupied slot");
+        cell.entry = Some(entry);
+        self.heap.push(key);
+        self.ready += 1;
+    }
+
+    /// Pops the most urgent valid ready entry, discarding stale keys.
+    fn pop_best(&mut self) -> Option<ReadyEntry<T>> {
+        while let Some(key) = self.heap.pop() {
+            let cell = &mut self.slots[key.slot as usize];
+            if cell.generation != key.generation {
+                continue; // invalidated by a priority change or removal
+            }
+            let entry = cell.entry.take().expect("valid key for an empty slot");
+            cell.generation = cell.generation.wrapping_add(1);
+            self.free.push(key.slot);
+            self.index.remove(&entry.task);
+            self.ready -= 1;
+            return Some(entry);
+        }
+        None
+    }
+
+    /// Drops a ready entry by slot, invalidating its outstanding key.
+    fn vacate_ready(&mut self, slot: u32) -> ReadyEntry<T> {
+        let cell = &mut self.slots[slot as usize];
+        let entry = cell.entry.take().expect("vacating an empty ready slot");
+        cell.generation = cell.generation.wrapping_add(1);
+        self.free.push(slot);
+        self.ready -= 1;
+        entry
+    }
+
+    /// The most urgent ready priority, if any (preemptive policy only).
+    fn best_ready_priority(&mut self) -> Option<Priority> {
+        while let Some(key) = self.heap.peek() {
+            let cell = &self.slots[key.slot as usize];
+            if cell.generation == key.generation {
+                return Some(key.priority);
+            }
+            self.heap.pop(); // discard the stale key and keep looking
+        }
+        None
     }
 
     /// Submits `work` ticks of processing for `task` at effective priority
@@ -197,7 +331,7 @@ impl<T: Copy + Eq + Hash + fmt::Debug> Cpu<T> {
                     self.preempt_running(now);
                     Some(self.start(task, priority, work, seq, now))
                 } else {
-                    self.ready.push(ReadyEntry {
+                    self.enqueue_ready(ReadyEntry {
                         task,
                         priority,
                         remaining: work,
@@ -255,8 +389,14 @@ impl<T: Copy + Eq + Hash + fmt::Debug> Cpu<T> {
                     return None;
                 }
             }
-            if let Some(entry) = self.ready.iter_mut().find(|e| e.task == task) {
+            if let Some(&slot) = self.index.get(&task) {
+                let entry = self.slots[slot as usize]
+                    .entry
+                    .as_mut()
+                    .expect("indexed ready slot is occupied");
                 entry.priority = priority;
+                // The heap key stays valid: FCFS keys rank by seniority
+                // only, so no re-keying is needed.
             }
             return None;
         }
@@ -265,16 +405,28 @@ impl<T: Copy + Eq + Hash + fmt::Debug> Cpu<T> {
             self.running.as_mut().expect("checked above").priority = priority;
             // The running task may now be less urgent than a ready one.
             let must_yield = self
-                .best_ready_index()
-                .is_some_and(|best| self.ready[best].priority > priority);
+                .best_ready_priority()
+                .is_some_and(|best| best > priority);
             if must_yield {
                 self.preempt_running(now);
                 return self.dispatch_next(now);
             }
             return None;
         }
-        if let Some(idx) = self.ready.iter().position(|e| e.task == task) {
-            self.ready[idx].priority = priority;
+        if let Some(&slot) = self.index.get(&task) {
+            // Invalidate the old key and push a fresh one at the new
+            // priority; the seniority sequence number is preserved.
+            let cell = &mut self.slots[slot as usize];
+            cell.generation = cell.generation.wrapping_add(1);
+            let entry = cell.entry.as_mut().expect("indexed ready slot is occupied");
+            entry.priority = priority;
+            let key = ReadyKey {
+                priority,
+                seq: entry.seq,
+                slot,
+                generation: cell.generation,
+            };
+            self.heap.push(key);
             // CPU idle with a non-empty ready queue cannot happen: we
             // always dispatch eagerly.
             let running_priority = self
@@ -303,8 +455,8 @@ impl<T: Copy + Eq + Hash + fmt::Debug> Cpu<T> {
             let next = self.dispatch_next(now);
             return Removed::WasRunning { next };
         }
-        if let Some(idx) = self.ready.iter().position(|e| e.task == task) {
-            self.ready.swap_remove(idx);
+        if let Some(slot) = self.index.remove(&task) {
+            self.vacate_ready(slot);
             return Removed::WasReady;
         }
         Removed::NotPresent
@@ -312,8 +464,7 @@ impl<T: Copy + Eq + Hash + fmt::Debug> Cpu<T> {
 
     /// Returns `true` if `task` is running or ready on this CPU.
     pub fn contains(&self, task: T) -> bool {
-        self.running.as_ref().is_some_and(|r| r.task == task)
-            || self.ready.iter().any(|e| e.task == task)
+        self.running.as_ref().is_some_and(|r| r.task == task) || self.index.contains_key(&task)
     }
 
     /// The task currently holding the CPU, if any.
@@ -323,7 +474,7 @@ impl<T: Copy + Eq + Hash + fmt::Debug> Cpu<T> {
 
     /// Number of tasks waiting in the ready queue.
     pub fn ready_len(&self) -> usize {
-        self.ready.len()
+        self.ready
     }
 
     /// Total busy time accumulated so far (completed plus preempted work).
@@ -376,7 +527,7 @@ impl<T: Copy + Eq + Hash + fmt::Debug> Cpu<T> {
         let done = elapsed.min(run.remaining);
         self.busy += done;
         self.preemptions += 1;
-        self.ready.push(ReadyEntry {
+        self.enqueue_ready(ReadyEntry {
             task: run.task,
             priority: run.priority,
             remaining: run.remaining.saturating_sub(elapsed),
@@ -386,8 +537,7 @@ impl<T: Copy + Eq + Hash + fmt::Debug> Cpu<T> {
 
     /// Picks and starts the next ready task according to the policy.
     fn dispatch_next(&mut self, now: SimTime) -> Option<StartedBurst<T>> {
-        let idx = self.best_ready_index()?;
-        let entry = self.ready.swap_remove(idx);
+        let entry = self.pop_best()?;
         if entry.remaining.is_zero() {
             // A burst preempted at its exact finish instant: it is done,
             // but its completion must still flow through the normal path so
@@ -411,26 +561,6 @@ impl<T: Copy + Eq + Hash + fmt::Debug> Cpu<T> {
             });
         }
         Some(self.start(entry.task, entry.priority, entry.remaining, entry.seq, now))
-    }
-
-    fn best_ready_index(&self) -> Option<usize> {
-        if self.ready.is_empty() {
-            return None;
-        }
-        let mut best = 0;
-        for i in 1..self.ready.len() {
-            let better = match self.policy {
-                CpuPolicy::PreemptivePriority => {
-                    let (a, b) = (&self.ready[i], &self.ready[best]);
-                    a.priority > b.priority || (a.priority == b.priority && a.seq < b.seq)
-                }
-                CpuPolicy::Fcfs => self.ready[i].seq < self.ready[best].seq,
-            };
-            if better {
-                best = i;
-            }
-        }
-        Some(best)
     }
 }
 
@@ -618,6 +748,30 @@ mod tests {
         cpu.complete(b.token, t(50));
         assert_eq!(cpu.busy_time(), d(50));
         assert_eq!(cpu.dispatch_count(), 1);
+    }
+
+    #[test]
+    fn repeated_priority_updates_do_not_duplicate_dispatch() {
+        // Each update invalidates the previous heap key; the task must be
+        // dispatched exactly once despite three stale keys in the heap.
+        let mut cpu: Cpu<u8> = Cpu::new(CpuPolicy::PreemptivePriority);
+        let b = cpu.submit(1, Priority::new(9), d(10), t(0)).unwrap();
+        cpu.submit(2, Priority::new(1), d(10), t(0));
+        cpu.submit(3, Priority::new(2), d(10), t(0));
+        assert!(cpu.set_priority(2, Priority::new(3), t(1)).is_none());
+        assert!(cpu.set_priority(2, Priority::new(4), t(2)).is_none());
+        assert!(cpu.set_priority(2, Priority::new(5), t(3)).is_none());
+        match cpu.complete(b.token, t(10)) {
+            Completion::Finished { next, .. } => assert_eq!(next.unwrap().task, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(cpu.ready_len(), 1);
+        match cpu.remove(3, t(11)) {
+            Removed::WasReady => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(cpu.ready_len(), 0);
+        assert!(!cpu.contains(3));
     }
 
     #[test]

@@ -1,10 +1,30 @@
 //! The simulation engine: a logical clock driving a cancellable event queue.
+//!
+//! # Queue layout
+//!
+//! The queue is a binary heap of three-word [`QueueKey`]s (firing time,
+//! sequence number, slab handle) over a slab of payloads. Scheduling takes
+//! a free slot from the slab and pushes a key; cancellation is an O(1)
+//! slot invalidation (bump the slot's generation, reclaim it) that leaves
+//! the key behind as a tombstone; popping skips tombstones by comparing
+//! the key's generation against the slot's. When tombstones outnumber the
+//! live keys the heap is rebuilt without them, so memory stays bounded by
+//! the live event count no matter how many cancellations a long run
+//! performs. No path hashes anything.
+//!
+//! # Determinism
+//!
+//! Events fire in `(time, sequence)` order — a total order, since sequence
+//! numbers are unique — and neither the slab layout, the slot reuse
+//! policy, nor a tombstone purge can affect it: purging only removes keys
+//! that would have been skipped anyway. Simulation results are therefore
+//! byte-identical to the pre-slab implementation.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 use std::fmt;
 
-use crate::event::{EventId, Scheduled};
+use crate::event::{EventId, QueueKey};
 use crate::time::{SimDuration, SimTime};
 
 /// A simulation model: the state machine the engine drives.
@@ -22,29 +42,60 @@ pub trait Model {
     fn handle(&mut self, event: Self::Event, sched: &mut Scheduler<Self::Event>);
 }
 
+/// One slab slot: the payload of a live event, or vacant. The generation
+/// counts how many times the slot has been vacated; handles and queue keys
+/// carry the generation they were issued under, so stale ones are
+/// recognised in O(1).
+#[derive(Debug)]
+struct Slot<E> {
+    generation: u32,
+    payload: Option<E>,
+}
+
+/// Counters describing the work a [`Scheduler`] has performed, for
+/// events-per-second throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events scheduled so far.
+    pub scheduled: u64,
+    /// Events cancelled before firing.
+    pub cancelled: u64,
+    /// Events executed (delivered to the model).
+    pub executed: u64,
+    /// Tombstone keys removed by heap rebuilds (excluding those skipped
+    /// one at a time during pops).
+    pub purged: u64,
+    /// Events currently pending.
+    pub pending: usize,
+}
+
 /// The clock and event queue shared by the engine and the running model.
 ///
 /// A `Scheduler` is handed to [`Model::handle`] so handlers can read the
 /// clock, schedule future events, and cancel previously scheduled ones.
 pub struct Scheduler<E> {
     clock: SimTime,
-    queue: BinaryHeap<Reverse<Scheduled<E>>>,
-    /// Ids of queue entries that are still live (scheduled, not yet fired or
-    /// cancelled). Bounded by the queue length.
-    pending: HashSet<EventId>,
-    /// Ids of queue entries cancelled but not yet physically removed; they
-    /// are skipped (and purged) when popped.
-    cancelled: HashSet<EventId>,
+    queue: BinaryHeap<Reverse<QueueKey>>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    /// Occupied slot count == live (pending) events.
+    live: usize,
+    /// Keys in `queue` whose slot generation no longer matches (cancelled
+    /// events not yet skipped or purged).
+    stale_keys: usize,
     next_seq: u64,
     executed: u64,
+    scheduled: u64,
+    cancelled: u64,
+    purged: u64,
 }
 
 impl<E> fmt::Debug for Scheduler<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Scheduler")
             .field("clock", &self.clock)
-            .field("pending", &self.queue.len())
-            .field("cancelled", &self.cancelled.len())
+            .field("pending", &self.live)
+            .field("tombstones", &self.stale_keys)
             .field("executed", &self.executed)
             .finish()
     }
@@ -55,10 +106,15 @@ impl<E> Scheduler<E> {
         Scheduler {
             clock: SimTime::ZERO,
             queue: BinaryHeap::new(),
-            pending: HashSet::new(),
-            cancelled: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            stale_keys: 0,
             next_seq: 0,
             executed: 0,
+            scheduled: 0,
+            cancelled: 0,
+            purged: 0,
         }
     }
 
@@ -83,14 +139,28 @@ impl<E> Scheduler<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        let id = EventId(seq);
-        self.pending.insert(id);
-        self.queue.push(Reverse(Scheduled {
-            at,
-            seq,
-            id,
-            payload: event,
-        }));
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("event slab exceeds u32 slots");
+                self.slots.push(Slot {
+                    generation: 0,
+                    payload: None,
+                });
+                slot
+            }
+        };
+        let cell = &mut self.slots[slot as usize];
+        debug_assert!(
+            cell.payload.is_none(),
+            "free list returned an occupied slot"
+        );
+        cell.payload = Some(event);
+        let id = EventId::pack(slot, cell.generation);
+        self.live += 1;
+        self.scheduled += 1;
+        self.queue.push(Reverse(QueueKey { at, seq, id }));
+        debug_assert_eq!(self.queue.len(), self.live + self.stale_keys);
         id
     }
 
@@ -105,37 +175,101 @@ impl<E> Scheduler<E> {
         self.schedule(self.clock, event)
     }
 
-    /// Cancels a previously scheduled event.
+    /// Cancels a previously scheduled event in O(1).
     ///
     /// Returns `true` if the event had not yet fired (and now never will),
     /// `false` if it already fired or was already cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if self.pending.remove(&id) {
-            self.cancelled.insert(id);
-            true
-        } else {
-            false
+        let Some(cell) = self.slots.get(id.slot() as usize) else {
+            return false;
+        };
+        if cell.generation != id.generation() || cell.payload.is_none() {
+            return false;
         }
+        self.vacate(id.slot());
+        self.stale_keys += 1;
+        self.cancelled += 1;
+        debug_assert_eq!(self.queue.len(), self.live + self.stale_keys);
+        // Keep the heap from silting up with tombstones on cancel-heavy
+        // workloads: once they outnumber live keys (and are worth the
+        // linear rebuild), drop them all at once.
+        if self.stale_keys > 64 && self.stale_keys > self.live {
+            self.purge_tombstones();
+        }
+        true
     }
 
     /// Returns `true` if `id` is scheduled and has neither fired nor been
     /// cancelled.
     pub fn is_pending(&self, id: EventId) -> bool {
-        self.pending.contains(&id)
+        self.slots
+            .get(id.slot() as usize)
+            .is_some_and(|cell| cell.generation == id.generation() && cell.payload.is_some())
+    }
+
+    /// Reclaims `slot`, bumping its generation so outstanding handles and
+    /// queue keys for the old occupant become stale.
+    fn vacate(&mut self, slot: u32) -> E {
+        let cell = &mut self.slots[slot as usize];
+        let payload = cell.payload.take().expect("vacating an empty slot");
+        cell.generation = cell.generation.wrapping_add(1);
+        self.free.push(slot);
+        self.live -= 1;
+        payload
+    }
+
+    /// Rebuilds the heap without tombstone keys.
+    fn purge_tombstones(&mut self) {
+        let keys = std::mem::take(&mut self.queue).into_vec();
+        let mut kept = Vec::with_capacity(self.live);
+        for Reverse(key) in keys {
+            let cell = &self.slots[key.id.slot() as usize];
+            if cell.generation == key.id.generation() {
+                kept.push(Reverse(key));
+            }
+        }
+        self.purged += self.stale_keys as u64;
+        self.stale_keys = 0;
+        self.queue = BinaryHeap::from(kept);
+        debug_assert_eq!(self.queue.len(), self.live);
+    }
+
+    /// Firing time of the next live event, discarding any tombstone keys
+    /// sitting on top of the heap (dropping a stale key is unobservable, so
+    /// this may be called from `&mut self` contexts freely).
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse(key)) = self.queue.peek() {
+            let cell = &self.slots[key.id.slot() as usize];
+            if cell.generation == key.id.generation() {
+                return Some(key.at);
+            }
+            self.queue.pop();
+            self.stale_keys -= 1;
+        }
+        None
     }
 
     /// Pops the next live event, advancing the clock to its firing time.
-    fn pop_next(&mut self) -> Option<Scheduled<E>> {
-        while let Some(Reverse(entry)) = self.queue.pop() {
-            if self.cancelled.remove(&entry.id) {
+    fn pop_next(&mut self) -> Option<E> {
+        while let Some(Reverse(key)) = self.queue.pop() {
+            let cell = &self.slots[key.id.slot() as usize];
+            if cell.generation != key.id.generation() {
+                self.stale_keys -= 1;
                 continue;
             }
-            debug_assert!(entry.at >= self.clock, "event queue went backwards");
-            self.pending.remove(&entry.id);
-            self.clock = entry.at;
+            debug_assert!(key.at >= self.clock, "event queue went backwards");
+            let payload = self.vacate(key.id.slot());
+            self.clock = key.at;
             self.executed += 1;
-            return Some(entry);
+            return Some(payload);
         }
+        // The queue drained: every slot must be vacant and every tombstone
+        // accounted for, or the slab and heap have diverged.
+        debug_assert_eq!(self.live, 0, "queue drained with occupied slots");
+        debug_assert_eq!(
+            self.stale_keys, 0,
+            "queue drained with tombstones unaccounted"
+        );
         None
     }
 
@@ -144,10 +278,21 @@ impl<E> Scheduler<E> {
         self.executed
     }
 
-    /// Number of events currently pending (excluding cancelled entries not
-    /// yet purged from the queue).
+    /// Number of events currently pending (excluding tombstones not yet
+    /// purged from the queue).
     pub fn pending_count(&self) -> usize {
-        self.pending.len()
+        self.live
+    }
+
+    /// Snapshot of the queue's throughput counters.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            scheduled: self.scheduled,
+            cancelled: self.cancelled,
+            executed: self.executed,
+            purged: self.purged,
+            pending: self.live,
+        }
     }
 }
 
@@ -204,12 +349,17 @@ impl<M: Model> Engine<M> {
         &mut self.sched
     }
 
+    /// Snapshot of the event queue's throughput counters.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.sched.stats()
+    }
+
     /// Executes the next pending event, if any. Returns `false` when the
     /// queue is exhausted.
     pub fn step(&mut self) -> bool {
         match self.sched.pop_next() {
-            Some(entry) => {
-                self.model.handle(entry.payload, &mut self.sched);
+            Some(payload) => {
+                self.model.handle(payload, &mut self.sched);
                 true
             }
             None => false,
@@ -217,15 +367,13 @@ impl<M: Model> Engine<M> {
     }
 
     /// Runs until the queue is empty or `horizon` would be crossed; events
-    /// scheduled exactly at the horizon still fire. Returns the number of
+    /// scheduled exactly at the horizon still fire. Cancelled keys on top
+    /// of the heap are skipped when deciding, so the horizon is respected
+    /// even when the earliest key is a tombstone. Returns the number of
     /// events executed.
     pub fn run_until(&mut self, horizon: SimTime) -> u64 {
         let mut n = 0;
-        loop {
-            match self.sched.queue.peek() {
-                Some(Reverse(entry)) if entry.at <= horizon => {}
-                _ => break,
-            }
+        while self.sched.next_event_time().is_some_and(|at| at <= horizon) {
             if !self.step() {
                 break;
             }
@@ -380,5 +528,43 @@ mod tests {
         // Injected was scheduled while handling First, so it fires after
         // Second (which was enqueued earlier for the same instant).
         assert_eq!(eng.model().order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn slot_reuse_does_not_alias_handles() {
+        let mut eng = Engine::new(Recorder::default());
+        let s = eng.scheduler_mut();
+        let a = s.schedule(SimTime::from_ticks(10), Ev::Tag(1));
+        assert!(s.cancel(a));
+        // The slot is reused immediately; the new handle must differ.
+        let b = s.schedule(SimTime::from_ticks(10), Ev::Tag(2));
+        assert_ne!(a, b);
+        assert!(!s.cancel(a), "stale handle must not cancel the new event");
+        assert!(s.is_pending(b));
+        eng.run_to_completion(None);
+        assert_eq!(eng.model().seen, vec![(10, 2)]);
+    }
+
+    #[test]
+    fn mass_cancellation_purges_tombstones() {
+        let mut eng = Engine::new(Recorder::default());
+        let s = eng.scheduler_mut();
+        let ids: Vec<EventId> = (0..1_000)
+            .map(|i| s.schedule(SimTime::from_ticks(100 + i), Ev::Tag(i as u32)))
+            .collect();
+        for id in &ids[..900] {
+            assert!(s.cancel(*id));
+        }
+        // Tombstones outnumbered live keys long ago; the heap must have
+        // been rebuilt down to the live events (plus at most the batch
+        // cancelled since the last purge).
+        assert!(s.queue.len() < 300, "heap kept {} keys", s.queue.len());
+        assert_eq!(s.pending_count(), 100);
+        let stats = s.stats();
+        assert_eq!(stats.cancelled, 900);
+        assert!(stats.purged > 0);
+        eng.run_to_completion(None);
+        assert_eq!(eng.model().seen.len(), 100);
+        assert_eq!(eng.queue_stats().executed, 100);
     }
 }

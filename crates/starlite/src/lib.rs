@@ -50,6 +50,7 @@
 pub mod cpu;
 pub mod engine;
 pub mod event;
+pub mod hashing;
 pub mod io;
 pub mod priority;
 pub mod random;
@@ -57,8 +58,9 @@ pub mod time;
 pub mod trace;
 
 pub use cpu::{Completion, Cpu, CpuPolicy, CpuToken, Removed, StartedBurst};
-pub use engine::{Engine, Model, Scheduler};
+pub use engine::{Engine, Model, QueueStats, Scheduler};
 pub use event::EventId;
+pub use hashing::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use io::IoDevice;
 pub use priority::Priority;
 pub use random::RandomSource;

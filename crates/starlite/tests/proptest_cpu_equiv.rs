@@ -1,0 +1,443 @@
+//! Equivalence test for the heap-based CPU ready queue.
+//!
+//! `RefCpu` below is a port of the original `Cpu` implementation: a flat
+//! `Vec` ready queue scanned linearly for the best entry, with
+//! FIFO-within-priority resolved by a per-submission seniority number. The
+//! heap rewrite must agree with it on every observable: who is dispatched
+//! and when each burst would finish, preemption and dispatch counts, busy
+//! time, and the ready-queue length — under randomized interleavings of
+//! submissions, completions, priority changes (the priority-inheritance
+//! path), removals, and stale completion tokens, for both policies.
+
+use proptest::prelude::*;
+use starlite::{Completion, Cpu, CpuPolicy, CpuToken, Priority, Removed, SimDuration, SimTime};
+
+// ---- reference implementation (original linear-scan ready queue) --------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RefBurst {
+    task: u8,
+    token: u64,
+    finish_at: SimTime,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RefCompletion {
+    Stale,
+    Finished { task: u8, next: Option<RefBurst> },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RefRemoved {
+    WasRunning { next: Option<RefBurst> },
+    WasReady,
+    NotPresent,
+}
+
+#[derive(Debug)]
+struct RefRunning {
+    task: u8,
+    priority: Priority,
+    token: u64,
+    seq: u64,
+    started: SimTime,
+    remaining: SimDuration,
+}
+
+#[derive(Debug)]
+struct RefReady {
+    task: u8,
+    priority: Priority,
+    remaining: SimDuration,
+    seq: u64,
+}
+
+struct RefCpu {
+    policy: CpuPolicy,
+    running: Option<RefRunning>,
+    ready: Vec<RefReady>,
+    next_token: u64,
+    next_seq: u64,
+    busy: SimDuration,
+    dispatches: u64,
+    preemptions: u64,
+}
+
+impl RefCpu {
+    fn new(policy: CpuPolicy) -> Self {
+        RefCpu {
+            policy,
+            running: None,
+            ready: Vec::new(),
+            next_token: 0,
+            next_seq: 0,
+            busy: SimDuration::ZERO,
+            dispatches: 0,
+            preemptions: 0,
+        }
+    }
+
+    fn submit(
+        &mut self,
+        task: u8,
+        priority: Priority,
+        work: SimDuration,
+        now: SimTime,
+    ) -> Option<RefBurst> {
+        assert!(!work.is_zero());
+        assert!(!self.contains(task));
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match &self.running {
+            None => Some(self.start(task, priority, work, seq, now)),
+            Some(run) => {
+                if self.policy == CpuPolicy::PreemptivePriority && priority > run.priority {
+                    self.preempt_running(now);
+                    Some(self.start(task, priority, work, seq, now))
+                } else {
+                    self.ready.push(RefReady {
+                        task,
+                        priority,
+                        remaining: work,
+                        seq,
+                    });
+                    None
+                }
+            }
+        }
+    }
+
+    fn complete(&mut self, token: u64, now: SimTime) -> RefCompletion {
+        let is_current = self.running.as_ref().is_some_and(|run| run.token == token);
+        if !is_current {
+            return RefCompletion::Stale;
+        }
+        let run = self.running.take().expect("checked above");
+        assert_eq!(now, run.started + run.remaining);
+        self.busy += run.remaining;
+        let task = run.task;
+        let next = self.dispatch_next(now);
+        RefCompletion::Finished { task, next }
+    }
+
+    fn set_priority(&mut self, task: u8, priority: Priority, now: SimTime) -> Option<RefBurst> {
+        if self.policy == CpuPolicy::Fcfs {
+            if let Some(run) = &mut self.running {
+                if run.task == task {
+                    run.priority = priority;
+                    return None;
+                }
+            }
+            if let Some(entry) = self.ready.iter_mut().find(|e| e.task == task) {
+                entry.priority = priority;
+            }
+            return None;
+        }
+        let runs_task = self.running.as_ref().is_some_and(|run| run.task == task);
+        if runs_task {
+            self.running.as_mut().expect("checked above").priority = priority;
+            let must_yield = self
+                .best_ready_index()
+                .is_some_and(|best| self.ready[best].priority > priority);
+            if must_yield {
+                self.preempt_running(now);
+                return self.dispatch_next(now);
+            }
+            return None;
+        }
+        if let Some(idx) = self.ready.iter().position(|e| e.task == task) {
+            self.ready[idx].priority = priority;
+            let running_priority = self
+                .running
+                .as_ref()
+                .map(|run| run.priority)
+                .expect("ready task with idle CPU");
+            if priority > running_priority {
+                self.preempt_running(now);
+                return self.dispatch_next(now);
+            }
+        }
+        None
+    }
+
+    fn remove(&mut self, task: u8, now: SimTime) -> RefRemoved {
+        let runs_task = self.running.as_ref().is_some_and(|run| run.task == task);
+        if runs_task {
+            let run = self.running.take().expect("checked above");
+            let elapsed = now.since(run.started);
+            self.busy += elapsed.min(run.remaining);
+            let next = self.dispatch_next(now);
+            return RefRemoved::WasRunning { next };
+        }
+        if let Some(idx) = self.ready.iter().position(|e| e.task == task) {
+            self.ready.swap_remove(idx);
+            return RefRemoved::WasReady;
+        }
+        RefRemoved::NotPresent
+    }
+
+    fn contains(&self, task: u8) -> bool {
+        self.running.as_ref().is_some_and(|r| r.task == task)
+            || self.ready.iter().any(|e| e.task == task)
+    }
+
+    fn running_task(&self) -> Option<u8> {
+        self.running.as_ref().map(|r| r.task)
+    }
+
+    fn start(
+        &mut self,
+        task: u8,
+        priority: Priority,
+        remaining: SimDuration,
+        seq: u64,
+        now: SimTime,
+    ) -> RefBurst {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.dispatches += 1;
+        self.running = Some(RefRunning {
+            task,
+            priority,
+            token,
+            seq,
+            started: now,
+            remaining,
+        });
+        RefBurst {
+            task,
+            token,
+            finish_at: now + remaining,
+        }
+    }
+
+    fn preempt_running(&mut self, now: SimTime) {
+        let run = self.running.take().expect("preempt with idle CPU");
+        let elapsed = now.since(run.started);
+        self.busy += elapsed.min(run.remaining);
+        self.preemptions += 1;
+        self.ready.push(RefReady {
+            task: run.task,
+            priority: run.priority,
+            remaining: run.remaining.saturating_sub(elapsed),
+            seq: run.seq,
+        });
+    }
+
+    fn dispatch_next(&mut self, now: SimTime) -> Option<RefBurst> {
+        let idx = self.best_ready_index()?;
+        let entry = self.ready.swap_remove(idx);
+        if entry.remaining.is_zero() {
+            // Preempted at its exact finish instant: run a zero-length
+            // burst so the completion still flows through the caller.
+            let token = self.next_token;
+            self.next_token += 1;
+            self.dispatches += 1;
+            self.running = Some(RefRunning {
+                task: entry.task,
+                priority: entry.priority,
+                token,
+                seq: entry.seq,
+                started: now,
+                remaining: SimDuration::ZERO,
+            });
+            return Some(RefBurst {
+                task: entry.task,
+                token,
+                finish_at: now,
+            });
+        }
+        Some(self.start(entry.task, entry.priority, entry.remaining, entry.seq, now))
+    }
+
+    fn best_ready_index(&self) -> Option<usize> {
+        if self.ready.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for i in 1..self.ready.len() {
+            let better = match self.policy {
+                CpuPolicy::PreemptivePriority => {
+                    let (a, b) = (&self.ready[i], &self.ready[best]);
+                    a.priority > b.priority || (a.priority == b.priority && a.seq < b.seq)
+                }
+                CpuPolicy::Fcfs => self.ready[i].seq < self.ready[best].seq,
+            };
+            if better {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+}
+
+// ---- lock-step driver ---------------------------------------------------
+
+/// Currently running burst as (heap token, reference token, finish time).
+type Live = (CpuToken, u64, SimTime);
+
+/// Asserts both `Option<StartedBurst>`-likes describe the same dispatch
+/// and returns the new live burst, folding the displaced one into `stale`.
+fn sync_dispatch(
+    real: Option<starlite::StartedBurst<u8>>,
+    reference: Option<RefBurst>,
+    live: &mut Option<Live>,
+    stale: &mut Vec<(CpuToken, u64)>,
+) -> Result<(), TestCaseError> {
+    match (real, reference) {
+        (None, None) => {}
+        (Some(r), Some(m)) => {
+            prop_assert_eq!(r.task, m.task);
+            prop_assert_eq!(r.finish_at, m.finish_at);
+            prop_assert_eq!(r.token.raw(), m.token);
+            if let Some((rt, mt, _)) = live.take() {
+                stale.push((rt, mt));
+            }
+            *live = Some((r.token, m.token, r.finish_at));
+        }
+        (r, m) => prop_assert!(false, "dispatch diverged: heap {r:?} vs reference {m:?}"),
+    }
+    Ok(())
+}
+
+fn check_counters(cpu: &Cpu<u8>, reference: &RefCpu) -> Result<(), TestCaseError> {
+    prop_assert_eq!(cpu.running_task(), reference.running_task());
+    prop_assert_eq!(cpu.ready_len(), reference.ready.len());
+    prop_assert_eq!(cpu.dispatch_count(), reference.dispatches);
+    prop_assert_eq!(cpu.preemption_count(), reference.preemptions);
+    prop_assert_eq!(cpu.busy_time(), reference.busy);
+    Ok(())
+}
+
+/// One op: `(kind, task, priority level, amount)`. Kinds: 0 submit,
+/// 1 complete running burst, 2 set_priority, 3 remove, 4 advance time
+/// (clamped to the running burst's finish instant), 5 stale completion.
+type Op = (u8, u8, u8, u64);
+
+fn drive(policy: CpuPolicy, ops: Vec<Op>) -> Result<(), TestCaseError> {
+    let mut cpu: Cpu<u8> = Cpu::new(policy);
+    let mut reference = RefCpu::new(policy);
+    let mut now = SimTime::ZERO;
+    let mut live: Option<Live> = None;
+    let mut stale: Vec<(CpuToken, u64)> = Vec::new();
+
+    for (kind, task, level, amount) in ops {
+        let priority = Priority::new(level as i64);
+        match kind {
+            0 => {
+                if cpu.contains(task) {
+                    prop_assert!(reference.contains(task));
+                    continue;
+                }
+                prop_assert!(!reference.contains(task));
+                let work = SimDuration::from_ticks(amount);
+                let r = cpu.submit(task, priority, work, now);
+                let m = reference.submit(task, priority, work, now);
+                sync_dispatch(r, m, &mut live, &mut stale)?;
+            }
+            1 => {
+                let Some((rt, mt, finish_at)) = live.take() else {
+                    continue;
+                };
+                now = finish_at;
+                let r = cpu.complete(rt, now);
+                let m = reference.complete(mt, now);
+                match (r, m) {
+                    (
+                        Completion::Finished { task: rtask, next },
+                        RefCompletion::Finished {
+                            task: mtask,
+                            next: mnext,
+                        },
+                    ) => {
+                        prop_assert_eq!(rtask, mtask);
+                        stale.push((rt, mt));
+                        sync_dispatch(next, mnext, &mut live, &mut stale)?;
+                    }
+                    (r, m) => prop_assert!(false, "completion diverged: {r:?} vs {m:?}"),
+                }
+            }
+            2 => {
+                let r = cpu.set_priority(task, priority, now);
+                let m = reference.set_priority(task, priority, now);
+                sync_dispatch(r, m, &mut live, &mut stale)?;
+            }
+            3 => {
+                let r = cpu.remove(task, now);
+                let m = reference.remove(task, now);
+                match (r, m) {
+                    (Removed::WasRunning { next }, RefRemoved::WasRunning { next: mnext }) => {
+                        // The removed burst's completion token is now dead.
+                        if let Some((rt, mt, _)) = live.take() {
+                            stale.push((rt, mt));
+                        }
+                        sync_dispatch(next, mnext, &mut live, &mut stale)?;
+                    }
+                    (Removed::WasReady, RefRemoved::WasReady) => {}
+                    (Removed::NotPresent, RefRemoved::NotPresent) => {}
+                    (r, m) => prop_assert!(false, "removal diverged: {r:?} vs {m:?}"),
+                }
+            }
+            4 => {
+                // Advance time, but never past the running burst's finish
+                // instant (its completion event would have fired first).
+                // Reaching it exactly sets up zero-remaining preemptions.
+                let target = now + SimDuration::from_ticks(amount);
+                now = match live {
+                    Some((_, _, finish_at)) => target.min(finish_at),
+                    None => target,
+                };
+            }
+            _ => {
+                if stale.is_empty() {
+                    continue;
+                }
+                let (rt, mt) = stale[(amount as usize) % stale.len()];
+                prop_assert_eq!(cpu.complete(rt, now), Completion::Stale);
+                prop_assert_eq!(reference.complete(mt, now), RefCompletion::Stale);
+            }
+        }
+        check_counters(&cpu, &reference)?;
+    }
+
+    // Drain: complete whatever is running until the CPU idles, confirming
+    // the full ready queue unwinds in the same order on both sides.
+    while let Some((rt, mt, finish_at)) = live.take() {
+        now = finish_at;
+        let r = cpu.complete(rt, now);
+        let m = reference.complete(mt, now);
+        match (r, m) {
+            (
+                Completion::Finished { task: rtask, next },
+                RefCompletion::Finished {
+                    task: mtask,
+                    next: mnext,
+                },
+            ) => {
+                prop_assert_eq!(rtask, mtask);
+                sync_dispatch(next, mnext, &mut live, &mut stale)?;
+            }
+            (r, m) => prop_assert!(false, "drain diverged: {r:?} vs {m:?}"),
+        }
+        check_counters(&cpu, &reference)?;
+    }
+    prop_assert_eq!(cpu.running_task(), None);
+    prop_assert_eq!(cpu.ready_len(), 0);
+    Ok(())
+}
+
+fn op_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec((0u8..6, 0u8..6, 0u8..8, 1u64..40), 1..150)
+}
+
+proptest! {
+    #[test]
+    fn heap_cpu_matches_linear_scan_preemptive(ops in op_strategy()) {
+        drive(CpuPolicy::PreemptivePriority, ops)?;
+    }
+
+    #[test]
+    fn heap_cpu_matches_linear_scan_fcfs(ops in op_strategy()) {
+        drive(CpuPolicy::Fcfs, ops)?;
+    }
+}

@@ -1,0 +1,186 @@
+//! Model-based equivalence test for the slab-indexed event queue.
+//!
+//! The slab `Scheduler` (slot-reusing, generation-tagged handles, lazy
+//! tombstone deletion) must be observationally identical to the simple
+//! semantics of the original implementation: a flat list of pending events
+//! fired in `(time, scheduling order)`, where cancelling an unfired event
+//! removes it, cancelling a fired or already-cancelled event is a `false`
+//! no-op, and a handle can never affect any event but the one it was
+//! issued for — even after its slot has been recycled many times.
+//!
+//! The reference model below never reuses handles, so any slot/generation
+//! aliasing bug in the slab shows up as a divergence.
+
+use proptest::prelude::*;
+use starlite::{Engine, EventId, Model, Scheduler, SimTime};
+
+/// Records `(firing time, tag)` pairs in execution order.
+struct Recorder {
+    fired: Vec<(u64, u32)>,
+}
+
+impl Model for Recorder {
+    type Event = u32;
+
+    fn handle(&mut self, tag: u32, sched: &mut Scheduler<u32>) {
+        self.fired.push((sched.now().ticks(), tag));
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RefState {
+    Alive,
+    Cancelled,
+    Fired,
+}
+
+/// Reference event queue: an append-only list scanned linearly. Handles
+/// are plain indices and are never recycled.
+struct RefSched {
+    /// `(firing time, tag, state)`; list order is scheduling order.
+    events: Vec<(u64, u32, RefState)>,
+    fired: Vec<(u64, u32)>,
+    executed: u64,
+}
+
+impl RefSched {
+    fn new() -> Self {
+        RefSched {
+            events: Vec::new(),
+            fired: Vec::new(),
+            executed: 0,
+        }
+    }
+
+    fn schedule(&mut self, at: u64, tag: u32) -> usize {
+        self.events.push((at, tag, RefState::Alive));
+        self.events.len() - 1
+    }
+
+    fn is_pending(&self, handle: usize) -> bool {
+        self.events[handle].2 == RefState::Alive
+    }
+
+    fn cancel(&mut self, handle: usize) -> bool {
+        if self.events[handle].2 == RefState::Alive {
+            self.events[handle].2 = RefState::Cancelled;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn pending_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.2 == RefState::Alive)
+            .count()
+    }
+
+    /// Fires all alive events with `at <= horizon` in `(time, scheduling
+    /// order)`: the first index with the minimal time is the next event.
+    fn run_until(&mut self, horizon: u64) {
+        loop {
+            let next = self
+                .events
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.2 == RefState::Alive && e.0 <= horizon)
+                .min_by_key(|(i, e)| (e.0, *i))
+                .map(|(i, _)| i);
+            let Some(i) = next else { break };
+            self.events[i].2 = RefState::Fired;
+            self.fired.push((self.events[i].0, self.events[i].1));
+            self.executed += 1;
+        }
+    }
+}
+
+proptest! {
+    /// Rounds of interleaved schedule / cancel / partial-drain against the
+    /// reference model. Cancels target random handles over the *entire*
+    /// history — including fired and already-cancelled events whose slots
+    /// the slab has long since recycled — so generation-tag aliasing would
+    /// cancel the wrong event and diverge from the reference.
+    #[test]
+    fn slab_scheduler_matches_reference_model(
+        rounds in prop::collection::vec(
+            (
+                prop::collection::vec(0u64..50, 0..12),
+                prop::collection::vec(any::<u64>(), 0..16),
+                0u64..120,
+            ),
+            1..8,
+        ),
+    ) {
+        let mut engine = Engine::new(Recorder { fired: Vec::new() });
+        let mut reference = RefSched::new();
+        let mut ids: Vec<EventId> = Vec::new();
+        let mut handles: Vec<usize> = Vec::new();
+        let mut next_tag: u32 = 0;
+        let mut horizon: u64 = 0;
+
+        for (deltas, cancel_picks, horizon_delta) in rounds {
+            for delta in deltas {
+                let at = engine.now().ticks() + delta;
+                let tag = next_tag;
+                next_tag += 1;
+                ids.push(engine.scheduler_mut().schedule(SimTime::from_ticks(at), tag));
+                handles.push(reference.schedule(at, tag));
+            }
+            for pick in cancel_picks {
+                if ids.is_empty() {
+                    break;
+                }
+                let i = (pick % ids.len() as u64) as usize;
+                prop_assert_eq!(
+                    engine.scheduler_mut().is_pending(ids[i]),
+                    reference.is_pending(handles[i]),
+                );
+                prop_assert_eq!(
+                    engine.scheduler_mut().cancel(ids[i]),
+                    reference.cancel(handles[i]),
+                );
+            }
+            horizon += horizon_delta;
+            engine.run_until(SimTime::from_ticks(horizon));
+            reference.run_until(horizon);
+            prop_assert_eq!(&engine.model().fired, &reference.fired);
+            prop_assert_eq!(
+                engine.scheduler_mut().pending_count(),
+                reference.pending_count(),
+            );
+        }
+
+        engine.run_to_completion(None);
+        reference.run_until(u64::MAX);
+        prop_assert_eq!(&engine.model().fired, &reference.fired);
+        prop_assert_eq!(engine.scheduler_mut().executed_count(), reference.executed);
+
+        // Every event has fired or been cancelled; no handle may still
+        // cancel anything, no matter how its slot was recycled.
+        for (&id, &h) in ids.iter().zip(&handles) {
+            prop_assert!(!engine.scheduler_mut().cancel(id));
+            prop_assert!(!reference.cancel(h));
+        }
+    }
+}
+
+/// Directed regression: a freed slot is recycled by a new event; the old
+/// handle (same slot, older generation) must not cancel the new occupant.
+#[test]
+fn recycled_slot_rejects_stale_handle() {
+    let mut engine = Engine::new(Recorder { fired: Vec::new() });
+    let old = engine.scheduler_mut().schedule(SimTime::from_ticks(5), 1);
+    assert!(engine.scheduler_mut().cancel(old));
+    // The slab reuses the freed slot for the replacement event.
+    let replacement = engine.scheduler_mut().schedule(SimTime::from_ticks(7), 2);
+    assert!(
+        !engine.scheduler_mut().cancel(old),
+        "stale handle must miss"
+    );
+    assert!(engine.scheduler_mut().is_pending(replacement));
+    engine.run_to_completion(None);
+    assert_eq!(engine.model().fired, vec![(7, 2)]);
+    assert!(!engine.scheduler_mut().cancel(replacement));
+}

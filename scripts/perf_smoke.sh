@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Perf-smoke gate for CI and local use.
+#
+# Re-runs the full figure sweep single-threaded and enforces:
+#   1. Output parity: results/*.json must match the committed figures
+#      exactly, except the environment-dependent `wall_clock_seconds`
+#      and `workers` fields.
+#   2. Wall clock: all_figures must not take more than 2x the committed
+#      BENCH_SWEEP.json baseline.
+#
+# Refreshed BENCH_SWEEP.json / results timing fields are left in the
+# working tree; commit them when the change is a deliberate perf shift.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+wall_clock() {
+    awk -F': ' '/"wall_clock_seconds"/ { gsub(/,/, "", $2); print $2; exit }' BENCH_SWEEP.json
+}
+
+baseline=$(wall_clock)
+if [ -z "${baseline}" ]; then
+    echo "perf-smoke: no committed wall clock in BENCH_SWEEP.json" >&2
+    exit 1
+fi
+
+cargo build --release --workspace
+RTLOCK_BENCH_WORKERS=1 ./target/release/all_figures
+
+echo "perf-smoke: checking simulation output parity"
+if ! git diff --exit-code -I'"wall_clock_seconds"' -I'"workers"' -- results/; then
+    echo "perf-smoke: results/ drifted from the committed figures" >&2
+    exit 1
+fi
+
+current=$(wall_clock)
+echo "perf-smoke: wall clock ${current}s (committed baseline ${baseline}s)"
+if ! awk -v cur="${current}" -v base="${baseline}" 'BEGIN { exit !(cur <= 2.0 * base) }'; then
+    echo "perf-smoke: all_figures regressed more than 2x (${current}s vs ${baseline}s)" >&2
+    exit 1
+fi
+echo "perf-smoke: OK"
