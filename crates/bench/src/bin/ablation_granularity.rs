@@ -37,6 +37,7 @@ fn main() {
         }
     }
     let swept = sweep.run(default_workers());
+    rtlock_bench::trace::maybe_trace(&sweep);
 
     let mut columns = vec!["granularity".to_string()];
     for p in &protocols {

@@ -35,6 +35,7 @@ fn main() {
         }
     }
     let swept = sweep.run(default_workers());
+    rtlock_bench::trace::maybe_trace(&sweep);
 
     let mut columns = vec!["size".to_string()];
     for (label, _) in &configs {

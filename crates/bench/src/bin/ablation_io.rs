@@ -44,6 +44,7 @@ fn main() {
         }
     }
     let swept = sweep.run(default_workers());
+    rtlock_bench::trace::maybe_trace(&sweep);
 
     let mut columns = vec!["io_channels".to_string()];
     for p in &protocols {

@@ -45,6 +45,7 @@ fn main() {
         );
     }
     let swept = sweep.run(default_workers());
+    rtlock_bench::trace::maybe_trace(&sweep);
 
     let mut table = Table::new(vec![
         "size".into(),

@@ -38,6 +38,7 @@ fn main() {
         }
     }
     let swept = sweep.run(default_workers());
+    rtlock_bench::trace::maybe_trace(&sweep);
 
     let mut columns = vec![
         "delay_units".to_string(),

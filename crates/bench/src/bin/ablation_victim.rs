@@ -41,6 +41,7 @@ fn main() {
         }
     }
     let swept = sweep.run(default_workers());
+    rtlock_bench::trace::maybe_trace(&sweep);
 
     let mut columns = vec!["size".to_string()];
     for (label, _, _) in &cases {

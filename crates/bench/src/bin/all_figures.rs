@@ -40,6 +40,7 @@ fn main() {
         }
     }
     let swept = sweep.run(default_workers());
+    rtlock_bench::trace::maybe_trace(&sweep);
 
     let size_point = |kind: ProtocolKind, size: u32| {
         let p = swept.point(&size_label(kind, size));

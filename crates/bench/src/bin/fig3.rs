@@ -19,6 +19,7 @@ fn main() {
     let mut sweep = Sweep::new();
     declare_size_grid(&mut sweep, &protocols, params::TXNS_PER_RUN, params::SEEDS);
     let swept = sweep.run(default_workers());
+    rtlock_bench::trace::maybe_trace(&sweep);
     let points = size_points_from(&swept, &protocols);
 
     let mut table = Table::new(vec![

@@ -25,6 +25,7 @@ fn main() {
     let mut sweep = Sweep::new();
     declare_pair_grid(&mut sweep, &grid, params::DIST_TXNS_PER_RUN, params::SEEDS);
     let swept = sweep.run(default_workers());
+    rtlock_bench::trace::maybe_trace(&sweep);
 
     let mut table = Table::new(
         std::iter::once("pct_read_only".to_string())

@@ -19,6 +19,7 @@ fn main() {
     let mut sweep = Sweep::new();
     declare_pair_grid(&mut sweep, &grid, params::DIST_TXNS_PER_RUN, params::SEEDS);
     let swept = sweep.run(default_workers());
+    rtlock_bench::trace::maybe_trace(&sweep);
 
     let mut table = Table::new(vec![
         "delay_units".into(),

@@ -17,11 +17,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use monitor::Summary;
+use monitor::{Histogram, SimEvent, Summary};
 use rtdb::{Catalog, Placement};
 use rtlock::distributed::{CeilingArchitecture, DistributedConfig, DistributedSimulator};
 use rtlock::{ProtocolKind, RunReport, Simulator, SingleSiteConfig, VictimPolicy};
-use starlite::SimDuration;
+use starlite::{EventSink, NullSink, SimDuration};
 use workload::{SizeDistribution, WorkloadSpec};
 
 use crate::params;
@@ -155,6 +155,10 @@ pub struct RunMetrics {
     pub committed: u32,
     /// Transactions aborted at their deadline.
     pub missed: u32,
+    /// Transactions still active when the run drained — arrived but
+    /// neither committed nor missed. Zero for a run that completed its
+    /// whole workload.
+    pub in_progress: u32,
     /// `100 × missed / processed`.
     pub pct_missed: f64,
     /// Objects per second by committed transactions.
@@ -163,6 +167,10 @@ pub struct RunMetrics {
     pub mean_response_ticks: f64,
     /// Mean blocked time per processed transaction, in ticks.
     pub mean_blocked_ticks: f64,
+    /// Distribution of per-transaction blocked time, in ticks — the tail
+    /// (`p95`/`p99`) is what distinguishes bounded-blocking protocols from
+    /// merely good-on-average ones.
+    pub blocked_hist: Histogram,
     /// Deadlock-victim restarts.
     pub restarts: u32,
     /// Deadlocks detected (T/O reports rejections here).
@@ -188,10 +196,12 @@ impl RunMetrics {
             processed: report.stats.processed,
             committed: report.stats.committed,
             missed: report.stats.missed,
+            in_progress: report.stats.in_progress,
             pct_missed: report.stats.pct_missed,
             throughput: report.stats.throughput,
             mean_response_ticks: report.stats.mean_response_ticks,
             mean_blocked_ticks: report.stats.mean_blocked_ticks,
+            blocked_hist: report.stats.blocked_hist,
             restarts: report.stats.restarts,
             deadlocks: report.deadlocks,
             ceiling_blocks: report.ceiling_blocks,
@@ -205,6 +215,13 @@ impl RunMetrics {
 
 /// Executes one run spec. Public so smoke tests can bypass the pool.
 pub fn execute(spec: &RunSpec) -> RunMetrics {
+    execute_with(spec, NullSink)
+}
+
+/// Like [`execute`], but streams every structured simulation event into
+/// `sink` (pass `&mut sink` to keep it afterwards). With [`NullSink`] the
+/// instrumentation compiles away, so [`execute`] costs nothing extra.
+pub fn execute_with<S: EventSink<SimEvent>>(spec: &RunSpec, sink: S) -> RunMetrics {
     let report = match &spec.sim {
         SimSpec::SingleSite(s) => {
             let catalog = Catalog::new(params::DB_SIZE, 1, Placement::SingleSite);
@@ -226,7 +243,7 @@ pub fn execute(spec: &RunSpec) -> RunMetrics {
             if let Some(channels) = s.io_parallelism {
                 builder = builder.io_parallelism(channels);
             }
-            Simulator::new(builder.build(), catalog, &workload).run(spec.seed)
+            Simulator::new(builder.build(), catalog, &workload).run_with(spec.seed, sink)
         }
         SimSpec::Distributed(s) => {
             let catalog = Catalog::new(
@@ -255,7 +272,7 @@ pub fn execute(spec: &RunSpec) -> RunMetrics {
             if let Some(keep) = s.temporal_versions {
                 builder = builder.temporal_versions(keep);
             }
-            DistributedSimulator::new(builder.build(), catalog, &workload).run(spec.seed)
+            DistributedSimulator::new(builder.build(), catalog, &workload).run_with(spec.seed, sink)
         }
     };
     RunMetrics::from_report(&report)
@@ -304,6 +321,16 @@ impl PointResult {
     /// Mean blocked time (ticks) over the replicates.
     pub fn mean_blocked_ticks(&self) -> Summary {
         self.summary_of(|m| m.mean_blocked_ticks)
+    }
+
+    /// The blocking-time histograms of all replicates merged into one, so
+    /// percentiles are taken over every transaction the point processed.
+    pub fn blocked_hist(&self) -> Histogram {
+        let mut merged = Histogram::new();
+        for (_, m) in &self.runs {
+            merged.merge(&m.blocked_hist);
+        }
+        merged
     }
 }
 
@@ -355,6 +382,23 @@ impl SweepResults {
             0.0
         }
     }
+
+    /// Merged blocking-time histograms grouped by protocol — the sweep
+    /// label's prefix before the first `/` (`C`, `P`, `L`, `local`, …) —
+    /// in first-appearance order. Feeds the per-protocol `blocked_p95_*`
+    /// / `blocked_p99_*` fields of `BENCH_SWEEP.json`.
+    pub fn blocked_by_protocol(&self) -> Vec<(String, Histogram)> {
+        let mut groups: Vec<(String, Histogram)> = Vec::new();
+        for point in &self.points {
+            let proto = point.label.split('/').next().unwrap_or("").to_string();
+            let hist = point.blocked_hist();
+            match groups.iter_mut().find(|(p, _)| *p == proto) {
+                Some((_, merged)) => merged.merge(&hist),
+                None => groups.push((proto, hist)),
+            }
+        }
+        groups
+    }
 }
 
 /// A declarative grid of simulation runs.
@@ -368,6 +412,12 @@ impl Sweep {
     /// An empty sweep.
     pub fn new() -> Self {
         Sweep::default()
+    }
+
+    /// The flattened run grid, in declaration order (point by point, seed
+    /// ascending). `--trace` re-runs the first entry with a sink attached.
+    pub fn specs(&self) -> &[RunSpec] {
+        &self.specs
     }
 
     /// Declares one sweep point: `seeds` replicates of `sim`, seeded

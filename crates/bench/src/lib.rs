@@ -12,7 +12,9 @@
 //! * [`harness`] — the deterministic parallel sweep executor every binary
 //!   fans its run grid over;
 //! * [`results`] — JSON artifacts written to `results/` alongside the
-//!   ASCII tables.
+//!   ASCII tables;
+//! * [`trace`] — `--trace <path>` support: Chrome/Perfetto trace export
+//!   of one representative run of any binary's grid.
 //!
 //! Each `fig*` binary prints the same series the corresponding figure
 //! plots, as an aligned table and as CSV, and records the sweep (per-seed
@@ -26,3 +28,4 @@ pub mod harness;
 pub mod params;
 pub mod results;
 pub mod single_site;
+pub mod trace;

@@ -204,6 +204,7 @@ impl From<&RunMetrics> for Json {
             ("processed".to_string(), Json::from(m.processed)),
             ("committed".to_string(), Json::from(m.committed)),
             ("missed".to_string(), Json::from(m.missed)),
+            ("in_progress".to_string(), Json::from(m.in_progress)),
             ("pct_missed".to_string(), Json::from(m.pct_missed)),
             ("throughput".to_string(), Json::from(m.throughput)),
             (
@@ -213,6 +214,18 @@ impl From<&RunMetrics> for Json {
             (
                 "mean_blocked_ticks".to_string(),
                 Json::from(m.mean_blocked_ticks),
+            ),
+            (
+                "blocked_p50_ticks".to_string(),
+                Json::from(m.blocked_hist.percentile(50)),
+            ),
+            (
+                "blocked_p95_ticks".to_string(),
+                Json::from(m.blocked_hist.percentile(95)),
+            ),
+            (
+                "blocked_p99_ticks".to_string(),
+                Json::from(m.blocked_hist.percentile(99)),
             ),
             ("restarts".to_string(), Json::from(m.restarts)),
             ("deadlocks".to_string(), Json::from(m.deadlocks)),
@@ -241,15 +254,18 @@ impl From<&PointResult> for Json {
     fn from(p: &PointResult) -> Json {
         Json::object([
             ("label", Json::from(p.label.clone())),
-            (
-                "summary",
+            ("summary", {
+                let blocked = p.blocked_hist();
                 Json::object([
                     ("throughput", (&p.throughput()).into()),
                     ("pct_missed", (&p.pct_missed()).into()),
                     ("deadlocks", (&p.deadlocks()).into()),
                     ("restarts", (&p.restarts()).into()),
-                ]),
-            ),
+                    ("blocked_p50_ticks", blocked.percentile(50).into()),
+                    ("blocked_p95_ticks", blocked.percentile(95).into()),
+                    ("blocked_p99_ticks", blocked.percentile(99).into()),
+                ])
+            }),
             (
                 "runs",
                 Json::Array(
@@ -327,10 +343,13 @@ pub fn emit(
 
 /// Appends one record to `BENCH_SWEEP.json` in the repository root format:
 /// a JSON array of `{experiment, runs, events, workers, wall_clock_seconds,
-/// events_per_sec}` entries (the file is rewritten whole each time).
+/// events_per_sec}` entries plus flat per-protocol blocking-time tail
+/// fields (`blocked_p95_C`, `blocked_p99_local`, … in ticks; the keys stay
+/// flat and numeric so [`parse_entries`] round-trips them). The file is
+/// rewritten whole each time.
 pub fn record_wall_clock(experiment: &str, results: &SweepResults) -> io::Result<PathBuf> {
     let path = Path::new("BENCH_SWEEP.json").to_path_buf();
-    let entry = Json::object([
+    let Json::Object(mut entry_fields) = Json::object([
         ("experiment", experiment.into()),
         ("runs", results.run_count().into()),
         ("events", results.event_count().into()),
@@ -340,7 +359,15 @@ pub fn record_wall_clock(experiment: &str, results: &SweepResults) -> io::Result
             results.wall_clock.as_secs_f64().into(),
         ),
         ("events_per_sec", results.events_per_sec().into()),
-    ]);
+    ]) else {
+        unreachable!("Json::object builds an object");
+    };
+    for (proto, hist) in results.blocked_by_protocol() {
+        entry_fields.push((format!("blocked_p50_{proto}"), hist.percentile(50).into()));
+        entry_fields.push((format!("blocked_p95_{proto}"), hist.percentile(95).into()));
+        entry_fields.push((format!("blocked_p99_{proto}"), hist.percentile(99).into()));
+    }
+    let entry = Json::Object(entry_fields);
     // Keep prior entries when the file already holds a JSON array of
     // objects; anything unparsable starts fresh.
     let mut entries = match fs::read_to_string(&path) {

@@ -1,0 +1,130 @@
+//! `--trace <path>` support: Chrome-trace export of one representative
+//! run.
+//!
+//! Every figure and ablation binary accepts `--trace <path>`. When given,
+//! the binary re-runs the **first entry of its run grid** (first declared
+//! point, seed 0) single-threaded with a [`ChromeTraceSink`] attached and
+//! writes the resulting `trace_events` JSON to `<path>` — open it in
+//! `chrome://tracing` or <https://ui.perfetto.dev>. The traced run is a
+//! pure function of its spec, so the same binary invoked with the same
+//! parameters writes byte-identical trace files; `scripts/perf_smoke.sh`
+//! pins that property against a committed golden.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use monitor::ChromeTraceSink;
+
+use crate::harness::{execute_with, RunSpec, Sweep};
+
+/// Tracing configuration for one binary invocation.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Where the Chrome-trace JSON is written.
+    pub path: PathBuf,
+}
+
+impl TraceConfig {
+    /// Parses `--trace <path>` from the process arguments. Returns `None`
+    /// when the flag is absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `--trace` is present without a path argument.
+    pub fn from_args() -> Option<TraceConfig> {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--trace" {
+                let path = args
+                    .next()
+                    .unwrap_or_else(|| panic!("--trace needs a path argument"));
+                return Some(TraceConfig { path: path.into() });
+            }
+            if let Some(path) = arg.strip_prefix("--trace=") {
+                return Some(TraceConfig { path: path.into() });
+            }
+        }
+        None
+    }
+
+    /// Re-runs `spec` with the Chrome exporter attached and writes the
+    /// trace to the configured path. Returns the number of events
+    /// exported.
+    pub fn write(&self, spec: &RunSpec) -> io::Result<u64> {
+        let mut sink = ChromeTraceSink::new();
+        execute_with(spec, &mut sink);
+        let count = sink.count();
+        fs::write(&self.path, sink.finish())?;
+        Ok(count)
+    }
+}
+
+/// Standard `--trace` handling for the figure binaries: when the flag was
+/// given, re-runs the sweep's first grid entry traced and reports where
+/// the file went. A no-op otherwise, so every binary calls this
+/// unconditionally.
+pub fn maybe_trace(sweep: &Sweep) {
+    let Some(config) = TraceConfig::from_args() else {
+        return;
+    };
+    let Some(spec) = sweep.specs().first() else {
+        eprintln!("warning: --trace given but the sweep is empty");
+        return;
+    };
+    match config.write(spec) {
+        Ok(count) => println!(
+            "trace: {} ({count} events, point {:?} seed {})",
+            config.path.display(),
+            spec.label,
+            spec.seed
+        ),
+        Err(e) => eprintln!(
+            "warning: could not write trace {}: {e}",
+            config.path.display()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{SimSpec, SingleSiteSpec};
+    use rtlock::ProtocolKind;
+
+    #[test]
+    fn trace_write_is_deterministic() {
+        let spec = RunSpec {
+            label: "C/size=5".into(),
+            seed: 0,
+            sim: SimSpec::SingleSite(SingleSiteSpec::figure(ProtocolKind::PriorityCeiling, 5, 30)),
+        };
+        let render = || {
+            let mut sink = ChromeTraceSink::new();
+            execute_with(&spec, &mut sink);
+            sink.finish()
+        };
+        let a = render();
+        let b = render();
+        assert_eq!(a, b, "same spec must trace to identical bytes");
+        assert!(a.starts_with("[\n"));
+        assert!(a.ends_with("]\n"));
+        assert!(a.contains("\"name\": \"TxnCommitted\""));
+    }
+
+    #[test]
+    fn tracing_does_not_change_metrics() {
+        let spec = RunSpec {
+            label: "L/size=5".into(),
+            seed: 1,
+            sim: SimSpec::SingleSite(SingleSiteSpec::figure(ProtocolKind::TwoPhaseLocking, 5, 30)),
+        };
+        let plain = crate::harness::execute(&spec);
+        let mut sink = ChromeTraceSink::new();
+        let traced = execute_with(&spec, &mut sink);
+        assert_eq!(plain.committed, traced.committed);
+        assert_eq!(plain.missed, traced.missed);
+        assert_eq!(plain.throughput.to_bits(), traced.throughput.to_bits());
+        assert!(sink.count() > 0);
+    }
+}

@@ -24,7 +24,9 @@
 
 mod sim;
 
-pub use sim::{run_transactions_distributed, DistributedSimulator};
+pub use sim::{
+    run_transactions_distributed, run_transactions_distributed_with, DistributedSimulator,
+};
 
 use netsim::Topology;
 use rtdb::SiteId;

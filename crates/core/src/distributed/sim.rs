@@ -31,15 +31,15 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use monitor::{Monitor, RunStats};
-use netsim::{CallId, CallTable, Network, SendOutcome};
+use monitor::{AbortReason, Monitor, RunStats, SimEvent, SimEventKind};
+use netsim::{CallId, CallTable, NetJournalEntry, Network, SendOutcome};
 use rtdb::{
     Catalog, Coordinator, CoordinatorAction, LockMode, ObjectId, OpKind, Operation, Participant,
     ParticipantAction, Placement, SiteId, TxnId, TxnSpec, Vote,
 };
 use starlite::{
-    Completion, Cpu, CpuPolicy, CpuToken, Engine, EventId, FxHashMap, Model, Priority, Removed,
-    Scheduler, SimTime,
+    Completion, Cpu, CpuJournalEntry, CpuJournalKind, CpuPolicy, CpuToken, Engine, EventId,
+    EventSink, FxHashMap, Model, NullSink, Priority, Removed, Scheduler, SimTime,
 };
 use workload::{Generator, WorkloadSpec};
 
@@ -123,10 +123,21 @@ enum Message {
 #[derive(Debug)]
 enum Ev {
     Arrive(TxnId),
-    BurstDone { site: SiteId, token: CpuToken },
+    BurstDone {
+        site: SiteId,
+        token: CpuToken,
+    },
     Deadline(TxnId),
-    Deliver { to: SiteId, msg: Message },
-    LockTimeout { call: CallId },
+    /// `from` is carried only so the delivery can be journalled as a
+    /// [`SimEventKind::MsgDelivered`] at the receiving site.
+    Deliver {
+        from: SiteId,
+        to: SiteId,
+        msg: Message,
+    },
+    LockTimeout {
+        call: CallId,
+    },
     SiteDown(SiteId),
 }
 
@@ -162,7 +173,7 @@ enum PendingWork {
     Resume(TxnId),
 }
 
-struct DistModel {
+struct DistModel<S> {
     config: DistributedConfig,
     catalog: Catalog,
     net: Network,
@@ -195,9 +206,15 @@ struct DistModel {
     replica_reads: u64,
     replica_lag_total: u128,
     replica_lag_max: u64,
+    /// Structured event sink ([`NullSink`] in the default configuration).
+    sink: S,
+    /// Scratch for draining protocol / CPU / network journals.
+    scratch_events: Vec<SimEventKind>,
+    scratch_cpu: Vec<CpuJournalEntry<TxnId>>,
+    scratch_net: Vec<NetJournalEntry>,
 }
 
-impl fmt::Debug for DistModel {
+impl<S> fmt::Debug for DistModel<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("DistModel")
             .field("architecture", &self.config.architecture)
@@ -206,7 +223,7 @@ impl fmt::Debug for DistModel {
     }
 }
 
-impl Model for DistModel {
+impl<S: EventSink<SimEvent>> Model for DistModel<S> {
     type Event = Ev;
 
     fn handle(&mut self, event: Ev, sched: &mut Scheduler<Ev>) {
@@ -214,16 +231,89 @@ impl Model for DistModel {
             Ev::Arrive(txn) => self.on_arrive(txn, sched),
             Ev::BurstDone { site, token } => self.on_burst_done(site, token, sched),
             Ev::Deadline(txn) => self.on_deadline(txn, sched),
-            Ev::Deliver { to, msg } => self.on_message(to, msg, sched),
+            Ev::Deliver { from, to, msg } => {
+                if self.net.is_site_up(to) {
+                    self.emit(sched.now(), to, SimEventKind::MsgDelivered { from, to });
+                }
+                self.on_message(to, msg, sched)
+            }
             Ev::LockTimeout { call } => self.on_lock_timeout(call, sched),
             Ev::SiteDown(site) => self.net.set_site_up(site, false),
         }
+        self.flush_kernel_journals();
     }
 }
 
-impl DistModel {
+impl<S: EventSink<SimEvent>> DistModel<S> {
     fn manager_site(&self) -> SiteId {
         SiteId(0)
+    }
+
+    /// Emits one unified event, stamped with the site it happened at.
+    fn emit(&mut self, at: SimTime, site: SiteId, kind: SimEventKind) {
+        if self.sink.enabled() {
+            self.sink.emit(at, SimEvent::new(site, kind));
+        }
+    }
+
+    /// Forwards everything the given ceiling instance journalled during
+    /// the protocol call that just returned, stamped with `site` (the
+    /// manager site for the global architecture, the local site
+    /// otherwise).
+    fn drain_pcp(&mut self, site: SiteId, now: SimTime) {
+        if !self.sink.enabled() {
+            return;
+        }
+        let pcp = match self.config.architecture {
+            CeilingArchitecture::GlobalManager => {
+                self.global_pcp.as_mut().expect("global architecture")
+            }
+            CeilingArchitecture::LocalReplicated => &mut self.local_pcps[site.index()],
+        };
+        pcp.drain_events(&mut self.scratch_events);
+        for i in 0..self.scratch_events.len() {
+            let kind = self.scratch_events[i];
+            self.sink.emit(now, SimEvent::new(site, kind));
+        }
+        self.scratch_events.clear();
+    }
+
+    /// Forwards dispatch/preemption events from every site's CPU and send
+    /// events from the network; each journal entry carries its own
+    /// timestamp.
+    fn flush_kernel_journals(&mut self) {
+        if !self.sink.enabled() {
+            return;
+        }
+        for site_idx in 0..self.cpus.len() {
+            self.cpus[site_idx].drain_journal(&mut self.scratch_cpu);
+            let site = SiteId(site_idx as u8);
+            for i in 0..self.scratch_cpu.len() {
+                let entry = &self.scratch_cpu[i];
+                let kind = match entry.kind {
+                    CpuJournalKind::Dispatched => SimEventKind::Dispatched { txn: entry.task },
+                    CpuJournalKind::Preempted => SimEventKind::Preempted { txn: entry.task },
+                };
+                let at = entry.at;
+                self.sink.emit(at, SimEvent::new(site, kind));
+            }
+            self.scratch_cpu.clear();
+        }
+        self.net.drain_journal(&mut self.scratch_net);
+        for i in 0..self.scratch_net.len() {
+            let entry = self.scratch_net[i];
+            self.sink.emit(
+                entry.sent_at,
+                SimEvent::new(
+                    entry.from,
+                    SimEventKind::MsgSent {
+                        from: entry.from,
+                        to: entry.to,
+                    },
+                ),
+            );
+        }
+        self.scratch_net.clear();
     }
 
     fn next_op_seq(&mut self) -> u64 {
@@ -239,7 +329,7 @@ impl DistModel {
     fn send(&mut self, from: SiteId, to: SiteId, msg: Message, sched: &mut Scheduler<Ev>) -> bool {
         match self.net.send(from, to, sched.now()) {
             SendOutcome::Deliver { at } => {
-                sched.schedule(at, Ev::Deliver { to, msg });
+                sched.schedule(at, Ev::Deliver { from, to, msg });
                 true
             }
             SendOutcome::Dropped => false,
@@ -250,8 +340,18 @@ impl DistModel {
 
     fn on_arrive(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
         let spec = self.specs[&txn].clone();
+        self.emit(
+            sched.now(),
+            spec.home_site,
+            SimEventKind::TxnArrived { txn },
+        );
         self.monitor.register(&spec);
         self.monitor.on_start(txn, sched.now());
+        self.emit(
+            sched.now(),
+            spec.home_site,
+            SimEventKind::TxnStarted { txn },
+        );
         let deadline_ev = sched.schedule(spec.deadline, Ev::Deadline(txn));
         self.exec.insert(
             txn,
@@ -405,6 +505,14 @@ impl DistModel {
         }
         self.exec.remove(&txn);
         self.monitor.on_miss(txn, sched.now());
+        self.emit(
+            sched.now(),
+            home,
+            SimEventKind::TxnAborted {
+                txn,
+                reason: AbortReason::DeadlineMissed,
+            },
+        );
         if let Removed::WasRunning { next: Some(burst) } =
             self.cpus[home.index()].remove(txn, sched.now())
         {
@@ -428,6 +536,7 @@ impl DistModel {
             CeilingArchitecture::LocalReplicated => {
                 let release =
                     self.local_pcps[home.index()].release_all(txn, ReleaseReason::Finished);
+                self.drain_pcp(home, sched.now());
                 let mut queue = VecDeque::new();
                 self.apply_local_release(
                     home,
@@ -492,6 +601,14 @@ impl DistModel {
         self.exec.remove(&txn);
         self.monitor.on_miss(txn, sched.now());
         let home = self.home(txn);
+        self.emit(
+            sched.now(),
+            home,
+            SimEventKind::TxnAborted {
+                txn,
+                reason: AbortReason::DeadlineMissed,
+            },
+        );
         // Best-effort release towards the (possibly dead) manager.
         self.send(
             home,
@@ -552,12 +669,21 @@ impl DistModel {
                 site,
             });
         }
+        let home = self.home(txn);
         if exec.deadline_passed {
             self.monitor.on_miss(txn, sched.now());
+            self.emit(
+                sched.now(),
+                home,
+                SimEventKind::TxnAborted {
+                    txn,
+                    reason: AbortReason::DeadlineMissed,
+                },
+            );
         } else {
             self.monitor.on_commit(txn, sched.now());
+            self.emit(sched.now(), home, SimEventKind::TxnCommitted { txn });
         }
-        let home = self.home(txn);
         self.send(
             home,
             self.manager_site(),
@@ -618,6 +744,7 @@ impl DistModel {
         let (object, mode) = exec.seq[exec.step];
         let home = self.home(txn);
         let result = self.local_pcps[home.index()].request(txn, object, mode);
+        self.drain_pcp(home, sched.now());
         self.apply_local_priority_updates(home, &result.priority_updates, sched);
         match result.outcome {
             RequestOutcome::Granted => {
@@ -704,7 +831,9 @@ impl DistModel {
             });
         }
         self.monitor.on_commit(txn, now);
+        self.emit(now, home, SimEventKind::TxnCommitted { txn });
         let release = self.local_pcps[home.index()].release_all(txn, ReleaseReason::Finished);
+        self.drain_pcp(home, now);
         self.apply_local_release(
             home,
             release.wakeups,
@@ -793,6 +922,7 @@ impl DistModel {
         self.exec.remove(&txn);
         self.specs.remove(&txn);
         let release = self.local_pcps[site.index()].release_all(txn, ReleaseReason::Finished);
+        self.drain_pcp(site, now);
         let mut queue = VecDeque::new();
         self.apply_local_release(
             site,
@@ -947,6 +1077,7 @@ impl DistModel {
                     .as_mut()
                     .expect("global architecture")
                     .request(txn, object, mode);
+                self.drain_pcp(to, sched.now());
                 self.broadcast_priority_updates(result.priority_updates, sched);
                 match result.outcome {
                     RequestOutcome::Granted => {
@@ -1055,6 +1186,7 @@ impl DistModel {
             Message::ReleaseTxn { txn } => {
                 let pcp = self.global_pcp.as_mut().expect("global architecture");
                 let release = pcp.release_all(txn, ReleaseReason::Finished);
+                self.drain_pcp(to, sched.now());
                 let manager = to;
                 for w in &release.wakeups {
                     let waiter_home = self.home(w.txn);
@@ -1278,6 +1410,15 @@ impl<'a> DistributedSimulator<'a> {
         let txns = Generator::new(self.workload, &self.catalog).generate(seed);
         run_transactions_distributed(self.config, &self.catalog, txns)
     }
+
+    /// Like [`DistributedSimulator::run`], but streams every structured
+    /// event into `sink` (pass `&mut sink` to keep it afterwards). The
+    /// seed fixes the workload, so the same seed yields the same event
+    /// sequence.
+    pub fn run_with<S: EventSink<SimEvent>>(&self, seed: u64, sink: S) -> RunReport {
+        let txns = Generator::new(self.workload, &self.catalog).generate(seed);
+        run_transactions_distributed_with(self.config, &self.catalog, txns, sink)
+    }
 }
 
 /// Runs an explicit transaction list through the distributed model.
@@ -1290,6 +1431,23 @@ pub fn run_transactions_distributed(
     config: DistributedConfig,
     catalog: &Catalog,
     txns: Vec<TxnSpec>,
+) -> RunReport {
+    run_transactions_distributed_with(config, catalog, txns, NullSink)
+}
+
+/// Like [`run_transactions_distributed`], but streams every structured
+/// event into `sink` (pass `&mut sink` to keep it afterwards). With
+/// [`NullSink`] the instrumentation compiles away.
+///
+/// # Panics
+///
+/// Panics if two transactions share an id or an id collides with the
+/// system-transaction range.
+pub fn run_transactions_distributed_with<S: EventSink<SimEvent>>(
+    config: DistributedConfig,
+    catalog: &Catalog,
+    txns: Vec<TxnSpec>,
+    sink: S,
 ) -> RunReport {
     let sites = catalog.site_count();
     let delays = config.topology.delay_matrix(sites, config.comm_delay);
@@ -1308,26 +1466,43 @@ pub fn run_transactions_distributed(
     if let Some(window) = config.timeline_window {
         monitor.enable_timeline(window);
     }
+    let tracing = sink.enabled();
+    let mut net = Network::new(delays);
+    let mut cpus: Vec<Cpu<TxnId>> = (0..sites)
+        .map(|_| Cpu::new(CpuPolicy::PreemptivePriority))
+        .collect();
+    let mut global_pcp = match config.architecture {
+        CeilingArchitecture::GlobalManager => Some(PriorityCeilingProtocol::read_write()),
+        CeilingArchitecture::LocalReplicated => None,
+    };
+    let mut local_pcps = match config.architecture {
+        CeilingArchitecture::GlobalManager => Vec::new(),
+        CeilingArchitecture::LocalReplicated => (0..sites)
+            .map(|_| PriorityCeilingProtocol::read_write())
+            .collect::<Vec<_>>(),
+    };
+    if tracing {
+        net.set_tracing(true);
+        for cpu in &mut cpus {
+            cpu.set_tracing(true);
+        }
+        if let Some(pcp) = global_pcp.as_mut() {
+            pcp.set_tracing(true);
+        }
+        for pcp in &mut local_pcps {
+            pcp.set_tracing(true);
+        }
+    }
     let model = DistModel {
         config,
         catalog: catalog.clone(),
-        net: Network::new(delays),
-        cpus: (0..sites)
-            .map(|_| Cpu::new(CpuPolicy::PreemptivePriority))
-            .collect(),
+        net,
+        cpus,
         stores: (0..sites)
             .map(|_| rtdb::ObjectStore::new(catalog.db_size()))
             .collect(),
-        global_pcp: match config.architecture {
-            CeilingArchitecture::GlobalManager => Some(PriorityCeilingProtocol::read_write()),
-            CeilingArchitecture::LocalReplicated => None,
-        },
-        local_pcps: match config.architecture {
-            CeilingArchitecture::GlobalManager => Vec::new(),
-            CeilingArchitecture::LocalReplicated => (0..sites)
-                .map(|_| PriorityCeilingProtocol::read_write())
-                .collect(),
-        },
+        global_pcp,
+        local_pcps,
         monitor,
         specs,
         exec: FxHashMap::default(),
@@ -1349,6 +1524,10 @@ pub fn run_transactions_distributed(
         replica_reads: 0,
         replica_lag_total: 0,
         replica_lag_max: 0,
+        sink,
+        scratch_events: Vec::new(),
+        scratch_cpu: Vec::new(),
+        scratch_net: Vec::new(),
     };
     let mut engine = Engine::new(model);
     if let Some((site, at)) = config.fail_site {

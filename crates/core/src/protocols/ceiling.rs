@@ -26,6 +26,7 @@
 
 use std::fmt;
 
+use monitor::SimEventKind;
 use rtdb::{LockMode, ObjectId, TxnId, TxnSpec};
 use starlite::{FxHashMap, Priority};
 
@@ -65,6 +66,16 @@ struct BlockedReq {
     seq: u64,
 }
 
+/// Which admission gate denied a request — distinguishes an ordinary lock
+/// conflict (gate 1) from the paper's ceiling rule (gate 2) so the event
+/// journal can tell [`SimEventKind::LockBlocked`] from
+/// [`SimEventKind::CeilingBlocked`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DenialGate {
+    SetConflict,
+    Ceiling,
+}
+
 /// The priority ceiling protocol engine for one site.
 pub struct PriorityCeilingProtocol {
     semantics: CeilingSemantics,
@@ -81,6 +92,8 @@ pub struct PriorityCeilingProtocol {
     effective: FxHashMap<TxnId, Priority>,
     next_seq: u64,
     ceiling_blocks: u64,
+    trace: bool,
+    journal: Vec<SimEventKind>,
 }
 
 impl fmt::Debug for PriorityCeilingProtocol {
@@ -120,6 +133,8 @@ impl PriorityCeilingProtocol {
             effective: FxHashMap::default(),
             next_seq: 0,
             ceiling_blocks: 0,
+            trace: false,
+            journal: Vec::new(),
         }
     }
 
@@ -182,9 +197,9 @@ impl PriorityCeilingProtocol {
     ///    objects locked by other transactions (the paper's ceiling
     ///    rule).
     ///
-    /// On failure, returns the transactions that block `txn` (the
-    /// conflicting in-phase transactions, or the holders of the
-    /// highest-ceiling lock).
+    /// On failure, returns the gate that denied admission and the
+    /// transactions that block `txn` (the conflicting in-phase
+    /// transactions, or the holders of the highest-ceiling lock).
     ///
     /// Access sets are predeclared, so granting a transaction its first
     /// lock conceptually grants its whole set: gate 1 keeps concurrent
@@ -199,7 +214,7 @@ impl PriorityCeilingProtocol {
     /// system in a wait cycle. Here only entrants — which hold nothing —
     /// ever block, so no wait cycle can involve a lock holder, and a
     /// transaction blocks at most once, before its first lock.
-    fn admission_check(&self, txn: TxnId) -> Result<(), Vec<TxnId>> {
+    fn admission_check(&self, txn: TxnId) -> Result<(), (DenialGate, Vec<TxnId>)> {
         if self.in_phase(txn) {
             return Ok(());
         }
@@ -217,7 +232,7 @@ impl PriorityCeilingProtocol {
             .filter(|h| self.sets_conflict(me, &self.active[h]))
             .collect();
         if !conflictors.is_empty() {
-            return Err(conflictors);
+            return Err((DenialGate::SetConflict, conflictors));
         }
         // Gate 2: the ceiling shield over currently locked objects.
         let p = self.base_priority(txn);
@@ -242,7 +257,7 @@ impl PriorityCeilingProtocol {
         if !any || p > max_ceil {
             Ok(())
         } else {
-            Err(blockers)
+            Err((DenialGate::Ceiling, blockers))
         }
     }
 
@@ -260,7 +275,10 @@ impl PriorityCeilingProtocol {
     }
 
     fn grant(&mut self, txn: TxnId, obj: ObjectId, mode: LockMode) {
-        match self.locked.get_mut(&obj) {
+        // Whether this grant set the object's rw-ceiling: a fresh lock
+        // establishes it, an upgrade lifts it to the absolute ceiling; a
+        // reader joining a read lock leaves it unchanged.
+        let raised = match self.locked.get_mut(&obj) {
             None => {
                 self.locked.insert(
                     obj,
@@ -270,16 +288,36 @@ impl PriorityCeilingProtocol {
                     },
                 );
                 self.held_by.entry(txn).or_default().push(obj);
+                true
             }
             Some(lock) => {
                 if lock.holders.contains(&txn) {
-                    if mode == LockMode::Write && lock.mode == LockMode::Read {
+                    let upgrade = mode == LockMode::Write && lock.mode == LockMode::Read;
+                    if upgrade {
                         assert_eq!(
                             lock.holders.len(),
                             1,
                             "upgrade of a shared read lock must have been denied"
                         );
                         lock.mode = LockMode::Write;
+                    }
+                    if self.trace {
+                        if upgrade {
+                            self.journal
+                                .push(SimEventKind::LockUpgraded { txn, object: obj });
+                            let ceiling = self.rw_ceiling(obj, LockMode::Write);
+                            self.journal.push(SimEventKind::CeilingRaised {
+                                txn,
+                                object: obj,
+                                ceiling,
+                            });
+                        } else {
+                            self.journal.push(SimEventKind::LockGranted {
+                                txn,
+                                object: obj,
+                                mode,
+                            });
+                        }
                     }
                     return;
                 }
@@ -289,6 +327,22 @@ impl PriorityCeilingProtocol {
                 );
                 lock.holders.push(txn);
                 self.held_by.entry(txn).or_default().push(obj);
+                false
+            }
+        };
+        if self.trace {
+            self.journal.push(SimEventKind::LockGranted {
+                txn,
+                object: obj,
+                mode,
+            });
+            if raised {
+                let ceiling = self.rw_ceiling(obj, mode);
+                self.journal.push(SimEventKind::CeilingRaised {
+                    txn,
+                    object: obj,
+                    ceiling,
+                });
             }
         }
     }
@@ -297,6 +351,18 @@ impl PriorityCeilingProtocol {
     fn recompute(&mut self) -> Vec<(TxnId, Priority)> {
         let eff = effective_priorities(&self.base, &self.blocked_edges);
         diff_updates(&mut self.effective, eff)
+    }
+
+    /// Journals the inheritance side effects of one protocol call.
+    fn journal_priority_updates(&mut self, updates: &[(TxnId, Priority)]) {
+        if !self.trace {
+            return;
+        }
+        self.journal.extend(
+            updates
+                .iter()
+                .map(|&(txn, priority)| SimEventKind::PriorityInherited { txn, priority }),
+        );
     }
 
     /// Wakes every blocked request that now passes admission, most urgent
@@ -333,7 +399,7 @@ impl PriorityCeilingProtocol {
             let txn = self.blocked[i].txn;
             match self.admission_check(txn) {
                 Ok(()) => unreachable!("wake pass left an admissible request blocked"),
-                Err(blockers) => {
+                Err((_, blockers)) => {
                     self.blocked_edges.insert(txn, blockers);
                 }
             }
@@ -393,7 +459,15 @@ impl LockProtocol for PriorityCeilingProtocol {
 
     fn request(&mut self, txn: TxnId, object: ObjectId, mode: LockMode) -> RequestResult {
         let mode = self.coerce_mode(mode);
+        if self.trace {
+            self.journal
+                .push(SimEventKind::LockRequested { txn, object, mode });
+        }
         if self.holds_covering(txn, object, mode) {
+            if self.trace {
+                self.journal
+                    .push(SimEventKind::LockGranted { txn, object, mode });
+            }
             return RequestResult::granted();
         }
         assert!(
@@ -405,7 +479,7 @@ impl LockProtocol for PriorityCeilingProtocol {
                 self.grant(txn, object, mode);
                 RequestResult::granted()
             }
-            Err(blockers) => {
+            Err((gate, blockers)) => {
                 self.ceiling_blocks += 1;
                 let seq = self.next_seq;
                 self.next_seq += 1;
@@ -422,8 +496,24 @@ impl LockProtocol for PriorityCeilingProtocol {
                     .iter()
                     .copied()
                     .min_by_key(|t| self.base.get(t).copied().unwrap_or(Priority::MIN));
+                if self.trace {
+                    self.journal.push(match gate {
+                        DenialGate::SetConflict => SimEventKind::LockBlocked {
+                            txn,
+                            object,
+                            mode,
+                            blocker,
+                        },
+                        DenialGate::Ceiling => SimEventKind::CeilingBlocked {
+                            txn,
+                            object,
+                            blocker,
+                        },
+                    });
+                }
                 self.blocked_edges.insert(txn, blockers);
                 let priority_updates = self.recompute();
+                self.journal_priority_updates(&priority_updates);
                 RequestResult {
                     outcome: RequestOutcome::Blocked { blocker },
                     priority_updates,
@@ -433,7 +523,8 @@ impl LockProtocol for PriorityCeilingProtocol {
     }
 
     fn release_all(&mut self, txn: TxnId, reason: ReleaseReason) -> ReleaseResult {
-        // Drop held locks.
+        // Drop held locks (journal in acquisition order, which is how
+        // held_by accumulates — deterministic without sorting).
         if let Some(objs) = self.held_by.remove(&txn) {
             for obj in objs {
                 if let Some(lock) = self.locked.get_mut(&obj) {
@@ -441,6 +532,10 @@ impl LockProtocol for PriorityCeilingProtocol {
                     if lock.holders.is_empty() {
                         self.locked.remove(&obj);
                     }
+                }
+                if self.trace {
+                    self.journal
+                        .push(SimEventKind::LockReleased { txn, object: obj });
                 }
             }
         }
@@ -459,6 +554,7 @@ impl LockProtocol for PriorityCeilingProtocol {
         let mut wakeups = Vec::new();
         self.wake_pass(&mut wakeups);
         let priority_updates = self.recompute();
+        self.journal_priority_updates(&priority_updates);
         ReleaseResult {
             wakeups,
             priority_updates,
@@ -492,6 +588,14 @@ impl LockProtocol for PriorityCeilingProtocol {
 
     fn ceiling_block_count(&self) -> u64 {
         self.ceiling_blocks
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.trace = on;
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<SimEventKind>) {
+        out.append(&mut self.journal);
     }
 
     fn assert_consistent(&self) {

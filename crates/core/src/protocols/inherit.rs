@@ -10,8 +10,10 @@
 
 use std::fmt;
 
+use monitor::SimEventKind;
 use rtdb::{
-    LockMode, LockOutcome, LockTable, ObjectId, QueuePolicy, TxnId, TxnSpec, WaitsForGraph,
+    LockEvent, LockMode, LockOutcome, LockTable, ObjectId, QueuePolicy, TxnId, TxnSpec,
+    WaitsForGraph,
 };
 use starlite::{FxHashMap, Priority};
 
@@ -34,6 +36,9 @@ pub struct InheritanceProtocol {
     /// graph refresh, both of which run on every block and release.
     scratch_waiters: Vec<TxnId>,
     scratch_blockers: Vec<TxnId>,
+    trace: bool,
+    journal: Vec<SimEventKind>,
+    scratch_lock_events: Vec<LockEvent>,
 }
 
 impl fmt::Debug for InheritanceProtocol {
@@ -57,7 +62,33 @@ impl InheritanceProtocol {
             deadlocks: 0,
             scratch_waiters: Vec::new(),
             scratch_blockers: Vec::new(),
+            trace: false,
+            journal: Vec::new(),
+            scratch_lock_events: Vec::new(),
         }
+    }
+
+    /// Converts the lock table's journal into unified events, preserving
+    /// order. A no-op with tracing off (the table journal stays empty).
+    fn pull_table_journal(&mut self) {
+        if !self.trace {
+            return;
+        }
+        self.table.drain_journal(&mut self.scratch_lock_events);
+        self.journal
+            .extend(self.scratch_lock_events.drain(..).map(SimEventKind::from));
+    }
+
+    /// Journals the inheritance side effects of one protocol call.
+    fn journal_priority_updates(&mut self, updates: &[(TxnId, Priority)]) {
+        if !self.trace {
+            return;
+        }
+        self.journal.extend(
+            updates
+                .iter()
+                .map(|&(txn, priority)| SimEventKind::PriorityInherited { txn, priority }),
+        );
     }
 
     /// Recomputes the inheritance fixpoint and returns the priority
@@ -97,13 +128,18 @@ impl LockProtocol for InheritanceProtocol {
 
     fn request(&mut self, txn: TxnId, object: ObjectId, mode: LockMode) -> RequestResult {
         let priority = self.effective_priority(txn);
-        match self.table.request(txn, object, mode, priority) {
+        let outcome = self.table.request(txn, object, mode, priority);
+        self.pull_table_journal();
+        match outcome {
             LockOutcome::Granted => RequestResult::granted(),
             LockOutcome::Waiting { blockers } => {
                 self.wfg.set_edges(txn, &blockers);
                 if let Some(cycle) = self.wfg.cycle_from(txn) {
                     self.deadlocks += 1;
                     let victim = select_victim(&cycle, self.victim_policy, &self.base);
+                    if self.trace {
+                        self.journal.push(SimEventKind::DeadlockDetected { victim });
+                    }
                     return RequestResult {
                         outcome: RequestOutcome::Deadlock { victim },
                         priority_updates: Vec::new(),
@@ -114,6 +150,7 @@ impl LockProtocol for InheritanceProtocol {
                     .copied()
                     .min_by_key(|t| self.base.get(t).copied().unwrap_or(Priority::MIN));
                 let priority_updates = self.recompute();
+                self.journal_priority_updates(&priority_updates);
                 RequestResult {
                     outcome: RequestOutcome::Blocked { blocker },
                     priority_updates,
@@ -124,6 +161,7 @@ impl LockProtocol for InheritanceProtocol {
 
     fn release_all(&mut self, txn: TxnId, reason: ReleaseReason) -> ReleaseResult {
         let granted = self.table.release_all(txn);
+        self.pull_table_journal();
         self.wfg.remove_txn(txn);
         let wakeups: Vec<Wakeup> = granted
             .into_iter()
@@ -142,6 +180,7 @@ impl LockProtocol for InheritanceProtocol {
             self.effective.remove(&txn);
         }
         let priority_updates = self.recompute();
+        self.journal_priority_updates(&priority_updates);
         ReleaseResult {
             wakeups,
             priority_updates,
@@ -180,6 +219,15 @@ impl LockProtocol for InheritanceProtocol {
             let b = self.base.get(&t).copied().expect("effective without base");
             assert!(e >= b, "{t} effective priority below base");
         }
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.trace = on;
+        self.table.set_tracing(on);
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<SimEventKind>) {
+        out.append(&mut self.journal);
     }
 }
 

@@ -15,6 +15,7 @@ pub mod tpl;
 
 use std::fmt;
 
+use monitor::SimEventKind;
 use rtdb::{LockMode, ObjectId, TxnId, TxnSpec};
 use starlite::Priority;
 
@@ -146,6 +147,19 @@ pub trait LockProtocol: fmt::Debug {
 
     /// Validates internal invariants (test hook; default no-op).
     fn assert_consistent(&self) {}
+
+    /// Turns structured event journalling on or off (see
+    /// [`drain_events`](LockProtocol::drain_events)). Protocols that do not
+    /// journal ignore this. Off by default; with tracing off the hot paths
+    /// pay at most one predictable branch.
+    fn set_tracing(&mut self, _on: bool) {}
+
+    /// Moves journalled [`SimEventKind`]s into `out` (appending), oldest
+    /// first. The protocol has no notion of simulation time or site; the
+    /// simulator drains immediately after each protocol call, stamps the
+    /// events with the current instant and site, and forwards them to its
+    /// event sink. Default: no events.
+    fn drain_events(&mut self, _out: &mut Vec<SimEventKind>) {}
 }
 
 /// Instantiates the protocol for `kind`.

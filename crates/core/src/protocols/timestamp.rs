@@ -25,6 +25,7 @@
 
 use std::fmt;
 
+use monitor::SimEventKind;
 use rtdb::{LockMode, ObjectId, TxnId, TxnSpec};
 use starlite::{FxHashMap, Priority};
 
@@ -46,6 +47,8 @@ pub struct TimestampOrderingProtocol {
     base: FxHashMap<TxnId, Priority>,
     stamps: FxHashMap<ObjectId, ObjectStamps>,
     rejections: u64,
+    trace: bool,
+    journal: Vec<SimEventKind>,
 }
 
 impl fmt::Debug for TimestampOrderingProtocol {
@@ -66,6 +69,8 @@ impl TimestampOrderingProtocol {
             base: FxHashMap::default(),
             stamps: FxHashMap::default(),
             rejections: 0,
+            trace: false,
+            journal: Vec::new(),
         }
     }
 
@@ -100,6 +105,10 @@ impl LockProtocol for TimestampOrderingProtocol {
             .ts
             .get(&txn)
             .unwrap_or_else(|| panic!("{txn} not registered"));
+        if self.trace {
+            self.journal
+                .push(SimEventKind::LockRequested { txn, object, mode });
+        }
         let stamps = self.stamps.entry(object).or_default();
         let ok = match mode {
             LockMode::Read => ts >= stamps.write_ts,
@@ -107,6 +116,12 @@ impl LockProtocol for TimestampOrderingProtocol {
         };
         if !ok {
             self.rejections += 1;
+            if self.trace {
+                // A rejection aborts the requester; it surfaces through
+                // the deadlock/restart channel, so journal it as such.
+                self.journal
+                    .push(SimEventKind::DeadlockDetected { victim: txn });
+            }
             return RequestResult {
                 outcome: RequestOutcome::Deadlock { victim: txn },
                 priority_updates: Vec::new(),
@@ -118,6 +133,10 @@ impl LockProtocol for TimestampOrderingProtocol {
                 stamps.write_ts = ts;
                 stamps.read_ts = stamps.read_ts.max(ts);
             }
+        }
+        if self.trace {
+            self.journal
+                .push(SimEventKind::LockGranted { txn, object, mode });
         }
         RequestResult::granted()
     }
@@ -162,6 +181,14 @@ impl LockProtocol for TimestampOrderingProtocol {
         // Reported as the rejection count: every rejection flows through
         // the same restart channel a deadlock victim uses.
         self.rejections
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.trace = on;
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<SimEventKind>) {
+        out.append(&mut self.journal);
     }
 }
 

@@ -16,8 +16,10 @@
 
 use std::fmt;
 
+use monitor::SimEventKind;
 use rtdb::{
-    LockMode, LockOutcome, LockTable, ObjectId, QueuePolicy, TxnId, TxnSpec, WaitsForGraph,
+    LockEvent, LockMode, LockOutcome, LockTable, ObjectId, QueuePolicy, TxnId, TxnSpec,
+    WaitsForGraph,
 };
 use starlite::{FxHashMap, Priority};
 
@@ -38,6 +40,9 @@ pub struct TwoPhaseLockingProtocol {
     /// the per-release graph rebuild stops allocating once warm.
     scratch_waiters: Vec<TxnId>,
     scratch_blockers: Vec<TxnId>,
+    trace: bool,
+    journal: Vec<SimEventKind>,
+    scratch_lock_events: Vec<LockEvent>,
 }
 
 impl fmt::Debug for TwoPhaseLockingProtocol {
@@ -62,6 +67,9 @@ impl TwoPhaseLockingProtocol {
             deadlocks: 0,
             scratch_waiters: Vec::new(),
             scratch_blockers: Vec::new(),
+            trace: false,
+            journal: Vec::new(),
+            scratch_lock_events: Vec::new(),
         }
     }
 
@@ -76,6 +84,9 @@ impl TwoPhaseLockingProtocol {
             deadlocks: 0,
             scratch_waiters: Vec::new(),
             scratch_blockers: Vec::new(),
+            trace: false,
+            journal: Vec::new(),
+            scratch_lock_events: Vec::new(),
         }
     }
 
@@ -86,6 +97,17 @@ impl TwoPhaseLockingProtocol {
 
     fn select_victim(&self, cycle: &[TxnId]) -> TxnId {
         select_victim(cycle, self.victim_policy, &self.base)
+    }
+
+    /// Converts the lock table's journal into unified events, preserving
+    /// order. A no-op with tracing off (the table journal stays empty).
+    fn pull_table_journal(&mut self) {
+        if !self.trace {
+            return;
+        }
+        self.table.drain_journal(&mut self.scratch_lock_events);
+        self.journal
+            .extend(self.scratch_lock_events.drain(..).map(SimEventKind::from));
     }
 
     /// Rebuilds waits-for edges for every still-waiting transaction; the
@@ -134,13 +156,18 @@ impl LockProtocol for TwoPhaseLockingProtocol {
 
     fn request(&mut self, txn: TxnId, object: ObjectId, mode: LockMode) -> RequestResult {
         let priority = self.base_priority(txn);
-        match self.table.request(txn, object, mode, priority) {
+        let outcome = self.table.request(txn, object, mode, priority);
+        self.pull_table_journal();
+        match outcome {
             LockOutcome::Granted => RequestResult::granted(),
             LockOutcome::Waiting { blockers } => {
                 self.wfg.set_edges(txn, &blockers);
                 if let Some(cycle) = self.wfg.cycle_from(txn) {
                     self.deadlocks += 1;
                     let victim = self.select_victim(&cycle);
+                    if self.trace {
+                        self.journal.push(SimEventKind::DeadlockDetected { victim });
+                    }
                     return RequestResult {
                         outcome: RequestOutcome::Deadlock { victim },
                         priority_updates: Vec::new(),
@@ -163,6 +190,7 @@ impl LockProtocol for TwoPhaseLockingProtocol {
 
     fn release_all(&mut self, txn: TxnId, reason: ReleaseReason) -> ReleaseResult {
         let granted = self.table.release_all(txn);
+        self.pull_table_journal();
         self.wfg.remove_txn(txn);
         let wakeups: Vec<Wakeup> = granted
             .into_iter()
@@ -215,6 +243,15 @@ impl LockProtocol for TwoPhaseLockingProtocol {
 
     fn assert_consistent(&self) {
         self.table.check_invariants();
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.trace = on;
+        self.table.set_tracing(on);
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<SimEventKind>) {
+        out.append(&mut self.journal);
     }
 }
 

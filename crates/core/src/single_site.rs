@@ -26,11 +26,11 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use monitor::{Monitor, RunStats};
-use rtdb::{Catalog, LockMode, ObjectId, OpKind, Operation, Placement, TxnId, TxnSpec};
+use monitor::{AbortReason, Monitor, RunStats, SimEvent, SimEventKind};
+use rtdb::{Catalog, LockMode, ObjectId, OpKind, Operation, Placement, SiteId, TxnId, TxnSpec};
 use starlite::{
-    Completion, Cpu, CpuToken, Engine, EventId, FxHashMap, IoDevice, Model, Removed, Scheduler,
-    SimTime,
+    Completion, Cpu, CpuJournalEntry, CpuJournalKind, CpuToken, Engine, EventId, EventSink,
+    FxHashMap, IoDevice, Model, NullSink, Removed, Scheduler, SimTime,
 };
 use workload::{Generator, WorkloadSpec};
 
@@ -74,7 +74,10 @@ struct Exec {
     write_buffer: Vec<ObjectId>,
 }
 
-struct SiteModel {
+/// The site id of the single-site model.
+const SITE: SiteId = SiteId(0);
+
+struct SiteModel<S> {
     config: SingleSiteConfig,
     /// Logical operation counter: assigned in event-execution order so
     /// histories stay totally ordered per copy even within one tick.
@@ -88,9 +91,15 @@ struct SiteModel {
     monitor: Monitor,
     specs: FxHashMap<TxnId, TxnSpec>,
     exec: FxHashMap<TxnId, Exec>,
+    /// Structured event sink ([`NullSink`] in the default configuration:
+    /// every `emit` below then monomorphises to nothing).
+    sink: S,
+    /// Scratch for draining protocol / CPU journals without reallocating.
+    scratch_events: Vec<SimEventKind>,
+    scratch_cpu: Vec<CpuJournalEntry<TxnId>>,
 }
 
-impl fmt::Debug for SiteModel {
+impl<S> fmt::Debug for SiteModel<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SiteModel")
             .field("active", &self.exec.len())
@@ -99,7 +108,7 @@ impl fmt::Debug for SiteModel {
     }
 }
 
-impl Model for SiteModel {
+impl<S: EventSink<SimEvent>> Model for SiteModel<S> {
     type Event = Ev;
 
     fn handle(&mut self, event: Ev, sched: &mut Scheduler<Ev>) {
@@ -109,11 +118,55 @@ impl Model for SiteModel {
             Ev::BurstDone { token } => self.on_burst_done(token, sched),
             Ev::Deadline(txn) => self.on_deadline(txn, sched),
         }
+        self.flush_cpu_journal();
     }
 }
 
-impl SiteModel {
+impl<S: EventSink<SimEvent>> SiteModel<S> {
+    /// Emits one unified event, stamped with this site.
+    fn emit(&mut self, at: SimTime, kind: SimEventKind) {
+        if self.sink.enabled() {
+            self.sink.emit(at, SimEvent::new(SITE, kind));
+        }
+    }
+
+    /// Forwards everything the protocol journalled during the call that
+    /// just returned, stamped with the current instant. Called immediately
+    /// after each protocol request/release so the unified stream preserves
+    /// the true interleaving with transaction lifecycle events.
+    fn drain_protocol(&mut self, now: SimTime) {
+        if !self.sink.enabled() {
+            return;
+        }
+        self.protocol.drain_events(&mut self.scratch_events);
+        for i in 0..self.scratch_events.len() {
+            let kind = self.scratch_events[i];
+            self.sink.emit(now, SimEvent::new(SITE, kind));
+        }
+        self.scratch_events.clear();
+    }
+
+    /// Forwards dispatch/preemption events recorded by the kernel's CPU
+    /// model; each entry carries its own timestamp.
+    fn flush_cpu_journal(&mut self) {
+        if !self.sink.enabled() {
+            return;
+        }
+        self.cpu.drain_journal(&mut self.scratch_cpu);
+        for i in 0..self.scratch_cpu.len() {
+            let entry = &self.scratch_cpu[i];
+            let kind = match entry.kind {
+                CpuJournalKind::Dispatched => SimEventKind::Dispatched { txn: entry.task },
+                CpuJournalKind::Preempted => SimEventKind::Preempted { txn: entry.task },
+            };
+            let at = entry.at;
+            self.sink.emit(at, SimEvent::new(SITE, kind));
+        }
+        self.scratch_cpu.clear();
+    }
+
     fn on_arrive(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
+        self.emit(sched.now(), SimEventKind::TxnArrived { txn });
         let spec = self.specs[&txn].clone();
         self.monitor.register(&spec);
         let (granule_spec, lock_seq) = self.to_granules(&spec);
@@ -132,6 +185,7 @@ impl SiteModel {
             },
         );
         self.monitor.on_start(txn, sched.now());
+        self.emit(sched.now(), SimEventKind::TxnStarted { txn });
         self.pump(VecDeque::from([Pending::Advance(txn)]), sched);
     }
 
@@ -213,10 +267,18 @@ impl SiteModel {
         };
         drop(exec);
         self.monitor.on_miss(txn, sched.now());
+        self.emit(
+            sched.now(),
+            SimEventKind::TxnAborted {
+                txn,
+                reason: AbortReason::DeadlineMissed,
+            },
+        );
         if let Removed::WasRunning { next: Some(burst) } = self.cpu.remove(txn, sched.now()) {
             sched.schedule(burst.finish_at, Ev::BurstDone { token: burst.token });
         }
         let release = self.protocol.release_all(txn, ReleaseReason::Finished);
+        self.drain_protocol(sched.now());
         let mut queue = VecDeque::new();
         self.apply_release(release.wakeups, release.priority_updates, &mut queue, sched);
         self.pump(queue, sched);
@@ -244,6 +306,7 @@ impl SiteModel {
         }
         let (granule, gmode) = exec.lock_seq[exec.step];
         let result = self.protocol.request(txn, granule, gmode);
+        self.drain_protocol(sched.now());
         self.apply_priority_updates(&result.priority_updates, sched);
         match result.outcome {
             RequestOutcome::Granted => self.start_io(txn, sched),
@@ -277,10 +340,18 @@ impl SiteModel {
             self.exec.remove(&txn);
             sched.cancel(deadline_ev);
             self.monitor.on_miss(txn, sched.now());
+            self.emit(
+                sched.now(),
+                SimEventKind::TxnAborted {
+                    txn,
+                    reason: AbortReason::DeadlockVictim,
+                },
+            );
             if let Removed::WasRunning { next: Some(burst) } = self.cpu.remove(txn, sched.now()) {
                 sched.schedule(burst.finish_at, Ev::BurstDone { token: burst.token });
             }
             let release = self.protocol.release_all(txn, ReleaseReason::Finished);
+            self.drain_protocol(sched.now());
             self.apply_release(release.wakeups, release.priority_updates, queue, sched);
             return;
         }
@@ -289,10 +360,18 @@ impl SiteModel {
         exec.oplog.clear();
         exec.write_buffer.clear();
         self.monitor.on_restart(txn, sched.now());
+        self.emit(
+            sched.now(),
+            SimEventKind::TxnAborted {
+                txn,
+                reason: AbortReason::DeadlockVictim,
+            },
+        );
         if let Removed::WasRunning { next: Some(burst) } = self.cpu.remove(txn, sched.now()) {
             sched.schedule(burst.finish_at, Ev::BurstDone { token: burst.token });
         }
         let release = self.protocol.release_all(txn, ReleaseReason::Restart);
+        self.drain_protocol(sched.now());
         self.apply_release(release.wakeups, release.priority_updates, queue, sched);
         queue.push_back(Pending::Advance(txn));
     }
@@ -372,7 +451,9 @@ impl SiteModel {
             });
         }
         self.monitor.on_commit(txn, now);
+        self.emit(now, SimEventKind::TxnCommitted { txn });
         let release = self.protocol.release_all(txn, ReleaseReason::Finished);
+        self.drain_protocol(now);
         self.apply_release(release.wakeups, release.priority_updates, queue, sched);
     }
 
@@ -447,6 +528,14 @@ impl<'a> Simulator<'a> {
         let txns = Generator::new(self.workload, &self.catalog).generate(seed);
         run_transactions(self.config, &self.catalog, txns)
     }
+
+    /// Like [`Simulator::run`], but streams every structured event into
+    /// `sink` (pass `&mut sink` to keep it afterwards). The seed fixes the
+    /// workload, so the same seed yields the same event sequence.
+    pub fn run_with<S: EventSink<SimEvent>>(&self, seed: u64, sink: S) -> RunReport {
+        let txns = Generator::new(self.workload, &self.catalog).generate(seed);
+        run_transactions_with(self.config, &self.catalog, txns, sink)
+    }
 }
 
 /// Runs an explicit transaction list through the single-site model (the
@@ -460,6 +549,23 @@ pub fn run_transactions(
     catalog: &Catalog,
     txns: Vec<TxnSpec>,
 ) -> RunReport {
+    run_transactions_with(config, catalog, txns, NullSink)
+}
+
+/// Like [`run_transactions`], but streams every structured event into
+/// `sink` (pass `&mut sink` to keep it afterwards — `&mut S` is itself a
+/// sink). With [`NullSink`] the instrumentation compiles away, which is
+/// how [`run_transactions`] stays free of tracing overhead.
+///
+/// # Panics
+///
+/// Panics if two transactions share an id.
+pub fn run_transactions_with<S: EventSink<SimEvent>>(
+    config: SingleSiteConfig,
+    catalog: &Catalog,
+    txns: Vec<TxnSpec>,
+    sink: S,
+) -> RunReport {
     let mut specs = FxHashMap::default();
     let mut arrivals = Vec::with_capacity(txns.len());
     for spec in txns {
@@ -471,11 +577,17 @@ pub fn run_transactions(
     if let Some(window) = config.timeline_window {
         monitor.enable_timeline(window);
     }
+    let mut protocol = make_protocol(config.protocol, config.victim_policy);
+    let mut cpu = Cpu::new(config.protocol.cpu_policy());
+    if sink.enabled() {
+        protocol.set_tracing(true);
+        cpu.set_tracing(true);
+    }
     let model = SiteModel {
         config,
         op_seq: 0,
-        protocol: make_protocol(config.protocol, config.victim_policy),
-        cpu: Cpu::new(config.protocol.cpu_policy()),
+        protocol,
+        cpu,
         io: match config.io_parallelism {
             Some(channels) => IoDevice::bounded(channels),
             None => IoDevice::parallel(),
@@ -484,6 +596,9 @@ pub fn run_transactions(
         monitor,
         specs,
         exec: FxHashMap::default(),
+        sink,
+        scratch_events: Vec::new(),
+        scratch_cpu: Vec::new(),
     };
     let mut engine = Engine::new(model);
     for (arrival, id) in arrivals {

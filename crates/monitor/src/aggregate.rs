@@ -5,6 +5,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 use starlite::{SimDuration, SimTime};
 
+use crate::hist::Histogram;
 use crate::record::{Monitor, Outcome};
 
 /// The paper's headline metrics for one simulation run.
@@ -22,6 +23,10 @@ pub struct RunStats {
     pub committed: u32,
     /// Transactions aborted at their deadline.
     pub missed: u32,
+    /// Transactions still in flight when the run ended. The harness
+    /// asserts `committed + missed + in_progress == generated`; a
+    /// mismatch means a lifecycle event was silently lost.
+    pub in_progress: u32,
     /// `100 × missed / processed` (0 when nothing was processed).
     pub pct_missed: f64,
     /// Data objects accessed per simulated second by committed
@@ -31,6 +36,10 @@ pub struct RunStats {
     pub mean_response_ticks: f64,
     /// Mean blocked time per processed transaction, in ticks.
     pub mean_blocked_ticks: f64,
+    /// Histogram of per-transaction total blocked time (ticks) over
+    /// processed transactions; the tail percentiles come from here
+    /// ([`RunStats::blocked_p50`] and friends).
+    pub blocked_hist: Histogram,
     /// Total deadlock-victim restarts.
     pub restarts: u32,
     /// Largest number of distinct lower-priority blockers seen by any
@@ -52,9 +61,11 @@ impl RunStats {
     pub fn from_monitor(monitor: &Monitor, makespan: SimTime) -> Self {
         let mut committed = 0u32;
         let mut missed = 0u32;
+        let mut in_progress = 0u32;
         let mut committed_objects = 0u64;
         let mut response_total = 0u128;
         let mut blocked_total = 0u128;
+        let mut blocked_hist = Histogram::new();
         let mut restarts = 0u32;
         let mut max_lpb = 0u32;
 
@@ -68,9 +79,13 @@ impl RunStats {
                     }
                 }
                 Outcome::MissedDeadline => missed += 1,
-                Outcome::InProgress => continue,
+                Outcome::InProgress => {
+                    in_progress += 1;
+                    continue;
+                }
             }
             blocked_total += r.blocked.ticks() as u128;
+            blocked_hist.record(r.blocked.ticks());
             restarts += r.restarts;
             max_lpb = max_lpb.max(r.lower_priority_blockers.len() as u32);
         }
@@ -102,10 +117,12 @@ impl RunStats {
             processed,
             committed,
             missed,
+            in_progress,
             pct_missed,
             throughput,
             mean_response_ticks,
             mean_blocked_ticks,
+            blocked_hist,
             restarts,
             max_lower_priority_blockers: max_lpb,
             makespan,
@@ -115,6 +132,21 @@ impl RunStats {
     /// Mean blocked time as a duration (rounded down).
     pub fn mean_blocked(&self) -> SimDuration {
         SimDuration::from_ticks(self.mean_blocked_ticks as u64)
+    }
+
+    /// Median per-transaction total blocked time, in ticks.
+    pub fn blocked_p50(&self) -> u64 {
+        self.blocked_hist.percentile(50)
+    }
+
+    /// 95th-percentile per-transaction total blocked time, in ticks.
+    pub fn blocked_p95(&self) -> u64 {
+        self.blocked_hist.percentile(95)
+    }
+
+    /// 99th-percentile per-transaction total blocked time, in ticks.
+    pub fn blocked_p99(&self) -> u64 {
+        self.blocked_hist.percentile(99)
     }
 }
 
@@ -174,7 +206,26 @@ mod tests {
         m.on_commit(TxnId(1), SimTime::from_ticks(50));
         let stats = RunStats::from_monitor(&m, SimTime::from_secs(1));
         assert_eq!(stats.processed, 1);
+        assert_eq!(stats.in_progress, 1);
         assert_eq!(stats.pct_missed, 0.0);
+    }
+
+    #[test]
+    fn blocked_percentiles_come_from_processed_records() {
+        let mut m = Monitor::new();
+        for id in 1..=3u64 {
+            m.register(&spec(id, 2));
+        }
+        // T1 blocks 10..51 (41 ticks), T2 never blocks, T3 stays in flight.
+        m.on_block(TxnId(1), SimTime::from_ticks(10), None);
+        m.on_unblock(TxnId(1), SimTime::from_ticks(51));
+        m.on_commit(TxnId(1), SimTime::from_ticks(60));
+        m.on_commit(TxnId(2), SimTime::from_ticks(70));
+        let stats = RunStats::from_monitor(&m, SimTime::from_secs(1));
+        assert_eq!(stats.blocked_hist.count(), 2);
+        assert_eq!(stats.blocked_p99(), 41);
+        assert_eq!(stats.blocked_p50(), 0);
+        assert_eq!(stats.in_progress, 1);
     }
 
     #[test]

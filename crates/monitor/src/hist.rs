@@ -1,0 +1,210 @@
+//! Fixed-bucket histograms for latency and blocking-time tails.
+//!
+//! The paper reports means; tail behaviour (p95/p99 blocking time) is what
+//! separates the protocols under contention, so every run also accumulates
+//! values into a fixed set of power-of-two buckets. The layout is `Copy`
+//! and allocation-free so per-run metrics can carry and merge histograms
+//! cheaply, and all percentile arithmetic is integral — the same inputs
+//! produce the same percentiles on every platform.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets. Bucket 0 holds exact zeros; bucket `i ≥ 1` holds
+/// values in `[2^(i-1), 2^i)`. 32 buckets cover every value up to
+/// `2^30` ticks (~17 simulated minutes) exactly, with a final catch-all.
+const BUCKETS: usize = 32;
+
+/// A fixed-bucket power-of-two histogram over `u64` samples.
+///
+/// # Example
+///
+/// ```
+/// use monitor::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [0, 3, 40, 41, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max(), 1000);
+/// assert!(h.percentile(50) <= h.percentile(99));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    total: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            total: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        let bits = (64 - value.leading_zeros()) as usize;
+        bits.min(BUCKETS - 1)
+    }
+
+    /// Upper bound (inclusive) of bucket `i`, used as the percentile
+    /// representative.
+    fn bucket_top(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.total = self.total.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// The `pct`-th percentile (0–100), as the inclusive upper bound of the
+    /// bucket where the cumulative count crosses `ceil(count × pct / 100)`,
+    /// clamped to the observed maximum. Purely integral, hence
+    /// deterministic. Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct > 100`.
+    pub fn percentile(&self, pct: u8) -> u64 {
+        assert!(pct <= 100, "percentile out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (self.count as u128 * pct as u128).div_ceil(100).max(1) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_top(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total = self.total.saturating_add(other.total);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50), 0);
+        assert_eq!(h.percentile(99), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn zeros_land_in_bucket_zero() {
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        assert_eq!(h.percentile(50), 0);
+        assert_eq!(h.percentile(100), 0);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded_by_max() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 1000, 40_000] {
+            h.record(v);
+        }
+        let p50 = h.percentile(50);
+        let p95 = h.percentile(95);
+        let p99 = h.percentile(99);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p99 <= h.max());
+    }
+
+    #[test]
+    fn single_sample_percentiles_hit_its_bucket() {
+        let mut h = Histogram::new();
+        h.record(41);
+        // 41 lands in [32, 64); the representative is the bucket top
+        // clamped to the observed max.
+        assert_eq!(h.percentile(50), 41);
+        assert_eq!(h.percentile(99), 41);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything() {
+        let (mut a, mut b, mut both) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in [3u64, 9, 27] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [81u64, 243] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn huge_values_use_catch_all_bucket() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1u64 << 40);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile(100), u64::MAX);
+    }
+}

@@ -17,7 +17,10 @@
 //!   the 10-seed replication the paper averages over;
 //! * [`csv`] — tabular export of experiment series;
 //! * [`serializability`] — conflict-graph checking of committed histories,
-//!   the correctness bar every protocol must clear.
+//!   the correctness bar every protocol must clear;
+//! * [`events`] — the unified structured event model ([`events::SimEvent`])
+//!   with the metrics, Chrome-trace and blocking-chain-explainer sinks;
+//! * [`hist`] — fixed-bucket histograms for blocking / latency tails.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -25,6 +28,8 @@
 pub mod aggregate;
 pub mod ci;
 pub mod csv;
+pub mod events;
+pub mod hist;
 pub mod plot;
 pub mod record;
 pub mod serializability;
@@ -32,6 +37,11 @@ pub mod timeline;
 
 pub use aggregate::RunStats;
 pub use ci::Summary;
+pub use events::{
+    explain_misses, AbortReason, ChromeTraceSink, MetricsSink, SimEvent, SimEventKind,
+    EVENT_KIND_COUNT,
+};
+pub use hist::Histogram;
 pub use record::{Monitor, Outcome, TxnRecord};
 pub use serializability::{check_conflict_serializable, SerializabilityError};
 pub use timeline::Timeline;

@@ -30,5 +30,5 @@ pub mod topology;
 
 pub use call::{CallId, CallTable};
 pub use delay::DelayMatrix;
-pub use net::{Network, SendOutcome};
+pub use net::{NetJournalEntry, Network, SendOutcome};
 pub use topology::Topology;

@@ -21,6 +21,19 @@ pub enum SendOutcome {
     Dropped,
 }
 
+/// One journalled transmission (see [`Network::set_tracing`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetJournalEntry {
+    /// Sending site.
+    pub from: SiteId,
+    /// Destination site.
+    pub to: SiteId,
+    /// When the message was offered.
+    pub sent_at: SimTime,
+    /// When it will arrive, or `None` if it was dropped (destination down).
+    pub deliver_at: Option<SimTime>,
+}
+
 /// The simulated network: delays, per-site operational status, counters.
 ///
 /// FIFO per link is guaranteed by construction: delays are per-pair
@@ -46,6 +59,8 @@ pub struct Network {
     sent: u64,
     dropped: u64,
     remote_sent: u64,
+    trace: bool,
+    journal: Vec<NetJournalEntry>,
 }
 
 impl fmt::Debug for Network {
@@ -68,7 +83,21 @@ impl Network {
             sent: 0,
             dropped: 0,
             remote_sent: 0,
+            trace: false,
+            journal: Vec::new(),
         }
+    }
+
+    /// Turns journalling of transmissions on or off. Off by default; with
+    /// tracing off the journal stays empty and `send` pays one branch.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace = on;
+    }
+
+    /// Moves all journalled entries into `out` (appending), oldest first.
+    /// A no-op when tracing is off.
+    pub fn drain_journal(&mut self, out: &mut Vec<NetJournalEntry>) {
+        out.append(&mut self.journal);
     }
 
     /// Number of sites.
@@ -97,8 +126,24 @@ impl Network {
             self.remote_sent += 1;
             if !self.up[to.index()] {
                 self.dropped += 1;
+                if self.trace {
+                    self.journal.push(NetJournalEntry {
+                        from,
+                        to,
+                        sent_at: now,
+                        deliver_at: None,
+                    });
+                }
                 return SendOutcome::Dropped;
             }
+        }
+        if self.trace {
+            self.journal.push(NetJournalEntry {
+                from,
+                to,
+                sent_at: now,
+                deliver_at: Some(now + d),
+            });
         }
         SendOutcome::Deliver { at: now + d }
     }
@@ -191,6 +236,37 @@ mod tests {
             n.send(SiteId(0), SiteId(2), SimTime::ZERO),
             SendOutcome::Deliver { .. }
         ));
+    }
+
+    #[test]
+    fn journal_records_sends_and_drops() {
+        let mut n = net(25);
+        n.set_tracing(true);
+        n.send(SiteId(0), SiteId(1), SimTime::from_ticks(10));
+        n.set_site_up(SiteId(2), false);
+        n.send(SiteId(0), SiteId(2), SimTime::from_ticks(20));
+        let mut journal = Vec::new();
+        n.drain_journal(&mut journal);
+        assert_eq!(
+            journal,
+            vec![
+                NetJournalEntry {
+                    from: SiteId(0),
+                    to: SiteId(1),
+                    sent_at: SimTime::from_ticks(10),
+                    deliver_at: Some(SimTime::from_ticks(35)),
+                },
+                NetJournalEntry {
+                    from: SiteId(0),
+                    to: SiteId(2),
+                    sent_at: SimTime::from_ticks(20),
+                    deliver_at: None,
+                },
+            ]
+        );
+        let mut again = Vec::new();
+        n.drain_journal(&mut again);
+        assert!(again.is_empty());
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub use catalog::{Catalog, Placement};
 pub use commit::{Coordinator, CoordinatorAction, Participant, ParticipantAction, Vote};
 pub use history::{History, OpKind, Operation};
 pub use ids::{ObjectId, SiteId, TxnId};
-pub use lock::{GrantedLock, LockMode, LockOutcome, LockTable, QueuePolicy};
+pub use lock::{GrantedLock, LockEvent, LockMode, LockOutcome, LockTable, QueuePolicy};
 pub use object::{DataObject, ObjectStore};
 pub use small::InlineVec;
 pub use txn::{TxnKind, TxnSpec, TxnState};

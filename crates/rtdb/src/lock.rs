@@ -86,6 +86,58 @@ pub enum LockOutcome {
     },
 }
 
+/// One journalled lock-table happening (see [`LockTable::set_tracing`]).
+///
+/// The table has no notion of simulation time, so entries are unstamped;
+/// the simulation model drains the journal immediately after each table
+/// call and stamps the entries with the current instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockEvent {
+    /// `txn` asked for `mode` on `object`.
+    Requested {
+        /// Requesting transaction.
+        txn: TxnId,
+        /// Requested object.
+        object: ObjectId,
+        /// Requested mode.
+        mode: LockMode,
+    },
+    /// The request was granted — immediately, or later by a release pass.
+    Granted {
+        /// Transaction now holding the lock.
+        txn: TxnId,
+        /// The locked object.
+        object: ObjectId,
+        /// The granted mode.
+        mode: LockMode,
+    },
+    /// The request queued behind a conflict.
+    Blocked {
+        /// The waiting transaction.
+        txn: TxnId,
+        /// The contended object.
+        object: ObjectId,
+        /// The mode it wants.
+        mode: LockMode,
+        /// One representative blocker (the first reported), if any.
+        blocker: Option<TxnId>,
+    },
+    /// `txn`'s lock on `object` was released.
+    Released {
+        /// The releasing transaction.
+        txn: TxnId,
+        /// The object released.
+        object: ObjectId,
+    },
+    /// A read lock became a write lock (in place or via the queue).
+    Upgraded {
+        /// The upgrading transaction.
+        txn: TxnId,
+        /// The upgraded object.
+        object: ObjectId,
+    },
+}
+
 /// A lock granted during a release pass; the caller resumes this
 /// transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,6 +210,8 @@ pub struct LockTable {
     /// Reused by [`LockTable::release_all`] for the affected-object list, so
     /// the per-commit release path stops allocating once warm.
     scratch_objs: Vec<ObjectId>,
+    trace: bool,
+    journal: Vec<LockEvent>,
 }
 
 impl fmt::Debug for LockTable {
@@ -184,7 +238,22 @@ impl LockTable {
             waits: 0,
             upgrades: 0,
             scratch_objs: Vec::new(),
+            trace: false,
+            journal: Vec::new(),
         }
+    }
+
+    /// Turns journalling of grants, waits, upgrades and releases on or off.
+    /// Off by default; with tracing off the journal stays empty and request
+    /// paths pay one predictable branch.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace = on;
+    }
+
+    /// Moves all journalled entries into `out` (appending), oldest first.
+    /// A no-op when tracing is off.
+    pub fn drain_journal(&mut self, out: &mut Vec<LockEvent>) {
+        out.append(&mut self.journal);
     }
 
     /// Requests `mode` on `object` for `txn` at `priority`.
@@ -211,16 +280,26 @@ impl LockTable {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
+        if self.trace {
+            self.journal
+                .push(LockEvent::Requested { txn, object, mode });
+        }
 
         let state = self.locks.entry(object).or_default();
         match state.holder_mode(txn) {
             Some(LockMode::Write) => {
                 // Write covers everything.
                 self.grants += 1;
+                if self.trace {
+                    self.journal.push(LockEvent::Granted { txn, object, mode });
+                }
                 return LockOutcome::Granted;
             }
             Some(LockMode::Read) if mode == LockMode::Read => {
                 self.grants += 1;
+                if self.trace {
+                    self.journal.push(LockEvent::Granted { txn, object, mode });
+                }
                 return LockOutcome::Granted;
             }
             Some(LockMode::Read) => {
@@ -233,6 +312,9 @@ impl LockTable {
                     }
                     self.grants += 1;
                     self.upgrades += 1;
+                    if self.trace {
+                        self.journal.push(LockEvent::Upgraded { txn, object });
+                    }
                     return LockOutcome::Granted;
                 }
                 let mut others = Vec::new();
@@ -249,6 +331,14 @@ impl LockTable {
                 state.queue.push_front(waiter);
                 self.waiting_on.insert(txn, object);
                 self.waits += 1;
+                if self.trace {
+                    self.journal.push(LockEvent::Blocked {
+                        txn,
+                        object,
+                        mode: LockMode::Write,
+                        blocker: others.first().copied(),
+                    });
+                }
                 return LockOutcome::Waiting { blockers: others };
             }
             None => {}
@@ -268,6 +358,9 @@ impl LockTable {
             state.holders.push((txn, mode));
             self.held_by.entry(txn).or_default().insert(object);
             self.grants += 1;
+            if self.trace {
+                self.journal.push(LockEvent::Granted { txn, object, mode });
+            }
             return LockOutcome::Granted;
         }
 
@@ -298,6 +391,14 @@ impl LockTable {
         });
         self.waiting_on.insert(txn, object);
         self.waits += 1;
+        if self.trace {
+            self.journal.push(LockEvent::Blocked {
+                txn,
+                object,
+                mode,
+                blocker: blockers.first().copied(),
+            });
+        }
         LockOutcome::Waiting { blockers }
     }
 
@@ -316,6 +417,16 @@ impl LockTable {
                     state.holders.retain(|(t, _)| *t != txn);
                 }
                 affected.push(obj);
+            }
+        }
+        if self.trace {
+            // `affected` holds exactly the released objects here (the
+            // awaited one is appended below); journal them in id order so
+            // the hash-map iteration above cannot leak into the trace.
+            let mut released = affected.clone();
+            released.sort_unstable();
+            for object in released {
+                self.journal.push(LockEvent::Released { txn, object });
             }
         }
         if let Some(obj) = self.waiting_on.remove(&txn) {
@@ -561,6 +672,17 @@ impl LockTable {
             }
             self.waiting_on.remove(&w.txn);
             self.grants += 1;
+            if self.trace {
+                self.journal.push(if w.upgrade {
+                    LockEvent::Upgraded { txn: w.txn, object }
+                } else {
+                    LockEvent::Granted {
+                        txn: w.txn,
+                        object,
+                        mode: w.mode,
+                    }
+                });
+            }
             granted.push(GrantedLock {
                 txn: w.txn,
                 object,
@@ -889,6 +1011,84 @@ mod tests {
         lt.request(TxnId(1), ObjectId(1), LockMode::Write, p(0));
         lt.request(TxnId(2), ObjectId(1), LockMode::Write, p(0));
         lt.request(TxnId(2), ObjectId(2), LockMode::Write, p(0));
+    }
+
+    #[test]
+    fn journal_records_lock_lifecycle() {
+        let mut lt = LockTable::new(QueuePolicy::Fifo);
+        lt.set_tracing(true);
+        let o = ObjectId(1);
+        lt.request(TxnId(1), o, LockMode::Write, p(0));
+        lt.request(TxnId(2), o, LockMode::Read, p(0));
+        lt.release_all(TxnId(1));
+        let mut journal = Vec::new();
+        lt.drain_journal(&mut journal);
+        assert_eq!(
+            journal,
+            vec![
+                LockEvent::Requested {
+                    txn: TxnId(1),
+                    object: o,
+                    mode: LockMode::Write
+                },
+                LockEvent::Granted {
+                    txn: TxnId(1),
+                    object: o,
+                    mode: LockMode::Write
+                },
+                LockEvent::Requested {
+                    txn: TxnId(2),
+                    object: o,
+                    mode: LockMode::Read
+                },
+                LockEvent::Blocked {
+                    txn: TxnId(2),
+                    object: o,
+                    mode: LockMode::Read,
+                    blocker: Some(TxnId(1))
+                },
+                LockEvent::Released {
+                    txn: TxnId(1),
+                    object: o
+                },
+                LockEvent::Granted {
+                    txn: TxnId(2),
+                    object: o,
+                    mode: LockMode::Read
+                },
+            ]
+        );
+        let mut again = Vec::new();
+        lt.drain_journal(&mut again);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn journal_records_upgrades() {
+        let mut lt = LockTable::new(QueuePolicy::Fifo);
+        lt.set_tracing(true);
+        let o = ObjectId(3);
+        lt.request(TxnId(1), o, LockMode::Read, p(0));
+        lt.request(TxnId(1), o, LockMode::Write, p(0));
+        let mut journal = Vec::new();
+        lt.drain_journal(&mut journal);
+        assert_eq!(
+            journal[3],
+            LockEvent::Upgraded {
+                txn: TxnId(1),
+                object: o
+            }
+        );
+    }
+
+    #[test]
+    fn journal_stays_empty_without_tracing() {
+        let mut lt = LockTable::new(QueuePolicy::Fifo);
+        lt.request(TxnId(1), ObjectId(1), LockMode::Write, p(0));
+        lt.release_all(TxnId(1));
+        let mut journal = Vec::new();
+        lt.drain_journal(&mut journal);
+        assert!(journal.is_empty());
     }
 
     #[test]

@@ -103,6 +103,28 @@ pub enum Completion<T> {
     },
 }
 
+/// What a tracing-enabled CPU journals (see [`Cpu::set_tracing`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuJournalKind {
+    /// A burst started executing (initial start or resumption).
+    Dispatched,
+    /// The running burst was moved back to the ready queue.
+    Preempted,
+}
+
+/// One entry of the CPU's tracing journal: scheduling decisions stamped
+/// with the instant they happened, drained by the simulation model via
+/// [`Cpu::drain_journal`] and converted into its own event type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuJournalEntry<T> {
+    /// When the decision happened.
+    pub at: SimTime,
+    /// The task dispatched or preempted.
+    pub task: T,
+    /// Which decision it was.
+    pub kind: CpuJournalKind,
+}
+
 /// Result of [`Cpu::remove`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Removed<T> {
@@ -190,6 +212,8 @@ pub struct Cpu<T> {
     busy: SimDuration,
     dispatches: u64,
     preemptions: u64,
+    trace: bool,
+    journal: Vec<CpuJournalEntry<T>>,
 }
 
 impl<T> fmt::Debug for Cpu<T> {
@@ -220,6 +244,28 @@ impl<T: Copy + Eq + Hash + fmt::Debug> Cpu<T> {
             busy: SimDuration::ZERO,
             dispatches: 0,
             preemptions: 0,
+            trace: false,
+            journal: Vec::new(),
+        }
+    }
+
+    /// Turns journalling of scheduling decisions on or off. Off by default;
+    /// with tracing off the journal stays empty and dispatch paths pay one
+    /// predictable branch.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace = on;
+    }
+
+    /// Moves all journalled entries into `out` (appending), oldest first.
+    /// A no-op when tracing is off.
+    pub fn drain_journal(&mut self, out: &mut Vec<CpuJournalEntry<T>>) {
+        out.append(&mut self.journal);
+    }
+
+    #[inline]
+    fn journal(&mut self, at: SimTime, task: T, kind: CpuJournalKind) {
+        if self.trace {
+            self.journal.push(CpuJournalEntry { at, task, kind });
         }
     }
 
@@ -504,6 +550,7 @@ impl<T: Copy + Eq + Hash + fmt::Debug> Cpu<T> {
         let token = self.next_token;
         self.next_token += 1;
         self.dispatches += 1;
+        self.journal(now, task, CpuJournalKind::Dispatched);
         self.running = Some(Running {
             task,
             priority,
@@ -527,6 +574,7 @@ impl<T: Copy + Eq + Hash + fmt::Debug> Cpu<T> {
         let done = elapsed.min(run.remaining);
         self.busy += done;
         self.preemptions += 1;
+        self.journal(now, run.task, CpuJournalKind::Preempted);
         self.enqueue_ready(ReadyEntry {
             task: run.task,
             priority: run.priority,
@@ -546,6 +594,7 @@ impl<T: Copy + Eq + Hash + fmt::Debug> Cpu<T> {
             let token = self.next_token;
             self.next_token += 1;
             self.dispatches += 1;
+            self.journal(now, entry.task, CpuJournalKind::Dispatched);
             self.running = Some(Running {
                 task: entry.task,
                 priority: entry.priority,
@@ -772,6 +821,57 @@ mod tests {
         }
         assert_eq!(cpu.ready_len(), 0);
         assert!(!cpu.contains(3));
+    }
+
+    #[test]
+    fn journal_records_dispatches_and_preemptions() {
+        let mut cpu: Cpu<u8> = Cpu::new(CpuPolicy::PreemptivePriority);
+        cpu.set_tracing(true);
+        let b1 = cpu.submit(1, Priority::new(1), d(100), t(0)).unwrap();
+        let b2 = cpu.submit(2, Priority::new(9), d(30), t(40)).unwrap();
+        assert_eq!(cpu.complete(b1.token, t(100)), Completion::Stale);
+        cpu.complete(b2.token, t(70));
+        let mut journal = Vec::new();
+        cpu.drain_journal(&mut journal);
+        assert_eq!(
+            journal,
+            vec![
+                CpuJournalEntry {
+                    at: t(0),
+                    task: 1,
+                    kind: CpuJournalKind::Dispatched
+                },
+                CpuJournalEntry {
+                    at: t(40),
+                    task: 1,
+                    kind: CpuJournalKind::Preempted
+                },
+                CpuJournalEntry {
+                    at: t(40),
+                    task: 2,
+                    kind: CpuJournalKind::Dispatched
+                },
+                CpuJournalEntry {
+                    at: t(70),
+                    task: 1,
+                    kind: CpuJournalKind::Dispatched
+                },
+            ]
+        );
+        // Draining empties the journal.
+        let mut again = Vec::new();
+        cpu.drain_journal(&mut again);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn journal_stays_empty_without_tracing() {
+        let mut cpu: Cpu<u8> = Cpu::new(CpuPolicy::PreemptivePriority);
+        cpu.submit(1, Priority::new(1), d(10), t(0)).unwrap();
+        cpu.submit(2, Priority::new(9), d(10), t(1)).unwrap();
+        let mut journal = Vec::new();
+        cpu.drain_journal(&mut journal);
+        assert!(journal.is_empty());
     }
 
     #[test]

@@ -54,15 +54,19 @@ pub mod hashing;
 pub mod io;
 pub mod priority;
 pub mod random;
+pub mod sink;
 pub mod time;
 pub mod trace;
 
-pub use cpu::{Completion, Cpu, CpuPolicy, CpuToken, Removed, StartedBurst};
+pub use cpu::{
+    Completion, Cpu, CpuJournalEntry, CpuJournalKind, CpuPolicy, CpuToken, Removed, StartedBurst,
+};
 pub use engine::{Engine, Model, QueueStats, Scheduler};
 pub use event::EventId;
 pub use hashing::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use io::IoDevice;
 pub use priority::Priority;
 pub use random::RandomSource;
+pub use sink::{EventSink, NullSink, VecSink};
 pub use time::{SimDuration, SimTime};
 pub use trace::Trace;

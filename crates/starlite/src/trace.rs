@@ -50,12 +50,22 @@ impl<E> Trace<E> {
 
     /// Creates an enabled trace retaining the last `capacity` entries.
     ///
+    /// `capacity` governs *retention*: once `capacity` entries are held,
+    /// each [`Trace::record`] evicts the oldest entry and counts it in
+    /// [`Trace::dropped`]. Up-front *preallocation* is deliberately capped
+    /// at 4096 slots — a caller asking for a huge retention window (say,
+    /// `usize::MAX` for "keep everything") must not commit gigabytes before
+    /// a single entry is recorded. Beyond the cap the deque grows on demand
+    /// like any `Vec`, so large capacities are still honoured, they just
+    /// amortise their allocation instead of paying it eagerly.
+    ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn enabled(capacity: usize) -> Self {
         assert!(capacity > 0, "an enabled trace needs capacity");
         Trace {
+            // Preallocation cap, NOT the retention bound — see above.
             entries: VecDeque::with_capacity(capacity.min(4096)),
             capacity,
             enabled: true,
@@ -91,6 +101,11 @@ impl<E> Trace<E> {
     }
 
     /// Number of entries evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Alias for [`Trace::dropped`], kept for existing callers.
     pub fn dropped_count(&self) -> u64 {
         self.dropped
     }
@@ -135,5 +150,46 @@ mod tests {
     #[should_panic(expected = "needs capacity")]
     fn zero_capacity_panics() {
         let _: Trace<u32> = Trace::enabled(0);
+    }
+
+    #[test]
+    fn capacity_above_preallocation_cap_still_retained() {
+        // Retention is governed by `capacity`, not by the 4096-slot
+        // preallocation cap: recording more than 4096 entries into a
+        // larger trace must not evict anything.
+        let mut trace: Trace<u32> = Trace::enabled(5000);
+        for i in 0..5000u32 {
+            trace.record(SimTime::from_ticks(i as u64), i);
+        }
+        assert_eq!(trace.len(), 5000);
+        assert_eq!(trace.dropped(), 0);
+        // One more wraps: exactly one eviction, oldest first.
+        trace.record(SimTime::from_ticks(5000), 5000);
+        assert_eq!(trace.len(), 5000);
+        assert_eq!(trace.dropped(), 1);
+        assert_eq!(trace.iter().next().map(|&(_, e)| e), Some(1));
+    }
+
+    #[test]
+    fn drop_accounting_matches_wraparound() {
+        let mut trace: Trace<u64> = Trace::enabled(4);
+        for i in 0..10 {
+            trace.record(SimTime::from_ticks(i), i);
+        }
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.dropped(), 6);
+        assert_eq!(trace.dropped_count(), trace.dropped());
+        let kept: Vec<u64> = trace.iter().map(|&(_, e)| e).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn disabled_trace_never_drops() {
+        let mut trace: Trace<u8> = Trace::disabled();
+        for _ in 0..100 {
+            trace.record(SimTime::ZERO, 0);
+        }
+        assert_eq!(trace.dropped(), 0);
+        assert!(trace.is_empty());
     }
 }

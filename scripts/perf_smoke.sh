@@ -4,7 +4,9 @@
 # Re-runs the full figure sweep single-threaded and enforces:
 #   1. Output parity: results/*.json must match the committed figures
 #      exactly, except the environment-dependent `wall_clock_seconds`
-#      and `workers` fields.
+#      and `workers` fields. The run is traced, so the committed Chrome
+#      trace golden (results/all_figures.trace.json) is covered by the
+#      same diff — tracing must stay byte-deterministic.
 #   2. Wall clock: all_figures must not take more than 2x the committed
 #      BENCH_SWEEP.json baseline.
 #
@@ -24,7 +26,7 @@ if [ -z "${baseline}" ]; then
 fi
 
 cargo build --release --workspace
-RTLOCK_BENCH_WORKERS=1 ./target/release/all_figures
+RTLOCK_BENCH_WORKERS=1 ./target/release/all_figures --trace results/all_figures.trace.json
 
 echo "perf-smoke: checking simulation output parity"
 if ! git diff --exit-code -I'"wall_clock_seconds"' -I'"workers"' -- results/; then

@@ -70,6 +70,28 @@ fn repeated_runs_are_reproducible() {
 }
 
 #[test]
+fn every_generated_transaction_is_accounted_for() {
+    // Each grid entry generates exactly 60 transactions; the aggregate
+    // counters must partition them — committed, missed, or still in
+    // progress at drain — with nothing lost or double-counted.
+    let results = mixed_grid().run(2);
+    for point in &results.points {
+        for (seed, m) in &point.runs {
+            assert_eq!(
+                m.committed + m.missed + m.in_progress,
+                60,
+                "{}/seed={seed}: committed {} + missed {} + in_progress {} \
+                 must equal the 60 generated transactions",
+                point.label,
+                m.committed,
+                m.missed,
+                m.in_progress
+            );
+        }
+    }
+}
+
+#[test]
 fn json_artifact_shape_is_stable() {
     let sweep = mixed_grid();
     let json = sweep.run(2).to_json("determinism-check", vec![]);

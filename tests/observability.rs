@@ -1,0 +1,162 @@
+//! Tier-1 pins on the unified event-tracing pipeline: the exact event
+//! sequence of a tiny fixed-seed run is a committed golden file, and the
+//! metrics sink's counters must account for every event emitted, on any
+//! random scenario.
+//!
+//! Regenerate the golden after an intentional event-model change with
+//! `RTLOCK_BLESS=1 cargo test --test observability`.
+
+use proptest::prelude::*;
+use rtlock::prelude::*;
+use rtlock::Simulator;
+use workload::{SizeDistribution, WorkloadSpec};
+
+const GOLDEN_PATH: &str = "tests/golden/single_site_events.txt";
+
+/// Renders the full event stream of the canonical tiny run: six size-3
+/// transactions under 2PL-with-priority (the protocol that exercises
+/// requests, grants, blocks, releases and deadline aborts), seed 7.
+fn golden_run() -> String {
+    let catalog = Catalog::new(8, 1, Placement::SingleSite);
+    let workload = WorkloadSpec::builder()
+        .txn_count(6)
+        .mean_interarrival(SimDuration::from_ticks(2_000))
+        .size(SizeDistribution::Fixed(3))
+        .read_only_fraction(0.0)
+        .write_fraction(0.5)
+        .deadline(4.0, SimDuration::from_ticks(1_500))
+        .build();
+    let config = SingleSiteConfig::builder()
+        .protocol(ProtocolKind::TwoPhaseLockingPriority)
+        .cpu_per_object(SimDuration::from_ticks(1_000))
+        .io_per_object(SimDuration::from_ticks(500))
+        .build();
+    let mut sink = VecSink::new();
+    Simulator::new(config, catalog, &workload).run_with(7, &mut sink);
+    let mut out = String::new();
+    for (at, event) in sink.events() {
+        out.push_str(&format!("{:>6} {event}\n", at.ticks()));
+    }
+    out
+}
+
+#[test]
+fn tiny_run_event_sequence_matches_golden() {
+    let rendered = golden_run();
+    if std::env::var_os("RTLOCK_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "missing tests/golden/single_site_events.txt — run \
+         RTLOCK_BLESS=1 cargo test --test observability to create it",
+    );
+    assert_eq!(
+        rendered, golden,
+        "event sequence diverged from the committed golden; if the change \
+         is intentional, re-bless with RTLOCK_BLESS=1"
+    );
+}
+
+#[test]
+fn golden_run_is_reproducible() {
+    assert_eq!(golden_run(), golden_run());
+}
+
+#[test]
+fn explainer_covers_every_missed_deadline() {
+    // Push the tiny scenario into overload so deadlines actually miss,
+    // then every miss must get exactly one explanation line.
+    let catalog = Catalog::new(4, 1, Placement::SingleSite);
+    let workload = WorkloadSpec::builder()
+        .txn_count(12)
+        .mean_interarrival(SimDuration::from_ticks(400))
+        .size(SizeDistribution::Fixed(3))
+        .read_only_fraction(0.0)
+        .write_fraction(0.5)
+        .deadline(2.0, SimDuration::from_ticks(1_000))
+        .build();
+    let config = SingleSiteConfig::builder()
+        .protocol(ProtocolKind::TwoPhaseLocking)
+        .cpu_per_object(SimDuration::from_ticks(1_000))
+        .io_per_object(SimDuration::from_ticks(500))
+        .build();
+    let mut sink = VecSink::new();
+    let report = Simulator::new(config, catalog, &workload).run_with(3, &mut sink);
+    let lines = monitor::explain_misses(sink.events());
+    assert_eq!(
+        lines.len(),
+        report.stats.missed as usize,
+        "one explanation per missed transaction"
+    );
+    assert!(report.stats.missed > 0, "scenario should overload");
+}
+
+/// A compact random scenario mirroring `proptest_sim.rs`.
+fn scenario_strategy() -> impl Strategy<Value = Vec<TxnSpec>> {
+    let txn = (
+        0u64..400,
+        prop::collection::btree_set(0u32..8, 1..4),
+        prop::collection::btree_set(0u32..8, 0..3),
+        200u64..5_000,
+    );
+    prop::collection::vec(txn, 1..10).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (arrival, reads, writes, offset))| {
+                let write_set: Vec<ObjectId> = writes.iter().map(|&o| ObjectId(o)).collect();
+                let read_set: Vec<ObjectId> = reads
+                    .iter()
+                    .filter(|o| !writes.contains(o))
+                    .map(|&o| ObjectId(o))
+                    .collect();
+                let (read_set, write_set) = if read_set.is_empty() && write_set.is_empty() {
+                    (vec![ObjectId(0)], vec![])
+                } else {
+                    (read_set, write_set)
+                };
+                TxnSpec::new(
+                    TxnId(i as u64),
+                    SimTime::from_ticks(arrival),
+                    read_set,
+                    write_set,
+                    SimTime::from_ticks(arrival + offset),
+                    SiteId(0),
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On any scenario and every protocol, the metrics sink's per-kind
+    /// counters sum to its total, and the total equals the number of
+    /// events a buffering sink records for the identical run.
+    #[test]
+    fn metrics_sink_accounts_for_every_event(txns in scenario_strategy()) {
+        let catalog = Catalog::new(8, 1, Placement::SingleSite);
+        for kind in ProtocolKind::all() {
+            let config = SingleSiteConfig::builder()
+                .protocol(kind)
+                .cpu_per_object(SimDuration::from_ticks(100))
+                .io_per_object(SimDuration::from_ticks(50))
+                .build();
+            let mut buffered = VecSink::new();
+            run_transactions_with(config, &catalog, txns.clone(), &mut buffered);
+            let mut metrics = MetricsSink::new();
+            run_transactions_with(config, &catalog, txns.clone(), &mut metrics);
+            prop_assert_eq!(
+                metrics.total(),
+                buffered.events().len() as u64,
+                "{}: metrics total must equal emitted-event count", kind
+            );
+            prop_assert_eq!(
+                metrics.counts().iter().sum::<u64>(),
+                metrics.total(),
+                "{}: per-kind counters must sum to the total", kind
+            );
+        }
+    }
+}
