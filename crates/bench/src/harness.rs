@@ -18,6 +18,7 @@ use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use monitor::{Histogram, SimEvent, Summary};
+use netsim::{FaultPlan, NetStats};
 use rtdb::{Catalog, Placement};
 use rtlock::distributed::{CeilingArchitecture, DistributedConfig, DistributedSimulator};
 use rtlock::{ProtocolKind, RunReport, Simulator, SingleSiteConfig, VictimPolicy};
@@ -106,6 +107,9 @@ pub struct DistributedSpec {
     pub txn_count: u32,
     /// Multiversion read retention; `None` disables temporal reads.
     pub temporal_versions: Option<usize>,
+    /// Fault-injection plan; the default plan injects nothing and leaves
+    /// the run byte-identical to a fault-free simulation.
+    pub faults: FaultPlan,
 }
 
 impl DistributedSpec {
@@ -122,6 +126,21 @@ impl DistributedSpec {
             delay_units,
             txn_count,
             temporal_versions: None,
+            faults: FaultPlan::default(),
+        }
+    }
+
+    /// The figure configuration with a fault plan applied (E4).
+    pub fn faulted(
+        architecture: CeilingArchitecture,
+        read_only_fraction: f64,
+        delay_units: u32,
+        txn_count: u32,
+        faults: FaultPlan,
+    ) -> Self {
+        DistributedSpec {
+            faults,
+            ..DistributedSpec::figure(architecture, read_only_fraction, delay_units, txn_count)
         }
     }
 }
@@ -159,6 +178,9 @@ pub struct RunMetrics {
     /// neither committed nor missed. Zero for a run that completed its
     /// whole workload.
     pub in_progress: u32,
+    /// Transactions aborted by an injected fault (site crash or 2PC vote
+    /// timeout). Zero unless the run carried a fault plan.
+    pub faulted: u32,
     /// `100 × missed / processed`.
     pub pct_missed: f64,
     /// Objects per second by committed transactions.
@@ -181,6 +203,9 @@ pub struct RunMetrics {
     pub preemptions: u64,
     /// Messages across links (distributed runs).
     pub remote_messages: u64,
+    /// Network delivery statistics (distributed runs; `None` for
+    /// single-site runs, which send no messages).
+    pub net: Option<NetStats>,
     /// Kernel events executed by the run's simulation engine. Not part of
     /// the serialised figure data (it measures the simulator, not the
     /// protocols); the sweep harness aggregates it into an events-per-
@@ -197,6 +222,7 @@ impl RunMetrics {
             committed: report.stats.committed,
             missed: report.stats.missed,
             in_progress: report.stats.in_progress,
+            faulted: report.stats.faulted,
             pct_missed: report.stats.pct_missed,
             throughput: report.stats.throughput,
             mean_response_ticks: report.stats.mean_response_ticks,
@@ -207,6 +233,7 @@ impl RunMetrics {
             ceiling_blocks: report.ceiling_blocks,
             preemptions: report.preemptions,
             remote_messages: report.remote_messages,
+            net: report.net,
             events: report.events,
             temporal: report.temporal,
         }
@@ -268,7 +295,8 @@ pub fn execute_with<S: EventSink<SimEvent>>(spec: &RunSpec, sink: S) -> RunMetri
                     params::TIME_UNIT.ticks() * s.delay_units as u64,
                 ))
                 .cpu_per_object(params::CPU_PER_OBJECT)
-                .apply_cost(params::APPLY_COST);
+                .apply_cost(params::APPLY_COST)
+                .faults(s.faults.clone());
             if let Some(keep) = s.temporal_versions {
                 builder = builder.temporal_versions(keep);
             }
@@ -381,6 +409,26 @@ impl SweepResults {
         } else {
             0.0
         }
+    }
+
+    /// Network delivery totals summed over every run that reported them,
+    /// or `None` when the sweep held no distributed runs. Feeds the flat
+    /// `net_*` fields of `BENCH_SWEEP.json`.
+    pub fn net_totals(&self) -> Option<NetStats> {
+        let mut total: Option<NetStats> = None;
+        for point in &self.points {
+            for (_, m) in &point.runs {
+                if let Some(n) = m.net {
+                    let t = total.get_or_insert(NetStats::default());
+                    t.sent += n.sent;
+                    t.delivered += n.delivered;
+                    t.dropped_at_send += n.dropped_at_send;
+                    t.dropped_in_flight += n.dropped_in_flight;
+                    t.duplicated += n.duplicated;
+                }
+            }
+        }
+        total
     }
 
     /// Merged blocking-time histograms grouped by protocol — the sweep

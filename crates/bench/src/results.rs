@@ -205,6 +205,14 @@ impl From<&RunMetrics> for Json {
             ("committed".to_string(), Json::from(m.committed)),
             ("missed".to_string(), Json::from(m.missed)),
             ("in_progress".to_string(), Json::from(m.in_progress)),
+        ];
+        // Fault and network fields exist only for distributed runs (the
+        // only runs that report `net`), so single-site records keep their
+        // historical byte-identical shape.
+        if m.net.is_some() {
+            fields.push(("faulted".to_string(), Json::from(m.faulted)));
+        }
+        fields.extend([
             ("pct_missed".to_string(), Json::from(m.pct_missed)),
             ("throughput".to_string(), Json::from(m.throughput)),
             (
@@ -232,7 +240,19 @@ impl From<&RunMetrics> for Json {
             ("ceiling_blocks".to_string(), Json::from(m.ceiling_blocks)),
             ("preemptions".to_string(), Json::from(m.preemptions)),
             ("remote_messages".to_string(), Json::from(m.remote_messages)),
-        ];
+        ]);
+        if let Some(n) = &m.net {
+            fields.push((
+                "net".to_string(),
+                Json::object([
+                    ("sent", n.sent.into()),
+                    ("delivered", n.delivered.into()),
+                    ("dropped_at_send", n.dropped_at_send.into()),
+                    ("dropped_in_flight", n.dropped_in_flight.into()),
+                    ("duplicated", n.duplicated.into()),
+                ]),
+            ));
+        }
         if let Some(t) = &m.temporal {
             fields.push((
                 "temporal".to_string(),
@@ -366,6 +386,16 @@ pub fn record_wall_clock(experiment: &str, results: &SweepResults) -> io::Result
         entry_fields.push((format!("blocked_p50_{proto}"), hist.percentile(50).into()));
         entry_fields.push((format!("blocked_p95_{proto}"), hist.percentile(95).into()));
         entry_fields.push((format!("blocked_p99_{proto}"), hist.percentile(99).into()));
+    }
+    if let Some(n) = results.net_totals() {
+        entry_fields.push(("net_sent".to_string(), n.sent.into()));
+        entry_fields.push(("net_delivered".to_string(), n.delivered.into()));
+        entry_fields.push(("net_dropped_at_send".to_string(), n.dropped_at_send.into()));
+        entry_fields.push((
+            "net_dropped_in_flight".to_string(),
+            n.dropped_in_flight.into(),
+        ));
+        entry_fields.push(("net_duplicated".to_string(), n.duplicated.into()));
     }
     let entry = Json::Object(entry_fields);
     // Keep prior entries when the file already holds a JSON array of

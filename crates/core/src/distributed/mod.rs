@@ -28,7 +28,7 @@ pub use sim::{
     run_transactions_distributed, run_transactions_distributed_with, DistributedSimulator,
 };
 
-use netsim::Topology;
+use netsim::{FaultPlan, Topology};
 use rtdb::SiteId;
 use serde::{Deserialize, Serialize};
 use starlite::{SimDuration, SimTime};
@@ -55,7 +55,7 @@ impl CeilingArchitecture {
 
 /// Configuration of a distributed simulation; build with
 /// [`DistributedConfig::builder`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DistributedConfig {
     /// Architecture under test.
     pub architecture: CeilingArchitecture,
@@ -75,8 +75,17 @@ pub struct DistributedConfig {
     pub lock_timeout_slack: SimDuration,
     /// Failure injection: take this site down at this instant. Messages to
     /// it are dropped from then on; senders rely on timeouts (the paper's
-    /// message-server unblocking mechanism).
+    /// message-server unblocking mechanism). Shorthand for a permanent
+    /// [`netsim::CrashWindow`]; composes with `faults.crashes`.
     pub fail_site: Option<(SiteId, SimTime)>,
+    /// Deterministic fault-injection plan: per-link message loss,
+    /// duplication and delay jitter, plus scheduled site crash/restart
+    /// windows. The default plan is a strict no-op.
+    pub faults: FaultPlan,
+    /// Maximum number of times a timed-out lock RPC to the global manager
+    /// is retried (with exponential backoff) before the transaction gives
+    /// up and misses.
+    pub max_rpc_retries: u32,
     /// Windowed timeline collection: commits and misses per window of
     /// this length (`None` disables; see `monitor::Timeline`).
     pub timeline_window: Option<SimDuration>,
@@ -113,6 +122,8 @@ impl Default for DistributedConfigBuilder {
                 apply_cost: SimDuration::from_ticks(200),
                 lock_timeout_slack: SimDuration::from_ticks(10_000),
                 fail_site: None,
+                faults: FaultPlan::default(),
+                max_rpc_retries: 2,
                 timeline_window: None,
                 temporal_versions: None,
             },
@@ -160,6 +171,18 @@ impl DistributedConfigBuilder {
     /// Injects a site failure at the given instant.
     pub fn fail_site(mut self, site: SiteId, at: SimTime) -> Self {
         self.config.fail_site = Some((site, at));
+        self
+    }
+
+    /// Installs a fault-injection plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.config.faults = plan;
+        self
+    }
+
+    /// Sets the lock-RPC retry budget.
+    pub fn max_rpc_retries(mut self, retries: u32) -> Self {
+        self.config.max_rpc_retries = retries;
         self
     }
 

@@ -27,6 +27,32 @@
 //! broadcast cannot be retracted: it completes two-phase commit, its
 //! writes stand (and are recorded in the history), and it is *counted as
 //! deadline-missing* — the hard-deadline accounting the paper uses.
+//!
+//! # Fault injection & recovery
+//!
+//! A [`netsim::FaultPlan`] makes the network lossy (per-link message loss,
+//! duplication, delay jitter) and schedules site crash/restart windows.
+//! Fault handling is *strictly opt-in*: with a no-op plan and no
+//! `fail_site`, none of the recovery machinery schedules events or sends
+//! messages, so fault-free runs are byte-identical to the pre-fault model.
+//! When faults are active:
+//!
+//! * an in-flight message is dropped if its destination is down at
+//!   *delivery* time (and at send time if either endpoint is down);
+//! * timed-out lock RPCs are retried with exponential backoff, up to
+//!   [`DistributedConfig::max_rpc_retries`] times, re-sending the
+//!   registration in case it was the message that was lost;
+//! * a coordinator whose votes do not all arrive aborts the transaction
+//!   cleanly ([`monitor::AbortReason::SiteFailed`]); lost commit
+//!   decisions are retransmitted until acknowledged (bounded);
+//! * lock releases towards the manager are acknowledged and retransmitted,
+//!   escalating to a direct failure-detector release so no transaction can
+//!   leave locks behind;
+//! * a crashing site aborts its resident transactions
+//!   (`Outcome::AbortedByFault`) and loses its protocol state; on restart
+//!   a replicated site catches its replica up by asking every peer to
+//!   replay the newest version of each object it is primary for
+//!   (anti-entropy via the ordinary system-transaction apply path).
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -53,6 +79,17 @@ use crate::report::{RunReport, TemporalStats};
 /// System transactions (secondary-update appliers) get ids in a disjoint
 /// range so they can never collide with workload transactions.
 const SYSTEM_TXN_BASE: u64 = 1 << 48;
+
+/// Commit-decision retransmissions before the coordinator stops waiting
+/// for acknowledgements and finalizes anyway (fault mode only).
+const MAX_ACK_RETRIES: u32 = 8;
+
+/// `ReleaseTxn` retransmissions before the failure detector releases the
+/// locks at the manager directly (fault mode only).
+const MAX_RELEASE_RETRIES: u32 = 8;
+
+/// Cap on the exponential-backoff shift for retried lock RPCs.
+const MAX_BACKOFF_SHIFT: u32 = 6;
 
 #[derive(Debug, Clone)]
 enum Message {
@@ -118,6 +155,21 @@ enum Message {
         writer: TxnId,
         origin_deadline: SimTime,
     },
+    /// Manager → home: a `ReleaseTxn` was processed (fault mode only;
+    /// stops the release retransmission loop).
+    ReleaseAck {
+        txn: TxnId,
+    },
+    /// Restarted site → peer: replay the newest versions of the objects
+    /// the peer is primary for (anti-entropy, local architecture).
+    RepairRequest {
+        from: SiteId,
+    },
+    /// Peer → restarted site: `(object, value, version, writer)` items to
+    /// re-install through the system-transaction apply path.
+    RepairReply {
+        items: Vec<(ObjectId, u64, u64, TxnId)>,
+    },
 }
 
 #[derive(Debug)]
@@ -139,6 +191,19 @@ enum Ev {
         call: CallId,
     },
     SiteDown(SiteId),
+    SiteUp(SiteId),
+    /// Fault mode: the coordinator stops waiting for votes and aborts.
+    VoteTimeout {
+        txn: TxnId,
+    },
+    /// Fault mode: retransmit an unacknowledged commit decision.
+    AckTimeout {
+        txn: TxnId,
+    },
+    /// Fault mode: retransmit an unacknowledged `ReleaseTxn`.
+    ReleaseRetry {
+        txn: TxnId,
+    },
 }
 
 /// Why a secondary-update system transaction exists.
@@ -148,6 +213,9 @@ struct SystemApply {
     value: u64,
     version: u64,
     writer: TxnId,
+    /// Anti-entropy repair after a restart (emits
+    /// [`SimEventKind::ReplicaRepaired`] when the version installs).
+    repair: bool,
 }
 
 #[derive(Debug)]
@@ -163,6 +231,17 @@ struct DExec {
     deadline_passed: bool,
     /// Open lock RPC: (call id, timeout event).
     pending_call: Option<(CallId, EventId)>,
+    /// Lock RPCs retried so far (per-transaction budget).
+    attempts: u32,
+    /// Home-site view of "blocked at the manager" — pairs the monitor's
+    /// `on_block`/`on_unblock` exactly once even when `LockPending` or
+    /// wakeup grants are lost or duplicated.
+    blocked: bool,
+    /// A `RemoteRead` is outstanding; a reply that arrives while this is
+    /// false is a duplicate and must not double-submit the CPU burst.
+    awaiting_read: bool,
+    /// Commit-decision retransmissions performed (fault mode).
+    ack_attempts: u32,
     /// Secondary-update payload (system transactions only).
     system: Option<SystemApply>,
 }
@@ -191,6 +270,13 @@ struct DistModel<S> {
     eff_prio: FxHashMap<TxnId, Priority>,
     calls: CallTable<TxnId>,
     participants: FxHashMap<(TxnId, SiteId), Participant>,
+    /// `fail_site` or a non-trivial fault plan is installed; all recovery
+    /// machinery (extra messages, retry events) is gated on this so
+    /// fault-free runs stay byte-identical.
+    faults_active: bool,
+    /// Releases awaiting a manager acknowledgement (fault mode):
+    /// transaction → (retransmissions so far, pending retry event).
+    pending_releases: FxHashMap<TxnId, (u32, EventId)>,
     next_system_id: u64,
     applied_updates: u64,
     stale_updates: u64,
@@ -232,13 +318,30 @@ impl<S: EventSink<SimEvent>> Model for DistModel<S> {
             Ev::BurstDone { site, token } => self.on_burst_done(site, token, sched),
             Ev::Deadline(txn) => self.on_deadline(txn, sched),
             Ev::Deliver { from, to, msg } => {
-                if self.net.is_site_up(to) {
+                // The destination's fate is decided at *delivery* time: a
+                // message in flight towards a site that has since gone
+                // down is lost, not handled.
+                if self.net.deliver(to) {
                     self.emit(sched.now(), to, SimEventKind::MsgDelivered { from, to });
+                    self.on_message(to, msg, sched);
+                } else {
+                    self.emit(
+                        sched.now(),
+                        to,
+                        SimEventKind::MsgDropped {
+                            from,
+                            to,
+                            in_flight: true,
+                        },
+                    );
                 }
-                self.on_message(to, msg, sched)
             }
             Ev::LockTimeout { call } => self.on_lock_timeout(call, sched),
-            Ev::SiteDown(site) => self.net.set_site_up(site, false),
+            Ev::SiteDown(site) => self.on_site_down(site, sched),
+            Ev::SiteUp(site) => self.on_site_up(site, sched),
+            Ev::VoteTimeout { txn } => self.on_vote_timeout(txn, sched),
+            Ev::AckTimeout { txn } => self.on_ack_timeout(txn, sched),
+            Ev::ReleaseRetry { txn } => self.on_release_retry(txn, sched),
         }
         self.flush_kernel_journals();
     }
@@ -327,12 +430,51 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
     }
 
     fn send(&mut self, from: SiteId, to: SiteId, msg: Message, sched: &mut Scheduler<Ev>) -> bool {
-        match self.net.send(from, to, sched.now()) {
+        let now = sched.now();
+        match self.net.send(from, to, now) {
             SendOutcome::Deliver { at } => {
                 sched.schedule(at, Ev::Deliver { from, to, msg });
                 true
             }
-            SendOutcome::Dropped => false,
+            SendOutcome::DeliverTwice { at, again_at } => {
+                self.emit(now, from, SimEventKind::MsgDuplicated { from, to });
+                sched.schedule(
+                    at,
+                    Ev::Deliver {
+                        from,
+                        to,
+                        msg: msg.clone(),
+                    },
+                );
+                sched.schedule(again_at, Ev::Deliver { from, to, msg });
+                true
+            }
+            SendOutcome::DroppedAtSend => {
+                self.emit(
+                    now,
+                    from,
+                    SimEventKind::MsgDropped {
+                        from,
+                        to,
+                        in_flight: false,
+                    },
+                );
+                false
+            }
+            // The loss is drawn at send time but modelled as an in-flight
+            // loss; journal it at the sender, which is where it is known.
+            SendOutcome::LostInFlight => {
+                self.emit(
+                    now,
+                    from,
+                    SimEventKind::MsgDropped {
+                        from,
+                        to,
+                        in_flight: true,
+                    },
+                );
+                false
+            }
         }
     }
 
@@ -340,6 +482,27 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
 
     fn on_arrive(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
         let spec = self.specs[&txn].clone();
+        if !self.net.is_site_up(spec.home_site) {
+            // The home site is down: the transaction never starts, but it
+            // must still be registered so the run's accounting closes
+            // (committed + missed + faulted + in_progress == generated).
+            self.emit(
+                sched.now(),
+                spec.home_site,
+                SimEventKind::TxnArrived { txn },
+            );
+            self.monitor.register(&spec);
+            self.monitor.on_fault_abort(txn, sched.now());
+            self.emit(
+                sched.now(),
+                spec.home_site,
+                SimEventKind::TxnAborted {
+                    txn,
+                    reason: AbortReason::SiteFailed,
+                },
+            );
+            return;
+        }
         self.emit(
             sched.now(),
             spec.home_site,
@@ -364,6 +527,10 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                 decided: false,
                 deadline_passed: false,
                 pending_call: None,
+                attempts: 0,
+                blocked: false,
+                awaiting_read: false,
+                ack_attempts: 0,
                 system: None,
             },
         );
@@ -526,12 +693,7 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
         }
         match self.config.architecture {
             CeilingArchitecture::GlobalManager => {
-                self.send(
-                    home,
-                    self.manager_site(),
-                    Message::ReleaseTxn { txn },
-                    sched,
-                );
+                self.send_release(txn, sched);
             }
             CeilingArchitecture::LocalReplicated => {
                 let release =
@@ -550,6 +712,283 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
         }
     }
 
+    // ----- fault injection & recovery -----------------------------------
+
+    /// Lock-RPC patience: the round trip plus the configured slack plus
+    /// headroom for the worst jitter on both legs (zero without faults).
+    fn rpc_timeout(&self, from: SiteId, to: SiteId) -> starlite::SimDuration {
+        self.net
+            .round_trip_timeout(from, to, self.config.lock_timeout_slack)
+            + starlite::SimDuration::from_ticks(2 * self.config.faults.link.jitter_ticks)
+    }
+
+    /// 2PC patience: the slowest participant round trip plus slack and
+    /// jitter headroom.
+    fn twopc_timeout(&self, home: SiteId, sites: &[SiteId]) -> starlite::SimDuration {
+        sites
+            .iter()
+            .map(|&s| self.rpc_timeout(home, s))
+            .max()
+            .unwrap_or(self.config.lock_timeout_slack)
+    }
+
+    /// Sends `ReleaseTxn` towards the manager; in fault mode the release
+    /// is retransmitted until the manager acknowledges it.
+    fn send_release(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
+        let home = self.home(txn);
+        let manager = self.manager_site();
+        self.send(home, manager, Message::ReleaseTxn { txn }, sched);
+        if self.faults_active {
+            let retry_ev =
+                sched.schedule_after(self.rpc_timeout(home, manager), Ev::ReleaseRetry { txn });
+            self.pending_releases.insert(txn, (0, retry_ev));
+        }
+    }
+
+    /// Releases `txn` at the manager and routes the wakeups home (the
+    /// body of the `ReleaseTxn` handler, shared with the failure-detector
+    /// paths that release directly).
+    fn release_at_manager(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
+        let manager = self.manager_site();
+        let release = self
+            .global_pcp
+            .as_mut()
+            .expect("global architecture")
+            .release_all(txn, ReleaseReason::Finished);
+        self.drain_pcp(manager, sched.now());
+        for w in &release.wakeups {
+            let waiter_home = self.home(w.txn);
+            self.send(
+                manager,
+                waiter_home,
+                Message::LockGrant {
+                    txn: w.txn,
+                    call: None,
+                },
+                sched,
+            );
+        }
+        self.broadcast_priority_updates(release.priority_updates, sched);
+    }
+
+    /// A pending release went unacknowledged: retransmit, give up on a
+    /// dead manager, or escalate to a direct failure-detector release so
+    /// locks can never leak.
+    fn on_release_retry(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
+        let Some(&(attempts, _)) = self.pending_releases.get(&txn) else {
+            return; // acknowledged in the meantime
+        };
+        let manager = self.manager_site();
+        if !self.net.is_site_up(manager) {
+            // The manager's lock state died (or dies) with it; nothing
+            // left to release.
+            self.pending_releases.remove(&txn);
+            return;
+        }
+        if attempts >= MAX_RELEASE_RETRIES {
+            self.pending_releases.remove(&txn);
+            self.release_at_manager(txn, sched);
+            return;
+        }
+        let home = self.home(txn);
+        self.emit(
+            sched.now(),
+            home,
+            SimEventKind::RpcRetried {
+                txn,
+                attempt: attempts + 1,
+            },
+        );
+        self.send(home, manager, Message::ReleaseTxn { txn }, sched);
+        let retry_ev =
+            sched.schedule_after(self.rpc_timeout(home, manager), Ev::ReleaseRetry { txn });
+        self.pending_releases.insert(txn, (attempts + 1, retry_ev));
+    }
+
+    /// Aborts a live transaction because of a site failure: closes its
+    /// monitor record as `AbortedByFault`, cancels its timers and open
+    /// call, removes it from its home CPU, and (global architecture)
+    /// releases its locks through the failure detector.
+    fn fault_abort(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
+        let Some(mut exec) = self.exec.remove(&txn) else {
+            return;
+        };
+        let now = sched.now();
+        if let Some(ev) = exec.deadline_ev.take() {
+            sched.cancel(ev);
+        }
+        if let Some((call, timeout_ev)) = exec.pending_call.take() {
+            sched.cancel(timeout_ev);
+            self.calls.close(call);
+        }
+        let home = self.home(txn);
+        self.monitor.on_fault_abort(txn, now);
+        self.emit(
+            now,
+            home,
+            SimEventKind::TxnAborted {
+                txn,
+                reason: AbortReason::SiteFailed,
+            },
+        );
+        if let Removed::WasRunning { next: Some(burst) } = self.cpus[home.index()].remove(txn, now)
+        {
+            sched.schedule(
+                burst.finish_at,
+                Ev::BurstDone {
+                    site: home,
+                    token: burst.token,
+                },
+            );
+        }
+        if self.config.architecture == CeilingArchitecture::GlobalManager
+            && self.net.is_site_up(self.manager_site())
+        {
+            // The failure detector tells the manager immediately; the
+            // local architecture resets the whole per-site instance
+            // instead (crashes are the only local fault-abort source).
+            self.release_at_manager(txn, sched);
+        }
+    }
+
+    /// A site crashes: messages to it start dropping, its resident
+    /// transactions abort, and its protocol state is lost.
+    fn on_site_down(&mut self, site: SiteId, sched: &mut Scheduler<Ev>) {
+        if !self.net.is_site_up(site) {
+            return; // overlapping crash windows
+        }
+        self.net.set_site_up(site, false);
+        self.emit(sched.now(), site, SimEventKind::SiteCrashed);
+        let now = sched.now();
+        let mut residents: Vec<TxnId> = self
+            .exec
+            .keys()
+            .copied()
+            .filter(|t| self.specs[t].home_site == site)
+            .collect();
+        residents.sort_unstable();
+        for txn in residents {
+            if self.is_system(txn) {
+                // Secondary-update appliers die silently with the site.
+                self.exec.remove(&txn);
+                self.specs.remove(&txn);
+                self.cpus[site.index()].remove(txn, now);
+            } else {
+                self.fault_abort(txn, sched);
+            }
+        }
+        let fresh_pcp = |tracing: bool| {
+            let mut pcp = PriorityCeilingProtocol::read_write();
+            if tracing {
+                pcp.set_tracing(true);
+            }
+            pcp
+        };
+        match self.config.architecture {
+            CeilingArchitecture::GlobalManager => {
+                if site == self.manager_site() {
+                    // The manager's lock state dies with it; survivors
+                    // drain via lock-RPC timeouts and their deadlines.
+                    self.global_pcp = Some(fresh_pcp(self.sink.enabled()));
+                }
+            }
+            CeilingArchitecture::LocalReplicated => {
+                self.local_pcps[site.index()] = fresh_pcp(self.sink.enabled());
+            }
+        }
+        // Orphaned 2PC participant state at the crashed site.
+        self.participants.retain(|&(_, s), _| s != site);
+    }
+
+    /// A site restarts: messages flow again; a replicated site asks every
+    /// peer to replay the newest versions of the objects it is primary
+    /// for (anti-entropy). Under the global architecture nothing else is
+    /// needed — new arrivals re-register with the manager as usual.
+    fn on_site_up(&mut self, site: SiteId, sched: &mut Scheduler<Ev>) {
+        if self.net.is_site_up(site) {
+            return;
+        }
+        self.net.set_site_up(site, true);
+        self.emit(sched.now(), site, SimEventKind::SiteRecovered);
+        if self.config.architecture == CeilingArchitecture::LocalReplicated {
+            for s in self.catalog.sites() {
+                if s != site {
+                    self.send(site, s, Message::RepairRequest { from: site }, sched);
+                }
+            }
+        }
+    }
+
+    /// Fault mode: votes did not all arrive in time (a participant
+    /// crashed, or a prepare/vote was lost). Broadcast abort and fault the
+    /// transaction.
+    fn on_vote_timeout(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
+        let Some(exec) = self.exec.get_mut(&txn) else {
+            return;
+        };
+        let Some(coordinator) = exec.coordinator.as_mut() else {
+            return;
+        };
+        let Some(CoordinatorAction::SendAbort(sites)) = coordinator.on_vote_timeout() else {
+            return; // decided in time
+        };
+        let home = self.home(txn);
+        for s in sites {
+            self.send(
+                home,
+                s,
+                Message::Decision {
+                    txn,
+                    commit: false,
+                    writes: Vec::new(),
+                    coordinator: home,
+                },
+                sched,
+            );
+        }
+        self.fault_abort(txn, sched);
+    }
+
+    /// Fault mode: a commit decision went unacknowledged — retransmit it
+    /// to the sites still owing an ack, bounded; then stop waiting.
+    fn on_ack_timeout(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
+        let Some(exec) = self.exec.get_mut(&txn) else {
+            return; // finalized in the meantime
+        };
+        let Some(coordinator) = exec.coordinator.as_ref() else {
+            return;
+        };
+        let pending = coordinator.pending_acks();
+        if pending.is_empty() {
+            return;
+        }
+        if exec.ack_attempts >= MAX_ACK_RETRIES {
+            // The decision stands; finalize with the acks that made it.
+            self.finalize_global(txn, sched);
+            return;
+        }
+        exec.ack_attempts += 1;
+        let attempt = exec.ack_attempts;
+        let home = self.home(txn);
+        let writes = self.specs[&txn].write_set.clone();
+        self.emit(sched.now(), home, SimEventKind::RpcRetried { txn, attempt });
+        for s in &pending {
+            self.send(
+                home,
+                *s,
+                Message::Decision {
+                    txn,
+                    commit: true,
+                    writes: writes.clone(),
+                    coordinator: home,
+                },
+                sched,
+            );
+        }
+        let timeout = self.twopc_timeout(home, &pending);
+        sched.schedule_after(timeout, Ev::AckTimeout { txn });
+    }
+
     // ----- global architecture ------------------------------------------
 
     /// Requests the current step's lock from the manager, or starts the
@@ -566,9 +1005,7 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
         let home = self.home(txn);
         let manager = self.manager_site();
         let call = self.calls.open(txn, None);
-        let timeout = self
-            .net
-            .round_trip_timeout(home, manager, self.config.lock_timeout_slack);
+        let timeout = self.rpc_timeout(home, manager);
         let timeout_ev = sched.schedule_after(timeout, Ev::LockTimeout { call });
         self.exec.get_mut(&txn).expect("checked above").pending_call = Some((call, timeout_ev));
         self.send(
@@ -585,17 +1022,58 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
         );
     }
 
-    /// A lock RPC went unanswered (the manager site is down): the sender
-    /// unblocks and the transaction is aborted as missed.
+    /// A lock RPC went unanswered (the message or its reply was lost, or
+    /// the manager site is down): retry with exponential backoff while
+    /// the budget lasts, then unblock the sender and abort as missed.
     fn on_lock_timeout(&mut self, call: CallId, sched: &mut Scheduler<Ev>) {
         let Some(txn) = self.calls.time_out(call) else {
-            return; // the reply won the race
+            // Every path that resolves a pending lock RPC also cancels
+            // its timeout event, so a timeout firing for a closed call is
+            // a lifecycle bug, not a race.
+            debug_assert!(false, "stale LockTimeout fired for closed call {call:?}");
+            return;
         };
         let Some(exec) = self.exec.get_mut(&txn) else {
+            debug_assert!(false, "open lock RPC for a finished transaction");
             return;
         };
         exec.pending_call = None;
-        if let Some(ev) = exec.deadline_ev.take() {
+        if exec.attempts < self.config.max_rpc_retries {
+            exec.attempts += 1;
+            let attempt = exec.attempts;
+            let (object, mode) = exec.seq[exec.step];
+            let home = self.home(txn);
+            let manager = self.manager_site();
+            self.emit(sched.now(), home, SimEventKind::RpcRetried { txn, attempt });
+            if self.faults_active {
+                // The lost message may have been the registration itself;
+                // the manager ignores a duplicate.
+                let spec = self.specs[&txn].clone();
+                self.send(home, manager, Message::RegisterTxn(spec), sched);
+            }
+            let new_call = self.calls.open(txn, None);
+            let shift = attempt.min(MAX_BACKOFF_SHIFT);
+            let timeout = starlite::SimDuration::from_ticks(
+                self.rpc_timeout(home, manager).ticks() << shift,
+            );
+            let timeout_ev = sched.schedule_after(timeout, Ev::LockTimeout { call: new_call });
+            self.exec.get_mut(&txn).expect("live transaction").pending_call =
+                Some((new_call, timeout_ev));
+            self.send(
+                home,
+                manager,
+                Message::LockRequest {
+                    txn,
+                    object,
+                    mode,
+                    call: new_call,
+                    from: home,
+                },
+                sched,
+            );
+            return;
+        }
+        if let Some(ev) = self.exec.get_mut(&txn).and_then(|e| e.deadline_ev.take()) {
             sched.cancel(ev);
         }
         self.exec.remove(&txn);
@@ -610,12 +1088,7 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
             },
         );
         // Best-effort release towards the (possibly dead) manager.
-        self.send(
-            home,
-            self.manager_site(),
-            Message::ReleaseTxn { txn },
-            sched,
-        );
+        self.send_release(txn, sched);
     }
 
     /// Begins the commit phase: read-only transactions finish immediately;
@@ -640,16 +1113,22 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
             unreachable!("a fresh coordinator always sends prepare");
         };
         self.exec.get_mut(&txn).expect("live txn").coordinator = Some(coordinator);
-        for s in sites {
+        for s in &sites {
             self.send(
                 home,
-                s,
+                *s,
                 Message::Prepare {
                     txn,
                     coordinator: home,
                 },
                 sched,
             );
+        }
+        if self.faults_active {
+            // A crashed participant (or a lost prepare/vote) must not
+            // leave the coordinator waiting forever.
+            let timeout = self.twopc_timeout(home, &sites);
+            sched.schedule_after(timeout, Ev::VoteTimeout { txn });
         }
     }
 
@@ -684,12 +1163,7 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
             self.monitor.on_commit(txn, sched.now());
             self.emit(sched.now(), home, SimEventKind::TxnCommitted { txn });
         }
-        self.send(
-            home,
-            self.manager_site(),
-            Message::ReleaseTxn { txn },
-            sched,
-        );
+        self.send_release(txn, sched);
     }
 
     /// Routes priority updates from the manager to the home sites.
@@ -879,6 +1353,10 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                 decided: false,
                 deadline_passed: false,
                 pending_call: None,
+                attempts: 0,
+                blocked: false,
+                awaiting_read: false,
+                ack_attempts: 0,
                 system: Some(apply),
             },
         );
@@ -916,6 +1394,15 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                 seq,
                 site,
             });
+            if apply.repair {
+                self.emit(
+                    now,
+                    site,
+                    SimEventKind::ReplicaRepaired {
+                        object: apply.object,
+                    },
+                );
+            }
         } else {
             self.stale_updates += 1;
         }
@@ -1055,15 +1542,18 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
     // ----- message handling ---------------------------------------------
 
     fn on_message(&mut self, to: SiteId, msg: Message, sched: &mut Scheduler<Ev>) {
-        if !self.net.is_site_up(to) {
-            return; // the site failed while the message was in flight
-        }
         match msg {
             Message::RegisterTxn(spec) => {
-                self.global_pcp
+                let pcp = self
+                    .global_pcp
                     .as_mut()
-                    .expect("global messages need the global architecture")
-                    .register(&spec);
+                    .expect("global messages need the global architecture");
+                // A retried registration may duplicate one that made it
+                // through, or arrive after the transaction already died;
+                // registering either would leak protocol state.
+                if self.exec.contains_key(&spec.id) && !pcp.is_registered(spec.id) {
+                    pcp.register(&spec);
+                }
             }
             Message::LockRequest {
                 txn,
@@ -1072,6 +1562,29 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                 call,
                 from,
             } => {
+                {
+                    let pcp = self.global_pcp.as_ref().expect("global architecture");
+                    if !pcp.is_registered(txn) {
+                        // The registration was lost (or released already);
+                        // the sender's timeout retries or gives up.
+                        return;
+                    }
+                    if pcp.is_blocked(txn) {
+                        // Retry of a request that is already queued (its
+                        // `LockPending` reply was lost): re-acknowledge.
+                        self.send(
+                            to,
+                            from,
+                            Message::LockPending {
+                                txn,
+                                call,
+                                lower_priority_blocker: None,
+                            },
+                            sched,
+                        );
+                        return;
+                    }
+                }
                 let result = self
                     .global_pcp
                     .as_mut()
@@ -1130,8 +1643,11 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                 if let Some((_, timeout_ev)) = exec.pending_call.take() {
                     sched.cancel(timeout_ev);
                 }
-                self.monitor
-                    .on_block(txn, sched.now(), lower_priority_blocker);
+                if !exec.blocked {
+                    exec.blocked = true;
+                    self.monitor
+                        .on_block(txn, sched.now(), lower_priority_blocker);
+                }
             }
             Message::LockGrant { txn, call } => {
                 if let Some(c) = call {
@@ -1145,9 +1661,20 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                     }
                 } else {
                     // Wakeup grant after blocking.
-                    if self.exec.contains_key(&txn) {
-                        self.monitor.on_unblock(txn, sched.now());
+                    let Some(exec) = self.exec.get_mut(&txn) else {
+                        return;
+                    };
+                    if !exec.blocked {
+                        return; // duplicated or reordered wakeup
                     }
+                    exec.blocked = false;
+                    // A retried request may still be in flight; its reply
+                    // is now moot.
+                    if let Some((open_call, timeout_ev)) = exec.pending_call.take() {
+                        sched.cancel(timeout_ev);
+                        self.calls.close(open_call);
+                    }
+                    self.monitor.on_unblock(txn, sched.now());
                 }
                 let Some(exec) = self.exec.get(&txn) else {
                     return; // deadline expired while the grant was in flight
@@ -1156,6 +1683,9 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                 let home = self.home(txn);
                 let primary = self.catalog.primary_site(object);
                 if mode == LockMode::Read && primary != home {
+                    if let Some(exec) = self.exec.get_mut(&txn) {
+                        exec.awaiting_read = true;
+                    }
                     self.send(
                         home,
                         primary,
@@ -1184,23 +1714,18 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                 }
             }
             Message::ReleaseTxn { txn } => {
-                let pcp = self.global_pcp.as_mut().expect("global architecture");
-                let release = pcp.release_all(txn, ReleaseReason::Finished);
-                self.drain_pcp(to, sched.now());
-                let manager = to;
-                for w in &release.wakeups {
-                    let waiter_home = self.home(w.txn);
-                    self.send(
-                        manager,
-                        waiter_home,
-                        Message::LockGrant {
-                            txn: w.txn,
-                            call: None,
-                        },
-                        sched,
-                    );
+                self.release_at_manager(txn, sched);
+                if self.faults_active {
+                    if let Some(spec) = self.specs.get(&txn) {
+                        let from = spec.home_site;
+                        self.send(to, from, Message::ReleaseAck { txn }, sched);
+                    }
                 }
-                self.broadcast_priority_updates(release.priority_updates, sched);
+            }
+            Message::ReleaseAck { txn } => {
+                if let Some((_, retry_ev)) = self.pending_releases.remove(&txn) {
+                    sched.cancel(retry_ev);
+                }
             }
             Message::RemoteRead { txn, object, from } => {
                 // Serve the read against the primary copy; the lock is held
@@ -1228,6 +1753,10 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                 let Some(exec) = self.exec.get_mut(&txn) else {
                     return;
                 };
+                if !exec.awaiting_read {
+                    return; // duplicated reply; the burst already ran
+                }
+                exec.awaiting_read = false;
                 let primary = self.catalog.primary_site(object);
                 exec.oplog
                     .push((object, OpKind::Read, served_at, served_seq, primary));
@@ -1235,6 +1764,12 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                 self.submit_cpu(txn, home, sched);
             }
             Message::Prepare { txn, coordinator } => {
+                if self.participants.contains_key(&(txn, to)) {
+                    // Duplicated prepare: the vote is already on its way
+                    // (or was lost, in which case the coordinator's vote
+                    // timeout aborts).
+                    return;
+                }
                 let mut participant = Participant::new(txn);
                 let ParticipantAction::Reply(vote) = participant.on_prepare(true) else {
                     unreachable!("prepare always yields a vote");
@@ -1263,10 +1798,10 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                         exec.decided = true;
                         let writes = self.specs[&txn].write_set.clone();
                         let home = self.home(txn);
-                        for s in sites {
+                        for s in &sites {
                             self.send(
                                 home,
-                                s,
+                                *s,
                                 Message::Decision {
                                     txn,
                                     commit: true,
@@ -1275,6 +1810,12 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                                 },
                                 sched,
                             );
+                        }
+                        if self.faults_active {
+                            // Lost decisions or acks must not wedge a
+                            // decided transaction.
+                            let timeout = self.twopc_timeout(home, &sites);
+                            sched.schedule_after(timeout, Ev::AckTimeout { txn });
                         }
                     }
                     Some(CoordinatorAction::SendAbort(sites)) => {
@@ -1303,7 +1844,22 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                 coordinator,
             } => {
                 let Some(mut participant) = self.participants.remove(&(txn, to)) else {
-                    return; // abort already processed locally
+                    // Abort already processed locally — or this is a
+                    // retransmitted decision whose ack was lost: ack again
+                    // (idempotently empty) so the coordinator can stop.
+                    if self.faults_active {
+                        self.send(
+                            to,
+                            coordinator,
+                            Message::AckMsg {
+                                txn,
+                                site: to,
+                                applied: Vec::new(),
+                            },
+                            sched,
+                        );
+                    }
+                    return;
                 };
                 let action = participant.on_decision(commit);
                 let mut applied = Vec::new();
@@ -1333,13 +1889,17 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                 let Some(exec) = self.exec.get_mut(&txn) else {
                     return;
                 };
+                let Some(coordinator) = exec.coordinator.as_ref() else {
+                    return;
+                };
+                if !coordinator.is_pending_ack(site) {
+                    return; // duplicated ack; ops were already recorded
+                }
                 for (obj, at, seq) in applied {
                     let primary = self.catalog.primary_site(obj);
                     exec.oplog.push((obj, OpKind::Write, at, seq, primary));
                 }
-                let Some(coordinator) = exec.coordinator.as_mut() else {
-                    return;
-                };
+                let coordinator = exec.coordinator.as_mut().expect("checked above");
                 if let Some(CoordinatorAction::Done { committed }) = coordinator.on_ack(site) {
                     debug_assert!(committed, "only committing 2PCs reach finalize");
                     self.finalize_global(txn, sched);
@@ -1359,10 +1919,49 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                         value,
                         version,
                         writer,
+                        repair: false,
                     },
                     origin_deadline,
                     sched,
                 );
+            }
+            Message::RepairRequest { from } => {
+                // Replay the newest version of every object this site is
+                // primary for (local architecture: primaries are written
+                // in place, so this copy is authoritative).
+                let mut items = Vec::new();
+                for (obj, data) in self.stores[to.index()].iter() {
+                    if data.version > 0 && self.catalog.primary_site(obj) == to {
+                        items.push((
+                            obj,
+                            data.value,
+                            data.version,
+                            data.last_writer.unwrap_or(TxnId(0)),
+                        ));
+                    }
+                }
+                if !items.is_empty() {
+                    self.send(to, from, Message::RepairReply { items }, sched);
+                }
+            }
+            Message::RepairReply { items } => {
+                let now = sched.now();
+                for (object, value, version, writer) in items {
+                    if self.stores[to.index()].read(object).version < version {
+                        self.start_system_apply(
+                            to,
+                            SystemApply {
+                                object,
+                                value,
+                                version,
+                                writer,
+                                repair: true,
+                            },
+                            now,
+                            sched,
+                        );
+                    }
+                }
             }
         }
     }
@@ -1408,7 +2007,7 @@ impl<'a> DistributedSimulator<'a> {
     /// Generates the workload from `seed` and runs it to completion.
     pub fn run(&self, seed: u64) -> RunReport {
         let txns = Generator::new(self.workload, &self.catalog).generate(seed);
-        run_transactions_distributed(self.config, &self.catalog, txns)
+        run_transactions_distributed(self.config.clone(), &self.catalog, txns)
     }
 
     /// Like [`DistributedSimulator::run`], but streams every structured
@@ -1417,7 +2016,7 @@ impl<'a> DistributedSimulator<'a> {
     /// sequence.
     pub fn run_with<S: EventSink<SimEvent>>(&self, seed: u64, sink: S) -> RunReport {
         let txns = Generator::new(self.workload, &self.catalog).generate(seed);
-        run_transactions_distributed_with(self.config, &self.catalog, txns, sink)
+        run_transactions_distributed_with(self.config.clone(), &self.catalog, txns, sink)
     }
 }
 
@@ -1467,7 +2066,12 @@ pub fn run_transactions_distributed_with<S: EventSink<SimEvent>>(
         monitor.enable_timeline(window);
     }
     let tracing = sink.enabled();
-    let mut net = Network::new(delays);
+    // Values needed after `config` moves into the model.
+    let fail_site = config.fail_site;
+    let crash_windows = config.faults.crashes.clone();
+    let temporal_versions = config.temporal_versions;
+    let faults_active = fail_site.is_some() || !config.faults.is_noop();
+    let mut net = Network::with_faults(delays, config.faults.link);
     let mut cpus: Vec<Cpu<TxnId>> = (0..sites)
         .map(|_| Cpu::new(CpuPolicy::PreemptivePriority))
         .collect();
@@ -1509,11 +2113,13 @@ pub fn run_transactions_distributed_with<S: EventSink<SimEvent>>(
         eff_prio: FxHashMap::default(),
         calls: CallTable::new(),
         participants: FxHashMap::default(),
+        faults_active,
+        pending_releases: FxHashMap::default(),
         next_system_id: 0,
         applied_updates: 0,
         stale_updates: 0,
         op_seq: 0,
-        version_stores: match config.temporal_versions {
+        version_stores: match temporal_versions {
             Some(keep) => (0..sites).map(|_| VersionStore::new(keep)).collect(),
             None => Vec::new(),
         },
@@ -1530,9 +2136,17 @@ pub fn run_transactions_distributed_with<S: EventSink<SimEvent>>(
         scratch_net: Vec::new(),
     };
     let mut engine = Engine::new(model);
-    if let Some((site, at)) = config.fail_site {
+    if let Some((site, at)) = fail_site {
         assert!(site.0 < sites, "failed site out of range");
         engine.scheduler_mut().schedule(at, Ev::SiteDown(site));
+    }
+    for w in &crash_windows {
+        assert!(w.site.0 < sites, "crash window site out of range");
+        engine.scheduler_mut().schedule(w.down_at, Ev::SiteDown(w.site));
+        if let Some(up_at) = w.up_at {
+            assert!(up_at > w.down_at, "restart precedes crash");
+            engine.scheduler_mut().schedule(up_at, Ev::SiteUp(w.site));
+        }
     }
     for (arrival, id) in arrivals {
         engine.scheduler_mut().schedule(arrival, Ev::Arrive(id));
@@ -1544,6 +2158,18 @@ pub fn run_transactions_distributed_with<S: EventSink<SimEvent>>(
         model.exec.is_empty(),
         "simulation drained with live transactions"
     );
+    debug_assert!(
+        model.pending_releases.is_empty(),
+        "release retransmission left dangling"
+    );
+    // No transaction may leave locks, waiters, or registrations behind —
+    // even under message loss and site crashes.
+    if let Some(pcp) = model.global_pcp.as_ref() {
+        pcp.assert_idle();
+    }
+    for pcp in &model.local_pcps {
+        pcp.assert_idle();
+    }
     let stats = RunStats::from_monitor(&model.monitor, makespan);
     let ceiling_blocks = model
         .global_pcp
@@ -1563,10 +2189,11 @@ pub fn run_transactions_distributed_with<S: EventSink<SimEvent>>(
         preemptions: model.cpus.iter().map(|c| c.preemption_count()).sum(),
         cpu_busy: model.cpus.iter().map(|c| c.busy_time()).sum(),
         remote_messages: model.net.remote_sent_count(),
+        net: Some(model.net.stats()),
         events,
         monitor: model.monitor,
         stores: model.stores,
-        temporal: config.temporal_versions.map(|_| {
+        temporal: temporal_versions.map(|_| {
             let constructible = model.snapshot_reads.saturating_sub(model.unconstructible);
             TemporalStats {
                 snapshot_reads: model.snapshot_reads,

@@ -155,6 +155,62 @@ impl PriorityCeilingProtocol {
             .unwrap_or(Priority::MIN)
     }
 
+    /// Whether `txn` is currently registered (active) with the protocol.
+    /// Used by the distributed fault-recovery paths, where a retried
+    /// registration message may arrive twice or not at all.
+    pub fn is_registered(&self, txn: TxnId) -> bool {
+        self.active.contains_key(&txn)
+    }
+
+    /// Whether `txn` currently has a blocked request queued. A retried
+    /// lock RPC for such a transaction must not re-enter [`Self::request`]
+    /// (which treats a double request as a protocol violation); the
+    /// distributed manager re-acknowledges the pending state instead.
+    pub fn is_blocked(&self, txn: TxnId) -> bool {
+        self.blocked.iter().any(|b| b.txn == txn)
+    }
+
+    /// Number of objects currently locked.
+    pub fn locked_object_count(&self) -> usize {
+        self.locked.len()
+    }
+
+    /// Number of requests currently blocked.
+    pub fn blocked_count(&self) -> usize {
+        self.blocked.len()
+    }
+
+    /// Number of registered (active) transactions.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Asserts the protocol is completely idle: no lock held, no waiter
+    /// queued, no transaction registered. A drained simulation must leave
+    /// every site's protocol in this state — a leftover entry means a
+    /// release was lost (the chaos tests gate on this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lock, waiter, or registration remains.
+    pub fn assert_idle(&self) {
+        assert!(
+            self.locked.is_empty(),
+            "{} objects still locked after drain",
+            self.locked.len()
+        );
+        assert!(
+            self.blocked.is_empty(),
+            "{} requests still blocked after drain",
+            self.blocked.len()
+        );
+        assert!(
+            self.active.is_empty(),
+            "{} transactions still registered after drain",
+            self.active.len()
+        );
+    }
+
     /// The rw-priority ceiling of `obj` under the given lock mode.
     fn rw_ceiling(&self, obj: ObjectId, locked_mode: LockMode) -> Priority {
         match (self.semantics, locked_mode) {

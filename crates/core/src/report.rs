@@ -48,6 +48,9 @@ pub struct RunReport {
     pub cpu_busy: SimDuration,
     /// Messages sent across links (distributed runs only).
     pub remote_messages: u64,
+    /// Network delivery statistics — sent / delivered / dropped-at-send /
+    /// dropped-in-flight / duplicated (distributed runs only).
+    pub net: Option<netsim::NetStats>,
     /// Kernel events executed by the simulation engine — the denominator
     /// of the events-per-second throughput figure the bench harness
     /// reports.

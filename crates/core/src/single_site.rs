@@ -621,6 +621,7 @@ pub fn run_transactions_with<S: EventSink<SimEvent>>(
         preemptions: model.cpu.preemption_count(),
         cpu_busy: model.cpu.busy_time(),
         remote_messages: 0,
+        net: None,
         events,
         monitor: model.monitor,
         stores: vec![model.store],

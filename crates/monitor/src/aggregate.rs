@@ -23,11 +23,15 @@ pub struct RunStats {
     pub committed: u32,
     /// Transactions aborted at their deadline.
     pub missed: u32,
+    /// Transactions aborted by the fault-recovery machinery (site
+    /// crashes); zero on fault-free runs.
+    pub faulted: u32,
     /// Transactions still in flight when the run ended. The harness
     /// asserts `committed + missed + in_progress == generated`; a
     /// mismatch means a lifecycle event was silently lost.
     pub in_progress: u32,
-    /// `100 × missed / processed` (0 when nothing was processed).
+    /// `100 × missed / processed` (0 when nothing was processed); faulted
+    /// transactions count as processed but not missed.
     pub pct_missed: f64,
     /// Data objects accessed per simulated second by committed
     /// transactions.
@@ -61,6 +65,7 @@ impl RunStats {
     pub fn from_monitor(monitor: &Monitor, makespan: SimTime) -> Self {
         let mut committed = 0u32;
         let mut missed = 0u32;
+        let mut faulted = 0u32;
         let mut in_progress = 0u32;
         let mut committed_objects = 0u64;
         let mut response_total = 0u128;
@@ -79,6 +84,7 @@ impl RunStats {
                     }
                 }
                 Outcome::MissedDeadline => missed += 1,
+                Outcome::AbortedByFault => faulted += 1,
                 Outcome::InProgress => {
                     in_progress += 1;
                     continue;
@@ -90,7 +96,7 @@ impl RunStats {
             max_lpb = max_lpb.max(r.lower_priority_blockers.len() as u32);
         }
 
-        let processed = committed + missed;
+        let processed = committed + missed + faulted;
         let pct_missed = if processed == 0 {
             0.0
         } else {
@@ -117,6 +123,7 @@ impl RunStats {
             processed,
             committed,
             missed,
+            faulted,
             in_progress,
             pct_missed,
             throughput,

@@ -34,6 +34,9 @@ pub enum AbortReason {
     /// It was chosen as a deadlock (or timestamp-rejection) victim and
     /// will restart.
     DeadlockVictim,
+    /// Its site crashed (or it depended on a crashed site) and it was
+    /// aborted by the fault-recovery machinery.
+    SiteFailed,
 }
 
 /// What happened, independent of where (see [`SimEvent`] for the where).
@@ -159,11 +162,45 @@ pub enum SimEventKind {
         /// The victim to restart.
         victim: TxnId,
     },
+    /// A message was dropped: at send time (an endpoint was down) or in
+    /// flight (destination failed before delivery, or the fault plan lost
+    /// it on the link).
+    MsgDropped {
+        /// Sending site.
+        from: SiteId,
+        /// Destination site.
+        to: SiteId,
+        /// `true` if the message was lost after a successful send.
+        in_flight: bool,
+    },
+    /// The fault plan delivered a message twice.
+    MsgDuplicated {
+        /// Sending site.
+        from: SiteId,
+        /// Destination site.
+        to: SiteId,
+    },
+    /// The site this event is tagged with crashed.
+    SiteCrashed,
+    /// The site this event is tagged with restarted.
+    SiteRecovered,
+    /// A lock RPC timed out and was retried with backoff.
+    RpcRetried {
+        /// The transaction whose RPC was retried.
+        txn: TxnId,
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+    },
+    /// A restarted site caught a replica up via secondary-update replay.
+    ReplicaRepaired {
+        /// The repaired object.
+        object: ObjectId,
+    },
 }
 
 /// Number of distinct [`SimEventKind`] variants ([`SimEventKind::index`]
 /// stays below this).
-pub const EVENT_KIND_COUNT: usize = 17;
+pub const EVENT_KIND_COUNT: usize = 23;
 
 impl SimEventKind {
     /// Stable display name of the variant (used by trace exporters).
@@ -186,6 +223,12 @@ impl SimEventKind {
             SimEventKind::MsgSent { .. } => "MsgSent",
             SimEventKind::MsgDelivered { .. } => "MsgDelivered",
             SimEventKind::DeadlockDetected { .. } => "DeadlockDetected",
+            SimEventKind::MsgDropped { .. } => "MsgDropped",
+            SimEventKind::MsgDuplicated { .. } => "MsgDuplicated",
+            SimEventKind::SiteCrashed => "SiteCrashed",
+            SimEventKind::SiteRecovered => "SiteRecovered",
+            SimEventKind::RpcRetried { .. } => "RpcRetried",
+            SimEventKind::ReplicaRepaired { .. } => "ReplicaRepaired",
         }
     }
 
@@ -209,6 +252,12 @@ impl SimEventKind {
             SimEventKind::MsgSent { .. } => 14,
             SimEventKind::MsgDelivered { .. } => 15,
             SimEventKind::DeadlockDetected { .. } => 16,
+            SimEventKind::MsgDropped { .. } => 17,
+            SimEventKind::MsgDuplicated { .. } => 18,
+            SimEventKind::SiteCrashed => 19,
+            SimEventKind::SiteRecovered => 20,
+            SimEventKind::RpcRetried { .. } => 21,
+            SimEventKind::ReplicaRepaired { .. } => 22,
         }
     }
 
@@ -228,9 +277,16 @@ impl SimEventKind {
             | SimEventKind::CeilingBlocked { txn, .. }
             | SimEventKind::PriorityInherited { txn, .. }
             | SimEventKind::Dispatched { txn }
-            | SimEventKind::Preempted { txn } => Some(txn),
+            | SimEventKind::Preempted { txn }
+            | SimEventKind::RpcRetried { txn, .. } => Some(txn),
             SimEventKind::DeadlockDetected { victim } => Some(victim),
-            SimEventKind::MsgSent { .. } | SimEventKind::MsgDelivered { .. } => None,
+            SimEventKind::MsgSent { .. }
+            | SimEventKind::MsgDelivered { .. }
+            | SimEventKind::MsgDropped { .. }
+            | SimEventKind::MsgDuplicated { .. }
+            | SimEventKind::SiteCrashed
+            | SimEventKind::SiteRecovered
+            | SimEventKind::ReplicaRepaired { .. } => None,
         }
     }
 }
@@ -292,11 +348,26 @@ impl fmt::Display for SimEventKind {
             SimEventKind::PriorityInherited { txn, priority } => {
                 write!(f, "PriorityInherited {txn} to {}", priority.level())
             }
-            SimEventKind::MsgSent { from, to } | SimEventKind::MsgDelivered { from, to } => {
+            SimEventKind::MsgSent { from, to }
+            | SimEventKind::MsgDelivered { from, to }
+            | SimEventKind::MsgDuplicated { from, to } => {
                 write!(f, "{} {from}->{to}", self.name())
+            }
+            SimEventKind::MsgDropped { from, to, in_flight } => {
+                let phase = if in_flight { "in flight" } else { "at send" };
+                write!(f, "MsgDropped {from}->{to} {phase}")
             }
             SimEventKind::DeadlockDetected { victim } => {
                 write!(f, "DeadlockDetected victim {victim}")
+            }
+            SimEventKind::SiteCrashed | SimEventKind::SiteRecovered => {
+                write!(f, "{}", self.name())
+            }
+            SimEventKind::RpcRetried { txn, attempt } => {
+                write!(f, "RpcRetried {txn} attempt {attempt}")
+            }
+            SimEventKind::ReplicaRepaired { object } => {
+                write!(f, "ReplicaRepaired {object}")
             }
         }
     }

@@ -21,6 +21,9 @@ pub enum Outcome {
     Committed,
     /// Aborted at its deadline.
     MissedDeadline,
+    /// Aborted by the fault-recovery machinery because its site (or a site
+    /// it depended on) crashed.
+    AbortedByFault,
 }
 
 /// Everything the monitor knows about one transaction.
@@ -222,6 +225,18 @@ impl Monitor {
         if let Some(t) = self.timeline.as_mut() {
             t.record_miss(now);
         }
+    }
+
+    /// Records an abort forced by a site failure (the transaction leaves
+    /// the system; counted separately from deadline misses).
+    pub fn on_fault_abort(&mut self, txn: TxnId, now: SimTime) {
+        let r = self.rec(txn);
+        if let Some(since) = r.blocked_since.take() {
+            r.blocked += now.since(since);
+        }
+        assert_eq!(r.outcome, Outcome::InProgress, "{txn} finished twice");
+        r.outcome = Outcome::AbortedByFault;
+        r.finish = Some(now);
     }
 
     /// Records one committed data operation.

@@ -1,0 +1,144 @@
+//! Deterministic fault-injection plans.
+//!
+//! A [`FaultPlan`] describes everything that can go wrong on a run:
+//! probabilistic per-link message faults ([`LinkFaults`] — loss,
+//! duplication, delay jitter, all drawn from a seeded
+//! [`starlite::RandomSource`]) and scheduled site crash/restart windows
+//! ([`CrashWindow`]). The plan is pure data; [`crate::Network`] consumes the
+//! link part at send time and the simulation model schedules the crash
+//! windows, so two runs with the same plan and workload seed are
+//! byte-identical.
+//!
+//! Probabilities are expressed in parts-per-million integers rather than
+//! floats so plans stay `Eq`/hashable and draws reduce to a single integer
+//! comparison against `uniform_inclusive(0, 999_999)`.
+
+use rtdb::SiteId;
+use serde::{Deserialize, Serialize};
+use starlite::SimTime;
+
+/// Denominator of the parts-per-million fault probabilities.
+pub const PPM_SCALE: u32 = 1_000_000;
+
+/// Probabilistic per-link message faults, applied independently to every
+/// *remote* message at send time (intra-site messages bypass the message
+/// server and are never faulted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkFaults {
+    /// Probability (parts per million) that a message is lost in flight.
+    pub loss_ppm: u32,
+    /// Probability (parts per million) that a message is delivered twice;
+    /// the duplicate arrives one tick after the original.
+    pub duplicate_ppm: u32,
+    /// Maximum extra delivery delay, in ticks; each message draws a uniform
+    /// jitter in `[0, jitter_ticks]`. Note jitter can reorder messages on a
+    /// link — the FIFO-per-link guarantee is waived while it is nonzero.
+    pub jitter_ticks: u64,
+    /// Seed of the fault RNG stream (independent of the workload stream).
+    pub seed: u64,
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults {
+            loss_ppm: 0,
+            duplicate_ppm: 0,
+            jitter_ticks: 0,
+            seed: 0,
+        }
+    }
+}
+
+impl LinkFaults {
+    /// Whether this configuration can never perturb a message.
+    pub fn is_noop(&self) -> bool {
+        self.loss_ppm == 0 && self.duplicate_ppm == 0 && self.jitter_ticks == 0
+    }
+}
+
+/// One scheduled site outage: the site goes down at `down_at` and, if
+/// `up_at` is set, comes back at that instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CrashWindow {
+    /// The site that fails.
+    pub site: SiteId,
+    /// Instant the site crashes.
+    pub down_at: SimTime,
+    /// Instant the site restarts, or `None` for a permanent failure.
+    pub up_at: Option<SimTime>,
+}
+
+/// A complete, deterministic description of the faults injected into a run.
+///
+/// The default plan is a strict no-op: with `FaultPlan::default()` every
+/// message and every site behaves exactly as in a fault-free simulation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probabilistic per-link message faults.
+    pub link: LinkFaults,
+    /// Scheduled site outages.
+    pub crashes: Vec<CrashWindow>,
+}
+
+impl FaultPlan {
+    /// Whether this plan injects no faults at all.
+    pub fn is_noop(&self) -> bool {
+        self.link.is_noop() && self.crashes.is_empty()
+    }
+}
+
+/// Network delivery statistics for one run, counting send-time and
+/// in-flight drops separately (a message is *dropped at send* when either
+/// endpoint is already down when it is offered, and *dropped in flight*
+/// when the destination fails between send and delivery or the fault plan
+/// loses it on the link).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Messages offered for transmission (including intra-site ones).
+    pub sent: u64,
+    /// Deliveries that reached an operational destination (a duplicated
+    /// message that arrives twice counts twice).
+    pub delivered: u64,
+    /// Messages dropped because an endpoint was down at send time.
+    pub dropped_at_send: u64,
+    /// Messages dropped after send: destination down at delivery time, or
+    /// lost on the link by the fault plan.
+    pub dropped_in_flight: u64,
+    /// Messages the fault plan delivered twice.
+    pub duplicated: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_noop() {
+        assert!(FaultPlan::default().is_noop());
+        assert!(LinkFaults::default().is_noop());
+    }
+
+    #[test]
+    fn any_nonzero_field_defeats_noop() {
+        let lossy = LinkFaults {
+            loss_ppm: 1,
+            ..LinkFaults::default()
+        };
+        assert!(!lossy.is_noop());
+        let crashy = FaultPlan {
+            crashes: vec![CrashWindow {
+                site: SiteId(1),
+                down_at: SimTime::from_ticks(10),
+                up_at: None,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(!crashy.is_noop());
+        // A seed alone changes nothing observable.
+        let seeded = LinkFaults {
+            seed: 42,
+            ..LinkFaults::default()
+        };
+        assert!(seeded.is_noop());
+    }
+}

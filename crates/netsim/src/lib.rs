@@ -25,10 +25,12 @@
 
 pub mod call;
 pub mod delay;
+pub mod fault;
 pub mod net;
 pub mod topology;
 
 pub use call::{CallId, CallTable};
 pub use delay::DelayMatrix;
+pub use fault::{CrashWindow, FaultPlan, LinkFaults, NetStats};
 pub use net::{NetJournalEntry, Network, SendOutcome};
 pub use topology::Topology;

@@ -3,9 +3,10 @@
 use std::fmt;
 
 use rtdb::SiteId;
-use starlite::{SimDuration, SimTime};
+use starlite::{RandomSource, SimDuration, SimTime};
 
 use crate::delay::DelayMatrix;
+use crate::fault::{LinkFaults, NetStats, PPM_SCALE};
 
 /// Result of offering a message to the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,9 +17,21 @@ pub enum SendOutcome {
         /// Delivery instant.
         at: SimTime,
     },
-    /// The destination site is not operational; the message is lost. The
-    /// sender should arm its timeout (the paper's unblocking mechanism).
-    Dropped,
+    /// The fault plan duplicated the message: it arrives at `at` and again
+    /// at `again_at`; the caller schedules two delivery events.
+    DeliverTwice {
+        /// First delivery instant.
+        at: SimTime,
+        /// Second delivery instant (one tick later).
+        again_at: SimTime,
+    },
+    /// An endpoint site is not operational at send time; the message is
+    /// lost immediately. The sender should arm its timeout (the paper's
+    /// unblocking mechanism).
+    DroppedAtSend,
+    /// The fault plan lost the message on the link; the sender learns
+    /// nothing and must rely on its timeout.
+    LostInFlight,
 }
 
 /// One journalled transmission (see [`Network::set_tracing`]).
@@ -30,15 +43,22 @@ pub struct NetJournalEntry {
     pub to: SiteId,
     /// When the message was offered.
     pub sent_at: SimTime,
-    /// When it will arrive, or `None` if it was dropped (destination down).
+    /// When it will arrive, or `None` if it was dropped or lost.
     pub deliver_at: Option<SimTime>,
 }
 
-/// The simulated network: delays, per-site operational status, counters.
+/// The simulated network: delays, per-site operational status, counters,
+/// optional link faults.
 ///
-/// FIFO per link is guaranteed by construction: delays are per-pair
-/// constants, so two messages on the same link never reorder, and the
-/// kernel's same-instant tie-break preserves send order.
+/// FIFO per link is guaranteed by construction when delay jitter is off:
+/// delays are per-pair constants, so two messages on the same link never
+/// reorder, and the kernel's same-instant tie-break preserves send order.
+/// A nonzero [`LinkFaults::jitter_ticks`] waives that guarantee.
+///
+/// Delivery is a two-phase contract: [`Network::send`] decides the fate of
+/// the message on the link, and the model must call [`Network::deliver`]
+/// when each scheduled delivery event fires — a destination that failed
+/// while the message was in flight drops it *at delivery time*.
 ///
 /// # Example
 ///
@@ -49,15 +69,24 @@ pub struct NetJournalEntry {
 ///
 /// let mut net = Network::new(DelayMatrix::uniform(2, SimDuration::from_ticks(30)));
 /// match net.send(SiteId(0), SiteId(1), SimTime::from_ticks(10)) {
-///     SendOutcome::Deliver { at } => assert_eq!(at, SimTime::from_ticks(40)),
-///     SendOutcome::Dropped => unreachable!(),
+///     SendOutcome::Deliver { at } => {
+///         assert_eq!(at, SimTime::from_ticks(40));
+///         // ... at time `at`, the model hands the message over:
+///         assert!(net.deliver(SiteId(1)));
+///     }
+///     _ => unreachable!("fault-free network, both sites up"),
 /// }
 /// ```
 pub struct Network {
     delays: DelayMatrix,
     up: Vec<bool>,
+    link: LinkFaults,
+    rng: Option<RandomSource>,
     sent: u64,
-    dropped: u64,
+    delivered: u64,
+    dropped_at_send: u64,
+    dropped_in_flight: u64,
+    duplicated: u64,
     remote_sent: u64,
     trace: bool,
     journal: Vec<NetJournalEntry>,
@@ -68,20 +97,38 @@ impl fmt::Debug for Network {
         f.debug_struct("Network")
             .field("sites", &self.delays.site_count())
             .field("sent", &self.sent)
-            .field("dropped", &self.dropped)
+            .field("dropped_at_send", &self.dropped_at_send)
+            .field("dropped_in_flight", &self.dropped_in_flight)
             .finish()
     }
 }
 
 impl Network {
-    /// Creates a network with all sites operational.
+    /// Creates a fault-free network with all sites operational.
     pub fn new(delays: DelayMatrix) -> Self {
+        Network::with_faults(delays, LinkFaults::default())
+    }
+
+    /// Creates a network whose remote links obey the given fault
+    /// configuration. With a no-op configuration no RNG is consulted and
+    /// behaviour is identical to [`Network::new`].
+    pub fn with_faults(delays: DelayMatrix, link: LinkFaults) -> Self {
         let sites = delays.site_count() as usize;
+        let rng = if link.is_noop() {
+            None
+        } else {
+            Some(RandomSource::new(link.seed))
+        };
         Network {
             delays,
             up: vec![true; sites],
+            link,
+            rng,
             sent: 0,
-            dropped: 0,
+            delivered: 0,
+            dropped_at_send: 0,
+            dropped_in_flight: 0,
+            duplicated: 0,
             remote_sent: 0,
             trace: false,
             journal: Vec::new(),
@@ -112,9 +159,11 @@ impl Network {
 
     /// Offers a message for transmission at time `now`.
     ///
-    /// Intra-site messages always deliver with zero delay (they do not go
-    /// through the message server). Messages to a non-operational site are
-    /// dropped.
+    /// Intra-site messages always deliver with zero delay and are never
+    /// faulted (they do not go through the message server). Remote messages
+    /// are dropped at once when either endpoint is down, and are otherwise
+    /// subject to the link fault configuration: probabilistic loss, delay
+    /// jitter, and duplication.
     ///
     /// # Panics
     ///
@@ -124,33 +173,95 @@ impl Network {
         self.sent += 1;
         if from != to {
             self.remote_sent += 1;
-            if !self.up[to.index()] {
-                self.dropped += 1;
-                if self.trace {
-                    self.journal.push(NetJournalEntry {
-                        from,
-                        to,
-                        sent_at: now,
-                        deliver_at: None,
-                    });
-                }
-                return SendOutcome::Dropped;
+            if !self.up[from.index()] || !self.up[to.index()] {
+                self.dropped_at_send += 1;
+                self.journal(from, to, now, None);
+                return SendOutcome::DroppedAtSend;
             }
+            let mut at = now + d;
+            if let Some(mut rng) = self.rng.take() {
+                let outcome = self.fault_draws(&mut rng, from, to, now, &mut at);
+                self.rng = Some(rng);
+                if let Some(o) = outcome {
+                    return o;
+                }
+            }
+            self.journal(from, to, now, Some(at));
+            return SendOutcome::Deliver { at };
         }
+        self.journal(from, to, now, Some(now + d));
+        SendOutcome::Deliver { at: now + d }
+    }
+
+    /// Applies the per-message fault draws to a remote send; returns the
+    /// final outcome for loss/duplication, or `None` to deliver once at the
+    /// (possibly jittered) instant `*at`.
+    fn fault_draws(
+        &mut self,
+        rng: &mut RandomSource,
+        from: SiteId,
+        to: SiteId,
+        now: SimTime,
+        at: &mut SimTime,
+    ) -> Option<SendOutcome> {
+        if self.link.loss_ppm > 0
+            && rng.uniform_inclusive(0, u64::from(PPM_SCALE) - 1) < u64::from(self.link.loss_ppm)
+        {
+            self.dropped_in_flight += 1;
+            self.journal(from, to, now, None);
+            return Some(SendOutcome::LostInFlight);
+        }
+        if self.link.jitter_ticks > 0 {
+            *at = *at + SimDuration::from_ticks(rng.uniform_inclusive(0, self.link.jitter_ticks));
+        }
+        if self.link.duplicate_ppm > 0
+            && rng.uniform_inclusive(0, u64::from(PPM_SCALE) - 1)
+                < u64::from(self.link.duplicate_ppm)
+        {
+            self.duplicated += 1;
+            let again_at = *at + SimDuration::from_ticks(1);
+            self.journal(from, to, now, Some(*at));
+            self.journal(from, to, now, Some(again_at));
+            return Some(SendOutcome::DeliverTwice {
+                at: *at,
+                again_at,
+            });
+        }
+        None
+    }
+
+    fn journal(&mut self, from: SiteId, to: SiteId, sent_at: SimTime, deliver_at: Option<SimTime>) {
         if self.trace {
             self.journal.push(NetJournalEntry {
                 from,
                 to,
-                sent_at: now,
-                deliver_at: Some(now + d),
+                sent_at,
+                deliver_at,
             });
         }
-        SendOutcome::Deliver { at: now + d }
     }
 
-    /// Marks a site operational or failed. Messages already in flight are
-    /// unaffected (their delivery events were scheduled at send time); a
-    /// receiver that fails before delivery is the model's concern.
+    /// Hands a scheduled delivery over to the destination site. Returns
+    /// `true` if the site is operational (the message arrives) and `false`
+    /// if it failed while the message was in flight — the message is
+    /// counted as dropped in flight and the caller must discard it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of range.
+    pub fn deliver(&mut self, to: SiteId) -> bool {
+        assert!(to.0 < self.site_count(), "site out of range");
+        if self.up[to.index()] {
+            self.delivered += 1;
+            true
+        } else {
+            self.dropped_in_flight += 1;
+            false
+        }
+    }
+
+    /// Marks a site operational or failed. Messages already in flight have
+    /// their fate decided at delivery time by [`Network::deliver`].
     ///
     /// # Panics
     ///
@@ -180,9 +291,20 @@ impl Network {
         self.remote_sent
     }
 
-    /// Messages dropped because the destination was down.
+    /// Messages dropped for any reason (at send time or in flight).
     pub fn dropped_count(&self) -> u64 {
-        self.dropped
+        self.dropped_at_send + self.dropped_in_flight
+    }
+
+    /// Delivery statistics so far.
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            sent: self.sent,
+            delivered: self.delivered,
+            dropped_at_send: self.dropped_at_send,
+            dropped_in_flight: self.dropped_in_flight,
+            duplicated: self.duplicated,
+        }
     }
 
     /// A reasonable timeout for a synchronous call to `to`: two one-way
@@ -221,14 +343,15 @@ mod tests {
     }
 
     #[test]
-    fn down_site_drops_messages() {
+    fn down_site_drops_messages_at_send() {
         let mut n = net(25);
         n.set_site_up(SiteId(2), false);
         assert_eq!(
             n.send(SiteId(0), SiteId(2), SimTime::ZERO),
-            SendOutcome::Dropped
+            SendOutcome::DroppedAtSend
         );
         assert_eq!(n.dropped_count(), 1);
+        assert_eq!(n.stats().dropped_at_send, 1);
         // Local delivery at a down site still works (the site's own
         // processes are the model's concern, not the network's).
         n.set_site_up(SiteId(2), true);
@@ -236,6 +359,41 @@ mod tests {
             n.send(SiteId(0), SiteId(2), SimTime::ZERO),
             SendOutcome::Deliver { .. }
         ));
+    }
+
+    #[test]
+    fn down_sender_drops_messages_at_send() {
+        let mut n = net(25);
+        n.set_site_up(SiteId(0), false);
+        assert_eq!(
+            n.send(SiteId(0), SiteId(1), SimTime::ZERO),
+            SendOutcome::DroppedAtSend
+        );
+    }
+
+    /// Regression: a destination that fails after send but before delivery
+    /// must drop the in-flight message at delivery time — the fate is no
+    /// longer sealed at send time.
+    #[test]
+    fn in_flight_message_to_failing_site_is_dropped_at_delivery() {
+        let mut n = net(25);
+        let at = match n.send(SiteId(0), SiteId(2), SimTime::ZERO) {
+            SendOutcome::Deliver { at } => at,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(at, SimTime::from_ticks(25));
+        // The site fails while the message is in flight.
+        n.set_site_up(SiteId(2), false);
+        assert!(!n.deliver(SiteId(2)));
+        let s = n.stats();
+        assert_eq!(s.dropped_in_flight, 1);
+        assert_eq!(s.dropped_at_send, 0);
+        assert_eq!(s.delivered, 0);
+        assert_eq!(n.dropped_count(), 1);
+        // After restart, deliveries go through again.
+        n.set_site_up(SiteId(2), true);
+        assert!(n.deliver(SiteId(2)));
+        assert_eq!(n.stats().delivered, 1);
     }
 
     #[test]
@@ -267,6 +425,72 @@ mod tests {
         let mut again = Vec::new();
         n.drain_journal(&mut again);
         assert!(again.is_empty());
+    }
+
+    #[test]
+    fn certain_loss_drops_every_remote_message() {
+        let faults = LinkFaults {
+            loss_ppm: PPM_SCALE,
+            seed: 7,
+            ..LinkFaults::default()
+        };
+        let mut n = Network::with_faults(DelayMatrix::uniform(3, SimDuration::from_ticks(10)), faults);
+        for i in 0..20 {
+            assert_eq!(
+                n.send(SiteId(0), SiteId(1), SimTime::from_ticks(i)),
+                SendOutcome::LostInFlight
+            );
+        }
+        assert_eq!(n.stats().dropped_in_flight, 20);
+        // Intra-site messages are never faulted.
+        assert!(matches!(
+            n.send(SiteId(1), SiteId(1), SimTime::ZERO),
+            SendOutcome::Deliver { .. }
+        ));
+    }
+
+    #[test]
+    fn certain_duplication_delivers_twice_one_tick_apart() {
+        let faults = LinkFaults {
+            duplicate_ppm: PPM_SCALE,
+            seed: 7,
+            ..LinkFaults::default()
+        };
+        let mut n = Network::with_faults(DelayMatrix::uniform(3, SimDuration::from_ticks(10)), faults);
+        match n.send(SiteId(0), SiteId(1), SimTime::from_ticks(5)) {
+            SendOutcome::DeliverTwice { at, again_at } => {
+                assert_eq!(at, SimTime::from_ticks(15));
+                assert_eq!(again_at, SimTime::from_ticks(16));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(n.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn jitter_stays_within_bound_and_is_deterministic() {
+        let faults = LinkFaults {
+            jitter_ticks: 7,
+            seed: 99,
+            ..LinkFaults::default()
+        };
+        let mk = || {
+            Network::with_faults(DelayMatrix::uniform(2, SimDuration::from_ticks(100)), faults)
+        };
+        let (mut a, mut b) = (mk(), mk());
+        for i in 0..50 {
+            let now = SimTime::from_ticks(i * 10);
+            let oa = a.send(SiteId(0), SiteId(1), now);
+            let ob = b.send(SiteId(0), SiteId(1), now);
+            assert_eq!(oa, ob, "same seed must draw the same faults");
+            match oa {
+                SendOutcome::Deliver { at } => {
+                    let extra = at.ticks() - (now.ticks() + 100);
+                    assert!(extra <= 7, "jitter {extra} out of bound");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@ proptest! {
                     let expected = if from == to { 0 } else { delay };
                     prop_assert_eq!(delivered.since(now).ticks(), expected);
                 }
-                SendOutcome::Dropped => prop_assert!(false, "no site is down"),
+                other => prop_assert!(false, "no faults configured, got {:?}", other),
             }
         }
     }
@@ -45,10 +45,10 @@ proptest! {
         let mut expected_drops = 0;
         for to in 0..sites {
             let outcome = net.send(SiteId(0), SiteId(to), SimTime::ZERO);
-            let should_drop = to != 0 && !up[to as usize];
+            let should_drop = to != 0 && (!up[to as usize] || !up[0]);
             if should_drop {
                 expected_drops += 1;
-                prop_assert_eq!(outcome, SendOutcome::Dropped);
+                prop_assert_eq!(outcome, SendOutcome::DroppedAtSend);
             } else {
                 let delivered = matches!(outcome, SendOutcome::Deliver { .. });
                 prop_assert!(delivered);

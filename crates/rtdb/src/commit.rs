@@ -206,6 +206,30 @@ impl Coordinator {
             _ => None,
         }
     }
+
+    /// `true` while votes are still being collected.
+    pub fn is_voting(&self) -> bool {
+        matches!(self.state, CoordState::Voting { .. })
+    }
+
+    /// `true` if `site` still owes an acknowledgement of the decision.
+    /// `false` in every other state, so a duplicate (retransmitted or
+    /// network-duplicated) ack can be recognised and ignored.
+    pub fn is_pending_ack(&self, site: SiteId) -> bool {
+        match &self.state {
+            CoordState::Deciding { pending, .. } => pending.contains(&site),
+            _ => false,
+        }
+    }
+
+    /// Sites that have not yet acknowledged the decision (empty outside
+    /// the `Deciding` state). Used to retransmit lost decisions.
+    pub fn pending_acks(&self) -> Vec<SiteId> {
+        match &self.state {
+            CoordState::Deciding { pending, .. } => pending.iter().copied().collect(),
+            _ => Vec::new(),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

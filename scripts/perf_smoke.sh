@@ -28,6 +28,11 @@ fi
 cargo build --release --workspace
 RTLOCK_BENCH_WORKERS=1 ./target/release/all_figures --trace results/all_figures.trace.json
 
+# The fault sweep is fully seeded (workload and fault streams), so its
+# results file must also reproduce byte-for-byte against the committed
+# golden; the parity diff below covers it.
+RTLOCK_BENCH_WORKERS=1 ./target/release/ablation_faults > /dev/null
+
 echo "perf-smoke: checking simulation output parity"
 if ! git diff --exit-code -I'"wall_clock_seconds"' -I'"workers"' -- results/; then
     echo "perf-smoke: results/ drifted from the committed figures" >&2

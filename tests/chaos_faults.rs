@@ -1,0 +1,223 @@
+//! Chaos property tests of the fault-injection layer: random seeded
+//! fault plans (message loss, duplication, delivery jitter, site crash
+//! windows) against both distributed architectures. Whatever the plan,
+//! a run must terminate, account for every generated transaction exactly
+//! once (committed, missed, or fault-aborted — nothing left in progress
+//! or holding locks; the runner asserts the ceiling managers drain), and
+//! replay byte-identically from the same seeds, structured trace
+//! included.
+
+use netsim::{CrashWindow, FaultPlan, LinkFaults};
+use proptest::prelude::*;
+use rtlock::distributed::{
+    run_transactions_distributed_with, CeilingArchitecture, DistributedConfig,
+};
+use rtlock::prelude::*;
+use starlite::VecSink;
+
+const SITES: u8 = 3;
+const DB: u32 = 12;
+
+#[derive(Debug, Clone)]
+struct Chaos {
+    txns: Vec<TxnSpec>,
+    delay: u64,
+    plan: FaultPlan,
+}
+
+/// Random transactions with writes remapped onto home-site primaries
+/// (restriction 2, so the same scenario is valid for both architectures).
+fn txn_strategy() -> impl Strategy<Value = Vec<TxnSpec>> {
+    let txn = (
+        0u64..40_000,                                // arrival
+        0u8..SITES,                                  // home-site pick
+        prop::collection::btree_set(0u32..DB, 0..3), // reads
+        prop::collection::btree_set(0u32..DB, 0..3), // writes
+        10_000u64..120_000,                          // deadline offset
+    );
+    prop::collection::vec(txn, 1..12).prop_map(|raw| {
+        let catalog = Catalog::new(DB, SITES, Placement::FullyReplicated);
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (arrival, site_pick, reads, writes, offset))| {
+                let home = SiteId(site_pick);
+                let write_set: Vec<ObjectId> = writes
+                    .iter()
+                    .map(|&o| ObjectId((o / SITES as u32) * SITES as u32 + home.0 as u32))
+                    .filter(|o| o.0 < DB)
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .collect();
+                let read_set: Vec<ObjectId> = reads
+                    .iter()
+                    .map(|&o| ObjectId(o))
+                    .filter(|o| !write_set.contains(o))
+                    .collect();
+                let (read_set, write_set) = if read_set.is_empty() && write_set.is_empty() {
+                    (vec![ObjectId(0)], vec![])
+                } else {
+                    (read_set, write_set)
+                };
+                for w in &write_set {
+                    assert_eq!(catalog.primary_site(*w), home);
+                }
+                TxnSpec::new(
+                    TxnId(i as u64),
+                    SimTime::from_ticks(arrival),
+                    read_set,
+                    write_set,
+                    SimTime::from_ticks(arrival + offset),
+                    home,
+                )
+            })
+            .collect()
+    })
+}
+
+/// Random fault plans: probabilistic link faults plus up to two crash
+/// windows on distinct sites (so per-site windows never overlap).
+fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    let link = (0u32..=250_000, 0u32..=120_000, 0u64..=2, any::<u64>()).prop_map(
+        |(loss_ppm, duplicate_ppm, jitter_ticks, seed)| LinkFaults {
+            loss_ppm,
+            duplicate_ppm,
+            jitter_ticks,
+            seed,
+        },
+    );
+    // `up_after == 0` means a permanent failure (no restart).
+    let window = (0u8..SITES, 1u64..60_000, 0u64..80_000).prop_map(
+        |(site, down_at, up_after)| CrashWindow {
+            site: SiteId(site),
+            down_at: SimTime::from_ticks(down_at),
+            up_at: (up_after > 0).then(|| SimTime::from_ticks(down_at + up_after)),
+        },
+    );
+    (link, prop::collection::vec(window, 0..=2)).prop_map(|(link, mut crashes)| {
+        // Keep at most one window per site: overlapping windows on the
+        // same site are not a scenario the generator means to test.
+        crashes.sort_by_key(|w| w.site);
+        crashes.dedup_by_key(|w| w.site);
+        FaultPlan { link, crashes }
+    })
+}
+
+fn chaos_strategy() -> impl Strategy<Value = Chaos> {
+    (txn_strategy(), 0u64..1_200, plan_strategy())
+        .prop_map(|(txns, delay, plan)| Chaos { txns, delay, plan })
+}
+
+fn config(arch: CeilingArchitecture, delay: u64, plan: FaultPlan) -> DistributedConfig {
+    DistributedConfig::builder()
+        .architecture(arch)
+        .comm_delay(SimDuration::from_ticks(delay))
+        .cpu_per_object(SimDuration::from_ticks(100))
+        .apply_cost(SimDuration::from_ticks(20))
+        .lock_timeout_slack(SimDuration::from_ticks(1_000))
+        .faults(plan)
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Both architectures, any fault plan: the run terminates, the
+    /// accounting closes exactly, message conservation holds, and two
+    /// same-seed runs are byte-identical (stats, final stores, and the
+    /// full structured event trace).
+    #[test]
+    fn chaotic_runs_terminate_account_and_replay(chaos in chaos_strategy()) {
+        let catalog = Catalog::new(DB, SITES, Placement::FullyReplicated);
+        for arch in [
+            CeilingArchitecture::LocalReplicated,
+            CeilingArchitecture::GlobalManager,
+        ] {
+            let mut sink_a = VecSink::new();
+            let a = run_transactions_distributed_with(
+                config(arch, chaos.delay, chaos.plan.clone()),
+                &catalog,
+                chaos.txns.clone(),
+                &mut sink_a,
+            );
+
+            // Accounting closes: every generated transaction resolved one
+            // way, none left in flight or holding locks (the runner
+            // asserts every ceiling manager drained to idle).
+            let total = chaos.txns.len() as u32;
+            prop_assert_eq!(
+                a.stats.committed + a.stats.missed + a.stats.faulted,
+                total,
+                "{:?}: accounting leak ({:?})", arch, a.stats
+            );
+            prop_assert_eq!(a.stats.in_progress, 0, "{:?}: stuck transactions", arch);
+            prop_assert_eq!(a.stats.processed, total);
+
+            // Message conservation: each offered message is delivered or
+            // dropped exactly once; duplicates add one extra delivery.
+            let net = a.net.expect("distributed runs report net stats");
+            prop_assert_eq!(
+                net.sent + net.duplicated,
+                net.delivered + net.dropped_at_send + net.dropped_in_flight,
+                "{:?}: message conservation violated ({:?})", arch, net
+            );
+
+            // Identical seeds (workload and fault stream) replay to a
+            // byte-identical run.
+            let mut sink_b = VecSink::new();
+            let b = run_transactions_distributed_with(
+                config(arch, chaos.delay, chaos.plan.clone()),
+                &catalog,
+                chaos.txns.clone(),
+                &mut sink_b,
+            );
+            prop_assert_eq!(&a.stats, &b.stats, "{:?} stats not deterministic", arch);
+            prop_assert_eq!(a.net, b.net, "{:?} net stats not deterministic", arch);
+            prop_assert_eq!(&a.stores, &b.stores, "{:?} stores differ", arch);
+            prop_assert_eq!(
+                sink_a.events(),
+                sink_b.events(),
+                "{:?} traces differ", arch
+            );
+        }
+    }
+
+    /// A fault plan that injects nothing is indistinguishable from no
+    /// plan at all: stats, stores, and the structured trace match the
+    /// fault-free baseline byte for byte (the opt-in guarantee the
+    /// committed figure artifacts rely on).
+    #[test]
+    fn noop_plans_change_nothing(
+        txns in txn_strategy(),
+        delay in 0u64..1_200,
+        seed in any::<u64>(),
+    ) {
+        let catalog = Catalog::new(DB, SITES, Placement::FullyReplicated);
+        let noop = FaultPlan {
+            link: LinkFaults { seed, ..LinkFaults::default() },
+            crashes: Vec::new(),
+        };
+        prop_assert!(noop.is_noop());
+        for arch in [
+            CeilingArchitecture::LocalReplicated,
+            CeilingArchitecture::GlobalManager,
+        ] {
+            let mut sink_base = VecSink::new();
+            let base = run_transactions_distributed_with(
+                config(arch, delay, FaultPlan::default()),
+                &catalog,
+                txns.clone(),
+                &mut sink_base,
+            );
+            let mut sink_noop = VecSink::new();
+            let with_noop = run_transactions_distributed_with(
+                config(arch, delay, noop.clone()),
+                &catalog,
+                txns.clone(),
+                &mut sink_noop,
+            );
+            prop_assert_eq!(&base.stats, &with_noop.stats, "{:?}", arch);
+            prop_assert_eq!(&base.stores, &with_noop.stores, "{:?}", arch);
+            prop_assert_eq!(sink_base.events(), sink_noop.events(), "{:?}", arch);
+        }
+    }
+}
