@@ -12,7 +12,7 @@ use monitor::csv::Table;
 use netsim::{CrashWindow, FaultPlan, LinkFaults};
 use rtdb::SiteId;
 use rtlock::distributed::CeilingArchitecture;
-use rtlock_bench::harness::{default_workers, DistributedSpec, SimSpec, Sweep};
+use rtlock_bench::harness::{DistributedSpec, SimSpec, Sweep};
 use rtlock_bench::params;
 use rtlock_bench::results::{self, Json};
 use starlite::SimTime;
@@ -85,7 +85,7 @@ fn main() {
             }
         }
     }
-    let swept = sweep.run(default_workers());
+    let swept = rtlock_bench::check::run_sweep(&sweep);
     rtlock_bench::trace::maybe_trace(&sweep);
 
     let mut table = Table::new(vec![

@@ -7,7 +7,7 @@
 
 use monitor::csv::Table;
 use rtlock::ProtocolKind;
-use rtlock_bench::harness::{default_workers, SimSpec, SingleSiteSpec, Sweep};
+use rtlock_bench::harness::{SimSpec, SingleSiteSpec, Sweep};
 use rtlock_bench::params;
 use rtlock_bench::results::{self, Json};
 use starlite::SimDuration;
@@ -43,7 +43,7 @@ fn main() {
             );
         }
     }
-    let swept = sweep.run(default_workers());
+    let swept = rtlock_bench::check::run_sweep(&sweep);
     rtlock_bench::trace::maybe_trace(&sweep);
 
     let mut columns = vec!["io_channels".to_string()];

@@ -7,7 +7,7 @@
 
 use monitor::csv::Table;
 use rtlock::distributed::CeilingArchitecture;
-use rtlock_bench::harness::{default_workers, DistributedSpec, SimSpec, Sweep};
+use rtlock_bench::harness::{DistributedSpec, SimSpec, Sweep};
 use rtlock_bench::params;
 use rtlock_bench::results::{self, Json};
 
@@ -37,7 +37,7 @@ fn main() {
             );
         }
     }
-    let swept = sweep.run(default_workers());
+    let swept = rtlock_bench::check::run_sweep(&sweep);
     rtlock_bench::trace::maybe_trace(&sweep);
 
     let mut columns = vec![

@@ -9,7 +9,7 @@
 use monitor::csv::Table;
 use rtlock::ProtocolKind;
 use rtlock_bench::ablation::{case_label, declare_case, row_from, AblationCase};
-use rtlock_bench::harness::{default_workers, Sweep};
+use rtlock_bench::harness::Sweep;
 use rtlock_bench::params;
 use rtlock_bench::results::{self, Json};
 
@@ -39,7 +39,7 @@ fn main() {
             );
         }
     }
-    let swept = sweep.run(default_workers());
+    let swept = rtlock_bench::check::run_sweep(&sweep);
     rtlock_bench::trace::maybe_trace(&sweep);
 
     let mut columns = vec!["size".to_string()];

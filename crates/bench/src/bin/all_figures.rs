@@ -8,7 +8,7 @@
 use rtlock::distributed::CeilingArchitecture;
 use rtlock::ProtocolKind;
 use rtlock_bench::distributed::{dist_label, pair_from};
-use rtlock_bench::harness::{default_workers, DistributedSpec, SimSpec, SingleSiteSpec, Sweep};
+use rtlock_bench::harness::{DistributedSpec, SimSpec, SingleSiteSpec, Sweep};
 use rtlock_bench::results;
 use rtlock_bench::single_site::size_label;
 
@@ -39,7 +39,7 @@ fn main() {
             );
         }
     }
-    let swept = sweep.run(default_workers());
+    let swept = rtlock_bench::check::run_sweep(&sweep);
     rtlock_bench::trace::maybe_trace(&sweep);
 
     let size_point = |kind: ProtocolKind, size: u32| {

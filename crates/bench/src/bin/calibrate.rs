@@ -4,16 +4,20 @@
 //! sweeps the figure sizes for C, P and L under the given parameters and
 //! prints throughput / %missed / deadlocks per point.
 
+use monitor::{CheckConfig, CheckSink};
 use rtdb::{Catalog, Placement};
 use rtlock::{ProtocolKind, Simulator, SingleSiteConfig};
 use starlite::SimDuration;
 use workload::{SizeDistribution, WorkloadSpec};
 
 fn main() {
+    let check = rtlock_bench::check::check_requested();
     let args: Vec<f64> = std::env::args()
         .skip(1)
+        .filter(|a| a != "--check")
         .map(|a| a.parse().expect("numeric argument"))
         .collect();
+    let mut violations = 0usize;
     let cpu = SimDuration::from_ticks(args.first().copied().unwrap_or(1000.0) as u64);
     let io = SimDuration::from_ticks(args.get(1).copied().unwrap_or(2000.0) as u64);
     let util = args.get(2).copied().unwrap_or(0.5);
@@ -60,7 +64,21 @@ fn main() {
             let mut dl = 0.0;
             let mut rs = 0.0;
             for seed in 0..seeds {
-                let r = sim.run(seed);
+                let r = if check {
+                    let mut sink = CheckSink::new(CheckConfig::single_site(
+                        kind == ProtocolKind::PriorityCeiling,
+                        true,
+                        restart,
+                    ));
+                    let r = sim.run_with(seed, &mut sink);
+                    for v in sink.finish() {
+                        eprintln!("check: size={size} {} seed {seed}: {v}", kind.label());
+                        violations += 1;
+                    }
+                    r
+                } else {
+                    sim.run(seed)
+                };
                 thr += r.stats.throughput;
                 miss += r.stats.pct_missed;
                 dl += r.deadlocks as f64;
@@ -77,5 +95,12 @@ fn main() {
                 rs / n
             );
         }
+    }
+    if check {
+        if violations > 0 {
+            eprintln!("check: {violations} violations");
+            std::process::exit(1);
+        }
+        println!("check: 0 violations");
     }
 }

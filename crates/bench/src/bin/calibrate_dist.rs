@@ -4,16 +4,20 @@
 //! Usage: `calibrate_dist <util> <slack> <delay_units...>` measures both
 //! architectures at the 50/50 mix for each delay.
 
+use monitor::{CheckConfig, CheckSink};
 use rtdb::{Catalog, Placement};
 use rtlock::distributed::{CeilingArchitecture, DistributedConfig, DistributedSimulator};
 use starlite::SimDuration;
 use workload::{SizeDistribution, WorkloadSpec};
 
 fn main() {
+    let check = rtlock_bench::check::check_requested();
     let args: Vec<f64> = std::env::args()
         .skip(1)
+        .filter(|a| a != "--check")
         .map(|a| a.parse().expect("numeric argument"))
         .collect();
+    let mut violations = 0usize;
     let util = args.first().copied().unwrap_or(0.7);
     let slack = args.get(1).copied().unwrap_or(10.0);
     let delays: Vec<u32> = if args.len() > 2 {
@@ -63,7 +67,20 @@ fn main() {
             let (mut thr, mut miss, mut msgs) = (0.0, 0.0, 0.0);
             let seeds = 5;
             for seed in 0..seeds {
-                let r = sim.run(seed);
+                let r = if check {
+                    let mut sink = CheckSink::new(CheckConfig::distributed(
+                        arch == CeilingArchitecture::LocalReplicated,
+                        3,
+                    ));
+                    let r = sim.run_with(seed, &mut sink);
+                    for v in sink.finish() {
+                        eprintln!("check: delay={d} {arch:?} seed {seed}: {v}");
+                        violations += 1;
+                    }
+                    r
+                } else {
+                    sim.run(seed)
+                };
                 thr += r.stats.throughput;
                 miss += r.stats.pct_missed;
                 msgs += r.remote_messages as f64;
@@ -90,5 +107,12 @@ fn main() {
             "{:>5} {:>6} {:>9.0} {:>8.1} {:>9.0}",
             d, "global", g.1, g.2, g.3
         );
+    }
+    if check {
+        if violations > 0 {
+            eprintln!("check: {violations} violations");
+            std::process::exit(1);
+        }
+        println!("check: 0 violations");
     }
 }

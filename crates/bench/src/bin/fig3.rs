@@ -9,7 +9,7 @@
 
 use monitor::csv::Table;
 use monitor::plot::{render, Series};
-use rtlock_bench::harness::{default_workers, Sweep};
+use rtlock_bench::harness::Sweep;
 use rtlock_bench::params;
 use rtlock_bench::results::{self, Json};
 use rtlock_bench::single_site::{declare_size_grid, figure_protocols, size_points_from};
@@ -18,7 +18,7 @@ fn main() {
     let protocols = figure_protocols();
     let mut sweep = Sweep::new();
     declare_size_grid(&mut sweep, &protocols, params::TXNS_PER_RUN, params::SEEDS);
-    let swept = sweep.run(default_workers());
+    let swept = rtlock_bench::check::run_sweep(&sweep);
     rtlock_bench::trace::maybe_trace(&sweep);
     let points = size_points_from(&swept, &protocols);
 

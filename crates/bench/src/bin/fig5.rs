@@ -9,7 +9,7 @@
 use monitor::csv::Table;
 use monitor::plot::{render, Series};
 use rtlock_bench::distributed::{declare_pair_grid, pair_from, safe_ratio};
-use rtlock_bench::harness::{default_workers, Sweep};
+use rtlock_bench::harness::Sweep;
 use rtlock_bench::params;
 use rtlock_bench::results::{self, Json};
 
@@ -18,7 +18,7 @@ fn main() {
     let grid: Vec<(f64, u32)> = delays.iter().map(|&d| (0.5, d)).collect();
     let mut sweep = Sweep::new();
     declare_pair_grid(&mut sweep, &grid, params::DIST_TXNS_PER_RUN, params::SEEDS);
-    let swept = sweep.run(default_workers());
+    let swept = rtlock_bench::check::run_sweep(&sweep);
     rtlock_bench::trace::maybe_trace(&sweep);
 
     let mut table = Table::new(vec![

@@ -9,7 +9,7 @@
 
 use monitor::csv::Table;
 use rtlock_bench::distributed::{declare_pair_grid, pair_from, MIXES};
-use rtlock_bench::harness::{default_workers, Sweep};
+use rtlock_bench::harness::Sweep;
 use rtlock_bench::params;
 use rtlock_bench::results::{self, Json};
 
@@ -21,7 +21,7 @@ fn main() {
         .collect();
     let mut sweep = Sweep::new();
     declare_pair_grid(&mut sweep, &grid, params::DIST_TXNS_PER_RUN, params::SEEDS);
-    let swept = sweep.run(default_workers());
+    let swept = rtlock_bench::check::run_sweep(&sweep);
     rtlock_bench::trace::maybe_trace(&sweep);
 
     let mut columns = vec!["pct_read_only".to_string()];

@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use monitor::{Histogram, SimEvent, Summary};
+use monitor::{CheckSink, Histogram, SimEvent, Summary, Violation};
 use netsim::{FaultPlan, NetStats};
 use rtdb::{Catalog, Placement};
 use rtlock::distributed::{CeilingArchitecture, DistributedConfig, DistributedSimulator};
@@ -306,6 +306,15 @@ pub fn execute_with<S: EventSink<SimEvent>>(spec: &RunSpec, sink: S) -> RunMetri
     RunMetrics::from_report(&report)
 }
 
+/// Like [`execute`], but streams the run through the online invariant
+/// oracle ([`CheckSink`]) configured for the spec's protocol semantics,
+/// returning the metrics together with any invariant violations.
+pub fn execute_checked(spec: &RunSpec) -> (RunMetrics, Vec<Violation>) {
+    let mut sink = CheckSink::new(crate::check::config_for(&spec.sim));
+    let metrics = execute_with(spec, &mut sink);
+    (metrics, sink.finish())
+}
+
 /// Replicated measurements of one sweep point, in seed order.
 #[derive(Debug, Clone)]
 pub struct PointResult {
@@ -372,6 +381,10 @@ pub struct SweepResults {
     pub workers: usize,
     /// Wall-clock time of the pool execution.
     pub wall_clock: Duration,
+    /// Invariant violations found by [`Sweep::run_checked`], as
+    /// `(point label, seed, violation)` in grid order. Always empty for
+    /// [`Sweep::run`], which skips the oracle.
+    pub violations: Vec<(String, u64, Violation)>,
 }
 
 impl SweepResults {
@@ -494,11 +507,27 @@ impl Sweep {
     ///
     /// Panics if `workers` is zero or a worker thread panics.
     pub fn run(&self, workers: usize) -> SweepResults {
+        self.run_inner(workers, false)
+    }
+
+    /// Like [`Sweep::run`], but every run also streams through the online
+    /// invariant oracle; violations land in [`SweepResults::violations`].
+    /// The metrics are identical to an unchecked run (the oracle only
+    /// observes the event stream), just slower to produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or a worker thread panics.
+    pub fn run_checked(&self, workers: usize) -> SweepResults {
+        self.run_inner(workers, true)
+    }
+
+    fn run_inner(&self, workers: usize, checked: bool) -> SweepResults {
         assert!(workers > 0, "need at least one worker");
         let started = Instant::now();
         let specs = Arc::new(self.specs.clone());
         let next = Arc::new(AtomicUsize::new(0));
-        let (tx, rx) = mpsc::channel::<(usize, RunMetrics)>();
+        let (tx, rx) = mpsc::channel::<(usize, RunMetrics, Vec<Violation>)>();
 
         let threads: Vec<_> = (0..workers.min(specs.len().max(1)))
             .map(|_| {
@@ -508,8 +537,12 @@ impl Sweep {
                 std::thread::spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(spec) = specs.get(i) else { break };
-                    let metrics = execute(spec);
-                    if tx.send((i, metrics)).is_err() {
+                    let (metrics, violations) = if checked {
+                        execute_checked(spec)
+                    } else {
+                        (execute(spec), Vec::new())
+                    };
+                    if tx.send((i, metrics, violations)).is_err() {
                         break;
                     }
                 })
@@ -517,9 +550,9 @@ impl Sweep {
             .collect();
         drop(tx);
 
-        let mut slots: Vec<Option<RunMetrics>> = vec![None; specs.len()];
-        for (i, metrics) in rx {
-            slots[i] = Some(metrics);
+        let mut slots: Vec<Option<(RunMetrics, Vec<Violation>)>> = vec![None; specs.len()];
+        for (i, metrics, violations) in rx {
+            slots[i] = Some((metrics, violations));
         }
         for t in threads {
             t.join().expect("sweep worker panicked");
@@ -535,19 +568,26 @@ impl Sweep {
                 runs: Vec::new(),
             })
             .collect();
-        for (spec, metrics) in specs.iter().zip(slots) {
-            let metrics = metrics.expect("every run completed");
+        let mut all_violations: Vec<(String, u64, Violation)> = Vec::new();
+        for (spec, slot) in specs.iter().zip(slots) {
+            let (metrics, violations) = slot.expect("every run completed");
             let point = points
                 .iter_mut()
                 .find(|p| p.label == spec.label)
                 .expect("label declared");
             point.runs.push((spec.seed, metrics));
+            all_violations.extend(
+                violations
+                    .into_iter()
+                    .map(|v| (spec.label.clone(), spec.seed, v)),
+            );
         }
 
         SweepResults {
             points,
             workers,
             wall_clock: started.elapsed(),
+            violations: all_violations,
         }
     }
 }

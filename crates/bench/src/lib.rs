@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod check;
 pub mod distributed;
 pub mod harness;
 pub mod params;

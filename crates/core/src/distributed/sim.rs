@@ -65,7 +65,7 @@ use rtdb::{
 };
 use starlite::{
     Completion, Cpu, CpuJournalEntry, CpuJournalKind, CpuPolicy, CpuToken, Engine, EventId,
-    EventSink, FxHashMap, Model, NullSink, Priority, Removed, Scheduler, SimTime,
+    EventSink, FxHashMap, FxHashSet, Model, NullSink, Priority, Removed, Scheduler, SimTime,
 };
 use workload::{Generator, WorkloadSpec};
 
@@ -270,6 +270,13 @@ struct DistModel<S> {
     eff_prio: FxHashMap<TxnId, Priority>,
     calls: CallTable<TxnId>,
     participants: FxHashMap<(TxnId, SiteId), Participant>,
+    /// Participant slots that already processed a decision. A duplicated
+    /// `Prepare` delivered after the decision must not re-create the
+    /// participant and re-vote — that entry would never see another
+    /// decision and the spurious vote could reach a recycled coordinator.
+    /// Cleared per-site on a crash: the site's 2PC memory is volatile, so
+    /// a recovered participant legitimately votes afresh.
+    resolved_participants: FxHashSet<(TxnId, SiteId)>,
     /// `fail_site` or a non-trivial fault plan is installed; all recovery
     /// machinery (extra messages, retry events) is gated on this so
     /// fault-free runs stay byte-identical.
@@ -649,6 +656,11 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
         // Abort a 2PC still collecting votes.
         let voting_abort = exec.coordinator.as_mut().and_then(|c| c.on_vote_timeout());
         if let Some(CoordinatorAction::SendAbort(sites)) = voting_abort {
+            self.emit(
+                sched.now(),
+                home,
+                SimEventKind::TwoPcDecided { txn, commit: false },
+            );
             for s in sites {
                 self.send(
                     home,
@@ -896,8 +908,10 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                 self.local_pcps[site.index()] = fresh_pcp(self.sink.enabled());
             }
         }
-        // Orphaned 2PC participant state at the crashed site.
+        // Orphaned 2PC participant state at the crashed site. Resolution
+        // memory is volatile too: a recovered participant may vote afresh.
         self.participants.retain(|&(_, s), _| s != site);
+        self.resolved_participants.retain(|&(_, s)| s != site);
     }
 
     /// A site restarts: messages flow again; a replicated site asks every
@@ -933,6 +947,11 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
             return; // decided in time
         };
         let home = self.home(txn);
+        self.emit(
+            sched.now(),
+            home,
+            SimEventKind::TwoPcDecided { txn, commit: false },
+        );
         for s in sites {
             self.send(
                 home,
@@ -1029,14 +1048,33 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
         let Some(txn) = self.calls.time_out(call) else {
             // Every path that resolves a pending lock RPC also cancels
             // its timeout event, so a timeout firing for a closed call is
-            // a lifecycle bug, not a race.
+            // a lifecycle bug, not a race. Release builds lose the
+            // assertion, so report through the event stream too — the
+            // invariant oracle turns the anomaly into a violation.
+            self.emit(
+                sched.now(),
+                self.manager_site(),
+                SimEventKind::ProtocolAnomaly {
+                    txn: None,
+                    detail: "stale LockTimeout fired for a closed call",
+                },
+            );
             debug_assert!(false, "stale LockTimeout fired for closed call {call:?}");
             return;
         };
-        let Some(exec) = self.exec.get_mut(&txn) else {
+        if !self.exec.contains_key(&txn) {
+            self.emit(
+                sched.now(),
+                self.home(txn),
+                SimEventKind::ProtocolAnomaly {
+                    txn: Some(txn),
+                    detail: "open lock RPC for a finished transaction",
+                },
+            );
             debug_assert!(false, "open lock RPC for a finished transaction");
             return;
-        };
+        }
+        let exec = self.exec.get_mut(&txn).expect("checked above");
         exec.pending_call = None;
         if exec.attempts < self.config.max_rpc_retries {
             exec.attempts += 1;
@@ -1053,12 +1091,13 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
             }
             let new_call = self.calls.open(txn, None);
             let shift = attempt.min(MAX_BACKOFF_SHIFT);
-            let timeout = starlite::SimDuration::from_ticks(
-                self.rpc_timeout(home, manager).ticks() << shift,
-            );
+            let timeout =
+                starlite::SimDuration::from_ticks(self.rpc_timeout(home, manager).ticks() << shift);
             let timeout_ev = sched.schedule_after(timeout, Ev::LockTimeout { call: new_call });
-            self.exec.get_mut(&txn).expect("live transaction").pending_call =
-                Some((new_call, timeout_ev));
+            self.exec
+                .get_mut(&txn)
+                .expect("live transaction")
+                .pending_call = Some((new_call, timeout_ev));
             self.send(
                 home,
                 manager,
@@ -1113,6 +1152,14 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
             unreachable!("a fresh coordinator always sends prepare");
         };
         self.exec.get_mut(&txn).expect("live txn").coordinator = Some(coordinator);
+        self.emit(
+            sched.now(),
+            home,
+            SimEventKind::TwoPcStarted {
+                txn,
+                participants: sites.len() as u32,
+            },
+        );
         for s in &sites {
             self.send(
                 home,
@@ -1268,6 +1315,15 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
             if let Some(vs) = self.version_stores.get_mut(home.index()) {
                 vs.install_if_newer(obj, value, version, txn, now);
             }
+            self.emit(
+                now,
+                home,
+                SimEventKind::VersionInstalled {
+                    object: obj,
+                    version,
+                    writer: txn,
+                },
+            );
             let seq = self.next_op_seq();
             self.monitor.record_op(Operation {
                 txn,
@@ -1385,6 +1441,15 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
             if let Some(vs) = self.version_stores.get_mut(site.index()) {
                 vs.install_if_newer(apply.object, apply.value, apply.version, apply.writer, now);
             }
+            self.emit(
+                now,
+                site,
+                SimEventKind::VersionInstalled {
+                    object: apply.object,
+                    version: apply.version,
+                    writer: apply.writer,
+                },
+            );
             let seq = self.next_op_seq();
             self.monitor.record_op(Operation {
                 txn,
@@ -1770,10 +1835,25 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                     // timeout aborts).
                     return;
                 }
+                if self.resolved_participants.contains(&(txn, to)) {
+                    // Duplicated prepare delivered after the decision was
+                    // processed here: re-voting would resurrect a settled
+                    // participant. The coordinator's retransmitted
+                    // decision (ack-timeout path) is what re-acks.
+                    return;
+                }
                 let mut participant = Participant::new(txn);
                 let ParticipantAction::Reply(vote) = participant.on_prepare(true) else {
                     unreachable!("prepare always yields a vote");
                 };
+                self.emit(
+                    sched.now(),
+                    to,
+                    SimEventKind::TwoPcVoted {
+                        txn,
+                        yes: vote == Vote::Yes,
+                    },
+                );
                 self.participants.insert((txn, to), participant);
                 self.send(
                     to,
@@ -1798,6 +1878,11 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                         exec.decided = true;
                         let writes = self.specs[&txn].write_set.clone();
                         let home = self.home(txn);
+                        self.emit(
+                            sched.now(),
+                            home,
+                            SimEventKind::TwoPcDecided { txn, commit: true },
+                        );
                         for s in &sites {
                             self.send(
                                 home,
@@ -1820,6 +1905,11 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                     }
                     Some(CoordinatorAction::SendAbort(sites)) => {
                         let home = self.home(txn);
+                        self.emit(
+                            sched.now(),
+                            home,
+                            SimEventKind::TwoPcDecided { txn, commit: false },
+                        );
                         for s in sites {
                             self.send(
                                 home,
@@ -1847,6 +1937,7 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                     // Abort already processed locally — or this is a
                     // retransmitted decision whose ack was lost: ack again
                     // (idempotently empty) so the coordinator can stop.
+                    self.resolved_participants.insert((txn, to));
                     if self.faults_active {
                         self.send(
                             to,
@@ -1861,7 +1952,9 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                     }
                     return;
                 };
+                self.resolved_participants.insert((txn, to));
                 let action = participant.on_decision(commit);
+                self.emit(sched.now(), to, SimEventKind::TwoPcResolved { txn, commit });
                 let mut applied = Vec::new();
                 if action == ParticipantAction::CommitAndAck {
                     let now = sched.now();
@@ -1869,6 +1962,16 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                         if self.catalog.primary_site(obj) == to {
                             let value = self.stores[to.index()].read(obj).value + 1;
                             self.stores[to.index()].apply_write(obj, value, txn, now);
+                            let version = self.stores[to.index()].read(obj).version;
+                            self.emit(
+                                now,
+                                to,
+                                SimEventKind::VersionInstalled {
+                                    object: obj,
+                                    version,
+                                    writer: txn,
+                                },
+                            );
                             let seq = self.next_op_seq();
                             applied.push((obj, now, seq));
                         }
@@ -2113,6 +2216,7 @@ pub fn run_transactions_distributed_with<S: EventSink<SimEvent>>(
         eff_prio: FxHashMap::default(),
         calls: CallTable::new(),
         participants: FxHashMap::default(),
+        resolved_participants: FxHashSet::default(),
         faults_active,
         pending_releases: FxHashMap::default(),
         next_system_id: 0,
@@ -2142,7 +2246,9 @@ pub fn run_transactions_distributed_with<S: EventSink<SimEvent>>(
     }
     for w in &crash_windows {
         assert!(w.site.0 < sites, "crash window site out of range");
-        engine.scheduler_mut().schedule(w.down_at, Ev::SiteDown(w.site));
+        engine
+            .scheduler_mut()
+            .schedule(w.down_at, Ev::SiteDown(w.site));
         if let Some(up_at) = w.up_at {
             assert!(up_at > w.down_at, "restart precedes crash");
             engine.scheduler_mut().schedule(up_at, Ev::SiteUp(w.site));

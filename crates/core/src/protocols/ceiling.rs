@@ -405,7 +405,20 @@ impl PriorityCeilingProtocol {
 
     /// Recomputes inheritance from the blocked-by edges.
     fn recompute(&mut self) -> Vec<(TxnId, Priority)> {
-        let eff = effective_priorities(&self.base, &self.blocked_edges);
+        // Empty unless the fixpoint sees an unregistered waiter, so this
+        // never allocates on the hot path.
+        let mut anomalies: Vec<TxnId> = Vec::new();
+        let eff = effective_priorities(&self.base, &self.blocked_edges, &mut anomalies);
+        if self.trace {
+            self.journal.extend(
+                anomalies
+                    .into_iter()
+                    .map(|txn| SimEventKind::ProtocolAnomaly {
+                        txn: Some(txn),
+                        detail: "waiter in blocked_by but not registered",
+                    }),
+            );
+        }
         diff_updates(&mut self.effective, eff)
     }
 

@@ -100,7 +100,20 @@ impl InheritanceProtocol {
         for &t in &self.scratch_waiters {
             blocked_by.insert(t, self.table.current_blockers(t));
         }
-        let eff = effective_priorities(&self.base, &blocked_by);
+        // Empty unless the fixpoint sees an unregistered waiter, so this
+        // never allocates on the hot path.
+        let mut anomalies: Vec<TxnId> = Vec::new();
+        let eff = effective_priorities(&self.base, &blocked_by, &mut anomalies);
+        if self.trace {
+            self.journal.extend(
+                anomalies
+                    .into_iter()
+                    .map(|txn| SimEventKind::ProtocolAnomaly {
+                        txn: Some(txn),
+                        detail: "waiter in blocked_by but not registered",
+                    }),
+            );
+        }
         let updates = diff_updates(&mut self.effective, eff);
         for &(txn, priority) in &updates {
             self.table.update_waiter_priority(txn, priority);

@@ -21,21 +21,29 @@ use starlite::{FxHashMap, Priority};
 /// deregistration drops the transaction's edges before the next
 /// recompute. A waiter missing from `base` would silently contribute no
 /// inheritance (dropping the transitive boost its blockers are owed), so
-/// it trips a debug assertion. Blockers missing from `base` are merely
-/// skipped: edge refreshes already prune departed holders, and a stale
-/// blocker has nobody left to boost.
+/// it trips a debug assertion — and, because that assertion vanishes in
+/// release builds, each offender is also pushed into `anomalies` so the
+/// caller can report it through the event stream (the invariant oracle
+/// turns it into a `protocol-anomaly` violation). Blockers missing from
+/// `base` are merely skipped: edge refreshes already prune departed
+/// holders, and a stale blocker has nobody left to boost.
 pub(crate) fn effective_priorities(
     base: &FxHashMap<TxnId, Priority>,
     blocked_by: &FxHashMap<TxnId, Vec<TxnId>>,
+    anomalies: &mut Vec<TxnId>,
 ) -> FxHashMap<TxnId, Priority> {
     let mut eff = base.clone();
     // Fixpoint: propagate waiter priorities through blockers. Chains are
     // short (the ceiling protocol bounds them at one), so this converges
     // in a couple of passes.
+    let mut first_pass = true;
     loop {
         let mut changed = false;
         for (waiter, blockers) in blocked_by {
             let Some(&wp) = eff.get(waiter) else {
+                if first_pass {
+                    anomalies.push(*waiter);
+                }
                 debug_assert!(false, "waiter {waiter} in blocked_by but not registered");
                 continue;
             };
@@ -51,6 +59,7 @@ pub(crate) fn effective_priorities(
         if !changed {
             return eff;
         }
+        first_pass = false;
     }
 }
 
@@ -89,7 +98,7 @@ mod tests {
         let b = base(&[(1, 10), (2, 1)]);
         let blocked: FxHashMap<TxnId, Vec<TxnId>> =
             [(TxnId(1), vec![TxnId(2)])].into_iter().collect();
-        let eff = effective_priorities(&b, &blocked);
+        let eff = effective_priorities(&b, &blocked, &mut Vec::new());
         assert_eq!(eff[&TxnId(2)], Priority::new(10));
         assert_eq!(eff[&TxnId(1)], Priority::new(10));
     }
@@ -101,7 +110,7 @@ mod tests {
             [(TxnId(1), vec![TxnId(2)]), (TxnId(2), vec![TxnId(3)])]
                 .into_iter()
                 .collect();
-        let eff = effective_priorities(&b, &blocked);
+        let eff = effective_priorities(&b, &blocked, &mut Vec::new());
         assert_eq!(eff[&TxnId(3)], Priority::new(10));
         assert_eq!(eff[&TxnId(2)], Priority::new(10));
     }
@@ -109,7 +118,7 @@ mod tests {
     #[test]
     fn no_inheritance_without_blocking() {
         let b = base(&[(1, 10), (2, 1)]);
-        let eff = effective_priorities(&b, &FxHashMap::default());
+        let eff = effective_priorities(&b, &FxHashMap::default(), &mut Vec::new());
         assert_eq!(eff, b);
     }
 
@@ -127,7 +136,7 @@ mod tests {
         let b = base(&[(1, 10)]);
         let blocked: FxHashMap<TxnId, Vec<TxnId>> =
             [(TxnId(1), vec![TxnId(99)])].into_iter().collect();
-        let eff = effective_priorities(&b, &blocked);
+        let eff = effective_priorities(&b, &blocked, &mut Vec::new());
         assert_eq!(eff.len(), 1);
     }
 
@@ -140,7 +149,7 @@ mod tests {
         let b = base(&[(2, 1)]);
         let blocked: FxHashMap<TxnId, Vec<TxnId>> =
             [(TxnId(1), vec![TxnId(2)])].into_iter().collect();
-        let eff = effective_priorities(&b, &blocked);
+        let eff = effective_priorities(&b, &blocked, &mut Vec::new());
         // Release builds skip the waiter and leave the blocker unboosted.
         assert_eq!(eff[&TxnId(2)], Priority::new(1));
     }
@@ -159,7 +168,7 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let eff = effective_priorities(&b, &blocked);
+        let eff = effective_priorities(&b, &blocked, &mut Vec::new());
         for t in 1..=5 {
             assert_eq!(eff[&TxnId(t)], Priority::new(50), "txn {t}");
         }

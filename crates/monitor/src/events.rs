@@ -196,11 +196,61 @@ pub enum SimEventKind {
         /// The repaired object.
         object: ObjectId,
     },
+    /// A "cannot happen" internal state was reached and recovered from.
+    ///
+    /// In debug builds these sites also trip a `debug_assert!`; in release
+    /// builds this event is the only witness, and the invariant oracle
+    /// turns it into a violation.
+    ProtocolAnomaly {
+        /// The transaction involved, when one is identifiable.
+        txn: Option<TxnId>,
+        /// A stable description of the impossible state.
+        detail: &'static str,
+    },
+    /// A coordinator began two-phase commit for a transaction.
+    TwoPcStarted {
+        /// The committing transaction.
+        txn: TxnId,
+        /// Number of participant sites that were sent a prepare.
+        participants: u32,
+    },
+    /// A participant site voted on a prepare (the event's site is the
+    /// voter).
+    TwoPcVoted {
+        /// The transaction being voted on.
+        txn: TxnId,
+        /// `true` for a yes (commit) vote.
+        yes: bool,
+    },
+    /// The coordinator reached a commit/abort decision.
+    TwoPcDecided {
+        /// The decided transaction.
+        txn: TxnId,
+        /// `true` if the decision was commit.
+        commit: bool,
+    },
+    /// A participant site applied the coordinator's decision (the event's
+    /// site is the participant).
+    TwoPcResolved {
+        /// The resolved transaction.
+        txn: TxnId,
+        /// The decision the participant applied.
+        commit: bool,
+    },
+    /// A new version of an object was installed at the event's site.
+    VersionInstalled {
+        /// The written object.
+        object: ObjectId,
+        /// The installed version number (strictly increasing per copy).
+        version: u64,
+        /// The writing transaction.
+        writer: TxnId,
+    },
 }
 
 /// Number of distinct [`SimEventKind`] variants ([`SimEventKind::index`]
 /// stays below this).
-pub const EVENT_KIND_COUNT: usize = 23;
+pub const EVENT_KIND_COUNT: usize = 29;
 
 impl SimEventKind {
     /// Stable display name of the variant (used by trace exporters).
@@ -229,6 +279,12 @@ impl SimEventKind {
             SimEventKind::SiteRecovered => "SiteRecovered",
             SimEventKind::RpcRetried { .. } => "RpcRetried",
             SimEventKind::ReplicaRepaired { .. } => "ReplicaRepaired",
+            SimEventKind::ProtocolAnomaly { .. } => "ProtocolAnomaly",
+            SimEventKind::TwoPcStarted { .. } => "TwoPcStarted",
+            SimEventKind::TwoPcVoted { .. } => "TwoPcVoted",
+            SimEventKind::TwoPcDecided { .. } => "TwoPcDecided",
+            SimEventKind::TwoPcResolved { .. } => "TwoPcResolved",
+            SimEventKind::VersionInstalled { .. } => "VersionInstalled",
         }
     }
 
@@ -258,6 +314,12 @@ impl SimEventKind {
             SimEventKind::SiteRecovered => 20,
             SimEventKind::RpcRetried { .. } => 21,
             SimEventKind::ReplicaRepaired { .. } => 22,
+            SimEventKind::ProtocolAnomaly { .. } => 23,
+            SimEventKind::TwoPcStarted { .. } => 24,
+            SimEventKind::TwoPcVoted { .. } => 25,
+            SimEventKind::TwoPcDecided { .. } => 26,
+            SimEventKind::TwoPcResolved { .. } => 27,
+            SimEventKind::VersionInstalled { .. } => 28,
         }
     }
 
@@ -278,8 +340,14 @@ impl SimEventKind {
             | SimEventKind::PriorityInherited { txn, .. }
             | SimEventKind::Dispatched { txn }
             | SimEventKind::Preempted { txn }
-            | SimEventKind::RpcRetried { txn, .. } => Some(txn),
+            | SimEventKind::RpcRetried { txn, .. }
+            | SimEventKind::TwoPcStarted { txn, .. }
+            | SimEventKind::TwoPcVoted { txn, .. }
+            | SimEventKind::TwoPcDecided { txn, .. }
+            | SimEventKind::TwoPcResolved { txn, .. } => Some(txn),
             SimEventKind::DeadlockDetected { victim } => Some(victim),
+            SimEventKind::ProtocolAnomaly { txn, .. } => txn,
+            SimEventKind::VersionInstalled { writer, .. } => Some(writer),
             SimEventKind::MsgSent { .. }
             | SimEventKind::MsgDelivered { .. }
             | SimEventKind::MsgDropped { .. }
@@ -353,7 +421,11 @@ impl fmt::Display for SimEventKind {
             | SimEventKind::MsgDuplicated { from, to } => {
                 write!(f, "{} {from}->{to}", self.name())
             }
-            SimEventKind::MsgDropped { from, to, in_flight } => {
+            SimEventKind::MsgDropped {
+                from,
+                to,
+                in_flight,
+            } => {
                 let phase = if in_flight { "in flight" } else { "at send" };
                 write!(f, "MsgDropped {from}->{to} {phase}")
             }
@@ -368,6 +440,40 @@ impl fmt::Display for SimEventKind {
             }
             SimEventKind::ReplicaRepaired { object } => {
                 write!(f, "ReplicaRepaired {object}")
+            }
+            SimEventKind::ProtocolAnomaly { txn, detail } => {
+                write!(f, "ProtocolAnomaly")?;
+                if let Some(t) = txn {
+                    write!(f, " {t}")?;
+                }
+                write!(f, ": {detail}")
+            }
+            SimEventKind::TwoPcStarted { txn, participants } => {
+                write!(f, "TwoPcStarted {txn} participants {participants}")
+            }
+            SimEventKind::TwoPcVoted { txn, yes } => {
+                write!(f, "TwoPcVoted {txn} {}", if yes { "yes" } else { "no" })
+            }
+            SimEventKind::TwoPcDecided { txn, commit } => {
+                write!(
+                    f,
+                    "TwoPcDecided {txn} {}",
+                    if commit { "commit" } else { "abort" }
+                )
+            }
+            SimEventKind::TwoPcResolved { txn, commit } => {
+                write!(
+                    f,
+                    "TwoPcResolved {txn} {}",
+                    if commit { "commit" } else { "abort" }
+                )
+            }
+            SimEventKind::VersionInstalled {
+                object,
+                version,
+                writer,
+            } => {
+                write!(f, "VersionInstalled {object} v{version} by {writer}")
             }
         }
     }
@@ -601,7 +707,10 @@ impl BlockState {
         if let Some(since) = self.since.take() {
             let dur = at.since(since).ticks();
             self.total_blocked += dur;
-            if dur >= self.worst_ticks {
+            // Strictly longer episodes take over the worst-episode slot;
+            // a later zero-tick episode must not steal the attribution
+            // (the first episode still claims the empty slot).
+            if dur > self.worst_ticks || self.worst.is_none() {
                 self.worst_ticks = dur;
                 self.worst = self.current;
             }
@@ -628,6 +737,10 @@ pub fn explain_misses(events: &[(SimTime, SimEvent)]) -> Vec<String> {
                 ..
             } => {
                 let s = state.entry(txn).or_default();
+                // A block can arrive while an episode is still open (the
+                // grant event was filtered out, or a restart re-blocked);
+                // close the open episode so its time is not dropped.
+                s.close(at);
                 s.episodes += 1;
                 s.since = Some(at);
                 s.current = Some((blocker, object, false));
@@ -638,6 +751,7 @@ pub fn explain_misses(events: &[(SimTime, SimEvent)]) -> Vec<String> {
                 blocker,
             } => {
                 let s = state.entry(txn).or_default();
+                s.close(at);
                 s.episodes += 1;
                 s.since = Some(at);
                 s.current = Some((blocker, object, true));
@@ -672,6 +786,11 @@ pub fn explain_misses(events: &[(SimTime, SimEvent)]) -> Vec<String> {
                 if let Some(s) = state.get_mut(&txn) {
                     s.close(at);
                 }
+            }
+            SimEventKind::TxnCommitted { txn } => {
+                // Committed transactions can never miss; drop their state
+                // so the map stays bounded over long traces.
+                state.remove(&txn);
             }
             _ => {}
         }
@@ -805,6 +924,136 @@ mod tests {
         assert_eq!(
             lines,
             vec!["T7 missed its deadline: blocked 1x, 41 ticks behind T2 via ceiling on O4"]
+        );
+    }
+
+    #[test]
+    fn explainer_closes_open_episode_on_reblock() {
+        // Block at 10, block again at 30 (no grant in between), miss at
+        // 50: both episodes' time must be counted (20 + 20 ticks), and the
+        // second (equal-length, not longer) episode must not steal the
+        // worst slot from the first.
+        let events = vec![
+            (
+                t(10),
+                at_site(SimEventKind::LockBlocked {
+                    txn: TxnId(7),
+                    object: ObjectId(1),
+                    mode: LockMode::Write,
+                    blocker: Some(TxnId(2)),
+                }),
+            ),
+            (
+                t(30),
+                at_site(SimEventKind::LockBlocked {
+                    txn: TxnId(7),
+                    object: ObjectId(5),
+                    mode: LockMode::Write,
+                    blocker: Some(TxnId(3)),
+                }),
+            ),
+            (
+                t(50),
+                at_site(SimEventKind::TxnAborted {
+                    txn: TxnId(7),
+                    reason: AbortReason::DeadlineMissed,
+                }),
+            ),
+        ];
+        assert_eq!(
+            explain_misses(&events),
+            vec!["T7 missed its deadline: blocked 2x, 40 ticks behind T2 via lock on O1"]
+        );
+    }
+
+    #[test]
+    fn explainer_zero_tick_episode_does_not_steal_worst() {
+        let events = vec![
+            (
+                t(10),
+                at_site(SimEventKind::LockBlocked {
+                    txn: TxnId(7),
+                    object: ObjectId(1),
+                    mode: LockMode::Write,
+                    blocker: Some(TxnId(2)),
+                }),
+            ),
+            (
+                t(40),
+                at_site(SimEventKind::LockGranted {
+                    txn: TxnId(7),
+                    object: ObjectId(1),
+                    mode: LockMode::Write,
+                }),
+            ),
+            // Zero-tick episode behind someone else.
+            (
+                t(45),
+                at_site(SimEventKind::LockBlocked {
+                    txn: TxnId(7),
+                    object: ObjectId(9),
+                    mode: LockMode::Write,
+                    blocker: Some(TxnId(4)),
+                }),
+            ),
+            (
+                t(45),
+                at_site(SimEventKind::LockGranted {
+                    txn: TxnId(7),
+                    object: ObjectId(9),
+                    mode: LockMode::Write,
+                }),
+            ),
+            (
+                t(60),
+                at_site(SimEventKind::TxnAborted {
+                    txn: TxnId(7),
+                    reason: AbortReason::DeadlineMissed,
+                }),
+            ),
+        ];
+        assert_eq!(
+            explain_misses(&events),
+            vec!["T7 missed its deadline: blocked 2x, 30 ticks behind T2 via lock on O1"]
+        );
+    }
+
+    #[test]
+    fn explainer_drops_state_of_committed_txns() {
+        // A committed transaction's entry must be removed; a later miss by
+        // a different transaction is unaffected.
+        let events = vec![
+            (
+                t(10),
+                at_site(SimEventKind::LockBlocked {
+                    txn: TxnId(1),
+                    object: ObjectId(1),
+                    mode: LockMode::Write,
+                    blocker: Some(TxnId(2)),
+                }),
+            ),
+            (
+                t(20),
+                at_site(SimEventKind::LockGranted {
+                    txn: TxnId(1),
+                    object: ObjectId(1),
+                    mode: LockMode::Write,
+                }),
+            ),
+            (t(30), at_site(SimEventKind::TxnCommitted { txn: TxnId(1) })),
+            // If state survived the commit, this terminal re-use of the id
+            // would report the stale blocking history.
+            (
+                t(40),
+                at_site(SimEventKind::TxnAborted {
+                    txn: TxnId(1),
+                    reason: AbortReason::DeadlineMissed,
+                }),
+            ),
+        ];
+        assert_eq!(
+            explain_misses(&events),
+            vec!["T1 missed its deadline: never blocked"]
         );
     }
 

@@ -20,12 +20,16 @@
 //!   the correctness bar every protocol must clear;
 //! * [`events`] — the unified structured event model ([`events::SimEvent`])
 //!   with the metrics, Chrome-trace and blocking-chain-explainer sinks;
+//! * [`check`] — the online invariant oracle ([`check::CheckSink`]):
+//!   serialisability, ceiling properties, lock legality, accounting/2PC
+//!   and replica coherence checked continuously against the event stream;
 //! * [`hist`] — fixed-bucket histograms for blocking / latency tails.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod aggregate;
+pub mod check;
 pub mod ci;
 pub mod csv;
 pub mod events;
@@ -36,6 +40,7 @@ pub mod serializability;
 pub mod timeline;
 
 pub use aggregate::RunStats;
+pub use check::{CheckConfig, CheckSink, Violation};
 pub use ci::Summary;
 pub use events::{
     explain_misses, AbortReason, ChromeTraceSink, MetricsSink, SimEvent, SimEventKind,

@@ -23,7 +23,7 @@ pub const PPM_SCALE: u32 = 1_000_000;
 /// Probabilistic per-link message faults, applied independently to every
 /// *remote* message at send time (intra-site messages bypass the message
 /// server and are never faulted).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct LinkFaults {
     /// Probability (parts per million) that a message is lost in flight.
     pub loss_ppm: u32,
@@ -36,17 +36,6 @@ pub struct LinkFaults {
     pub jitter_ticks: u64,
     /// Seed of the fault RNG stream (independent of the workload stream).
     pub seed: u64,
-}
-
-impl Default for LinkFaults {
-    fn default() -> Self {
-        LinkFaults {
-            loss_ppm: 0,
-            duplicate_ppm: 0,
-            jitter_ticks: 0,
-            seed: 0,
-        }
-    }
 }
 
 impl LinkFaults {

@@ -212,7 +212,7 @@ impl Network {
             return Some(SendOutcome::LostInFlight);
         }
         if self.link.jitter_ticks > 0 {
-            *at = *at + SimDuration::from_ticks(rng.uniform_inclusive(0, self.link.jitter_ticks));
+            *at += SimDuration::from_ticks(rng.uniform_inclusive(0, self.link.jitter_ticks));
         }
         if self.link.duplicate_ppm > 0
             && rng.uniform_inclusive(0, u64::from(PPM_SCALE) - 1)
@@ -222,10 +222,7 @@ impl Network {
             let again_at = *at + SimDuration::from_ticks(1);
             self.journal(from, to, now, Some(*at));
             self.journal(from, to, now, Some(again_at));
-            return Some(SendOutcome::DeliverTwice {
-                at: *at,
-                again_at,
-            });
+            return Some(SendOutcome::DeliverTwice { at: *at, again_at });
         }
         None
     }
@@ -434,7 +431,8 @@ mod tests {
             seed: 7,
             ..LinkFaults::default()
         };
-        let mut n = Network::with_faults(DelayMatrix::uniform(3, SimDuration::from_ticks(10)), faults);
+        let mut n =
+            Network::with_faults(DelayMatrix::uniform(3, SimDuration::from_ticks(10)), faults);
         for i in 0..20 {
             assert_eq!(
                 n.send(SiteId(0), SiteId(1), SimTime::from_ticks(i)),
@@ -456,7 +454,8 @@ mod tests {
             seed: 7,
             ..LinkFaults::default()
         };
-        let mut n = Network::with_faults(DelayMatrix::uniform(3, SimDuration::from_ticks(10)), faults);
+        let mut n =
+            Network::with_faults(DelayMatrix::uniform(3, SimDuration::from_ticks(10)), faults);
         match n.send(SiteId(0), SiteId(1), SimTime::from_ticks(5)) {
             SendOutcome::DeliverTwice { at, again_at } => {
                 assert_eq!(at, SimTime::from_ticks(15));
@@ -475,7 +474,10 @@ mod tests {
             ..LinkFaults::default()
         };
         let mk = || {
-            Network::with_faults(DelayMatrix::uniform(2, SimDuration::from_ticks(100)), faults)
+            Network::with_faults(
+                DelayMatrix::uniform(2, SimDuration::from_ticks(100)),
+                faults,
+            )
         };
         let (mut a, mut b) = (mk(), mk());
         for i in 0..50 {

@@ -134,10 +134,54 @@ impl WaitsForGraph {
         None
     }
 
-    /// Returns `true` if any cycle exists anywhere in the graph (slower;
-    /// used by tests and invariant checks).
+    /// Returns `true` if any cycle exists anywhere in the graph.
+    ///
+    /// Single coloured DFS over the whole graph: the visited (black) set is
+    /// shared across start nodes, so every node and edge is traversed at
+    /// most once — O(V + E), cheap enough for the invariant oracle to call
+    /// after every blocking-edge insertion.
     pub fn has_any_cycle(&self) -> bool {
-        self.edges.keys().any(|&t| self.cycle_from(t).is_some())
+        let mut visited: FxHashSet<TxnId> = FxHashSet::default();
+        let mut on_path: FxHashSet<TxnId> = FxHashSet::default();
+        let mut roots: Vec<TxnId> = self.edges.keys().copied().collect();
+        roots.sort_unstable();
+
+        let neighbours = |t: TxnId| -> Vec<TxnId> {
+            let mut v: Vec<TxnId> = self
+                .edges
+                .get(&t)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            v.sort_unstable();
+            v
+        };
+
+        let mut stack: Vec<(TxnId, Vec<TxnId>, usize)> = Vec::new();
+        for root in roots {
+            if visited.contains(&root) {
+                continue;
+            }
+            stack.push((root, neighbours(root), 0));
+            on_path.insert(root);
+            while let Some((node, ns, idx)) = stack.last_mut() {
+                if *idx >= ns.len() {
+                    visited.insert(*node);
+                    on_path.remove(node);
+                    stack.pop();
+                    continue;
+                }
+                let next = ns[*idx];
+                *idx += 1;
+                if on_path.contains(&next) {
+                    return true;
+                }
+                if !visited.contains(&next) {
+                    on_path.insert(next);
+                    stack.push((next, neighbours(next), 0));
+                }
+            }
+        }
+        false
     }
 
     /// Current outgoing edges of `txn`, sorted.
@@ -218,6 +262,47 @@ mod tests {
         assert_eq!(g.blockers_of(TxnId(1)), vec![TxnId(4)]);
         g.set_edges(TxnId(1), &[]);
         assert_eq!(g.waiter_count(), 0);
+    }
+
+    #[test]
+    fn cross_edge_into_finished_subtree_is_not_a_cycle() {
+        // 1 → 2 → 3 finishes first (all black); the later root 4 → 2
+        // reaches only black nodes. A detector confusing "visited" with
+        // "on the current path" would report a bogus cycle here.
+        let mut g = WaitsForGraph::new();
+        g.add_edges(TxnId(1), &[TxnId(2)]);
+        g.add_edges(TxnId(2), &[TxnId(3)]);
+        g.add_edges(TxnId(4), &[TxnId(2)]);
+        assert!(!g.has_any_cycle());
+    }
+
+    #[test]
+    fn cycle_behind_shared_prefix_is_found() {
+        // Root 1 explores 2 and 3 fully; the cycle 5 ⇄ 6 hangs off a
+        // different root and must still be found after the shared-visited
+        // pass over the first component.
+        let mut g = WaitsForGraph::new();
+        g.add_edges(TxnId(1), &[TxnId(2), TxnId(3)]);
+        g.add_edges(TxnId(2), &[TxnId(3)]);
+        g.add_edges(TxnId(5), &[TxnId(6)]);
+        g.add_edges(TxnId(6), &[TxnId(5)]);
+        assert!(g.has_any_cycle());
+    }
+
+    #[test]
+    fn dense_acyclic_graph_has_no_cycle() {
+        // Layered DAG with every node pointing at the whole next layer;
+        // quadratic in edges but each edge must be walked only once.
+        let mut g = WaitsForGraph::new();
+        let layers = 20u64;
+        let width = 10u64;
+        for l in 0..layers - 1 {
+            for i in 0..width {
+                let targets: Vec<TxnId> = (0..width).map(|j| TxnId((l + 1) * width + j)).collect();
+                g.add_edges(TxnId(l * width + i), &targets);
+            }
+        }
+        assert!(!g.has_any_cycle());
     }
 
     #[test]

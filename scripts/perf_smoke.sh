@@ -9,6 +9,10 @@
 #      same diff — tracing must stay byte-deterministic.
 #   2. Wall clock: all_figures must not take more than 2x the committed
 #      BENCH_SWEEP.json baseline.
+#   3. Invariants: both sweeps run under `--check`, which streams every
+#      run's event trace through the online oracle (monitor::CheckSink)
+#      and exits non-zero on any protocol violation. The oracle only
+#      observes, so parity in (1) is unaffected.
 #
 # Refreshed BENCH_SWEEP.json / results timing fields are left in the
 # working tree; commit them when the change is a deliberate perf shift.
@@ -26,12 +30,12 @@ if [ -z "${baseline}" ]; then
 fi
 
 cargo build --release --workspace
-RTLOCK_BENCH_WORKERS=1 ./target/release/all_figures --trace results/all_figures.trace.json
+RTLOCK_BENCH_WORKERS=1 ./target/release/all_figures --check --trace results/all_figures.trace.json
 
 # The fault sweep is fully seeded (workload and fault streams), so its
 # results file must also reproduce byte-for-byte against the committed
 # golden; the parity diff below covers it.
-RTLOCK_BENCH_WORKERS=1 ./target/release/ablation_faults > /dev/null
+RTLOCK_BENCH_WORKERS=1 ./target/release/ablation_faults --check > /dev/null
 
 echo "perf-smoke: checking simulation output parity"
 if ! git diff --exit-code -I'"wall_clock_seconds"' -I'"workers"' -- results/; then

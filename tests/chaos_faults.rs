@@ -86,13 +86,13 @@ fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
         },
     );
     // `up_after == 0` means a permanent failure (no restart).
-    let window = (0u8..SITES, 1u64..60_000, 0u64..80_000).prop_map(
-        |(site, down_at, up_after)| CrashWindow {
+    let window = (0u8..SITES, 1u64..60_000, 0u64..80_000).prop_map(|(site, down_at, up_after)| {
+        CrashWindow {
             site: SiteId(site),
             down_at: SimTime::from_ticks(down_at),
             up_at: (up_after > 0).then(|| SimTime::from_ticks(down_at + up_after)),
-        },
-    );
+        }
+    });
     (link, prop::collection::vec(window, 0..=2)).prop_map(|(link, mut crashes)| {
         // Keep at most one window per site: overlapping windows on the
         // same site are not a scenario the generator means to test.
@@ -103,8 +103,11 @@ fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
 }
 
 fn chaos_strategy() -> impl Strategy<Value = Chaos> {
-    (txn_strategy(), 0u64..1_200, plan_strategy())
-        .prop_map(|(txns, delay, plan)| Chaos { txns, delay, plan })
+    (txn_strategy(), 0u64..1_200, plan_strategy()).prop_map(|(txns, delay, plan)| Chaos {
+        txns,
+        delay,
+        plan,
+    })
 }
 
 fn config(arch: CeilingArchitecture, delay: u64, plan: FaultPlan) -> DistributedConfig {

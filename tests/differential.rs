@@ -1,0 +1,103 @@
+//! Cross-protocol differential harness.
+//!
+//! The same seeded workload (identical arrivals, access sets and
+//! deadlines — only the concurrency-control protocol differs) runs
+//! through all six protocols with the online invariant oracle attached.
+//! Every protocol must clear the oracle with zero violations, and every
+//! protocol's accounting must close: each generated transaction ends up
+//! committed, missed or fault-aborted exactly once, with nothing left in
+//! progress. The protocols legitimately disagree on *which* transactions
+//! commit; they may not disagree on the rules of the game.
+
+use rtlock::distributed::CeilingArchitecture;
+use rtlock::ProtocolKind;
+use rtlock_bench::harness::{
+    execute_checked, DistributedSpec, RunMetrics, RunSpec, SimSpec, SingleSiteSpec,
+};
+
+const TXNS: u32 = 120;
+
+fn assert_accounting_closes(label: &str, m: &RunMetrics) {
+    assert_eq!(
+        m.processed,
+        m.committed + m.missed + m.faulted,
+        "{label}: processed must equal committed + missed + faulted"
+    );
+    assert_eq!(
+        m.processed + m.in_progress,
+        TXNS,
+        "{label}: every generated transaction must be accounted for"
+    );
+}
+
+#[test]
+fn every_protocol_clears_the_oracle_on_the_same_workload() {
+    for seed in [0u64, 7] {
+        for kind in ProtocolKind::all() {
+            let spec = RunSpec {
+                label: format!("diff/{}", kind.label()),
+                seed,
+                sim: SimSpec::SingleSite(SingleSiteSpec::figure(kind, 8, TXNS)),
+            };
+            let (metrics, violations) = execute_checked(&spec);
+            assert!(
+                violations.is_empty(),
+                "{kind:?} seed {seed} violated invariants: {violations:#?}"
+            );
+            assert_accounting_closes(&spec.label, &metrics);
+            assert!(
+                metrics.committed > 0,
+                "{kind:?} seed {seed} committed nothing — the workload is degenerate"
+            );
+        }
+    }
+}
+
+#[test]
+fn protocols_process_the_identical_workload() {
+    // The workload generator is a pure function of (spec, seed) and is
+    // independent of the protocol, so the differential comparison is
+    // apples to apples: every protocol faces the same transaction count.
+    let seed = 3;
+    let totals: Vec<u32> = ProtocolKind::all()
+        .into_iter()
+        .map(|kind| {
+            let spec = RunSpec {
+                label: format!("diff/{}", kind.label()),
+                seed,
+                sim: SimSpec::SingleSite(SingleSiteSpec::figure(kind, 8, TXNS)),
+            };
+            let (metrics, violations) = execute_checked(&spec);
+            assert!(violations.is_empty(), "{kind:?}: {violations:#?}");
+            metrics.processed + metrics.in_progress
+        })
+        .collect();
+    assert!(
+        totals.iter().all(|&t| t == totals[0]),
+        "protocols saw different workloads: {totals:?}"
+    );
+}
+
+#[test]
+fn both_distributed_architectures_clear_the_oracle() {
+    for seed in [0u64, 5] {
+        for arch in [
+            CeilingArchitecture::GlobalManager,
+            CeilingArchitecture::LocalReplicated,
+        ] {
+            for mix in [0.0, 0.5] {
+                let spec = RunSpec {
+                    label: format!("diff/{arch:?}/mix={mix}"),
+                    seed,
+                    sim: SimSpec::Distributed(DistributedSpec::figure(arch, mix, 2, TXNS)),
+                };
+                let (metrics, violations) = execute_checked(&spec);
+                assert!(
+                    violations.is_empty(),
+                    "{arch:?} mix {mix} seed {seed}: {violations:#?}"
+                );
+                assert_accounting_closes(&spec.label, &metrics);
+            }
+        }
+    }
+}

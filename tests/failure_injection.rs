@@ -119,7 +119,15 @@ fn in_flight_messages_to_a_crashed_site_are_dropped() {
     let in_flight_drops = sink
         .events()
         .iter()
-        .filter(|(_, e)| matches!(e.kind, SimEventKind::MsgDropped { in_flight: true, .. }))
+        .filter(|(_, e)| {
+            matches!(
+                e.kind,
+                SimEventKind::MsgDropped {
+                    in_flight: true,
+                    ..
+                }
+            )
+        })
         .count() as u64;
     assert_eq!(in_flight_drops, net.dropped_in_flight);
     // Message conservation: everything offered is accounted for exactly
