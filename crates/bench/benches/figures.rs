@@ -3,10 +3,13 @@
 //! The full-scale series come from the `fig2` … `fig6` binaries.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use monitor::MetricsSink;
 use rtlock::distributed::CeilingArchitecture;
 use rtlock::ProtocolKind;
 use rtlock_bench::distributed::measure_dist_point;
+use rtlock_bench::harness::{execute, execute_with, RunSpec, SimSpec, SingleSiteSpec};
 use rtlock_bench::single_site::measure_size_point;
+use starlite::NullSink;
 
 const TXNS: u32 = 80;
 const SEEDS: u64 = 2;
@@ -40,5 +43,38 @@ fn bench_fig4_fig5_fig6(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig2_fig3, bench_fig4_fig5_fig6);
+/// Off-path cost of the structured event pipeline: the same run with the
+/// default [`NullSink`] (instrumentation monomorphised away — see
+/// `scripts/check_sink_codegen.sh` for the codegen proof), with `NullSink`
+/// passed explicitly through the generic `execute_with` entry point (must
+/// be identical), and with a live [`MetricsSink`] as the tracing-on
+/// reference point.
+fn bench_sink_overhead(c: &mut Criterion) {
+    let spec = RunSpec {
+        label: "sink_overhead".to_string(),
+        seed: 0,
+        sim: SimSpec::SingleSite(SingleSiteSpec::figure(
+            ProtocolKind::PriorityCeiling,
+            14,
+            TXNS,
+        )),
+    };
+    let mut group = c.benchmark_group("figures/sink_overhead");
+    group.sample_size(20);
+    group.bench_function("null_default", |b| b.iter(|| execute(&spec)));
+    group.bench_function("null_explicit", |b| {
+        b.iter(|| execute_with(&spec, NullSink))
+    });
+    group.bench_function("metrics", |b| {
+        b.iter(|| execute_with(&spec, &mut MetricsSink::new()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig2_fig3,
+    bench_fig4_fig5_fig6,
+    bench_sink_overhead
+);
 criterion_main!(benches);

@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use starlite::{
-    Completion, Cpu, CpuPolicy, Engine, Model, Priority, Scheduler, SimDuration, SimTime,
+    Completion, Cpu, CpuPolicy, Engine, HeapQueue, Model, Priority, Scheduler, SimDuration,
+    SimTime, WheelQueue,
 };
 
 struct Ping {
@@ -76,6 +77,134 @@ fn bench_schedule_cancel(c: &mut Criterion) {
     }
     group.finish();
 }
+
+/// Head-to-head raw-queue benchmarks: the hierarchical timing wheel
+/// against the binary-heap reference on the three access patterns the
+/// simulators generate. Both types are always compiled (the `heap-queue`
+/// cargo feature only selects which one the engine embeds), so one run
+/// reports both sides.
+fn bench_queue_impls(c: &mut Criterion) {
+    // Dense near-future: every event lands within a level-0 window of the
+    // cursor, the common case for CPU burst completions.
+    fn dense<Q: RawQueue>(n: u64) -> u64 {
+        let mut q = Q::make();
+        for i in 0..n {
+            q.sched(i % 61, i as u32);
+        }
+        let mut fired = 0;
+        while q.pop().is_some() {
+            fired += 1;
+        }
+        fired
+    }
+
+    // Cancel-heavy churn at steady state: a sliding window of pending
+    // timers (deadline timers, I/O timeouts) where most are cancelled
+    // before they fire and new ones arrive as old ones resolve.
+    fn churn<Q: RawQueue>(n: u64) -> u64 {
+        let mut q = Q::make();
+        let mut window: Vec<starlite::EventId> = Vec::new();
+        let mut cancelled = 0u64;
+        for i in 0..n {
+            window.push(q.sched(500 + i % 97, i as u32));
+            if window.len() >= 64 {
+                // Cancel three-quarters of the oldest window, fire the rest.
+                for (k, id) in window.drain(..48).enumerate() {
+                    if k % 4 != 0 {
+                        cancelled += u64::from(q.cancel(id));
+                    }
+                }
+                while let Some(t) = q.peek() {
+                    if t > q.now_ticks() + 100 {
+                        break;
+                    }
+                    q.pop();
+                }
+            }
+        }
+        while q.pop().is_some() {}
+        cancelled
+    }
+
+    // Far-future outliers: mostly near-future traffic with a tail of
+    // events parked millions of ticks out (retransmission backstops,
+    // far deadlines), forcing multi-level filing and cascades.
+    fn outliers<Q: RawQueue>(n: u64) -> u64 {
+        let mut q = Q::make();
+        for i in 0..n {
+            let delta = if i % 16 == 0 { 9_999_991 } else { i % 127 };
+            q.sched(delta, i as u32);
+        }
+        let mut fired = 0;
+        while q.pop().is_some() {
+            fired += 1;
+        }
+        fired
+    }
+
+    let mut group = c.benchmark_group("kernel/queue_impls");
+    for &n in &[1_000u64, 10_000] {
+        group.bench_with_input(BenchmarkId::new("wheel/dense", n), &n, |b, &n| {
+            b.iter(|| dense::<WheelQueue<u32>>(n))
+        });
+        group.bench_with_input(BenchmarkId::new("heap/dense", n), &n, |b, &n| {
+            b.iter(|| dense::<HeapQueue<u32>>(n))
+        });
+        group.bench_with_input(BenchmarkId::new("wheel/churn", n), &n, |b, &n| {
+            b.iter(|| churn::<WheelQueue<u32>>(n))
+        });
+        group.bench_with_input(BenchmarkId::new("heap/churn", n), &n, |b, &n| {
+            b.iter(|| churn::<HeapQueue<u32>>(n))
+        });
+        group.bench_with_input(BenchmarkId::new("wheel/outliers", n), &n, |b, &n| {
+            b.iter(|| outliers::<WheelQueue<u32>>(n))
+        });
+        group.bench_with_input(BenchmarkId::new("heap/outliers", n), &n, |b, &n| {
+            b.iter(|| outliers::<HeapQueue<u32>>(n))
+        });
+    }
+    group.finish();
+}
+
+/// Minimal common surface over the two queue types so each pattern above
+/// is written once and monomorphised per implementation.
+trait RawQueue {
+    fn make() -> Self;
+    fn now_ticks(&self) -> u64;
+    fn sched(&mut self, delta: u64, tag: u32) -> starlite::EventId;
+    fn cancel(&mut self, id: starlite::EventId) -> bool;
+    fn peek(&mut self) -> Option<u64>;
+    fn pop(&mut self) -> Option<u32>;
+}
+
+macro_rules! impl_raw_queue {
+    ($ty:ty) => {
+        impl RawQueue for $ty {
+            fn make() -> Self {
+                <$ty>::new()
+            }
+            fn now_ticks(&self) -> u64 {
+                self.now().ticks()
+            }
+            fn sched(&mut self, delta: u64, tag: u32) -> starlite::EventId {
+                let at = SimTime::from_ticks(self.now().ticks() + delta);
+                self.schedule(at, tag)
+            }
+            fn cancel(&mut self, id: starlite::EventId) -> bool {
+                <$ty>::cancel(self, id)
+            }
+            fn peek(&mut self) -> Option<u64> {
+                self.next_event_time().map(|t| t.ticks())
+            }
+            fn pop(&mut self) -> Option<u32> {
+                self.pop_next()
+            }
+        }
+    };
+}
+
+impl_raw_queue!(WheelQueue<u32>);
+impl_raw_queue!(HeapQueue<u32>);
 
 fn bench_cpu_scheduler(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel/cpu");
@@ -164,6 +293,7 @@ criterion_group!(
     benches,
     bench_event_queue,
     bench_schedule_cancel,
+    bench_queue_impls,
     bench_cpu_scheduler,
     bench_cpu_ready_queue
 );

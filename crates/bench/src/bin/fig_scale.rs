@@ -1,0 +1,128 @@
+//! Scale stress sweep for the event core: single-site runs far beyond the
+//! paper's workload sizes, up to 10⁶ transactions over a 10⁵-object
+//! database in one simulation, reporting raw simulator throughput
+//! (kernel events per wall-clock second) against the roadmap's 10M
+//! events/sec target.
+//!
+//! Unlike `fig2`…`fig6` this binary measures the *simulator*, not the
+//! protocols: the figures it feeds are BENCH_SWEEP.json throughput
+//! entries, and its regression gate is `scripts/perf_smoke.sh`.
+//!
+//! Usage: `fig_scale [--smoke]`
+//!
+//! `--smoke` runs only the smallest scale and skips the BENCH_SWEEP.json
+//! record — the CI configuration, fast enough for every push. `--check`
+//! streams every run through the online invariant oracle as usual.
+
+use std::time::Instant;
+
+use rtlock::ProtocolKind;
+use rtlock_bench::harness::{RunSpec, SimSpec, SingleSiteSpec, Sweep};
+use rtlock_bench::{params, results};
+
+/// Objects in the stress database: 500× the paper's `DB_SIZE`.
+const SCALE_DB_SIZE: u32 = 100_000;
+
+/// Accesses per transaction. Matches the distributed experiments' mean
+/// size; with 10⁵ objects the data contention is low, so the sweep
+/// measures event-core throughput rather than protocol blocking.
+const SCALE_TXN_SIZE: u32 = 8;
+
+/// The roadmap's single-worker throughput target, in events/sec.
+const TARGET_EVENTS_PER_SEC: f64 = 10_000_000.0;
+
+fn scale_spec(txns: u32) -> SingleSiteSpec {
+    SingleSiteSpec {
+        db_size: SCALE_DB_SIZE,
+        ..SingleSiteSpec::figure(ProtocolKind::PriorityCeiling, SCALE_TXN_SIZE, txns)
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scales: &[u32] = if smoke {
+        &[10_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+
+    // Per-scale detail: one seed per point, timed individually so the
+    // table shows how events/sec holds up as the working set grows from
+    // paper scale to 10⁶ transactions.
+    println!("== event-core scale sweep (db = {SCALE_DB_SIZE} objects) ==");
+    println!(
+        "{:>10} {:>12} {:>10} {:>10} {:>14}",
+        "txns", "events", "commits", "%missed", "events/sec"
+    );
+    let mut measured_best = 0.0f64;
+    for &txns in scales {
+        let spec = RunSpec {
+            label: format!("scale/txns={txns}"),
+            seed: 0,
+            sim: SimSpec::SingleSite(scale_spec(txns)),
+        };
+        let t0 = Instant::now();
+        let m = rtlock_bench::harness::execute(&spec);
+        let wall = t0.elapsed().as_secs_f64();
+        let eps = m.events as f64 / wall;
+        measured_best = measured_best.max(eps);
+        println!(
+            "{:>10} {:>12} {:>10} {:>10.2} {:>14.0}",
+            txns, m.events, m.committed, m.pct_missed, eps
+        );
+        assert_eq!(
+            m.in_progress, 0,
+            "scale run must drain completely ({} transactions still active)",
+            m.in_progress
+        );
+    }
+
+    println!(
+        "\nroadmap target: {:.1}M events/sec — measured best: {:.2}M events/sec ({:.0}% of target)",
+        TARGET_EVENTS_PER_SEC / 1e6,
+        measured_best / 1e6,
+        100.0 * measured_best / TARGET_EVENTS_PER_SEC,
+    );
+
+    // The recorded sweep: every scale as one harness sweep, so the
+    // BENCH_SWEEP.json entry carries the aggregate events/sec the same
+    // way the all_figures entry does. `--check` runs the whole sweep
+    // through the invariant oracle.
+    let mut sweep = Sweep::new();
+    for &txns in scales {
+        sweep.point(
+            format!("scale/txns={txns}"),
+            1,
+            SimSpec::SingleSite(scale_spec(txns)),
+        );
+    }
+    let swept = rtlock_bench::check::run_sweep(&sweep);
+    println!(
+        "sweep: {} runs, {} events, {:.2}M events/sec aggregate",
+        swept.run_count(),
+        swept.event_count(),
+        swept.events_per_sec() / 1e6,
+    );
+
+    if smoke {
+        println!("smoke mode: BENCH_SWEEP.json record skipped");
+        return;
+    }
+    results::emit(
+        "fig_scale",
+        &swept,
+        "Event-core scale sweep to 1M transactions over 100k objects",
+        vec![
+            ("db_size", SCALE_DB_SIZE.into()),
+            ("txn_size", SCALE_TXN_SIZE.into()),
+            (
+                "interarrival_ticks",
+                params::interarrival_for(SCALE_TXN_SIZE).ticks().into(),
+            ),
+        ],
+    );
+    match results::record_wall_clock("fig_scale", &swept) {
+        Ok(path) => println!("wall clock recorded: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_SWEEP.json: {e}"),
+    }
+}

@@ -55,6 +55,10 @@ pub struct SingleSiteSpec {
     pub slack_factor: f64,
     /// Nominal per-object cost the deadline rule multiplies.
     pub deadline_per_object: SimDuration,
+    /// Database size (objects). The figure configurations use the paper's
+    /// [`params::DB_SIZE`]; the `fig_scale` stress sweep overrides this to
+    /// exercise the simulator far beyond the paper's scale.
+    pub db_size: u32,
 }
 
 impl SingleSiteSpec {
@@ -76,6 +80,7 @@ impl SingleSiteSpec {
             restart_victims: false,
             slack_factor: params::SLACK_FACTOR,
             deadline_per_object: per_object_cost,
+            db_size: params::DB_SIZE,
         }
     }
 
@@ -251,7 +256,7 @@ pub fn execute(spec: &RunSpec) -> RunMetrics {
 pub fn execute_with<S: EventSink<SimEvent>>(spec: &RunSpec, sink: S) -> RunMetrics {
     let report = match &spec.sim {
         SimSpec::SingleSite(s) => {
-            let catalog = Catalog::new(params::DB_SIZE, 1, Placement::SingleSite);
+            let catalog = Catalog::new(s.db_size, 1, Placement::SingleSite);
             let workload = WorkloadSpec::builder()
                 .txn_count(s.txn_count)
                 .mean_interarrival(s.interarrival)

@@ -305,6 +305,16 @@ struct DistModel<S> {
     scratch_events: Vec<SimEventKind>,
     scratch_cpu: Vec<CpuJournalEntry<TxnId>>,
     scratch_net: Vec<NetJournalEntry>,
+    /// Reusable control-flow queue for [`DistModel::pump_local`]; empty
+    /// between events, retained so no event allocates it afresh.
+    pending_local: VecDeque<PendingWork>,
+    /// Retired [`DExec`] records, recycled on the next arrival so the
+    /// per-transaction vectors keep their capacity.
+    exec_pool: Vec<DExec>,
+    /// Retired system-transaction specs: one secondary update runs per
+    /// written object per remote site, so their specs churn far faster
+    /// than user transactions and are recycled rather than reallocated.
+    spec_pool: Vec<TxnSpec>,
 }
 
 impl<S> fmt::Debug for DistModel<S> {
@@ -359,9 +369,11 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
         SiteId(0)
     }
 
-    /// Emits one unified event, stamped with the site it happened at.
+    /// Emits one unified event, stamped with the site it happened at. The
+    /// `S::ENABLED` check is a monomorphisation-time constant: with
+    /// [`NullSink`] this whole function compiles to nothing.
     fn emit(&mut self, at: SimTime, site: SiteId, kind: SimEventKind) {
-        if self.sink.enabled() {
+        if S::ENABLED && self.sink.enabled() {
             self.sink.emit(at, SimEvent::new(site, kind));
         }
     }
@@ -371,7 +383,7 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
     /// manager site for the global architecture, the local site
     /// otherwise).
     fn drain_pcp(&mut self, site: SiteId, now: SimTime) {
-        if !self.sink.enabled() {
+        if !S::ENABLED || !self.sink.enabled() {
             return;
         }
         let pcp = match self.config.architecture {
@@ -392,7 +404,7 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
     /// events from the network; each journal entry carries its own
     /// timestamp.
     fn flush_kernel_journals(&mut self) {
-        if !self.sink.enabled() {
+        if !S::ENABLED || !self.sink.enabled() {
             return;
         }
         for site_idx in 0..self.cpus.len() {
@@ -487,22 +499,56 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
 
     // ----- arrival ------------------------------------------------------
 
+    /// Takes a fully-reset execution record from the pool (or a fresh one).
+    fn take_exec(&mut self) -> DExec {
+        self.exec_pool.pop().unwrap_or_else(|| DExec {
+            step: 0,
+            seq: Vec::new(),
+            deadline_ev: None,
+            oplog: Vec::new(),
+            coordinator: None,
+            decided: false,
+            deadline_passed: false,
+            pending_call: None,
+            attempts: 0,
+            blocked: false,
+            awaiting_read: false,
+            ack_attempts: 0,
+            system: None,
+        })
+    }
+
+    /// Retires an execution record into the pool, reset but keeping its
+    /// vector capacities for the next arrival.
+    fn recycle_exec(&mut self, mut exec: DExec) {
+        exec.step = 0;
+        exec.seq.clear();
+        exec.deadline_ev = None;
+        exec.oplog.clear();
+        exec.coordinator = None;
+        exec.decided = false;
+        exec.deadline_passed = false;
+        exec.pending_call = None;
+        exec.attempts = 0;
+        exec.blocked = false;
+        exec.awaiting_read = false;
+        exec.ack_attempts = 0;
+        exec.system = None;
+        self.exec_pool.push(exec);
+    }
+
     fn on_arrive(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
-        let spec = self.specs[&txn].clone();
-        if !self.net.is_site_up(spec.home_site) {
+        let home = self.specs[&txn].home_site;
+        if !self.net.is_site_up(home) {
             // The home site is down: the transaction never starts, but it
             // must still be registered so the run's accounting closes
             // (committed + missed + faulted + in_progress == generated).
-            self.emit(
-                sched.now(),
-                spec.home_site,
-                SimEventKind::TxnArrived { txn },
-            );
-            self.monitor.register(&spec);
+            self.emit(sched.now(), home, SimEventKind::TxnArrived { txn });
+            self.monitor.register(&self.specs[&txn]);
             self.monitor.on_fault_abort(txn, sched.now());
             self.emit(
                 sched.now(),
-                spec.home_site,
+                home,
                 SimEventKind::TxnAborted {
                     txn,
                     reason: AbortReason::SiteFailed,
@@ -510,47 +556,31 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
             );
             return;
         }
-        self.emit(
-            sched.now(),
-            spec.home_site,
-            SimEventKind::TxnArrived { txn },
-        );
-        self.monitor.register(&spec);
+        self.emit(sched.now(), home, SimEventKind::TxnArrived { txn });
+        self.monitor.register(&self.specs[&txn]);
         self.monitor.on_start(txn, sched.now());
-        self.emit(
-            sched.now(),
-            spec.home_site,
-            SimEventKind::TxnStarted { txn },
-        );
-        let deadline_ev = sched.schedule(spec.deadline, Ev::Deadline(txn));
-        self.exec.insert(
-            txn,
-            DExec {
-                step: 0,
-                seq: spec.access_sequence(),
-                deadline_ev: Some(deadline_ev),
-                oplog: Vec::new(),
-                coordinator: None,
-                decided: false,
-                deadline_passed: false,
-                pending_call: None,
-                attempts: 0,
-                blocked: false,
-                awaiting_read: false,
-                ack_attempts: 0,
-                system: None,
-            },
-        );
-        self.eff_prio.insert(txn, spec.base_priority());
+        self.emit(sched.now(), home, SimEventKind::TxnStarted { txn });
+        let (deadline, base_prio) = {
+            let spec = &self.specs[&txn];
+            (spec.deadline, spec.base_priority())
+        };
+        let deadline_ev = sched.schedule(deadline, Ev::Deadline(txn));
+        let mut exec = self.take_exec();
+        exec.deadline_ev = Some(deadline_ev);
+        exec.seq.extend(self.specs[&txn].access_ops());
+        self.exec.insert(txn, exec);
+        self.eff_prio.insert(txn, base_prio);
         match self.config.architecture {
             CeilingArchitecture::GlobalManager => {
-                let home = spec.home_site;
+                // The registration message needs an owned copy of the spec.
+                let spec = self.specs[&txn].clone();
                 self.send(home, self.manager_site(), Message::RegisterTxn(spec), sched);
                 self.advance_global(txn, sched);
             }
             CeilingArchitecture::LocalReplicated => {
-                self.local_pcps[spec.home_site.index()].register(&spec);
-                self.pump_local(VecDeque::from([PendingWork::Advance(txn)]), sched);
+                self.local_pcps[home.index()].register(&self.specs[&txn]);
+                self.pending_local.push_back(PendingWork::Advance(txn));
+                self.pump_local(sched);
             }
         }
     }
@@ -634,7 +664,8 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
         match self.config.architecture {
             CeilingArchitecture::GlobalManager => self.advance_global(txn, sched),
             CeilingArchitecture::LocalReplicated => {
-                self.pump_local(VecDeque::from([PendingWork::Advance(txn)]), sched)
+                self.pending_local.push_back(PendingWork::Advance(txn));
+                self.pump_local(sched)
             }
         }
     }
@@ -682,7 +713,9 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
             sched.cancel(timeout_ev);
             self.calls.close(call);
         }
-        self.exec.remove(&txn);
+        if let Some(exec) = self.exec.remove(&txn) {
+            self.recycle_exec(exec);
+        }
         self.monitor.on_miss(txn, sched.now());
         self.emit(
             sched.now(),
@@ -711,15 +744,8 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                 let release =
                     self.local_pcps[home.index()].release_all(txn, ReleaseReason::Finished);
                 self.drain_pcp(home, sched.now());
-                let mut queue = VecDeque::new();
-                self.apply_local_release(
-                    home,
-                    release.wakeups,
-                    release.priority_updates,
-                    &mut queue,
-                    sched,
-                );
-                self.pump_local(queue, sched);
+                self.apply_local_release(home, release.wakeups, release.priority_updates, sched);
+                self.pump_local(sched);
             }
         }
     }
@@ -853,6 +879,7 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                 },
             );
         }
+        self.recycle_exec(exec);
         if self.config.architecture == CeilingArchitecture::GlobalManager
             && self.net.is_site_up(self.manager_site())
         {
@@ -882,8 +909,12 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
         for txn in residents {
             if self.is_system(txn) {
                 // Secondary-update appliers die silently with the site.
-                self.exec.remove(&txn);
-                self.specs.remove(&txn);
+                if let Some(exec) = self.exec.remove(&txn) {
+                    self.recycle_exec(exec);
+                }
+                if let Some(spec) = self.specs.remove(&txn) {
+                    self.spec_pool.push(spec);
+                }
                 self.cpus[site.index()].remove(txn, now);
             } else {
                 self.fault_abort(txn, sched);
@@ -1115,7 +1146,9 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
         if let Some(ev) = self.exec.get_mut(&txn).and_then(|e| e.deadline_ev.take()) {
             sched.cancel(ev);
         }
-        self.exec.remove(&txn);
+        if let Some(exec) = self.exec.remove(&txn) {
+            self.recycle_exec(exec);
+        }
         self.monitor.on_miss(txn, sched.now());
         let home = self.home(txn);
         self.emit(
@@ -1185,7 +1218,7 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
         if let Some(ev) = exec.deadline_ev {
             sched.cancel(ev);
         }
-        for (object, kind, at, seq, site) in exec.oplog {
+        for &(object, kind, at, seq, site) in &exec.oplog {
             self.monitor.record_op(Operation {
                 txn,
                 object,
@@ -1195,8 +1228,10 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                 site,
             });
         }
+        let deadline_passed = exec.deadline_passed;
+        self.recycle_exec(exec);
         let home = self.home(txn);
-        if exec.deadline_passed {
+        if deadline_passed {
             self.monitor.on_miss(txn, sched.now());
             self.emit(
                 sched.now(),
@@ -1237,10 +1272,13 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
 
     // ----- local architecture -------------------------------------------
 
-    fn pump_local(&mut self, mut queue: VecDeque<PendingWork>, sched: &mut Scheduler<Ev>) {
-        while let Some(item) = queue.pop_front() {
+    /// Processes pending local-architecture work until quiescent. The
+    /// queue is a reusable model field (empty between events), so pumping
+    /// allocates nothing in the steady state.
+    fn pump_local(&mut self, sched: &mut Scheduler<Ev>) {
+        while let Some(item) = self.pending_local.pop_front() {
             match item {
-                PendingWork::Advance(txn) => self.advance_local(txn, &mut queue, sched),
+                PendingWork::Advance(txn) => self.advance_local(txn, sched),
                 PendingWork::Resume(txn) => {
                     let site = self.home(txn);
                     self.submit_cpu(txn, site, sched);
@@ -1249,17 +1287,12 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
         }
     }
 
-    fn advance_local(
-        &mut self,
-        txn: TxnId,
-        queue: &mut VecDeque<PendingWork>,
-        sched: &mut Scheduler<Ev>,
-    ) {
+    fn advance_local(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
         let Some(exec) = self.exec.get(&txn) else {
             return;
         };
         if exec.step == exec.seq.len() {
-            self.commit_local(txn, queue, sched);
+            self.commit_local(txn, sched);
             return;
         }
         let (object, mode) = exec.seq[exec.step];
@@ -1289,21 +1322,21 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
         }
     }
 
-    fn commit_local(
-        &mut self,
-        txn: TxnId,
-        queue: &mut VecDeque<PendingWork>,
-        sched: &mut Scheduler<Ev>,
-    ) {
+    fn commit_local(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
         let exec = self.exec.remove(&txn).expect("committing unknown txn");
         if let Some(ev) = exec.deadline_ev {
             sched.cancel(ev);
         }
-        let spec = self.specs[&txn].clone();
-        let home = spec.home_site;
-        // Apply writes to the local (primary) copies and propagate.
-        for &obj in &spec.write_set {
+        let (home, deadline, writes) = {
+            let spec = &self.specs[&txn];
+            (spec.home_site, spec.deadline, spec.write_set.len())
+        };
+        // Apply writes to the local (primary) copies and propagate. The
+        // write set is re-indexed per iteration (instead of cloned) because
+        // emitting and sending need `&mut self`.
+        for i in 0..writes {
+            let obj = self.specs[&txn].write_set[i];
             debug_assert_eq!(
                 self.catalog.primary_site(obj),
                 home,
@@ -1343,14 +1376,14 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                             value,
                             version,
                             writer: txn,
-                            origin_deadline: spec.deadline,
+                            origin_deadline: deadline,
                         },
                         sched,
                     );
                 }
             }
         }
-        for (object, kind, at, seq, site) in exec.oplog {
+        for &(object, kind, at, seq, site) in &exec.oplog {
             self.monitor.record_op(Operation {
                 txn,
                 object,
@@ -1360,17 +1393,12 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                 site,
             });
         }
+        self.recycle_exec(exec);
         self.monitor.on_commit(txn, now);
         self.emit(now, home, SimEventKind::TxnCommitted { txn });
         let release = self.local_pcps[home.index()].release_all(txn, ReleaseReason::Finished);
         self.drain_pcp(home, now);
-        self.apply_local_release(
-            home,
-            release.wakeups,
-            release.priority_updates,
-            queue,
-            sched,
-        );
+        self.apply_local_release(home, release.wakeups, release.priority_updates, sched);
     }
 
     /// A propagated update arrived: run it as a short system transaction
@@ -1388,35 +1416,33 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
         // a deadline in the past is clamped (the priority ordering shifts
         // negligibly, the update itself has no deadline).
         let deadline = origin_deadline.max(sched.now() + starlite::SimDuration::from_ticks(1));
-        let spec = TxnSpec::new(
-            id,
-            sched.now().max(SimTime::from_ticks(0)),
-            Vec::new(),
-            vec![apply.object],
-            deadline,
-            site,
-        );
+        // Recycle a retired spec: the constructor's invariants hold by
+        // construction here (single write, no reads, deadline after now).
+        let mut spec = self.spec_pool.pop().unwrap_or_else(|| {
+            TxnSpec::new(
+                TxnId(SYSTEM_TXN_BASE),
+                SimTime::ZERO,
+                Vec::new(),
+                vec![ObjectId(0)],
+                SimTime::from_ticks(1),
+                site,
+            )
+        });
+        spec.id = id;
+        spec.arrival = sched.now().max(SimTime::from_ticks(0));
+        spec.read_set.clear();
+        spec.write_set.clear();
+        spec.write_set.push(apply.object);
+        spec.deadline = deadline;
+        spec.home_site = site;
         self.local_pcps[site.index()].register(&spec);
         self.specs.insert(id, spec);
-        self.exec.insert(
-            id,
-            DExec {
-                step: 0,
-                seq: vec![(apply.object, LockMode::Write)],
-                deadline_ev: None,
-                oplog: Vec::new(),
-                coordinator: None,
-                decided: false,
-                deadline_passed: false,
-                pending_call: None,
-                attempts: 0,
-                blocked: false,
-                awaiting_read: false,
-                ack_attempts: 0,
-                system: Some(apply),
-            },
-        );
-        self.pump_local(VecDeque::from([PendingWork::Advance(id)]), sched);
+        let mut exec = self.take_exec();
+        exec.seq.push((apply.object, LockMode::Write));
+        exec.system = Some(apply);
+        self.exec.insert(id, exec);
+        self.pending_local.push_back(PendingWork::Advance(id));
+        self.pump_local(sched);
     }
 
     /// The system transaction's apply burst finished: install the version
@@ -1471,19 +1497,16 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
         } else {
             self.stale_updates += 1;
         }
-        self.exec.remove(&txn);
-        self.specs.remove(&txn);
+        if let Some(exec) = self.exec.remove(&txn) {
+            self.recycle_exec(exec);
+        }
+        if let Some(spec) = self.specs.remove(&txn) {
+            self.spec_pool.push(spec);
+        }
         let release = self.local_pcps[site.index()].release_all(txn, ReleaseReason::Finished);
         self.drain_pcp(site, now);
-        let mut queue = VecDeque::new();
-        self.apply_local_release(
-            site,
-            release.wakeups,
-            release.priority_updates,
-            &mut queue,
-            sched,
-        );
-        self.pump_local(queue, sched);
+        self.apply_local_release(site, release.wakeups, release.priority_updates, sched);
+        self.pump_local(sched);
     }
 
     fn apply_local_release(
@@ -1491,7 +1514,6 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
         site: SiteId,
         wakeups: Vec<Wakeup>,
         priority_updates: Vec<(TxnId, Priority)>,
-        queue: &mut VecDeque<PendingWork>,
         sched: &mut Scheduler<Ev>,
     ) {
         self.apply_local_priority_updates(site, &priority_updates, sched);
@@ -1499,7 +1521,7 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
             if !self.is_system(w.txn) {
                 self.monitor.on_unblock(w.txn, sched.now());
             }
-            queue.push_back(PendingWork::Resume(w.txn));
+            self.pending_local.push_back(PendingWork::Resume(w.txn));
         }
     }
 
@@ -2238,6 +2260,9 @@ pub fn run_transactions_distributed_with<S: EventSink<SimEvent>>(
         scratch_events: Vec::new(),
         scratch_cpu: Vec::new(),
         scratch_net: Vec::new(),
+        pending_local: VecDeque::new(),
+        spec_pool: Vec::new(),
+        exec_pool: Vec::new(),
     };
     let mut engine = Engine::new(model);
     if let Some((site, at)) = fail_site {

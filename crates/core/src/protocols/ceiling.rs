@@ -27,10 +27,10 @@
 use std::fmt;
 
 use monitor::SimEventKind;
-use rtdb::{LockMode, ObjectId, TxnId, TxnSpec};
+use rtdb::{InlineVec, LockMode, ObjectId, TxnId, TxnSpec};
 use starlite::{FxHashMap, Priority};
 
-use crate::protocols::inheritance::{diff_updates, effective_priorities};
+use crate::protocols::inheritance::{diff_updates, effective_priorities_into};
 use crate::protocols::{
     LockProtocol, ReleaseReason, ReleaseResult, RequestOutcome, RequestResult, Wakeup,
 };
@@ -46,16 +46,44 @@ pub enum CeilingSemantics {
     Exclusive,
 }
 
+/// Declared access sets of a registered transaction. Sets are short (the
+/// workload sizes cap at tens of objects), so they live inline: register /
+/// deregister of the per-commit system transactions in the replicated
+/// architecture must not touch the heap. Both sets are kept **sorted**
+/// (the declaration order is irrelevant here — `writers`/`accessors`
+/// preserve it) so conflict tests run as linear merges.
 #[derive(Debug)]
 struct ActiveTxn {
-    reads: Vec<ObjectId>,
-    writes: Vec<ObjectId>,
+    reads: InlineVec<ObjectId, 8>,
+    writes: InlineVec<ObjectId, 8>,
+    /// 64-bit membership signatures (bit `id mod 64` per object): two sets
+    /// whose signatures do not intersect are provably disjoint, which
+    /// short-circuits most pairwise conflict tests in admission.
+    read_sig: u64,
+    write_sig: u64,
+}
+
+/// Whether two ascending-sorted object lists share an element.
+fn sorted_overlap(xs: &[ObjectId], ys: &[ObjectId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < xs.len() && j < ys.len() {
+        match xs[i].cmp(&ys[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+fn set_signature(objs: &[ObjectId]) -> u64 {
+    objs.iter().fold(0u64, |s, o| s | 1u64 << (o.0 & 63))
 }
 
 #[derive(Debug)]
 struct Locked {
     mode: LockMode,
-    holders: Vec<TxnId>,
+    holders: InlineVec<TxnId, 2>,
 }
 
 #[derive(Debug)]
@@ -82,10 +110,10 @@ pub struct PriorityCeilingProtocol {
     active: FxHashMap<TxnId, ActiveTxn>,
     /// Ceiling contributions: active transactions that may write / access
     /// each object.
-    writers: FxHashMap<ObjectId, Vec<(TxnId, Priority)>>,
-    accessors: FxHashMap<ObjectId, Vec<(TxnId, Priority)>>,
+    writers: FxHashMap<ObjectId, InlineVec<(TxnId, Priority), 4>>,
+    accessors: FxHashMap<ObjectId, InlineVec<(TxnId, Priority), 4>>,
     locked: FxHashMap<ObjectId, Locked>,
-    held_by: FxHashMap<TxnId, Vec<ObjectId>>,
+    held_by: FxHashMap<TxnId, InlineVec<ObjectId, 8>>,
     blocked: Vec<BlockedReq>,
     blocked_edges: FxHashMap<TxnId, Vec<TxnId>>,
     base: FxHashMap<TxnId, Priority>,
@@ -94,6 +122,18 @@ pub struct PriorityCeilingProtocol {
     ceiling_blocks: u64,
     trace: bool,
     journal: Vec<SimEventKind>,
+    /// `effective` currently differs from `base` for at least one
+    /// transaction. While false and no blocked-by edges exist, a
+    /// recompute is a provable no-op and is skipped.
+    boosted: bool,
+    /// Reusable buffers for [`Self::admission_check`] / [`Self::wake_pass`]
+    /// so the granted path allocates nothing.
+    scratch_txns: Vec<TxnId>,
+    scratch_blockers: Vec<TxnId>,
+    scratch_order: Vec<usize>,
+    /// Holds the previous effective assignment between recomputes; its
+    /// allocation is recycled through [`diff_updates`]'s map swap.
+    scratch_eff: FxHashMap<TxnId, Priority>,
 }
 
 impl fmt::Debug for PriorityCeilingProtocol {
@@ -135,6 +175,11 @@ impl PriorityCeilingProtocol {
             ceiling_blocks: 0,
             trace: false,
             journal: Vec::new(),
+            boosted: false,
+            scratch_txns: Vec::new(),
+            scratch_blockers: Vec::new(),
+            scratch_order: Vec::new(),
+            scratch_eff: FxHashMap::default(),
         }
     }
 
@@ -228,18 +273,30 @@ impl PriorityCeilingProtocol {
     /// Whether the declared access sets of `a` and `b` conflict under
     /// the protocol's lock semantics.
     fn sets_conflict(&self, a: &ActiveTxn, b: &ActiveTxn) -> bool {
-        let overlap = |xs: &[ObjectId], ys: &[ObjectId]| xs.iter().any(|o| ys.contains(o));
-        match self.semantics {
+        // Signature pre-filter: a zero intersection proves disjointness,
+        // so the exact scan below runs only for plausible conflicts.
+        let possible = match self.semantics {
             CeilingSemantics::Exclusive => {
-                overlap(&a.writes, &b.writes)
-                    || overlap(&a.writes, &b.reads)
-                    || overlap(&a.reads, &b.writes)
-                    || overlap(&a.reads, &b.reads)
+                (a.read_sig | a.write_sig) & (b.read_sig | b.write_sig) != 0
             }
             CeilingSemantics::ReadWrite => {
-                overlap(&a.writes, &b.writes)
-                    || overlap(&a.writes, &b.reads)
-                    || overlap(&a.reads, &b.writes)
+                ((a.write_sig & (b.read_sig | b.write_sig)) | (a.read_sig & b.write_sig)) != 0
+            }
+        };
+        if !possible {
+            return false;
+        }
+        match self.semantics {
+            CeilingSemantics::Exclusive => {
+                sorted_overlap(&a.writes, &b.writes)
+                    || sorted_overlap(&a.writes, &b.reads)
+                    || sorted_overlap(&a.reads, &b.writes)
+                    || sorted_overlap(&a.reads, &b.reads)
+            }
+            CeilingSemantics::ReadWrite => {
+                sorted_overlap(&a.writes, &b.writes)
+                    || sorted_overlap(&a.writes, &b.reads)
+                    || sorted_overlap(&a.reads, &b.writes)
             }
         }
     }
@@ -270,50 +327,80 @@ impl PriorityCeilingProtocol {
     /// system in a wait cycle. Here only entrants — which hold nothing —
     /// ever block, so no wait cycle can involve a lock holder, and a
     /// transaction blocks at most once, before its first lock.
-    fn admission_check(&self, txn: TxnId) -> Result<(), (DenialGate, Vec<TxnId>)> {
+    fn admission_check(&mut self, txn: TxnId) -> Result<(), DenialGate> {
+        // Candidates and blockers live in reusable scratch buffers so no
+        // outcome allocates; on denial the blockers are left in
+        // `self.scratch_blockers` for the caller to inspect or copy.
+        let mut phase_txns = std::mem::take(&mut self.scratch_txns);
+        let mut blockers = std::mem::take(&mut self.scratch_blockers);
+        let result = self.admission_check_into(txn, &mut phase_txns, &mut blockers);
+        self.scratch_txns = phase_txns;
+        self.scratch_blockers = blockers;
+        result
+    }
+
+    /// [`Self::admission_check`] with caller-provided scratch, usable from
+    /// `&self` contexts (the consistency oracle, the wake-pass refresh).
+    /// On denial, `blockers` holds the blocking transactions: the
+    /// conflicting in-phase transactions sorted ascending (gate 1) or the
+    /// holders of the highest-ceiling lock in acquisition order (gate 2).
+    fn admission_check_into(
+        &self,
+        txn: TxnId,
+        phase_txns: &mut Vec<TxnId>,
+        blockers: &mut Vec<TxnId>,
+    ) -> Result<(), DenialGate> {
+        blockers.clear();
         if self.in_phase(txn) {
             return Ok(());
         }
-        // Gate 1: set-level conflicts with in-phase transactions.
+        // Gate 1: set-level conflicts with in-phase transactions. The map
+        // is scanned unsorted (the conflict test is order-independent);
+        // the conflictor list is sorted only when it is actually returned.
+        phase_txns.clear();
         let me = &self.active[&txn];
-        let mut phase_txns: Vec<TxnId> = self
-            .held_by
-            .iter()
-            .filter(|&(&t, objs)| t != txn && !objs.is_empty())
-            .map(|(&t, _)| t)
-            .collect();
-        phase_txns.sort_unstable();
-        let conflictors: Vec<TxnId> = phase_txns
-            .into_iter()
-            .filter(|h| self.sets_conflict(me, &self.active[h]))
-            .collect();
-        if !conflictors.is_empty() {
-            return Err((DenialGate::SetConflict, conflictors));
+        phase_txns.extend(
+            self.held_by
+                .iter()
+                .filter(|&(&t, objs)| {
+                    t != txn && !objs.is_empty() && self.sets_conflict(me, &self.active[&t])
+                })
+                .map(|(&t, _)| t),
+        );
+        if !phase_txns.is_empty() {
+            phase_txns.sort_unstable();
+            blockers.extend_from_slice(phase_txns);
+            return Err(DenialGate::SetConflict);
         }
-        // Gate 2: the ceiling shield over currently locked objects.
+        // Gate 2: the ceiling shield over currently locked objects. The
+        // blocking lock is the max-ceiling one, ties to the lowest object
+        // id — an order-independent argmax, so no sorted scan is needed.
         let p = self.base_priority(txn);
-        let mut objs: Vec<ObjectId> = self.locked.keys().copied().collect();
-        objs.sort_unstable();
-        let mut max_ceil = Priority::MIN;
-        let mut blockers: Vec<TxnId> = Vec::new();
-        let mut any = false;
-        for obj in objs {
-            let lock = &self.locked[&obj];
-            let others: Vec<TxnId> = lock.holders.iter().copied().filter(|&t| t != txn).collect();
-            if others.is_empty() {
+        let mut max_key: Option<(Priority, std::cmp::Reverse<ObjectId>)> = None;
+        let mut blocking_obj: Option<ObjectId> = None;
+        for (&obj, lock) in &self.locked {
+            if !lock.holders.iter().any(|&t| t != txn) {
                 continue;
             }
-            let ceil = self.rw_ceiling(obj, lock.mode);
-            if !any || ceil > max_ceil {
-                max_ceil = ceil;
-                blockers = others;
-                any = true;
+            let key = (self.rw_ceiling(obj, lock.mode), std::cmp::Reverse(obj));
+            if max_key.is_none_or(|k| key > k) {
+                max_key = Some(key);
+                blocking_obj = Some(obj);
             }
         }
-        if !any || p > max_ceil {
-            Ok(())
-        } else {
-            Err((DenialGate::Ceiling, blockers))
+        match (blocking_obj, max_key) {
+            (None, _) => Ok(()),
+            (Some(_), Some((max_ceil, _))) if p > max_ceil => Ok(()),
+            (Some(obj), _) => {
+                blockers.extend(
+                    self.locked[&obj]
+                        .holders
+                        .iter()
+                        .copied()
+                        .filter(|&t| t != txn),
+                );
+                Err(DenialGate::Ceiling)
+            }
         }
     }
 
@@ -336,13 +423,9 @@ impl PriorityCeilingProtocol {
         // reader joining a read lock leaves it unchanged.
         let raised = match self.locked.get_mut(&obj) {
             None => {
-                self.locked.insert(
-                    obj,
-                    Locked {
-                        mode,
-                        holders: vec![txn],
-                    },
-                );
+                let mut holders = InlineVec::new();
+                holders.push(txn);
+                self.locked.insert(obj, Locked { mode, holders });
                 self.held_by.entry(txn).or_default().push(obj);
                 true
             }
@@ -405,10 +488,17 @@ impl PriorityCeilingProtocol {
 
     /// Recomputes inheritance from the blocked-by edges.
     fn recompute(&mut self) -> Vec<(TxnId, Priority)> {
+        // With no edges and no boost in force, `effective` already equals
+        // `base` (register/deregister keep them in sync), so the fixpoint
+        // and diff would produce nothing: skip the O(active) clone.
+        if self.blocked_edges.is_empty() && !self.boosted {
+            return Vec::new();
+        }
         // Empty unless the fixpoint sees an unregistered waiter, so this
         // never allocates on the hot path.
         let mut anomalies: Vec<TxnId> = Vec::new();
-        let eff = effective_priorities(&self.base, &self.blocked_edges, &mut anomalies);
+        let mut eff = std::mem::take(&mut self.scratch_eff);
+        effective_priorities_into(&self.base, &self.blocked_edges, &mut anomalies, &mut eff);
         if self.trace {
             self.journal.extend(
                 anomalies
@@ -419,7 +509,10 @@ impl PriorityCeilingProtocol {
                     }),
             );
         }
-        diff_updates(&mut self.effective, eff)
+        self.boosted = eff.iter().any(|(t, p)| self.base.get(t) != Some(p));
+        let updates = diff_updates(&mut self.effective, &mut eff);
+        self.scratch_eff = eff;
+        updates
     }
 
     /// Journals the inheritance side effects of one protocol call.
@@ -438,20 +531,26 @@ impl PriorityCeilingProtocol {
     /// first; each grant can change ceilings, so the scan restarts.
     fn wake_pass(&mut self, wakeups: &mut Vec<Wakeup>) {
         loop {
+            if self.blocked.is_empty() {
+                return;
+            }
             // Order: base priority descending, then FIFO.
-            let mut order: Vec<usize> = (0..self.blocked.len()).collect();
+            let mut order = std::mem::take(&mut self.scratch_order);
+            order.clear();
+            order.extend(0..self.blocked.len());
             order.sort_by_key(|&i| {
                 let b = &self.blocked[i];
                 (std::cmp::Reverse(self.base_priority(b.txn)), b.seq)
             });
             let mut granted_idx: Option<usize> = None;
-            for i in order {
-                let txn = self.blocked[i].txn;
+            for &blocked_idx in &order {
+                let txn = self.blocked[blocked_idx].txn;
                 if self.admission_check(txn).is_ok() {
-                    granted_idx = Some(i);
+                    granted_idx = Some(blocked_idx);
                     break;
                 }
             }
+            self.scratch_order = order;
             let Some(i) = granted_idx else { break };
             let req = self.blocked.remove(i);
             self.blocked_edges.remove(&req.txn);
@@ -463,15 +562,18 @@ impl PriorityCeilingProtocol {
             });
         }
         // Refresh blocker sets of the requests that stay blocked: the
-        // highest-ceiling lock may have changed hands.
+        // highest-ceiling lock may have changed hands. Each waiter's edge
+        // vector is pulled out, refilled in place, and reinserted.
         for i in 0..self.blocked.len() {
             let txn = self.blocked[i].txn;
-            match self.admission_check(txn) {
-                Ok(()) => unreachable!("wake pass left an admissible request blocked"),
-                Err((_, blockers)) => {
-                    self.blocked_edges.insert(txn, blockers);
-                }
-            }
+            let mut edges = self.blocked_edges.remove(&txn).unwrap_or_default();
+            let mut phase_txns = std::mem::take(&mut self.scratch_txns);
+            let denied = self
+                .admission_check_into(txn, &mut phase_txns, &mut edges)
+                .is_err();
+            self.scratch_txns = phase_txns;
+            assert!(denied, "wake pass left an admissible request blocked");
+            self.blocked_edges.insert(txn, edges);
         }
     }
 
@@ -479,7 +581,7 @@ impl PriorityCeilingProtocol {
         let Some(info) = self.active.remove(&txn) else {
             return;
         };
-        for obj in info.writes {
+        for &obj in &info.writes {
             if let Some(v) = self.writers.get_mut(&obj) {
                 v.retain(|&(t, _)| t != txn);
                 if v.is_empty() {
@@ -493,7 +595,7 @@ impl PriorityCeilingProtocol {
                 }
             }
         }
-        for obj in info.reads {
+        for &obj in &info.reads {
             if let Some(v) = self.accessors.get_mut(&obj) {
                 v.retain(|&(t, _)| t != txn);
                 if v.is_empty() {
@@ -507,11 +609,21 @@ impl PriorityCeilingProtocol {
 impl LockProtocol for PriorityCeilingProtocol {
     fn register(&mut self, spec: &TxnSpec) {
         let p = spec.base_priority();
+        let mut reads = InlineVec::new();
+        reads.extend_from_slice(&spec.read_set);
+        reads.sort_unstable();
+        let mut writes = InlineVec::new();
+        writes.extend_from_slice(&spec.write_set);
+        writes.sort_unstable();
+        let read_sig = set_signature(&spec.read_set);
+        let write_sig = set_signature(&spec.write_set);
         let prev = self.active.insert(
             spec.id,
             ActiveTxn {
-                reads: spec.read_set.clone(),
-                writes: spec.write_set.clone(),
+                reads,
+                writes,
+                read_sig,
+                write_sig,
             },
         );
         assert!(prev.is_none(), "{} registered twice", spec.id);
@@ -548,7 +660,7 @@ impl LockProtocol for PriorityCeilingProtocol {
                 self.grant(txn, object, mode);
                 RequestResult::granted()
             }
-            Err((gate, blockers)) => {
+            Err(gate) => {
                 self.ceiling_blocks += 1;
                 let seq = self.next_seq;
                 self.next_seq += 1;
@@ -558,6 +670,7 @@ impl LockProtocol for PriorityCeilingProtocol {
                     mode,
                     seq,
                 });
+                let blockers = std::mem::take(&mut self.scratch_blockers);
                 // Charge the block to the least urgent holder of the
                 // ceiling lock — the lower-priority transaction the
                 // block-at-most-once property is about.
@@ -595,7 +708,7 @@ impl LockProtocol for PriorityCeilingProtocol {
         // Drop held locks (journal in acquisition order, which is how
         // held_by accumulates — deterministic without sorting).
         if let Some(objs) = self.held_by.remove(&txn) {
-            for obj in objs {
+            for &obj in &objs {
                 if let Some(lock) = self.locked.get_mut(&obj) {
                     lock.holders.retain(|&t| t != txn);
                     if lock.holders.is_empty() {
@@ -683,7 +796,8 @@ impl LockProtocol for PriorityCeilingProtocol {
         for b in &self.blocked {
             assert!(self.active.contains_key(&b.txn), "blocked txn not active");
             assert!(
-                self.admission_check(b.txn).is_err(),
+                self.admission_check_into(b.txn, &mut Vec::new(), &mut Vec::new())
+                    .is_err(),
                 "{} blocked but admissible",
                 b.txn
             );

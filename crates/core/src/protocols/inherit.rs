@@ -18,7 +18,7 @@ use rtdb::{
 use starlite::{FxHashMap, Priority};
 
 use crate::config::VictimPolicy;
-use crate::protocols::inheritance::{diff_updates, effective_priorities};
+use crate::protocols::inheritance::{diff_updates, effective_priorities_into};
 use crate::protocols::tpl::select_victim;
 use crate::protocols::{
     LockProtocol, ReleaseReason, ReleaseResult, RequestOutcome, RequestResult, Wakeup,
@@ -36,6 +36,8 @@ pub struct InheritanceProtocol {
     /// graph refresh, both of which run on every block and release.
     scratch_waiters: Vec<TxnId>,
     scratch_blockers: Vec<TxnId>,
+    scratch_edges: FxHashMap<TxnId, Vec<TxnId>>,
+    scratch_eff: FxHashMap<TxnId, Priority>,
     trace: bool,
     journal: Vec<SimEventKind>,
     scratch_lock_events: Vec<LockEvent>,
@@ -62,6 +64,8 @@ impl InheritanceProtocol {
             deadlocks: 0,
             scratch_waiters: Vec::new(),
             scratch_blockers: Vec::new(),
+            scratch_edges: FxHashMap::default(),
+            scratch_eff: FxHashMap::default(),
             trace: false,
             journal: Vec::new(),
             scratch_lock_events: Vec::new(),
@@ -95,7 +99,8 @@ impl InheritanceProtocol {
     /// changes. Also refreshes waiter priorities inside the lock table so
     /// queue positions follow inherited urgency.
     fn recompute(&mut self) -> Vec<(TxnId, Priority)> {
-        let mut blocked_by: FxHashMap<TxnId, Vec<TxnId>> = FxHashMap::default();
+        let mut blocked_by = std::mem::take(&mut self.scratch_edges);
+        blocked_by.clear();
         self.table.waiters_into(&mut self.scratch_waiters);
         for &t in &self.scratch_waiters {
             blocked_by.insert(t, self.table.current_blockers(t));
@@ -103,7 +108,8 @@ impl InheritanceProtocol {
         // Empty unless the fixpoint sees an unregistered waiter, so this
         // never allocates on the hot path.
         let mut anomalies: Vec<TxnId> = Vec::new();
-        let eff = effective_priorities(&self.base, &blocked_by, &mut anomalies);
+        let mut eff = std::mem::take(&mut self.scratch_eff);
+        effective_priorities_into(&self.base, &blocked_by, &mut anomalies, &mut eff);
         if self.trace {
             self.journal.extend(
                 anomalies
@@ -114,7 +120,9 @@ impl InheritanceProtocol {
                     }),
             );
         }
-        let updates = diff_updates(&mut self.effective, eff);
+        let updates = diff_updates(&mut self.effective, &mut eff);
+        self.scratch_eff = eff;
+        self.scratch_edges = blocked_by;
         for &(txn, priority) in &updates {
             self.table.update_waiter_priority(txn, priority);
         }

@@ -27,12 +27,27 @@ use starlite::{FxHashMap, Priority};
 /// turns it into a `protocol-anomaly` violation). Blockers missing from
 /// `base` are merely skipped: edge refreshes already prune departed
 /// holders, and a stale blocker has nobody left to boost.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn effective_priorities(
     base: &FxHashMap<TxnId, Priority>,
     blocked_by: &FxHashMap<TxnId, Vec<TxnId>>,
     anomalies: &mut Vec<TxnId>,
 ) -> FxHashMap<TxnId, Priority> {
-    let mut eff = base.clone();
+    let mut eff = FxHashMap::default();
+    effective_priorities_into(base, blocked_by, anomalies, &mut eff);
+    eff
+}
+
+/// [`effective_priorities`] into a caller-owned map, so recomputes on the
+/// hot path reuse one allocation instead of cloning `base` every call.
+pub(crate) fn effective_priorities_into(
+    base: &FxHashMap<TxnId, Priority>,
+    blocked_by: &FxHashMap<TxnId, Vec<TxnId>>,
+    anomalies: &mut Vec<TxnId>,
+    eff: &mut FxHashMap<TxnId, Priority>,
+) {
+    eff.clear();
+    eff.extend(base.iter().map(|(&t, &p)| (t, p)));
     // Fixpoint: propagate waiter priorities through blockers. Chains are
     // short (the ceiling protocol bounds them at one), so this converges
     // in a couple of passes.
@@ -57,7 +72,7 @@ pub(crate) fn effective_priorities(
             }
         }
         if !changed {
-            return eff;
+            return;
         }
         first_pass = false;
     }
@@ -65,19 +80,20 @@ pub(crate) fn effective_priorities(
 
 /// Diffs a new effective assignment against the previous one, returning
 /// `(txn, new_priority)` for every transaction whose priority changed.
-/// `previous` is updated in place.
+/// The maps are swapped — `previous` receives the new assignment and
+/// `new` the old one (free to clear and reuse for the next recompute).
 pub(crate) fn diff_updates(
     previous: &mut FxHashMap<TxnId, Priority>,
-    new: FxHashMap<TxnId, Priority>,
+    new: &mut FxHashMap<TxnId, Priority>,
 ) -> Vec<(TxnId, Priority)> {
     let mut updates: Vec<(TxnId, Priority)> = Vec::new();
-    for (&txn, &p) in &new {
+    for (&txn, &p) in new.iter() {
         if previous.get(&txn) != Some(&p) {
             updates.push((txn, p));
         }
     }
     // Transactions that vanished (deregistered) need no update events.
-    *previous = new;
+    std::mem::swap(previous, new);
     updates.sort_unstable_by_key(|&(t, _)| t);
     updates
 }
@@ -125,10 +141,12 @@ mod tests {
     #[test]
     fn diff_reports_only_changes() {
         let mut prev = base(&[(1, 10), (2, 1)]);
-        let new = base(&[(1, 10), (2, 7)]);
-        let ups = diff_updates(&mut prev, new);
+        let mut new = base(&[(1, 10), (2, 7)]);
+        let ups = diff_updates(&mut prev, &mut new);
         assert_eq!(ups, vec![(TxnId(2), Priority::new(7))]);
         assert_eq!(prev[&TxnId(2)], Priority::new(7));
+        // The swap hands the caller the old assignment for reuse.
+        assert_eq!(new[&TxnId(2)], Priority::new(1));
     }
 
     #[test]

@@ -97,6 +97,17 @@ struct SiteModel<S> {
     /// Scratch for draining protocol / CPU journals without reallocating.
     scratch_events: Vec<SimEventKind>,
     scratch_cpu: Vec<CpuJournalEntry<TxnId>>,
+    /// Reusable control-flow queue for [`SiteModel::pump`]; empty between
+    /// events, retained so no event allocates it afresh.
+    pending: VecDeque<Pending>,
+    /// Retired [`Exec`] records, recycled on the next arrival so the
+    /// per-transaction vectors keep their capacity (an arena of
+    /// transaction state rather than per-arrival allocations).
+    exec_pool: Vec<Exec>,
+    /// Reusable granule-space declaration handed to the protocol at each
+    /// arrival, plus the buffers that compute it.
+    granule_spec: TxnSpec,
+    granule_scratch: rtdb::GranuleScratch,
 }
 
 impl<S> fmt::Debug for SiteModel<S> {
@@ -123,9 +134,12 @@ impl<S: EventSink<SimEvent>> Model for SiteModel<S> {
 }
 
 impl<S: EventSink<SimEvent>> SiteModel<S> {
-    /// Emits one unified event, stamped with this site.
+    /// Emits one unified event, stamped with this site. The `S::ENABLED`
+    /// check is a monomorphisation-time constant: with [`NullSink`] this
+    /// whole function — including construction of `kind` at every call
+    /// site the optimiser can see — compiles to nothing.
     fn emit(&mut self, at: SimTime, kind: SimEventKind) {
-        if self.sink.enabled() {
+        if S::ENABLED && self.sink.enabled() {
             self.sink.emit(at, SimEvent::new(SITE, kind));
         }
     }
@@ -135,7 +149,7 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
     /// after each protocol request/release so the unified stream preserves
     /// the true interleaving with transaction lifecycle events.
     fn drain_protocol(&mut self, now: SimTime) {
-        if !self.sink.enabled() {
+        if !S::ENABLED || !self.sink.enabled() {
             return;
         }
         self.protocol.drain_events(&mut self.scratch_events);
@@ -149,7 +163,7 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
     /// Forwards dispatch/preemption events recorded by the kernel's CPU
     /// model; each entry carries its own timestamp.
     fn flush_cpu_journal(&mut self) {
-        if !self.sink.enabled() {
+        if !S::ENABLED || !self.sink.enabled() {
             return;
         }
         self.cpu.drain_journal(&mut self.scratch_cpu);
@@ -167,65 +181,45 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
 
     fn on_arrive(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
         self.emit(sched.now(), SimEventKind::TxnArrived { txn });
-        let spec = self.specs[&txn].clone();
-        self.monitor.register(&spec);
-        let (granule_spec, lock_seq) = self.to_granules(&spec);
-        self.protocol.register(&granule_spec);
+        let spec = self.specs.get(&txn).expect("arriving txn has a spec");
+        self.monitor.register(spec);
         let deadline_ev = sched.schedule(spec.deadline, Ev::Deadline(txn));
-        self.exec.insert(
-            txn,
-            Exec {
-                attempt: 0,
-                step: 0,
-                seq: spec.access_sequence(),
-                lock_seq,
-                deadline_ev,
-                oplog: Vec::new(),
-                write_buffer: Vec::new(),
-            },
+        let mut exec = self.exec_pool.pop().unwrap_or_else(|| Exec {
+            attempt: 0,
+            step: 0,
+            seq: Vec::new(),
+            lock_seq: Vec::new(),
+            deadline_ev,
+            oplog: Vec::new(),
+            write_buffer: Vec::new(),
+        });
+        exec.attempt = 0;
+        exec.step = 0;
+        exec.deadline_ev = deadline_ev;
+        exec.seq.clear();
+        exec.seq.extend(spec.access_ops());
+        // Map object accesses onto lock granules: a granule is write-mode
+        // if the transaction writes any object inside it.
+        self.granule_scratch.map(
+            spec,
+            self.config.lock_granularity,
+            &mut self.granule_spec,
+            &mut exec.lock_seq,
         );
+        self.protocol.register(&self.granule_spec);
+        self.exec.insert(txn, exec);
         self.monitor.on_start(txn, sched.now());
         self.emit(sched.now(), SimEventKind::TxnStarted { txn });
-        self.pump(VecDeque::from([Pending::Advance(txn)]), sched);
+        self.pending.push_back(Pending::Advance(txn));
+        self.pump(sched);
     }
 
-    /// Maps a transaction's object accesses onto lock granules: a granule
-    /// is write-mode if the transaction writes any object inside it.
-    /// Returns the granule-space declaration (what the protocol sees) and
-    /// the per-step lock requests.
-    fn to_granules(&self, spec: &TxnSpec) -> (TxnSpec, Vec<(ObjectId, LockMode)>) {
-        let g = self.config.lock_granularity;
-        let granule = |o: ObjectId| ObjectId(o.0 / g);
-        let write_granules: std::collections::BTreeSet<ObjectId> =
-            spec.write_set.iter().map(|&o| granule(o)).collect();
-        let read_granules: std::collections::BTreeSet<ObjectId> = spec
-            .read_set
-            .iter()
-            .map(|&o| granule(o))
-            .filter(|gr| !write_granules.contains(gr))
-            .collect();
-        let lock_seq = spec
-            .access_sequence()
-            .into_iter()
-            .map(|(o, _)| {
-                let gr = granule(o);
-                let mode = if write_granules.contains(&gr) {
-                    LockMode::Write
-                } else {
-                    LockMode::Read
-                };
-                (gr, mode)
-            })
-            .collect();
-        let granule_spec = TxnSpec::new(
-            spec.id,
-            spec.arrival,
-            read_granules.into_iter().collect(),
-            write_granules.into_iter().collect(),
-            spec.deadline,
-            spec.home_site,
-        );
-        (granule_spec, lock_seq)
+    /// Retires a transaction's execution record into the pool, keeping its
+    /// vector capacities for the next arrival.
+    fn recycle(&mut self, mut exec: Exec) {
+        exec.oplog.clear();
+        exec.write_buffer.clear();
+        self.exec_pool.push(exec);
     }
 
     fn on_io_done(&mut self, txn: TxnId, attempt: u32, sched: &mut Scheduler<Ev>) {
@@ -265,7 +259,7 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
         let Some(exec) = self.exec.remove(&txn) else {
             return; // already finished (its deadline event was cancelled)
         };
-        drop(exec);
+        self.recycle(exec);
         self.monitor.on_miss(txn, sched.now());
         self.emit(
             sched.now(),
@@ -279,29 +273,30 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
         }
         let release = self.protocol.release_all(txn, ReleaseReason::Finished);
         self.drain_protocol(sched.now());
-        let mut queue = VecDeque::new();
-        self.apply_release(release.wakeups, release.priority_updates, &mut queue, sched);
-        self.pump(queue, sched);
+        self.apply_release(release.wakeups, release.priority_updates, sched);
+        self.pump(sched);
     }
 
-    /// Processes pending control-flow work until quiescent.
-    fn pump(&mut self, mut queue: VecDeque<Pending>, sched: &mut Scheduler<Ev>) {
-        while let Some(item) = queue.pop_front() {
+    /// Processes pending control-flow work until quiescent. The queue is a
+    /// reusable model field (empty between events), so pumping allocates
+    /// nothing in the steady state.
+    fn pump(&mut self, sched: &mut Scheduler<Ev>) {
+        while let Some(item) = self.pending.pop_front() {
             match item {
-                Pending::Advance(txn) => self.advance(txn, &mut queue, sched),
+                Pending::Advance(txn) => self.advance(txn, sched),
                 Pending::Resume(txn) => self.start_io(txn, sched),
-                Pending::Restart(txn) => self.restart(txn, &mut queue, sched),
+                Pending::Restart(txn) => self.restart(txn, sched),
             }
         }
     }
 
     /// Requests the current step's lock (or commits when past the end).
-    fn advance(&mut self, txn: TxnId, queue: &mut VecDeque<Pending>, sched: &mut Scheduler<Ev>) {
+    fn advance(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
         let Some(exec) = self.exec.get(&txn) else {
             return; // deadline fired in between
         };
         if exec.step == exec.seq.len() {
-            self.commit(txn, queue, sched);
+            self.commit(txn, sched);
             return;
         }
         let (granule, gmode) = exec.lock_seq[exec.step];
@@ -322,23 +317,23 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
                 // The requester is queued inside the protocol either way;
                 // record the block, then schedule the victim's restart.
                 self.monitor.on_block(txn, sched.now(), None);
-                queue.push_back(Pending::Restart(victim));
+                self.pending.push_back(Pending::Restart(victim));
             }
         }
     }
 
     /// Aborts a deadlock victim and restarts it from its first operation,
     /// keeping its original deadline and priority.
-    fn restart(&mut self, txn: TxnId, queue: &mut VecDeque<Pending>, sched: &mut Scheduler<Ev>) {
+    fn restart(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
         let Some(exec) = self.exec.get_mut(&txn) else {
             return; // its deadline beat the restart
         };
         if !self.config.restart_victims {
             // Treat like a deadline miss: the transaction is aborted for
             // good.
-            let deadline_ev = exec.deadline_ev;
-            self.exec.remove(&txn);
-            sched.cancel(deadline_ev);
+            let exec = self.exec.remove(&txn).expect("victim is live");
+            sched.cancel(exec.deadline_ev);
+            self.recycle(exec);
             self.monitor.on_miss(txn, sched.now());
             self.emit(
                 sched.now(),
@@ -352,7 +347,7 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
             }
             let release = self.protocol.release_all(txn, ReleaseReason::Finished);
             self.drain_protocol(sched.now());
-            self.apply_release(release.wakeups, release.priority_updates, queue, sched);
+            self.apply_release(release.wakeups, release.priority_updates, sched);
             return;
         }
         exec.attempt += 1;
@@ -372,8 +367,8 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
         }
         let release = self.protocol.release_all(txn, ReleaseReason::Restart);
         self.drain_protocol(sched.now());
-        self.apply_release(release.wakeups, release.priority_updates, queue, sched);
-        queue.push_back(Pending::Advance(txn));
+        self.apply_release(release.wakeups, release.priority_updates, sched);
+        self.pending.push_back(Pending::Advance(txn));
     }
 
     /// The current step's access was just granted: record the operation
@@ -426,12 +421,13 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
             return;
         };
         exec.step += 1;
-        self.pump(VecDeque::from([Pending::Advance(txn)]), sched);
+        self.pending.push_back(Pending::Advance(txn));
+        self.pump(sched);
     }
 
     /// Commits: applies buffered writes, records history, releases locks,
     /// retires the transaction.
-    fn commit(&mut self, txn: TxnId, queue: &mut VecDeque<Pending>, sched: &mut Scheduler<Ev>) {
+    fn commit(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
         let exec = self.exec.remove(&txn).expect("committing unknown txn");
         sched.cancel(exec.deadline_ev);
@@ -440,7 +436,7 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
             self.store.apply_write(obj, value, txn, now);
         }
         let site = self.specs[&txn].home_site;
-        for (object, kind, at, seq) in exec.oplog {
+        for &(object, kind, at, seq) in &exec.oplog {
             self.monitor.record_op(Operation {
                 txn,
                 object,
@@ -450,25 +446,25 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
                 site,
             });
         }
+        self.recycle(exec);
         self.monitor.on_commit(txn, now);
         self.emit(now, SimEventKind::TxnCommitted { txn });
         let release = self.protocol.release_all(txn, ReleaseReason::Finished);
         self.drain_protocol(now);
-        self.apply_release(release.wakeups, release.priority_updates, queue, sched);
+        self.apply_release(release.wakeups, release.priority_updates, sched);
     }
 
     fn apply_release(
         &mut self,
         wakeups: Vec<Wakeup>,
         priority_updates: Vec<(TxnId, starlite::Priority)>,
-        queue: &mut VecDeque<Pending>,
         sched: &mut Scheduler<Ev>,
     ) {
         self.apply_priority_updates(&priority_updates, sched);
         for w in wakeups {
             debug_assert!(self.exec.contains_key(&w.txn), "wakeup for finished txn");
             self.monitor.on_unblock(w.txn, sched.now());
-            queue.push_back(Pending::Resume(w.txn));
+            self.pending.push_back(Pending::Resume(w.txn));
         }
     }
 
@@ -599,6 +595,19 @@ pub fn run_transactions_with<S: EventSink<SimEvent>>(
         sink,
         scratch_events: Vec::new(),
         scratch_cpu: Vec::new(),
+        pending: VecDeque::new(),
+        exec_pool: Vec::new(),
+        // Placeholder; every field is overwritten by `GranuleScratch::map`
+        // before any use.
+        granule_spec: TxnSpec::new(
+            TxnId(0),
+            SimTime::ZERO,
+            vec![ObjectId(0)],
+            Vec::new(),
+            SimTime::from_ticks(1),
+            SITE,
+        ),
+        granule_scratch: rtdb::GranuleScratch::new(),
     };
     let mut engine = Engine::new(model);
     for (arrival, id) in arrivals {

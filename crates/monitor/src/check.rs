@@ -775,10 +775,6 @@ impl CheckSink {
 }
 
 impl EventSink<SimEvent> for CheckSink {
-    fn enabled(&self) -> bool {
-        true
-    }
-
     fn emit(&mut self, at: SimTime, event: SimEvent) {
         let anchor = (at, event);
         let site = event.site.0;

@@ -578,10 +578,6 @@ impl MetricsSink {
 }
 
 impl EventSink<SimEvent> for MetricsSink {
-    fn enabled(&self) -> bool {
-        true
-    }
-
     fn emit(&mut self, at: SimTime, event: SimEvent) {
         self.counts[event.kind.index()] += 1;
         self.total += 1;
@@ -669,10 +665,6 @@ impl Default for ChromeTraceSink {
 }
 
 impl EventSink<SimEvent> for ChromeTraceSink {
-    fn enabled(&self) -> bool {
-        true
-    }
-
     fn emit(&mut self, at: SimTime, event: SimEvent) {
         if self.count > 0 {
             self.out.push_str(",\n");

@@ -28,6 +28,7 @@ pub mod history;
 pub mod ids;
 pub mod lock;
 pub mod object;
+pub mod scratch;
 pub mod small;
 pub mod txn;
 pub mod wfg;
@@ -38,6 +39,7 @@ pub use history::{History, OpKind, Operation};
 pub use ids::{ObjectId, SiteId, TxnId};
 pub use lock::{GrantedLock, LockEvent, LockMode, LockOutcome, LockTable, QueuePolicy};
 pub use object::{DataObject, ObjectStore};
+pub use scratch::GranuleScratch;
 pub use small::InlineVec;
 pub use txn::{TxnKind, TxnSpec, TxnState};
 pub use wfg::WaitsForGraph;

@@ -53,6 +53,13 @@ impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
         self.len += 1;
     }
 
+    /// Appends every element of `xs` in order.
+    pub fn extend_from_slice(&mut self, xs: &[T]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
     /// Keeps only the elements for which `f` returns `true`, preserving
     /// order.
     pub fn retain(&mut self, mut f: impl FnMut(&T) -> bool) {

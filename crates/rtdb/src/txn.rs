@@ -144,11 +144,17 @@ impl TxnSpec {
     /// reads first then writes (writes are typically performed at the end
     /// of the computation in tracking tasks).
     pub fn access_sequence(&self) -> Vec<(ObjectId, LockMode)> {
+        self.access_ops().collect()
+    }
+
+    /// Iterator form of [`TxnSpec::access_sequence`], for hot paths that
+    /// refill reusable buffers instead of allocating a fresh vector per
+    /// transaction.
+    pub fn access_ops(&self) -> impl Iterator<Item = (ObjectId, LockMode)> + '_ {
         self.read_set
             .iter()
             .map(|&o| (o, LockMode::Read))
             .chain(self.write_set.iter().map(|&o| (o, LockMode::Write)))
-            .collect()
     }
 }
 

@@ -2,30 +2,34 @@
 //!
 //! # Queue layout
 //!
-//! The queue is a binary heap of three-word [`QueueKey`]s (firing time,
-//! sequence number, slab handle) over a slab of payloads. Scheduling takes
-//! a free slot from the slab and pushes a key; cancellation is an O(1)
-//! slot invalidation (bump the slot's generation, reclaim it) that leaves
-//! the key behind as a tombstone; popping skips tombstones by comparing
-//! the key's generation against the slot's. When tombstones outnumber the
-//! live keys the heap is rebuilt without them, so memory stays bounded by
-//! the live event count no matter how many cancellations a long run
-//! performs. No path hashes anything.
+//! The queue behind [`Scheduler`] is a hierarchical timing wheel
+//! ([`crate::queue::WheelQueue`]): per-tick buckets for the near future,
+//! exponentially coarser levels above, one-word occupancy bitmaps to skip
+//! empty stretches of virtual time, and a slab of payloads addressed by
+//! generation-tagged handles so cancellation is an O(1) slot invalidation.
+//! The original binary-heap queue is retained as the executable reference
+//! model ([`crate::queue::HeapQueue`]); building with the `heap-queue`
+//! cargo feature swaps it back in here, and the equivalence proptests
+//! drive both implementations against each other directly.
 //!
 //! # Determinism
 //!
 //! Events fire in `(time, sequence)` order — a total order, since sequence
-//! numbers are unique — and neither the slab layout, the slot reuse
-//! policy, nor a tombstone purge can affect it: purging only removes keys
-//! that would have been skipped anyway. Simulation results are therefore
-//! byte-identical to the pre-slab implementation.
+//! numbers are unique — and neither the queue implementation, the slab
+//! layout, the slot reuse policy, nor a tombstone purge can affect it.
+//! Simulation results are byte-identical across both queues; see the
+//! [queue module docs](crate::queue) for the wheel's ordering argument.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::fmt;
 
-use crate::event::{EventId, QueueKey};
+use crate::event::EventId;
+pub use crate::queue::QueueStats;
 use crate::time::{SimDuration, SimTime};
+
+#[cfg(not(feature = "heap-queue"))]
+type QueueImpl<E> = crate::queue::WheelQueue<E>;
+#[cfg(feature = "heap-queue")]
+type QueueImpl<E> = crate::queue::HeapQueue<E>;
 
 /// A simulation model: the state machine the engine drives.
 ///
@@ -42,61 +46,21 @@ pub trait Model {
     fn handle(&mut self, event: Self::Event, sched: &mut Scheduler<Self::Event>);
 }
 
-/// One slab slot: the payload of a live event, or vacant. The generation
-/// counts how many times the slot has been vacated; handles and queue keys
-/// carry the generation they were issued under, so stale ones are
-/// recognised in O(1).
-#[derive(Debug)]
-struct Slot<E> {
-    generation: u32,
-    payload: Option<E>,
-}
-
-/// Counters describing the work a [`Scheduler`] has performed, for
-/// events-per-second throughput reporting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct QueueStats {
-    /// Events scheduled so far.
-    pub scheduled: u64,
-    /// Events cancelled before firing.
-    pub cancelled: u64,
-    /// Events executed (delivered to the model).
-    pub executed: u64,
-    /// Tombstone keys removed by heap rebuilds (excluding those skipped
-    /// one at a time during pops).
-    pub purged: u64,
-    /// Events currently pending.
-    pub pending: usize,
-}
-
 /// The clock and event queue shared by the engine and the running model.
 ///
 /// A `Scheduler` is handed to [`Model::handle`] so handlers can read the
 /// clock, schedule future events, and cancel previously scheduled ones.
+/// It is a thin wrapper over the compile-time-selected queue
+/// implementation (timing wheel by default, binary heap under the
+/// `heap-queue` feature).
 pub struct Scheduler<E> {
-    clock: SimTime,
-    queue: BinaryHeap<Reverse<QueueKey>>,
-    slots: Vec<Slot<E>>,
-    free: Vec<u32>,
-    /// Occupied slot count == live (pending) events.
-    live: usize,
-    /// Keys in `queue` whose slot generation no longer matches (cancelled
-    /// events not yet skipped or purged).
-    stale_keys: usize,
-    next_seq: u64,
-    executed: u64,
-    scheduled: u64,
-    cancelled: u64,
-    purged: u64,
+    queue: QueueImpl<E>,
 }
 
 impl<E> fmt::Debug for Scheduler<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Scheduler")
-            .field("clock", &self.clock)
-            .field("pending", &self.live)
-            .field("tombstones", &self.stale_keys)
-            .field("executed", &self.executed)
+            .field("queue", &self.queue)
             .finish()
     }
 }
@@ -104,23 +68,13 @@ impl<E> fmt::Debug for Scheduler<E> {
 impl<E> Scheduler<E> {
     fn new() -> Self {
         Scheduler {
-            clock: SimTime::ZERO,
-            queue: BinaryHeap::new(),
-            slots: Vec::new(),
-            free: Vec::new(),
-            live: 0,
-            stale_keys: 0,
-            next_seq: 0,
-            executed: 0,
-            scheduled: 0,
-            cancelled: 0,
-            purged: 0,
+            queue: QueueImpl::new(),
         }
     }
 
     /// Returns the current virtual time.
     pub fn now(&self) -> SimTime {
-        self.clock
+        self.queue.now()
     }
 
     /// Schedules `event` to fire at absolute time `at`.
@@ -132,47 +86,18 @@ impl<E> Scheduler<E> {
     ///
     /// Panics if `at` is in the past; the clock is monotone.
     pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
-        assert!(
-            at >= self.clock,
-            "cannot schedule an event in the past ({at} < {})",
-            self.clock
-        );
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let slot = match self.free.pop() {
-            Some(slot) => slot,
-            None => {
-                let slot = u32::try_from(self.slots.len()).expect("event slab exceeds u32 slots");
-                self.slots.push(Slot {
-                    generation: 0,
-                    payload: None,
-                });
-                slot
-            }
-        };
-        let cell = &mut self.slots[slot as usize];
-        debug_assert!(
-            cell.payload.is_none(),
-            "free list returned an occupied slot"
-        );
-        cell.payload = Some(event);
-        let id = EventId::pack(slot, cell.generation);
-        self.live += 1;
-        self.scheduled += 1;
-        self.queue.push(Reverse(QueueKey { at, seq, id }));
-        debug_assert_eq!(self.queue.len(), self.live + self.stale_keys);
-        id
+        self.queue.schedule(at, event)
     }
 
     /// Schedules `event` to fire `after` from now.
     pub fn schedule_after(&mut self, after: SimDuration, event: E) -> EventId {
-        self.schedule(self.clock + after, event)
+        self.queue.schedule(self.queue.now() + after, event)
     }
 
     /// Schedules `event` to fire at the current instant, after all handlers
     /// already queued for this instant.
     pub fn schedule_now(&mut self, event: E) -> EventId {
-        self.schedule(self.clock, event)
+        self.queue.schedule(self.queue.now(), event)
     }
 
     /// Cancels a previously scheduled event in O(1).
@@ -180,119 +105,47 @@ impl<E> Scheduler<E> {
     /// Returns `true` if the event had not yet fired (and now never will),
     /// `false` if it already fired or was already cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        let Some(cell) = self.slots.get(id.slot() as usize) else {
-            return false;
-        };
-        if cell.generation != id.generation() || cell.payload.is_none() {
-            return false;
-        }
-        self.vacate(id.slot());
-        self.stale_keys += 1;
-        self.cancelled += 1;
-        debug_assert_eq!(self.queue.len(), self.live + self.stale_keys);
-        // Keep the heap from silting up with tombstones on cancel-heavy
-        // workloads: once they outnumber live keys (and are worth the
-        // linear rebuild), drop them all at once.
-        if self.stale_keys > 64 && self.stale_keys > self.live {
-            self.purge_tombstones();
-        }
-        true
+        self.queue.cancel(id)
     }
 
     /// Returns `true` if `id` is scheduled and has neither fired nor been
     /// cancelled.
     pub fn is_pending(&self, id: EventId) -> bool {
-        self.slots
-            .get(id.slot() as usize)
-            .is_some_and(|cell| cell.generation == id.generation() && cell.payload.is_some())
+        self.queue.is_pending(id)
     }
 
-    /// Reclaims `slot`, bumping its generation so outstanding handles and
-    /// queue keys for the old occupant become stale.
-    fn vacate(&mut self, slot: u32) -> E {
-        let cell = &mut self.slots[slot as usize];
-        let payload = cell.payload.take().expect("vacating an empty slot");
-        cell.generation = cell.generation.wrapping_add(1);
-        self.free.push(slot);
-        self.live -= 1;
-        payload
-    }
-
-    /// Rebuilds the heap without tombstone keys.
-    fn purge_tombstones(&mut self) {
-        let keys = std::mem::take(&mut self.queue).into_vec();
-        let mut kept = Vec::with_capacity(self.live);
-        for Reverse(key) in keys {
-            let cell = &self.slots[key.id.slot() as usize];
-            if cell.generation == key.id.generation() {
-                kept.push(Reverse(key));
-            }
-        }
-        self.purged += self.stale_keys as u64;
-        self.stale_keys = 0;
-        self.queue = BinaryHeap::from(kept);
-        debug_assert_eq!(self.queue.len(), self.live);
-    }
-
-    /// Firing time of the next live event, discarding any tombstone keys
-    /// sitting on top of the heap (dropping a stale key is unobservable, so
-    /// this may be called from `&mut self` contexts freely).
+    /// Firing time of the next live event, discarding tombstones along the
+    /// way (unobservable, so this may be called from `&mut self` contexts
+    /// freely).
     fn next_event_time(&mut self) -> Option<SimTime> {
-        while let Some(&Reverse(key)) = self.queue.peek() {
-            let cell = &self.slots[key.id.slot() as usize];
-            if cell.generation == key.id.generation() {
-                return Some(key.at);
-            }
-            self.queue.pop();
-            self.stale_keys -= 1;
-        }
-        None
+        self.queue.next_event_time()
     }
 
     /// Pops the next live event, advancing the clock to its firing time.
     fn pop_next(&mut self) -> Option<E> {
-        while let Some(Reverse(key)) = self.queue.pop() {
-            let cell = &self.slots[key.id.slot() as usize];
-            if cell.generation != key.id.generation() {
-                self.stale_keys -= 1;
-                continue;
-            }
-            debug_assert!(key.at >= self.clock, "event queue went backwards");
-            let payload = self.vacate(key.id.slot());
-            self.clock = key.at;
-            self.executed += 1;
-            return Some(payload);
-        }
-        // The queue drained: every slot must be vacant and every tombstone
-        // accounted for, or the slab and heap have diverged.
-        debug_assert_eq!(self.live, 0, "queue drained with occupied slots");
-        debug_assert_eq!(
-            self.stale_keys, 0,
-            "queue drained with tombstones unaccounted"
-        );
-        None
+        self.queue.pop_next()
     }
 
     /// Number of events executed so far.
     pub fn executed_count(&self) -> u64 {
-        self.executed
+        self.queue.executed_count()
     }
 
     /// Number of events currently pending (excluding tombstones not yet
     /// purged from the queue).
     pub fn pending_count(&self) -> usize {
-        self.live
+        self.queue.pending_count()
+    }
+
+    /// Number of keys the queue currently retains, including tombstones —
+    /// for tests and diagnostics of the purge policy.
+    pub fn key_count(&self) -> usize {
+        self.queue.key_count()
     }
 
     /// Snapshot of the queue's throughput counters.
     pub fn stats(&self) -> QueueStats {
-        QueueStats {
-            scheduled: self.scheduled,
-            cancelled: self.cancelled,
-            executed: self.executed,
-            purged: self.purged,
-            pending: self.live,
-        }
+        self.queue.stats()
     }
 }
 
@@ -367,10 +220,10 @@ impl<M: Model> Engine<M> {
     }
 
     /// Runs until the queue is empty or `horizon` would be crossed; events
-    /// scheduled exactly at the horizon still fire. Cancelled keys on top
-    /// of the heap are skipped when deciding, so the horizon is respected
-    /// even when the earliest key is a tombstone. Returns the number of
-    /// events executed.
+    /// scheduled exactly at the horizon still fire. Cancelled keys at the
+    /// front of the queue are skipped when deciding, so the horizon is
+    /// respected even when the earliest key is a tombstone. Returns the
+    /// number of events executed.
     pub fn run_until(&mut self, horizon: SimTime) -> u64 {
         let mut n = 0;
         while self.sched.next_event_time().is_some_and(|at| at <= horizon) {
@@ -487,6 +340,27 @@ mod tests {
     }
 
     #[test]
+    fn schedule_between_horizon_and_next_event_still_fires_first() {
+        // A horizon-bounded run may advance the queue's internal position
+        // past the horizon while locating the next event; an event then
+        // scheduled between the horizon and that next event must still
+        // fire first (the wheel's `early` path).
+        let mut eng = Engine::new(Recorder::default());
+        let s = eng.scheduler_mut();
+        s.schedule(SimTime::from_ticks(10), Ev::Tag(1));
+        s.schedule(SimTime::from_ticks(5_000), Ev::Tag(2));
+        eng.run_until(SimTime::from_ticks(100));
+        assert_eq!(eng.model().seen, vec![(10, 1)]);
+        let s = eng.scheduler_mut();
+        let kept = s.schedule(SimTime::from_ticks(200), Ev::Tag(3));
+        let gone = s.schedule(SimTime::from_ticks(300), Ev::Tag(4));
+        assert!(s.is_pending(kept));
+        assert!(s.cancel(gone));
+        eng.run_to_completion(None);
+        assert_eq!(eng.model().seen, vec![(10, 1), (200, 3), (5_000, 2)]);
+    }
+
+    #[test]
     #[should_panic(expected = "in the past")]
     fn scheduling_in_the_past_panics() {
         let mut eng = Engine::new(Recorder::default());
@@ -546,6 +420,37 @@ mod tests {
     }
 
     #[test]
+    fn far_future_events_cascade_in_order() {
+        // Spread events across several wheel levels (deltas from a few
+        // ticks to hundreds of thousands) and check global firing order.
+        let mut eng = Engine::new(Recorder::default());
+        let s = eng.scheduler_mut();
+        let times = [
+            3u64,
+            70,
+            64,
+            4_095,
+            4_096,
+            4_097,
+            262_143,
+            262_144,
+            1 << 30,
+            63,
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            s.schedule(SimTime::from_ticks(t), Ev::Tag(i as u32));
+        }
+        eng.run_to_completion(None);
+        let mut expect: Vec<(u64, u32)> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as u32))
+            .collect();
+        expect.sort();
+        assert_eq!(eng.model().seen, expect);
+    }
+
+    #[test]
     fn mass_cancellation_purges_tombstones() {
         let mut eng = Engine::new(Recorder::default());
         let s = eng.scheduler_mut();
@@ -555,10 +460,10 @@ mod tests {
         for id in &ids[..900] {
             assert!(s.cancel(*id));
         }
-        // Tombstones outnumbered live keys long ago; the heap must have
-        // been rebuilt down to the live events (plus at most the batch
+        // Tombstones outnumbered live keys long ago; the queue must have
+        // purged down to the live events (plus at most the batch
         // cancelled since the last purge).
-        assert!(s.queue.len() < 300, "heap kept {} keys", s.queue.len());
+        assert!(s.key_count() < 300, "queue kept {} keys", s.key_count());
         assert_eq!(s.pending_count(), 100);
         let stats = s.stats();
         assert_eq!(stats.cancelled, 900);

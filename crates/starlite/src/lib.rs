@@ -53,6 +53,7 @@ pub mod event;
 pub mod hashing;
 pub mod io;
 pub mod priority;
+pub mod queue;
 pub mod random;
 pub mod sink;
 pub mod time;
@@ -66,6 +67,7 @@ pub use event::EventId;
 pub use hashing::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use io::IoDevice;
 pub use priority::Priority;
+pub use queue::{HeapQueue, WheelQueue};
 pub use random::RandomSource;
 pub use sink::{EventSink, NullSink, VecSink};
 pub use time::{SimDuration, SimTime};

@@ -44,9 +44,20 @@ use crate::time::SimTime;
 /// *construct* an event, so disabled sinks cost one predictable branch —
 /// and with [`NullSink`] not even that, because the answer is a constant.
 pub trait EventSink<E> {
+    /// Whether this sink type can ever receive events. `false` only for
+    /// [`NullSink`] (and wrappers around it): the constant participates in
+    /// monomorphisation, so models can gate entire drain loops behind
+    /// `if S::ENABLED` and have the optimiser delete them — including the
+    /// journal bookkeeping a runtime `enabled()` branch would still have
+    /// to reach past.
+    const ENABLED: bool = true;
+
     /// Whether this sink wants events at all. Models must gate event
-    /// construction on this so a disabled sink pays nothing.
-    fn enabled(&self) -> bool;
+    /// construction on this so a disabled sink pays nothing. Defaults to
+    /// [`Self::ENABLED`]; override only for sinks toggled at runtime.
+    fn enabled(&self) -> bool {
+        Self::ENABLED
+    }
 
     /// Receives one event stamped with the simulation time it occurred at.
     ///
@@ -63,10 +74,7 @@ pub trait EventSink<E> {
 pub struct NullSink;
 
 impl<E> EventSink<E> for NullSink {
-    #[inline(always)]
-    fn enabled(&self) -> bool {
-        false
-    }
+    const ENABLED: bool = false;
 
     #[inline(always)]
     fn emit(&mut self, _at: SimTime, _event: E) {}
@@ -104,11 +112,6 @@ impl<E> Default for VecSink<E> {
 
 impl<E> EventSink<E> for VecSink<E> {
     #[inline]
-    fn enabled(&self) -> bool {
-        true
-    }
-
-    #[inline]
     fn emit(&mut self, at: SimTime, event: E) {
         self.events.push((at, event));
     }
@@ -116,7 +119,9 @@ impl<E> EventSink<E> for VecSink<E> {
 
 /// Forwarding impl so a model can own `S = &mut ConcreteSink` while the
 /// caller keeps the sink (and harvests it after the run).
-impl<E, S: EventSink<E> + ?Sized> EventSink<E> for &mut S {
+impl<E, S: EventSink<E>> EventSink<E> for &mut S {
+    const ENABLED: bool = S::ENABLED;
+
     #[inline(always)]
     fn enabled(&self) -> bool {
         (**self).enabled()

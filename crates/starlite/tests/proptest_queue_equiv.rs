@@ -1,0 +1,148 @@
+//! Direct `WheelQueue`-vs-`HeapQueue` equivalence.
+//!
+//! `tests/proptest_scheduler_equiv.rs` checks whichever queue the engine
+//! is built with against a flat-list reference; this test removes the
+//! engine from the picture and drives both queue types against *each
+//! other* through the raw queue API, so the hierarchical wheel (cursor
+//! advancement, multi-level cascades, the `early` buffer, occupancy
+//! bitmasks, tombstone purges) is pinned to the heap's simple
+//! `(time, sequence)` semantics operation by operation.
+//!
+//! The workload mixes the three regimes the wheel handles differently:
+//! dense near-future events (level 0), mid-range events (one cascade),
+//! and far-future outliers (multi-level cascades), interleaved with
+//! cancel storms heavy enough to trip the periodic tombstone purge and
+//! horizon-bounded drains followed by fresh schedules (which is the only
+//! way events reach the wheel's `early` buffer).
+
+use proptest::prelude::*;
+use starlite::{HeapQueue, SimTime, WheelQueue};
+
+/// One drain step on both queues, asserting identical observations.
+/// Returns `false` when both queues were exhausted below the horizon.
+fn lockstep_pop(
+    wheel: &mut WheelQueue<u32>,
+    heap: &mut HeapQueue<u32>,
+    horizon: Option<u64>,
+) -> Result<bool, TestCaseError> {
+    let wt = wheel.next_event_time();
+    let ht = heap.next_event_time();
+    prop_assert_eq!(wt, ht, "peeked firing times diverge");
+    let due = match (wt, horizon) {
+        (None, _) => false,
+        (Some(t), Some(h)) => t.ticks() <= h,
+        (Some(_), None) => true,
+    };
+    if !due {
+        return Ok(false);
+    }
+    prop_assert_eq!(wheel.pop_next(), heap.pop_next(), "popped events diverge");
+    prop_assert_eq!(wheel.now(), heap.now(), "clocks diverge after pop");
+    Ok(true)
+}
+
+proptest! {
+    /// Rounds of schedule / cancel / horizon-bounded drain. Cancel picks
+    /// index the *entire* handle history (fired, cancelled and pending
+    /// alike), so both slabs see the same mix of live hits and stale
+    /// misses and the wheel's purge heuristic fires under load.
+    #[test]
+    fn wheel_queue_matches_heap_queue(
+        rounds in prop::collection::vec(
+            (
+                prop::collection::vec((0u8..3, any::<u64>()), 0..14),
+                prop::collection::vec(any::<u64>(), 0..24),
+                0u64..5_000,
+            ),
+            1..10,
+        ),
+    ) {
+        let mut wheel: WheelQueue<u32> = WheelQueue::new();
+        let mut heap: HeapQueue<u32> = HeapQueue::new();
+        let mut wheel_ids = Vec::new();
+        let mut heap_ids = Vec::new();
+        let mut next_tag: u32 = 0;
+        let mut horizon: u64 = 0;
+
+        for (scheds, cancel_picks, horizon_delta) in rounds {
+            for (regime, raw) in scheds {
+                // Three delay regimes: dense level-0 traffic, mid-range
+                // (one cascade), and far-future outliers that land in the
+                // top wheel levels and must survive repeated cascades.
+                let delta = match regime {
+                    0 => raw % 16,
+                    1 => raw % 4_096,
+                    _ => raw % 10_000_000,
+                };
+                prop_assert_eq!(wheel.now(), heap.now());
+                let at = SimTime::from_ticks(wheel.now().ticks() + delta);
+                let tag = next_tag;
+                next_tag += 1;
+                wheel_ids.push(wheel.schedule(at, tag));
+                heap_ids.push(heap.schedule(at, tag));
+            }
+            for pick in cancel_picks {
+                if wheel_ids.is_empty() {
+                    break;
+                }
+                let i = (pick % wheel_ids.len() as u64) as usize;
+                prop_assert_eq!(
+                    wheel.is_pending(wheel_ids[i]),
+                    heap.is_pending(heap_ids[i]),
+                );
+                prop_assert_eq!(
+                    wheel.cancel(wheel_ids[i]),
+                    heap.cancel(heap_ids[i]),
+                    "cancel outcome diverges for handle {}", i,
+                );
+            }
+            horizon += horizon_delta;
+            while lockstep_pop(&mut wheel, &mut heap, Some(horizon))? {}
+            prop_assert_eq!(wheel.pending_count(), heap.pending_count());
+            prop_assert_eq!(wheel.executed_count(), heap.executed_count());
+        }
+
+        // Full drain: every remaining event fires in the same order.
+        while lockstep_pop(&mut wheel, &mut heap, None)? {}
+        prop_assert_eq!(wheel.pending_count(), 0);
+        prop_assert_eq!(heap.pending_count(), 0);
+        prop_assert_eq!(wheel.executed_count(), heap.executed_count());
+
+        // Exhausted handles must all be stale in both queues.
+        for (&w, &h) in wheel_ids.iter().zip(&heap_ids) {
+            prop_assert_eq!(wheel.cancel(w), heap.cancel(h));
+        }
+    }
+}
+
+/// Directed: a horizon-bounded peek cascades the wheel cursor past a gap;
+/// scheduling into that gap afterwards lands in the `early` buffer and
+/// must still fire before everything in the wheel, in heap order.
+#[test]
+fn early_buffer_preserves_order() {
+    let mut wheel: WheelQueue<u32> = WheelQueue::new();
+    let mut heap: HeapQueue<u32> = HeapQueue::new();
+    for (at, tag) in [(1_000_000u64, 0u32), (2_000_000, 1)] {
+        wheel.schedule(SimTime::from_ticks(at), tag);
+        heap.schedule(SimTime::from_ticks(at), tag);
+    }
+    // Peeking cascades the wheel down to the first pending event.
+    assert_eq!(wheel.next_event_time(), heap.next_event_time());
+    assert_eq!(wheel.pop_next(), heap.pop_next());
+    // Now schedule between the cursor and the remaining far event, plus a
+    // same-tick event at the current instant.
+    for (delta, tag) in [(0u64, 2u32), (3, 3), (250_000, 4)] {
+        let at = SimTime::from_ticks(wheel.now().ticks() + delta);
+        wheel.schedule(at, tag);
+        heap.schedule(at, tag);
+    }
+    let mut fired = Vec::new();
+    while let Some(t) = wheel.next_event_time() {
+        assert_eq!(Some(t), heap.next_event_time());
+        let w = wheel.pop_next();
+        assert_eq!(w, heap.pop_next());
+        fired.push(w.unwrap());
+    }
+    assert_eq!(fired, vec![2, 3, 4, 1]);
+    assert_eq!(heap.pop_next(), None);
+}

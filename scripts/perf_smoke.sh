@@ -9,23 +9,36 @@
 #      same diff — tracing must stay byte-deterministic.
 #   2. Wall clock: all_figures must not take more than 2x the committed
 #      BENCH_SWEEP.json baseline.
-#   3. Invariants: both sweeps run under `--check`, which streams every
+#   3. Throughput: all_figures events/sec must not drop more than 20%
+#      below the committed BENCH_SWEEP.json baseline. This is the
+#      event-core regression gate: wall clock tolerates machine
+#      variance at 2x, events/sec pins the simulator's speed itself.
+#   4. Invariants: the sweeps run under `--check`, which streams every
 #      run's event trace through the online oracle (monitor::CheckSink)
 #      and exits non-zero on any protocol violation. The oracle only
 #      observes, so parity in (1) is unaffected.
+#   5. Scale: a reduced `fig_scale --smoke --check` pass, so the
+#      million-transaction configuration stays runnable and invariant-
+#      clean on every push without full-sweep cost.
 #
 # Refreshed BENCH_SWEEP.json / results timing fields are left in the
 # working tree; commit them when the change is a deliberate perf shift.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-wall_clock() {
-    awk -F': ' '/"wall_clock_seconds"/ { gsub(/,/, "", $2); print $2; exit }' BENCH_SWEEP.json
+# Extracts a numeric field from the named experiment's BENCH_SWEEP.json
+# entry (the file holds one entry per experiment).
+sweep_field() {
+    awk -F': ' -v exp_name="\"$1\"" -v field="\"$2\"" '
+        $1 ~ /"experiment"/ { gsub(/,$/, "", $2); current = $2 }
+        index($1, field) && current == exp_name { gsub(/,$/, "", $2); print $2; exit }
+    ' BENCH_SWEEP.json
 }
 
-baseline=$(wall_clock)
-if [ -z "${baseline}" ]; then
-    echo "perf-smoke: no committed wall clock in BENCH_SWEEP.json" >&2
+baseline=$(sweep_field all_figures wall_clock_seconds)
+baseline_eps=$(sweep_field all_figures events_per_sec)
+if [ -z "${baseline}" ] || [ -z "${baseline_eps}" ]; then
+    echo "perf-smoke: no committed all_figures wall clock / events_per_sec in BENCH_SWEEP.json" >&2
     exit 1
 fi
 
@@ -37,16 +50,27 @@ RTLOCK_BENCH_WORKERS=1 ./target/release/all_figures --check --trace results/all_
 # golden; the parity diff below covers it.
 RTLOCK_BENCH_WORKERS=1 ./target/release/ablation_faults --check > /dev/null
 
+# Reduced-scale pass over the stress configuration. `--smoke` skips the
+# BENCH_SWEEP.json record, so the committed full-scale entry survives.
+RTLOCK_BENCH_WORKERS=1 ./target/release/fig_scale --smoke --check
+
 echo "perf-smoke: checking simulation output parity"
 if ! git diff --exit-code -I'"wall_clock_seconds"' -I'"workers"' -- results/; then
     echo "perf-smoke: results/ drifted from the committed figures" >&2
     exit 1
 fi
 
-current=$(wall_clock)
+current=$(sweep_field all_figures wall_clock_seconds)
 echo "perf-smoke: wall clock ${current}s (committed baseline ${baseline}s)"
 if ! awk -v cur="${current}" -v base="${baseline}" 'BEGIN { exit !(cur <= 2.0 * base) }'; then
     echo "perf-smoke: all_figures regressed more than 2x (${current}s vs ${baseline}s)" >&2
+    exit 1
+fi
+
+current_eps=$(sweep_field all_figures events_per_sec)
+echo "perf-smoke: throughput ${current_eps} events/sec (committed baseline ${baseline_eps})"
+if ! awk -v cur="${current_eps}" -v base="${baseline_eps}" 'BEGIN { exit !(cur >= 0.8 * base) }'; then
+    echo "perf-smoke: all_figures throughput dropped more than 20% (${current_eps} vs ${baseline_eps} events/sec)" >&2
     exit 1
 fi
 echo "perf-smoke: OK"
