@@ -87,6 +87,7 @@ fn main() {
     }
     let swept = rtlock_bench::check::run_sweep(&sweep);
     rtlock_bench::trace::maybe_trace(&sweep);
+    rtlock_bench::observe::maybe_observe("ablation_faults", &sweep);
 
     let mut table = Table::new(vec![
         "loss_pct".to_string(),

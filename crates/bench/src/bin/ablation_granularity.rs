@@ -38,6 +38,7 @@ fn main() {
     }
     let swept = rtlock_bench::check::run_sweep(&sweep);
     rtlock_bench::trace::maybe_trace(&sweep);
+    rtlock_bench::observe::maybe_observe("ablation_granularity", &sweep);
 
     let mut columns = vec!["granularity".to_string()];
     for p in &protocols {

@@ -36,6 +36,7 @@ fn main() {
     }
     let swept = rtlock_bench::check::run_sweep(&sweep);
     rtlock_bench::trace::maybe_trace(&sweep);
+    rtlock_bench::observe::maybe_observe("ablation_inheritance", &sweep);
 
     let mut columns = vec!["size".to_string()];
     for (label, _) in &configs {

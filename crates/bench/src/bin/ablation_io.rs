@@ -45,6 +45,7 @@ fn main() {
     }
     let swept = rtlock_bench::check::run_sweep(&sweep);
     rtlock_bench::trace::maybe_trace(&sweep);
+    rtlock_bench::observe::maybe_observe("ablation_io", &sweep);
 
     let mut columns = vec!["io_channels".to_string()];
     for p in &protocols {

@@ -46,6 +46,7 @@ fn main() {
     }
     let swept = rtlock_bench::check::run_sweep(&sweep);
     rtlock_bench::trace::maybe_trace(&sweep);
+    rtlock_bench::observe::maybe_observe("ablation_rw_semantics", &sweep);
 
     let mut table = Table::new(vec![
         "size".into(),

@@ -39,6 +39,7 @@ fn main() {
     }
     let swept = rtlock_bench::check::run_sweep(&sweep);
     rtlock_bench::trace::maybe_trace(&sweep);
+    rtlock_bench::observe::maybe_observe("ablation_temporal", &sweep);
 
     let mut columns = vec![
         "delay_units".to_string(),

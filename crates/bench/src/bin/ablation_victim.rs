@@ -42,6 +42,7 @@ fn main() {
     }
     let swept = rtlock_bench::check::run_sweep(&sweep);
     rtlock_bench::trace::maybe_trace(&sweep);
+    rtlock_bench::observe::maybe_observe("ablation_victim", &sweep);
 
     let mut columns = vec!["size".to_string()];
     for (label, _, _) in &cases {

@@ -41,6 +41,7 @@ fn main() {
     }
     let swept = rtlock_bench::check::run_sweep(&sweep);
     rtlock_bench::trace::maybe_trace(&sweep);
+    rtlock_bench::observe::maybe_observe("all_figures", &sweep);
 
     let size_point = |kind: ProtocolKind, size: u32| {
         let p = swept.point(&size_label(kind, size));

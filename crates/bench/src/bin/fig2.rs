@@ -22,6 +22,7 @@ fn main() {
     declare_size_grid(&mut sweep, &protocols, params::TXNS_PER_RUN, params::SEEDS);
     let swept = rtlock_bench::check::run_sweep(&sweep);
     rtlock_bench::trace::maybe_trace(&sweep);
+    rtlock_bench::observe::maybe_observe("fig2", &sweep);
     let points = size_points_from(&swept, &protocols);
 
     let mut table = Table::new(vec![

@@ -23,6 +23,7 @@ fn main() {
     declare_pair_grid(&mut sweep, &grid, params::DIST_TXNS_PER_RUN, params::SEEDS);
     let swept = rtlock_bench::check::run_sweep(&sweep);
     rtlock_bench::trace::maybe_trace(&sweep);
+    rtlock_bench::observe::maybe_observe("fig6", &sweep);
 
     let mut columns = vec!["pct_read_only".to_string()];
     for &d in &delays {

@@ -18,7 +18,8 @@ use std::time::Instant;
 
 use rtlock::ProtocolKind;
 use rtlock_bench::harness::{RunSpec, SimSpec, SingleSiteSpec, Sweep};
-use rtlock_bench::{params, results};
+use rtlock_bench::results::Json;
+use rtlock_bench::{observe, params, results};
 
 /// Objects in the stress database: 500× the paper's `DB_SIZE`.
 const SCALE_DB_SIZE: u32 = 100_000;
@@ -30,6 +31,9 @@ const SCALE_TXN_SIZE: u32 = 8;
 
 /// The roadmap's single-worker throughput target, in events/sec.
 const TARGET_EVENTS_PER_SEC: f64 = 10_000_000.0;
+
+/// Hot objects shown in each per-point contention summary line.
+const HOT_OBJECTS: usize = 3;
 
 fn scale_spec(txns: u32) -> SingleSiteSpec {
     SingleSiteSpec {
@@ -55,6 +59,7 @@ fn main() {
         "txns", "events", "commits", "%missed", "events/sec"
     );
     let mut measured_best = 0.0f64;
+    let mut contention = Vec::new();
     for &txns in scales {
         let spec = RunSpec {
             label: format!("scale/txns={txns}"),
@@ -75,6 +80,29 @@ fn main() {
             "scale run must drain completely ({} transactions still active)",
             m.in_progress
         );
+        // Separate profiled re-run: the timed run above stays on NullSink
+        // so events/sec measures the untraced core.
+        let (report, peak_miss) = observe::contention_summary(
+            &spec,
+            monitor::timeseries::DEFAULT_WINDOW_TICKS,
+            HOT_OBJECTS,
+        );
+        println!(
+            "{:>10} contention: hot {} | {} episodes, {} blocked ticks, peak window miss {:.2}%",
+            "",
+            report.hot_objects_line(HOT_OBJECTS),
+            report.episodes,
+            report.total_blocked_ticks,
+            100.0 * peak_miss,
+        );
+        contention.push(Json::object([
+            ("point", spec.label.clone().into()),
+            ("hot_objects", report.hot_objects_line(HOT_OBJECTS).into()),
+            ("episodes", report.episodes.into()),
+            ("blocked_ticks", report.total_blocked_ticks.into()),
+            ("contended_objects", report.contended_objects.into()),
+            ("peak_window_miss_rate", peak_miss.into()),
+        ]));
     }
 
     println!(
@@ -103,12 +131,13 @@ fn main() {
         swept.event_count(),
         swept.events_per_sec() / 1e6,
     );
+    rtlock_bench::observe::maybe_observe("fig_scale", &sweep);
 
     if smoke {
         println!("smoke mode: BENCH_SWEEP.json record skipped");
         return;
     }
-    results::emit(
+    results::emit_with(
         "fig_scale",
         &swept,
         "Event-core scale sweep to 1M transactions over 100k objects",
@@ -120,6 +149,7 @@ fn main() {
                 params::interarrival_for(SCALE_TXN_SIZE).ticks().into(),
             ),
         ],
+        vec![("contention", Json::Array(contention))],
     );
     match results::record_wall_clock("fig_scale", &swept) {
         Ok(path) => println!("wall clock recorded: {}", path.display()),

@@ -14,7 +14,10 @@
 //! * [`results`] — JSON artifacts written to `results/` alongside the
 //!   ASCII tables;
 //! * [`trace`] — `--trace <path>` support: Chrome/Perfetto trace export
-//!   of one representative run of any binary's grid.
+//!   of one representative run of any binary's grid;
+//! * [`observe`] — `--profile` / `--timeseries` / `--record` support:
+//!   contention profiles, windowed telemetry and replayable JSONL traces
+//!   (queried offline by the `rtlock-inspect` binary).
 //!
 //! Each `fig*` binary prints the same series the corresponding figure
 //! plots, as an aligned table and as CSV, and records the sweep (per-seed
@@ -26,6 +29,7 @@ pub mod ablation;
 pub mod check;
 pub mod distributed;
 pub mod harness;
+pub mod observe;
 pub mod params;
 pub mod results;
 pub mod single_site;

@@ -347,9 +347,25 @@ pub fn emit(
     experiment: &str,
     parameters: Vec<(&'static str, Json)>,
 ) {
+    emit_with(name, results, experiment, parameters, Vec::new());
+}
+
+/// [`emit`] plus caller-supplied extra top-level fields, inserted before
+/// the `workers` / `wall_clock_seconds` pair (which stay last so the
+/// perf-smoke parity diff can keep ignoring just those two keys).
+pub fn emit_with(
+    name: &str,
+    results: &SweepResults,
+    experiment: &str,
+    parameters: Vec<(&'static str, Json)>,
+    extra: Vec<(&'static str, Json)>,
+) {
     let Json::Object(mut fields) = results.to_json(experiment, parameters) else {
         unreachable!("sweep results serialise to an object");
     };
+    for (key, value) in extra {
+        fields.push((key.to_string(), value));
+    }
     fields.push(("workers".to_string(), Json::from(results.workers)));
     fields.push((
         "wall_clock_seconds".to_string(),

@@ -539,11 +539,16 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
 
     fn on_arrive(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
         let home = self.specs[&txn].home_site;
+        let priority = self.specs[&txn].base_priority();
         if !self.net.is_site_up(home) {
             // The home site is down: the transaction never starts, but it
             // must still be registered so the run's accounting closes
             // (committed + missed + faulted + in_progress == generated).
-            self.emit(sched.now(), home, SimEventKind::TxnArrived { txn });
+            self.emit(
+                sched.now(),
+                home,
+                SimEventKind::TxnArrived { txn, priority },
+            );
             self.monitor.register(&self.specs[&txn]);
             self.monitor.on_fault_abort(txn, sched.now());
             self.emit(
@@ -556,7 +561,11 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
             );
             return;
         }
-        self.emit(sched.now(), home, SimEventKind::TxnArrived { txn });
+        self.emit(
+            sched.now(),
+            home,
+            SimEventKind::TxnArrived { txn, priority },
+        );
         self.monitor.register(&self.specs[&txn]);
         self.monitor.on_start(txn, sched.now());
         self.emit(sched.now(), home, SimEventKind::TxnStarted { txn });

@@ -180,7 +180,12 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
     }
 
     fn on_arrive(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
-        self.emit(sched.now(), SimEventKind::TxnArrived { txn });
+        let priority = self
+            .specs
+            .get(&txn)
+            .expect("arriving txn has a spec")
+            .base_priority();
+        self.emit(sched.now(), SimEventKind::TxnArrived { txn, priority });
         let spec = self.specs.get(&txn).expect("arriving txn has a spec");
         self.monitor.register(spec);
         let deadline_ev = sched.schedule(spec.deadline, Ev::Deadline(txn));

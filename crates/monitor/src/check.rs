@@ -779,7 +779,7 @@ impl EventSink<SimEvent> for CheckSink {
         let anchor = (at, event);
         let site = event.site.0;
         match event.kind {
-            SimEventKind::TxnArrived { txn } => {
+            SimEventKind::TxnArrived { txn, .. } => {
                 if is_system(txn) {
                     return;
                 }
@@ -982,7 +982,10 @@ mod tests {
     }
 
     fn arrived(txn: u64) -> SimEventKind {
-        SimEventKind::TxnArrived { txn: TxnId(txn) }
+        SimEventKind::TxnArrived {
+            txn: TxnId(txn),
+            priority: Priority::new(0),
+        }
     }
 
     fn run(config: CheckConfig, events: &[(u64, SimEventKind)]) -> Vec<Violation> {

@@ -46,6 +46,10 @@ pub enum SimEventKind {
     TxnArrived {
         /// The arriving transaction.
         txn: TxnId,
+        /// Its base (scheduling) priority at arrival. Profilers band
+        /// transactions by this value; it is not echoed in [`Display`]
+        /// output, which predates the field.
+        priority: Priority,
     },
     /// A transaction began executing for the first time.
     TxnStarted {
@@ -326,7 +330,7 @@ impl SimEventKind {
     /// The transaction this event is about, when there is exactly one.
     pub fn txn(&self) -> Option<TxnId> {
         match *self {
-            SimEventKind::TxnArrived { txn }
+            SimEventKind::TxnArrived { txn, .. }
             | SimEventKind::TxnStarted { txn }
             | SimEventKind::TxnCommitted { txn }
             | SimEventKind::TxnAborted { txn, .. }
@@ -369,7 +373,7 @@ fn mode_letter(mode: LockMode) -> char {
 impl fmt::Display for SimEventKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            SimEventKind::TxnArrived { txn }
+            SimEventKind::TxnArrived { txn, .. }
             | SimEventKind::TxnStarted { txn }
             | SimEventKind::TxnCommitted { txn }
             | SimEventKind::Dispatched { txn }
@@ -582,7 +586,7 @@ impl EventSink<SimEvent> for MetricsSink {
         self.counts[event.kind.index()] += 1;
         self.total += 1;
         match event.kind {
-            SimEventKind::TxnArrived { txn } => {
+            SimEventKind::TxnArrived { txn, .. } => {
                 self.arrived_at.insert(txn, at);
             }
             SimEventKind::TxnCommitted { txn } => {
@@ -605,7 +609,7 @@ impl EventSink<SimEvent> for MetricsSink {
     }
 }
 
-fn push_json_string(out: &mut String, s: &str) {
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -664,6 +668,67 @@ impl Default for ChromeTraceSink {
     }
 }
 
+impl ChromeTraceSink {
+    /// Kind-specific structured `args` fields, appended after `detail`.
+    ///
+    /// The fault and 2PC event kinds (PRs 4–5) carry cross-site structure
+    /// — link endpoints, retry attempts, vote outcomes — that Perfetto
+    /// queries need as typed values, not prose. Single-site kinds keep a
+    /// `detail`-only args object, so single-site trace goldens are
+    /// unaffected.
+    fn push_structured_args(out: &mut String, site: SiteId, kind: &SimEventKind) {
+        match *kind {
+            SimEventKind::MsgSent { from, to }
+            | SimEventKind::MsgDelivered { from, to }
+            | SimEventKind::MsgDuplicated { from, to } => {
+                out.push_str(&format!(", \"from\": {}, \"to\": {}", from.0, to.0));
+            }
+            SimEventKind::MsgDropped {
+                from,
+                to,
+                in_flight,
+            } => {
+                out.push_str(&format!(
+                    ", \"from\": {}, \"to\": {}, \"in_flight\": {in_flight}",
+                    from.0, to.0
+                ));
+            }
+            SimEventKind::SiteCrashed | SimEventKind::SiteRecovered => {
+                out.push_str(&format!(", \"site\": {}", site.0));
+            }
+            SimEventKind::RpcRetried { attempt, .. } => {
+                out.push_str(&format!(", \"attempt\": {attempt}"));
+            }
+            SimEventKind::ReplicaRepaired { object } => {
+                out.push_str(&format!(", \"object\": {}", object.0));
+            }
+            SimEventKind::ProtocolAnomaly { detail, .. } => {
+                out.push_str(", \"anomaly\": ");
+                push_json_string(out, detail);
+            }
+            SimEventKind::TwoPcStarted { participants, .. } => {
+                out.push_str(&format!(", \"participants\": {participants}"));
+            }
+            SimEventKind::TwoPcVoted { yes, .. } => {
+                out.push_str(&format!(", \"yes\": {yes}"));
+            }
+            SimEventKind::TwoPcDecided { commit, .. }
+            | SimEventKind::TwoPcResolved { commit, .. } => {
+                out.push_str(&format!(", \"commit\": {commit}"));
+            }
+            SimEventKind::VersionInstalled {
+                object, version, ..
+            } => {
+                out.push_str(&format!(
+                    ", \"object\": {}, \"version\": {version}",
+                    object.0
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
 impl EventSink<SimEvent> for ChromeTraceSink {
     fn emit(&mut self, at: SimTime, event: SimEvent) {
         if self.count > 0 {
@@ -680,6 +745,7 @@ impl EventSink<SimEvent> for ChromeTraceSink {
             tid
         ));
         push_json_string(&mut self.out, &event.kind.to_string());
+        Self::push_structured_args(&mut self.out, event.site, &event.kind);
         self.out.push_str("}}");
     }
 }
@@ -806,7 +872,10 @@ mod tests {
     fn metrics_sink_counts_every_event() {
         let mut sink = MetricsSink::new();
         let events = [
-            SimEventKind::TxnArrived { txn: TxnId(1) },
+            SimEventKind::TxnArrived {
+                txn: TxnId(1),
+                priority: Priority::new(3),
+            },
             SimEventKind::TxnStarted { txn: TxnId(1) },
             SimEventKind::LockRequested {
                 txn: TxnId(1),
@@ -858,7 +927,13 @@ mod tests {
     fn chrome_trace_is_valid_and_deterministic() {
         let make = || {
             let mut sink = ChromeTraceSink::new();
-            sink.emit(t(5), at_site(SimEventKind::TxnArrived { txn: TxnId(1) }));
+            sink.emit(
+                t(5),
+                at_site(SimEventKind::TxnArrived {
+                    txn: TxnId(1),
+                    priority: Priority::new(3),
+                }),
+            );
             sink.emit(
                 t(9),
                 at_site(SimEventKind::MsgSent {
@@ -885,9 +960,87 @@ mod tests {
     }
 
     #[test]
+    fn chrome_trace_emits_fault_and_two_pc_kinds_with_structured_args() {
+        let mut sink = ChromeTraceSink::new();
+        let kinds = [
+            SimEventKind::MsgDropped {
+                from: SiteId(0),
+                to: SiteId(2),
+                in_flight: true,
+            },
+            SimEventKind::MsgDuplicated {
+                from: SiteId(1),
+                to: SiteId(0),
+            },
+            SimEventKind::SiteCrashed,
+            SimEventKind::SiteRecovered,
+            SimEventKind::RpcRetried {
+                txn: TxnId(9),
+                attempt: 3,
+            },
+            SimEventKind::ReplicaRepaired {
+                object: ObjectId(7),
+            },
+            SimEventKind::ProtocolAnomaly {
+                txn: Some(TxnId(4)),
+                detail: "example",
+            },
+            SimEventKind::TwoPcStarted {
+                txn: TxnId(5),
+                participants: 2,
+            },
+            SimEventKind::TwoPcVoted {
+                txn: TxnId(5),
+                yes: true,
+            },
+            SimEventKind::TwoPcDecided {
+                txn: TxnId(5),
+                commit: false,
+            },
+            SimEventKind::TwoPcResolved {
+                txn: TxnId(5),
+                commit: false,
+            },
+            SimEventKind::VersionInstalled {
+                object: ObjectId(7),
+                version: 12,
+                writer: TxnId(5),
+            },
+        ];
+        for (i, kind) in kinds.iter().enumerate() {
+            sink.emit(t(i as u64), SimEvent::new(SiteId(2), *kind));
+        }
+        assert_eq!(sink.count(), kinds.len() as u64);
+        let out = sink.finish();
+        // Every kind appears as an instant event on the site track...
+        for kind in &kinds {
+            assert!(
+                out.contains(&format!("\"name\": \"{}\"", kind.name())),
+                "{}",
+                kind.name()
+            );
+        }
+        // ...with its cross-site structure as typed args, not just prose.
+        assert!(out.contains("\"from\": 0, \"to\": 2, \"in_flight\": true"));
+        assert!(out.contains("\"site\": 2"));
+        assert!(out.contains("\"attempt\": 3"));
+        assert!(out.contains("\"anomaly\": \"example\""));
+        assert!(out.contains("\"participants\": 2"));
+        assert!(out.contains("\"yes\": true"));
+        assert!(out.contains("\"commit\": false"));
+        assert!(out.contains("\"object\": 7, \"version\": 12"));
+    }
+
+    #[test]
     fn explainer_reports_blocking_chain() {
         let events = vec![
-            (t(0), at_site(SimEventKind::TxnArrived { txn: TxnId(7) })),
+            (
+                t(0),
+                at_site(SimEventKind::TxnArrived {
+                    txn: TxnId(7),
+                    priority: Priority::new(1),
+                }),
+            ),
             (
                 t(10),
                 at_site(SimEventKind::CeilingBlocked {

@@ -1,20 +1,32 @@
-//! Fixed-bucket histograms for latency and blocking-time tails.
+//! Log-scaled (HDR-style) histograms for latency and blocking-time tails.
 //!
 //! The paper reports means; tail behaviour (p95/p99 blocking time) is what
 //! separates the protocols under contention, so every run also accumulates
-//! values into a fixed set of power-of-two buckets. The layout is `Copy`
-//! and allocation-free so per-run metrics can carry and merge histograms
-//! cheaply, and all percentile arithmetic is integral — the same inputs
-//! produce the same percentiles on every platform.
+//! values into a fixed bucket layout. Plain power-of-two buckets saturate
+//! at large scales — at `fig_scale`'s million-transaction runs a bucket
+//! spanning `[2^19, 2^20)` collapses the whole tail into one value — so
+//! each power-of-two range is split into [`SUB_BUCKETS`] linear
+//! sub-buckets, bounding the relative quantile error at `1/32` (~3%)
+//! across the full `u64` range while values below [`SUB_BUCKETS`] stay
+//! exact. The layout is `Copy` and allocation-free so per-run metrics can
+//! carry and merge histograms cheaply, and all percentile arithmetic is
+//! integral — the same inputs produce the same percentiles on every
+//! platform.
 
 use serde::{Deserialize, Serialize};
 
-/// Number of buckets. Bucket 0 holds exact zeros; bucket `i ≥ 1` holds
-/// values in `[2^(i-1), 2^i)`. 32 buckets cover every value up to
-/// `2^30` ticks (~17 simulated minutes) exactly, with a final catch-all.
-const BUCKETS: usize = 32;
+/// Linear sub-buckets per power-of-two range (HDR "precision"). Values
+/// below this are recorded exactly in the first [`SUB_BUCKETS`] buckets.
+const SUB_BUCKETS: usize = 32;
 
-/// A fixed-bucket power-of-two histogram over `u64` samples.
+/// log2 of [`SUB_BUCKETS`].
+const SUB_BITS: u32 = 5;
+
+/// Total bucket count: the exact low range plus 32 sub-buckets for each
+/// of the 59 power-of-two ranges `[2^5, 2^6) … [2^63, 2^64)`.
+const BUCKETS: usize = SUB_BUCKETS * 60;
+
+/// A fixed-layout log-scaled histogram over `u64` samples.
 ///
 /// # Example
 ///
@@ -48,20 +60,26 @@ impl Histogram {
     }
 
     fn bucket_of(value: u64) -> usize {
-        let bits = (64 - value.leading_zeros()) as usize;
-        bits.min(BUCKETS - 1)
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        // `h` is the index of the value's highest set bit (≥ SUB_BITS);
+        // the sub-bucket is the next SUB_BITS bits below it.
+        let h = 63 - value.leading_zeros();
+        let sub = (value >> (h - SUB_BITS)) & (SUB_BUCKETS as u64 - 1);
+        SUB_BUCKETS * (h - SUB_BITS + 1) as usize + sub as usize
     }
 
     /// Upper bound (inclusive) of bucket `i`, used as the percentile
     /// representative.
     fn bucket_top(i: usize) -> u64 {
-        if i == 0 {
-            0
-        } else if i >= BUCKETS - 1 {
-            u64::MAX
-        } else {
-            (1u64 << i) - 1
+        if i < SUB_BUCKETS {
+            return i as u64;
         }
+        let h = (i / SUB_BUCKETS) as u32 + SUB_BITS - 1;
+        let sub = (i % SUB_BUCKETS) as u64;
+        let low = (1u64 << h) + (sub << (h - SUB_BITS));
+        low + ((1u64 << (h - SUB_BITS)) - 1)
     }
 
     /// Adds one sample.
@@ -162,6 +180,19 @@ mod tests {
     }
 
     #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        for v in 0..SUB_BUCKETS as u64 {
+            let pct = ((v + 1) * 100).div_ceil(SUB_BUCKETS as u64) as u8;
+            assert!(h.percentile(pct) >= v);
+        }
+        assert_eq!(h.percentile(100), SUB_BUCKETS as u64 - 1);
+    }
+
+    #[test]
     fn percentiles_are_monotone_and_bounded_by_max() {
         let mut h = Histogram::new();
         for v in [1u64, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 1000, 40_000] {
@@ -178,10 +209,39 @@ mod tests {
     fn single_sample_percentiles_hit_its_bucket() {
         let mut h = Histogram::new();
         h.record(41);
-        // 41 lands in [32, 64); the representative is the bucket top
-        // clamped to the observed max.
+        // 41 lands in the exact sub-bucket [41, 41] of the [32, 64)
+        // range, clamped to the observed max.
         assert_eq!(h.percentile(50), 41);
         assert_eq!(h.percentile(99), 41);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_u64_without_gaps() {
+        // Every bucket's top + 1 must be the next bucket's low value,
+        // i.e. bucket_of(bucket_top(i)) == i and
+        // bucket_of(bucket_top(i) + 1) == i + 1.
+        for i in 0..BUCKETS - 1 {
+            let top = Histogram::bucket_top(i);
+            assert_eq!(Histogram::bucket_of(top), i, "top of bucket {i}");
+            assert_eq!(Histogram::bucket_of(top + 1), i + 1, "succ of bucket {i}");
+        }
+        assert_eq!(Histogram::bucket_top(BUCKETS - 1), u64::MAX);
+        assert_eq!(Histogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // A lone large sample's reported percentile must sit within
+        // 1/SUB_BUCKETS of the true value — the saturation the old
+        // power-of-two layout failed at fig_scale magnitudes.
+        for v in [1_000u64, 123_456, 9_876_543, 1 << 40, (1 << 55) + 12345] {
+            let mut h = Histogram::new();
+            h.record(v);
+            h.record(v * 2); // keep the max clamp away from v's bucket
+            let p50 = h.percentile(50);
+            assert!(p50 >= v);
+            assert!(p50 - v <= v / SUB_BUCKETS as u64 + 1, "p50={p50} v={v}");
+        }
     }
 
     #[test]
@@ -200,7 +260,7 @@ mod tests {
     }
 
     #[test]
-    fn huge_values_use_catch_all_bucket() {
+    fn huge_values_use_top_buckets() {
         let mut h = Histogram::new();
         h.record(u64::MAX);
         h.record(1u64 << 40);

@@ -23,7 +23,16 @@
 //! * [`check`] — the online invariant oracle ([`check::CheckSink`]):
 //!   serialisability, ceiling properties, lock legality, accounting/2PC
 //!   and replica coherence checked continuously against the event stream;
-//! * [`hist`] — fixed-bucket histograms for blocking / latency tails.
+//! * [`hist`] — log-scaled (HDR-style) histograms for blocking / latency
+//!   tails;
+//! * [`profile`] — the contention profiler ([`profile::ContentionProfiler`]):
+//!   blocked time attributed per object, blocker edge and priority band,
+//!   blocking-chain depth, per-site RPC latency/retries;
+//! * [`timeseries`] — fixed-width windowed telemetry
+//!   ([`timeseries::TimeSeriesSink`]) exported as JSONL/CSV trajectories;
+//! * [`jsonl`] — the persistent replayable trace format
+//!   ([`jsonl::JsonlSink`] writer + [`jsonl::read_jsonl`] loader,
+//!   round-trip exact).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -34,10 +43,13 @@ pub mod ci;
 pub mod csv;
 pub mod events;
 pub mod hist;
+pub mod jsonl;
 pub mod plot;
+pub mod profile;
 pub mod record;
 pub mod serializability;
 pub mod timeline;
+pub mod timeseries;
 
 pub use aggregate::RunStats;
 pub use check::{CheckConfig, CheckSink, Violation};
@@ -47,6 +59,9 @@ pub use events::{
     EVENT_KIND_COUNT,
 };
 pub use hist::Histogram;
+pub use jsonl::{read_jsonl, JsonlSink};
+pub use profile::{ContentionProfiler, ContentionReport};
 pub use record::{Monitor, Outcome, TxnRecord};
 pub use serializability::{check_conflict_serializable, SerializabilityError};
 pub use timeline::Timeline;
+pub use timeseries::TimeSeriesSink;

@@ -69,6 +69,6 @@ pub use io::IoDevice;
 pub use priority::Priority;
 pub use queue::{HeapQueue, WheelQueue};
 pub use random::RandomSource;
-pub use sink::{EventSink, NullSink, VecSink};
+pub use sink::{EventSink, NullSink, TeeSink, VecSink};
 pub use time::{SimDuration, SimTime};
 pub use trace::Trace;

@@ -117,6 +117,44 @@ impl<E> EventSink<E> for VecSink<E> {
     }
 }
 
+/// Fans each event out to two sinks in order (`a` first). Events must be
+/// `Clone`; tee of a tee composes for wider fan-out. `ENABLED` is the OR
+/// of the halves, so teeing a [`NullSink`] against a real sink keeps the
+/// real sink's instrumentation and nothing else.
+#[derive(Debug, Clone, Default)]
+pub struct TeeSink<A, B> {
+    /// First receiver.
+    pub a: A,
+    /// Second receiver.
+    pub b: B,
+}
+
+impl<A, B> TeeSink<A, B> {
+    /// Creates a tee over the two sinks.
+    pub fn new(a: A, b: B) -> Self {
+        TeeSink { a, b }
+    }
+}
+
+impl<E: Clone, A: EventSink<E>, B: EventSink<E>> EventSink<E> for TeeSink<A, B> {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.a.enabled() || self.b.enabled()
+    }
+
+    #[inline]
+    fn emit(&mut self, at: SimTime, event: E) {
+        if self.a.enabled() {
+            self.a.emit(at, event.clone());
+        }
+        if self.b.enabled() {
+            self.b.emit(at, event);
+        }
+    }
+}
+
 /// Forwarding impl so a model can own `S = &mut ConcreteSink` while the
 /// caller keeps the sink (and harvests it after the run).
 impl<E, S: EventSink<E>> EventSink<E> for &mut S {
@@ -153,6 +191,20 @@ mod tests {
             sink.into_events(),
             vec![(SimTime::from_ticks(1), "a"), (SimTime::from_ticks(2), "b")]
         );
+    }
+
+    #[test]
+    fn tee_fans_out_and_inherits_enabled() {
+        let mut tee = TeeSink::new(VecSink::new(), VecSink::new());
+        tee.emit(SimTime::from_ticks(4), 9u8);
+        assert_eq!(tee.a.events(), tee.b.events());
+        assert_eq!(tee.a.events(), &[(SimTime::from_ticks(4), 9u8)]);
+
+        let null_tee = TeeSink::new(NullSink, NullSink);
+        assert!(!EventSink::<u8>::enabled(&null_tee));
+        const { assert!(!<TeeSink<NullSink, NullSink> as EventSink<u8>>::ENABLED) };
+        let half = TeeSink::new(NullSink, VecSink::<u8>::new());
+        assert!(EventSink::<u8>::enabled(&half));
     }
 
     #[test]

@@ -20,6 +20,13 @@
 #   5. Scale: a reduced `fig_scale --smoke --check` pass, so the
 #      million-transaction configuration stays runnable and invariant-
 #      clean on every push without full-sweep cost.
+#   6. Inspection: the run records a replayable JSONL trace
+#      (results/all_figures.trace.jsonl, committed, covered by the
+#      parity diff in (1)) and `rtlock-inspect` must answer `summary`
+#      and `top-blockers` against it.
+#   7. Codegen: scripts/check_sink_codegen.sh proves the untraced
+#      library still contains no journal drain/flush symbols, so the
+#      new profiling sinks stay strictly opt-in.
 #
 # Refreshed BENCH_SWEEP.json / results timing fields are left in the
 # working tree; commit them when the change is a deliberate perf shift.
@@ -43,7 +50,9 @@ if [ -z "${baseline}" ] || [ -z "${baseline_eps}" ]; then
 fi
 
 cargo build --release --workspace
-RTLOCK_BENCH_WORKERS=1 ./target/release/all_figures --check --trace results/all_figures.trace.json
+RTLOCK_BENCH_WORKERS=1 ./target/release/all_figures --check \
+    --trace results/all_figures.trace.json \
+    --record=results/all_figures.trace.jsonl
 
 # The fault sweep is fully seeded (workload and fault streams), so its
 # results file must also reproduce byte-for-byte against the committed
@@ -73,4 +82,11 @@ if ! awk -v cur="${current_eps}" -v base="${baseline_eps}" 'BEGIN { exit !(cur >
     echo "perf-smoke: all_figures throughput dropped more than 20% (${current_eps} vs ${baseline_eps} events/sec)" >&2
     exit 1
 fi
+
+echo "perf-smoke: querying the recorded trace with rtlock-inspect"
+./target/release/rtlock-inspect summary results/all_figures.trace.jsonl > /dev/null
+./target/release/rtlock-inspect top-blockers results/all_figures.trace.jsonl > /dev/null
+
+./scripts/check_sink_codegen.sh
+
 echo "perf-smoke: OK"
