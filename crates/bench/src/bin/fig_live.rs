@@ -1,0 +1,269 @@
+//! Live-backend sweep: the four locking protocols executed by real OS
+//! worker threads against wall-clock deadlines (`rtlock-live`), swept
+//! over thread counts, with every run's merged event stream replayable
+//! through the invariant oracle.
+//!
+//! Unlike `fig2`…`fig6` the numbers here are *real* — ops per
+//! wall-clock second, actual blocked-time percentiles in microseconds —
+//! so they vary between hosts and are recorded the way wall clock is:
+//! the committed `results/fig_live.json` captures one reference host and
+//! the perf-smoke parity diff never includes it (smoke mode writes no
+//! artifacts at all).
+//!
+//! Usage: `fig_live [--smoke] [--check] [--compare]`
+//!
+//! `--smoke` runs a reduced grid and writes nothing — the CI
+//! configuration. `--check` replays every run's merged stream through
+//! `monitor::CheckSink` under `CheckConfig::live` and exits nonzero on
+//! any violation. `--compare` adds the simulated counterpart of each
+//! protocol at the same transaction count for a side-by-side table.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use monitor::{CheckConfig, CheckSink, ContentionProfiler};
+use rtlock_bench::harness::{RunSpec, SimSpec, SingleSiteSpec};
+use rtlock_bench::results::{self, Json};
+use rtlock_live::{run_live, LiveConfig, LiveProtocol, LiveReport};
+use starlite::EventSink;
+
+/// Hot objects shown in each per-run contention summary line.
+const HOT_OBJECTS: usize = 3;
+
+/// Replays the merged stream through the oracle; returns the number of
+/// violations after printing each one.
+fn oracle_violations(report: &LiveReport, ceiling: bool) -> usize {
+    let mut sink = CheckSink::new(CheckConfig::live(ceiling));
+    for (at, event) in &report.events {
+        sink.emit(*at, *event);
+    }
+    let violations = sink.finish();
+    for v in &violations {
+        eprintln!("VIOLATION [{} t{}]: {v}", report.protocol, report.threads);
+    }
+    violations.len()
+}
+
+/// Replays the merged stream through the contention profiler and prints
+/// the one-line hot-object summary.
+fn profile(report: &LiveReport) -> Json {
+    let mut profiler = ContentionProfiler::new();
+    for (at, event) in &report.events {
+        profiler.emit(*at, *event);
+    }
+    let summary = profiler.finish(HOT_OBJECTS);
+    println!(
+        "{:>6} contention: hot {} | {} episodes, {} blocked µs",
+        "",
+        summary.hot_objects_line(HOT_OBJECTS),
+        summary.episodes,
+        summary.total_blocked_ticks,
+    );
+    Json::object([
+        ("hot_objects", summary.hot_objects_line(HOT_OBJECTS).into()),
+        ("episodes", summary.episodes.into()),
+        ("blocked_us", summary.total_blocked_ticks.into()),
+        ("contended_objects", summary.contended_objects.into()),
+    ])
+}
+
+fn point_json(report: &LiveReport, contention: Json) -> Json {
+    Json::object([
+        ("protocol", report.protocol.into()),
+        ("threads", (report.threads as u32).into()),
+        ("processed", report.processed.into()),
+        ("committed", report.committed.into()),
+        ("missed", report.missed.into()),
+        ("pct_missed", report.pct_missed().into()),
+        ("restarts", report.restarts.into()),
+        ("deadlocks", report.deadlocks.into()),
+        ("ceiling_blocks", report.ceiling_blocks.into()),
+        ("events", (report.events.len() as u64).into()),
+        ("blocked_p50_us", report.blocked_hist.percentile(50).into()),
+        ("blocked_p95_us", report.blocked_hist.percentile(95).into()),
+        ("blocked_p99_us", report.blocked_hist.percentile(99).into()),
+        ("ops_per_sec", report.ops_per_sec().into()),
+        ("wall_clock_seconds", report.wall.as_secs_f64().into()),
+        ("contention", contention),
+    ])
+}
+
+/// The simulated counterpart of one live protocol at the same shape, for
+/// the `--compare` table.
+fn compare_row(protocol: LiveProtocol, config: &LiveConfig) {
+    let spec = RunSpec {
+        label: format!("sim/{}", protocol.name()),
+        seed: config.seed,
+        sim: SimSpec::SingleSite(SingleSiteSpec::figure(
+            protocol.sim_kind(),
+            config.txn_size,
+            config.txn_count,
+        )),
+    };
+    let m = rtlock_bench::harness::execute(&spec);
+    println!(
+        "{:>6} {:>8} {:>9} {:>7} {:>8.2} {:>9} {:>10} {:>12} {:>12}",
+        protocol.name(),
+        "sim",
+        m.committed,
+        m.missed,
+        m.pct_missed,
+        m.restarts,
+        m.deadlocks,
+        m.blocked_hist.percentile(95),
+        m.blocked_hist.percentile(99),
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let compare = args.iter().any(|a| a == "--compare");
+
+    let thread_counts: &[usize] = if smoke { &[4] } else { &[2, 4, 8] };
+    let make = |protocol, threads| {
+        if smoke {
+            LiveConfig::smoke(protocol, threads)
+        } else {
+            LiveConfig::new(protocol, threads)
+        }
+    };
+
+    println!("== live backend sweep (real threads, wall-clock deadlines) ==");
+    println!(
+        "{:>6} {:>8} {:>9} {:>7} {:>8} {:>9} {:>10} {:>12} {:>12} {:>10}",
+        "proto",
+        "threads",
+        "commits",
+        "missed",
+        "%missed",
+        "restarts",
+        "deadlocks",
+        "blocked_p95",
+        "blocked_p99",
+        "ops/sec"
+    );
+
+    let started = Instant::now();
+    let mut points = Vec::new();
+    let mut violations = 0usize;
+    let mut max_threads = 0usize;
+    let mut best_ops = 0.0f64;
+    for protocol in LiveProtocol::all() {
+        for &threads in thread_counts {
+            let config = make(protocol, threads);
+            let report = run_live(&config);
+            max_threads = max_threads.max(threads);
+            best_ops = best_ops.max(report.ops_per_sec());
+            println!(
+                "{:>6} {:>8} {:>9} {:>7} {:>8.2} {:>9} {:>10} {:>12} {:>12} {:>10.0}",
+                report.protocol,
+                report.threads,
+                report.committed,
+                report.missed,
+                report.pct_missed(),
+                report.restarts,
+                report.deadlocks,
+                report.blocked_hist.percentile(95),
+                report.blocked_hist.percentile(99),
+                report.ops_per_sec(),
+            );
+            assert_eq!(
+                report.processed, config.txn_count,
+                "live run must process every transaction"
+            );
+            assert!(
+                report.store_consistent,
+                "shared store lost updates — write-lock exclusivity broke"
+            );
+            if protocol.is_ceiling() {
+                assert_eq!(
+                    report.deadlocks, 0,
+                    "ceiling admission must be deadlock-free"
+                );
+            }
+            if check {
+                violations += oracle_violations(&report, protocol.is_ceiling());
+            }
+            let contention = profile(&report);
+            points.push(point_json(&report, contention));
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+
+    if check {
+        if violations > 0 {
+            eprintln!("oracle: {violations} violation(s) across the live sweep");
+            return ExitCode::FAILURE;
+        }
+        println!("oracle: all live runs clean under CheckConfig::live");
+    }
+
+    if compare {
+        println!("\n== simulated counterparts (same protocol, size, txn count) ==");
+        println!(
+            "{:>6} {:>8} {:>9} {:>7} {:>8} {:>9} {:>10} {:>12} {:>12}",
+            "proto",
+            "backend",
+            "commits",
+            "missed",
+            "%missed",
+            "restarts",
+            "deadlocks",
+            "blocked_p95",
+            "blocked_p99"
+        );
+        for protocol in LiveProtocol::all() {
+            compare_row(protocol, &make(protocol, thread_counts[0]));
+        }
+        println!("(simulated blocked percentiles are in ticks; live ones in wall µs)");
+    }
+
+    if smoke {
+        println!("smoke mode: artifacts skipped");
+        return ExitCode::SUCCESS;
+    }
+
+    let reference = make(LiveProtocol::TwoPhase, thread_counts[0]);
+    let json = Json::object([
+        (
+            "experiment",
+            "Live lock-manager backend: protocols on real threads vs wall-clock deadlines".into(),
+        ),
+        (
+            "parameters",
+            Json::object([
+                ("txn_count", reference.txn_count.into()),
+                ("db_size", reference.db_size.into()),
+                ("txn_size", reference.txn_size.into()),
+                ("slack_factor", reference.slack_factor.into()),
+                ("per_object_cost_ticks", reference.per_object_cost.into()),
+                ("hold_us", reference.hold_us.into()),
+                ("seed", reference.seed.into()),
+            ]),
+        ),
+        ("points", Json::Array(points)),
+        ("wall_clock_seconds", wall.into()),
+    ]);
+    match results::write_json("fig_live", &json) {
+        Ok(path) => println!("\nresults: {}", path.display()),
+        Err(e) => eprintln!("\nwarning: could not write results/fig_live.json: {e}"),
+    }
+    match results::record_wall_clock_entry(
+        "fig_live",
+        vec![
+            (
+                "runs".to_string(),
+                ((LiveProtocol::all().len() * thread_counts.len()) as u64).into(),
+            ),
+            ("workers".to_string(), (max_threads as u64).into()),
+            ("wall_clock_seconds".to_string(), wall.into()),
+            ("live_best_ops_per_sec".to_string(), best_ops.into()),
+        ],
+    ) {
+        Ok(path) => println!("wall clock recorded: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_SWEEP.json: {e}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -123,7 +123,12 @@ fn summary(events: &[(SimTime, SimEvent)]) {
         }
     }
     let (first, last) = span(events);
-    out!("trace: {} events over {} ticks", events.len(), last - first);
+    // Saturating: a hand-edited trace may not be time-sorted.
+    out!(
+        "trace: {} events over {} ticks",
+        events.len(),
+        last.saturating_sub(first)
+    );
     out!(
         "sites: {}   transactions: {}   span: [{first}, {last}]",
         sites.len(),
@@ -239,7 +244,8 @@ fn txn_timeline(events: &[(SimTime, SimEvent)], id: &str) -> Result<(), String> 
             | SimEventKind::LockUpgraded { .. }
             | SimEventKind::TxnAborted { .. } => {
                 if let Some(since) = blocked_since.take() {
-                    blocked_ticks += at.since(since).ticks();
+                    blocked_ticks =
+                        blocked_ticks.saturating_add(at.saturating_since(since).ticks());
                 }
             }
             _ => {}

@@ -384,7 +384,6 @@ pub fn emit_with(
 /// flat and numeric so [`parse_entries`] round-trips them). The file is
 /// rewritten whole each time.
 pub fn record_wall_clock(experiment: &str, results: &SweepResults) -> io::Result<PathBuf> {
-    let path = Path::new("BENCH_SWEEP.json").to_path_buf();
     let Json::Object(mut entry_fields) = Json::object([
         ("experiment", experiment.into()),
         ("runs", results.run_count().into()),
@@ -412,6 +411,25 @@ pub fn record_wall_clock(experiment: &str, results: &SweepResults) -> io::Result
             n.dropped_in_flight.into(),
         ));
         entry_fields.push(("net_duplicated".to_string(), n.duplicated.into()));
+    }
+    record_wall_clock_entry(experiment, entry_fields)
+}
+
+/// The generic half of [`record_wall_clock`]: replaces (or appends) the
+/// `BENCH_SWEEP.json` entry named `experiment` with one built from
+/// caller-supplied fields. An `experiment` field is prepended
+/// automatically; keep host-varying fields (`workers`,
+/// `wall_clock_seconds`) named exactly that so downstream tooling can
+/// ignore them uniformly. Used by binaries whose results are not a
+/// [`SweepResults`] — the live backend's `fig_live`, for example.
+pub fn record_wall_clock_entry(
+    experiment: &str,
+    fields: Vec<(String, Json)>,
+) -> io::Result<PathBuf> {
+    let path = Path::new("BENCH_SWEEP.json").to_path_buf();
+    let mut entry_fields = fields;
+    if !entry_fields.iter().any(|(k, _)| k == "experiment") {
+        entry_fields.insert(0, ("experiment".to_string(), experiment.into()));
     }
     let entry = Json::Object(entry_fields);
     // Keep prior entries when the file already holds a JSON array of

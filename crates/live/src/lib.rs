@@ -1,0 +1,64 @@
+//! # rtlock-live — the real-threads lock-manager backend
+//!
+//! Everything else in this workspace evaluates the paper's locking
+//! protocols under *simulated* concurrency: one event loop, one clock, a
+//! perfectly ordered history. This crate executes the same protocols on
+//! **real OS threads against real wall-clock deadlines**, and feeds the
+//! result back through the same invariant oracle — closing the loop
+//! between the model and an actual concurrent implementation.
+//!
+//! The pieces:
+//!
+//! * [`table`] — a sharded, mutex-protected lock table with per-object
+//!   grant queues, condvar wait slots, and an eager global deadlock
+//!   detector, implementing the 2PL family (FIFO, priority queues,
+//!   priority inheritance);
+//! * [`ceiling`] — the priority ceiling protocol, run by wrapping the
+//!   *simulator's own* `PriorityCeilingProtocol` state machine in a
+//!   single admission gate mutex, so live and simulated PCP share one
+//!   implementation of the paper's rules;
+//! * [`recorder`] — sequence-stamped per-thread event buffers whose
+//!   merge is a valid linearization of every lock table's history
+//!   (events are stamped inside the critical sections that perform the
+//!   state changes they describe);
+//! * [`runner`] — N worker threads executing generated `workload`
+//!   transactions closed-loop, with per-transaction wall deadlines,
+//!   deadlock-victim restarts, and a deliberately non-atomic shared
+//!   store whose final consistency witnesses write-lock exclusivity.
+//!
+//! What the oracle can and cannot check on a wall-clock run: everything
+//! structural — lock compatibility, upgrade legality, release matching,
+//! transaction accounting, deadlock freedom for PCP, WFG acyclicity —
+//! transfers unchanged, because the merged stream linearizes the actual
+//! lock-state history. The one casualty is *blocked-at-most-once*, a
+//! uniprocessor scheduling property; [`monitor::CheckConfig::live`]
+//! waives exactly that check and nothing else.
+//!
+//! ```
+//! use rtlock_live::{run_live, LiveConfig, LiveProtocol};
+//! use monitor::{CheckConfig, CheckSink};
+//! use starlite::EventSink;
+//!
+//! let mut config = LiveConfig::smoke(LiveProtocol::TwoPhase, 2);
+//! config.txn_count = 20;
+//! let report = run_live(&config);
+//! assert_eq!(report.processed, 20);
+//! assert!(report.store_consistent);
+//!
+//! // Replay the merged stream through the invariant oracle.
+//! let mut sink = CheckSink::new(CheckConfig::live(false));
+//! for (at, event) in &report.events {
+//!     sink.emit(*at, *event);
+//! }
+//! assert!(sink.finish().is_empty());
+//! ```
+
+pub mod ceiling;
+pub mod recorder;
+pub mod runner;
+pub mod table;
+
+pub use ceiling::LiveCeiling;
+pub use recorder::{Recorder, ThreadLog, TICK_NS};
+pub use runner::{run_live, LiveConfig, LiveProtocol, LiveReport};
+pub use table::{Acquire, LiveQueue, LiveTable, WaitSlot};

@@ -1,0 +1,363 @@
+//! Seeded multi-thread stress tests for the live lock manager.
+//!
+//! Three layers of evidence that grant / upgrade / release are sound
+//! under real concurrency:
+//!
+//! 1. **Direct table pounding** — worker threads hammer a tiny object
+//!    set through [`LiveTable`] with generous deadlines. Mutual
+//!    exclusion is witnessed by non-atomic counters that only write-lock
+//!    exclusivity keeps exact; completion itself witnesses the absence
+//!    of lost wakeups (a dropped grant would strand a waiter until its
+//!    multi-second deadline and trip the grant-count assertions).
+//! 2. **Full runs through the oracle** — every protocol's merged event
+//!    stream replays through `CheckSink`, whose lock-compatibility check
+//!    rejects double grants and whose finish pass rejects leftover
+//!    waiters (lost wakeups) and leftover holders (leaked locks).
+//! 3. **Store consistency** — the runner's shared store must match the
+//!    committed write sets exactly.
+//!
+//! Everything is seeded: thread interleavings vary, but the workloads
+//! and decision points are deterministic functions of the seed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use monitor::{CheckConfig, CheckSink};
+use rtdb::{LockMode, ObjectId, TxnId};
+use rtlock_live::runner::{run_live, LiveConfig, LiveProtocol};
+use rtlock_live::table::{Acquire, LiveQueue, LiveTable};
+use rtlock_live::{Recorder, ThreadLog};
+use starlite::{EventSink, Priority};
+
+/// Tiny deterministic generator (splitmix64) for per-thread decisions.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Replays a live report through the oracle and asserts zero violations.
+fn assert_oracle_clean(report: &rtlock_live::LiveReport, ceiling: bool) {
+    let mut sink = CheckSink::new(CheckConfig::live(ceiling));
+    for &(at, event) in &report.events {
+        sink.emit(at, event);
+    }
+    let violations = sink.finish();
+    assert!(
+        violations.is_empty(),
+        "{}: {} oracle violations, first: {:?}",
+        report.protocol,
+        violations.len(),
+        violations.first()
+    );
+}
+
+#[test]
+fn direct_table_write_contention_has_no_double_grants() {
+    // 8 threads × 60 iterations over 4 objects, all write locks, FIFO
+    // queues: every grant enters a non-atomic increment on its object's
+    // cell. Any double grant loses an increment; any lost wakeup strands
+    // a thread until the 30 s deadline and desyncs the counts too.
+    const THREADS: u64 = 8;
+    const ITERS: u64 = 60;
+    const OBJECTS: u64 = 4;
+    let table = LiveTable::new(LiveQueue::Fifo, false);
+    let rec = Recorder::new();
+    let cells: Vec<AtomicU64> = (0..OBJECTS).map(|_| AtomicU64::new(0)).collect();
+    let granted: Vec<AtomicU64> = (0..OBJECTS).map(|_| AtomicU64::new(0)).collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let table = &table;
+            let rec = &rec;
+            let cells = &cells;
+            let granted = &granted;
+            scope.spawn(move || {
+                let mut log = ThreadLog::new();
+                let mut rng = Rng(0xA11CE + t);
+                let deadline = Instant::now() + Duration::from_secs(30);
+                for i in 0..ITERS {
+                    let txn = TxnId(1 + t * ITERS + i);
+                    table.register(txn, Priority::new(0));
+                    let object = ObjectId((rng.next() % OBJECTS) as u32);
+                    let mut blocked = 0u64;
+                    match table.acquire(
+                        rec,
+                        &mut log,
+                        txn,
+                        object,
+                        LockMode::Write,
+                        deadline,
+                        &mut blocked,
+                    ) {
+                        Acquire::Granted => {
+                            granted[object.0 as usize].fetch_add(1, Ordering::Relaxed);
+                            let cell = &cells[object.0 as usize];
+                            let v = cell.load(Ordering::Relaxed);
+                            std::hint::spin_loop();
+                            cell.store(v + 1, Ordering::Relaxed);
+                            table.release_all(rec, &mut log, txn, &[(object, LockMode::Write)]);
+                        }
+                        other => panic!("unexpected outcome {other:?} for {txn}"),
+                    }
+                    table.deregister(txn);
+                }
+            });
+        }
+    });
+
+    assert!(table.idle(), "table not idle after drain");
+    for (i, (cell, g)) in cells.iter().zip(&granted).enumerate() {
+        assert_eq!(
+            cell.load(Ordering::Relaxed),
+            g.load(Ordering::Relaxed),
+            "object {i}: lost update — write locks were not exclusive"
+        );
+    }
+}
+
+#[test]
+fn direct_table_upgrades_are_exclusive() {
+    // Threads read-lock the single object, then upgrade to write. The
+    // upgrade must wait out every co-reader, so the non-atomic counter
+    // stays exact. Deadlocked upgrade pairs (both readers want write)
+    // are poisoned; victims release and retry.
+    const THREADS: u64 = 6;
+    const ITERS: u64 = 40;
+    let table = LiveTable::new(LiveQueue::Fifo, false);
+    let rec = Recorder::new();
+    let cell = AtomicU64::new(0);
+    let commits = AtomicU64::new(0);
+    let object = ObjectId(0);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let table = &table;
+            let rec = &rec;
+            let cell = &cell;
+            let commits = &commits;
+            scope.spawn(move || {
+                let mut log = ThreadLog::new();
+                let deadline = Instant::now() + Duration::from_secs(30);
+                for i in 0..ITERS {
+                    let txn = TxnId(1 + t * ITERS + i);
+                    table.register(txn, Priority::new(t as i64));
+                    loop {
+                        let mut blocked = 0u64;
+                        let read = table.acquire(
+                            rec,
+                            &mut log,
+                            txn,
+                            object,
+                            LockMode::Read,
+                            deadline,
+                            &mut blocked,
+                        );
+                        assert!(
+                            matches!(read, Acquire::Granted | Acquire::Deadlock),
+                            "read acquire returned {read:?}"
+                        );
+                        if read == Acquire::Deadlock {
+                            table.release_all(rec, &mut log, txn, &[]);
+                            table.reset_priority(txn);
+                            continue;
+                        }
+                        match table.acquire(
+                            rec,
+                            &mut log,
+                            txn,
+                            object,
+                            LockMode::Write,
+                            deadline,
+                            &mut blocked,
+                        ) {
+                            Acquire::Granted => {
+                                let v = cell.load(Ordering::Relaxed);
+                                std::hint::spin_loop();
+                                cell.store(v + 1, Ordering::Relaxed);
+                                commits.fetch_add(1, Ordering::Relaxed);
+                                table.release_all(rec, &mut log, txn, &[(object, LockMode::Write)]);
+                                break;
+                            }
+                            Acquire::Deadlock => {
+                                // Two upgraders deadlocked; this one was
+                                // poisoned. Release the read lock and retry.
+                                table.release_all(rec, &mut log, txn, &[(object, LockMode::Read)]);
+                                table.reset_priority(txn);
+                            }
+                            Acquire::Timeout => panic!("upgrade timed out under 30 s deadline"),
+                        }
+                    }
+                    table.deregister(txn);
+                }
+            });
+        }
+    });
+
+    assert!(table.idle(), "table not idle after drain");
+    assert_eq!(
+        cell.load(Ordering::Relaxed),
+        commits.load(Ordering::Relaxed),
+        "lost update through a non-exclusive upgrade"
+    );
+    assert_eq!(commits.load(Ordering::Relaxed), THREADS * ITERS);
+}
+
+#[test]
+fn deadlocks_are_detected_and_victims_released() {
+    // Two threads lock (A then B) and (B then A) repeatedly with long
+    // deadlines: timeouts can't resolve the cycles, so only detection
+    // can. The run finishing at all proves every cycle was broken and
+    // the victim's departure woke the survivor.
+    let table = LiveTable::new(LiveQueue::Fifo, false);
+    let rec = Recorder::new();
+    let a = ObjectId(0);
+    let b = ObjectId(1);
+    const ITERS: u64 = 50;
+
+    std::thread::scope(|scope| {
+        for t in 0..2u64 {
+            let table = &table;
+            let rec = &rec;
+            scope.spawn(move || {
+                let mut log = ThreadLog::new();
+                let deadline = Instant::now() + Duration::from_secs(60);
+                let (first, second) = if t == 0 { (a, b) } else { (b, a) };
+                for i in 0..ITERS {
+                    let txn = TxnId(1 + t * ITERS + i);
+                    table.register(txn, Priority::new(t as i64));
+                    'txn: loop {
+                        let mut blocked = 0u64;
+                        let mut held: Vec<(ObjectId, LockMode)> = Vec::new();
+                        for obj in [first, second] {
+                            match table.acquire(
+                                rec,
+                                &mut log,
+                                txn,
+                                obj,
+                                LockMode::Write,
+                                deadline,
+                                &mut blocked,
+                            ) {
+                                Acquire::Granted => held.push((obj, LockMode::Write)),
+                                Acquire::Deadlock => {
+                                    table.release_all(rec, &mut log, txn, &held);
+                                    table.reset_priority(txn);
+                                    continue 'txn;
+                                }
+                                Acquire::Timeout => panic!("timeout under 60 s deadline"),
+                            }
+                        }
+                        table.release_all(rec, &mut log, txn, &held);
+                        break 'txn;
+                    }
+                    table.deregister(txn);
+                }
+            });
+        }
+    });
+
+    assert!(table.idle(), "table not idle after drain");
+    // With opposed lock orders and 50 rounds each, at least one cycle is
+    // all but certain — but the assertion that matters is completion and
+    // idleness above; the count is informational.
+    let _ = table.deadlocks();
+}
+
+#[test]
+fn all_live_protocols_pass_the_oracle_at_four_threads() {
+    for protocol in LiveProtocol::all() {
+        let config = LiveConfig::smoke(protocol, 4);
+        let report = run_live(&config);
+        assert_eq!(
+            report.processed, config.txn_count,
+            "{}: not every transaction reached a terminal event",
+            report.protocol
+        );
+        assert!(
+            report.store_consistent,
+            "{}: store diverged from committed write sets",
+            report.protocol
+        );
+        assert!(
+            report.committed > 0,
+            "{}: nothing committed in the smoke run",
+            report.protocol
+        );
+        assert_oracle_clean(&report, protocol.is_ceiling());
+    }
+}
+
+#[test]
+fn heavy_contention_run_stays_oracle_clean() {
+    // A deliberately vicious configuration: 8 objects, size-4 updates,
+    // 8 threads, long holds — deadlock city for 2PL. The oracle must
+    // still find a perfectly consistent lock history, and the store
+    // must match the commits exactly.
+    let mut config = LiveConfig::new(LiveProtocol::TwoPhase, 8);
+    config.db_size = 8;
+    config.txn_size = 4;
+    config.txn_count = 200;
+    config.hold_us = 10;
+    config.seed = 42;
+    let report = run_live(&config);
+    assert_eq!(report.processed, config.txn_count);
+    assert!(report.store_consistent, "store diverged under contention");
+    assert_oracle_clean(&report, false);
+}
+
+#[test]
+fn priority_inheritance_run_emits_and_survives_donations() {
+    let mut config = LiveConfig::new(LiveProtocol::Inheritance, 6);
+    config.db_size = 16;
+    config.txn_size = 4;
+    config.txn_count = 150;
+    config.hold_us = 15;
+    config.seed = 11;
+    let report = run_live(&config);
+    assert_eq!(report.processed, config.txn_count);
+    assert!(report.store_consistent);
+    assert_oracle_clean(&report, false);
+}
+
+#[test]
+fn ceiling_run_is_deadlock_free_under_contention() {
+    let mut config = LiveConfig::new(LiveProtocol::Ceiling, 6);
+    config.db_size = 16;
+    config.txn_size = 4;
+    config.txn_count = 150;
+    config.hold_us = 15;
+    config.seed = 3;
+    let report = run_live(&config);
+    assert_eq!(report.processed, config.txn_count);
+    assert_eq!(report.deadlocks, 0, "PCP must be deadlock-free");
+    assert!(report.store_consistent);
+    // ceiling=true keeps the deadlock-freedom and WFG checks armed.
+    assert_oracle_clean(&report, true);
+}
+
+#[test]
+fn single_thread_run_matches_the_simulated_invariants_exactly() {
+    // One worker is the degenerate case closest to the simulator: no
+    // real concurrency, so even blocked-at-most-once could hold — the
+    // multicore waiver must not be *needed*, merely tolerated.
+    for protocol in LiveProtocol::all() {
+        let mut config = LiveConfig::smoke(protocol, 1);
+        config.txn_count = 60;
+        let report = run_live(&config);
+        assert_eq!(report.processed, 60, "{}", report.protocol);
+        assert_eq!(
+            report.restarts, 0,
+            "{}: deadlock with one thread",
+            report.protocol
+        );
+        assert!(report.store_consistent);
+        assert_oracle_clean(&report, protocol.is_ceiling());
+    }
+}

@@ -75,6 +75,14 @@ pub struct CheckConfig {
     pub replicated: bool,
     /// Number of sites (used by the convergence check).
     pub sites: u8,
+    /// The run executed on real concurrent cores rather than the
+    /// single-processor simulated timeline. Blocked-at-most-once is a
+    /// uniprocessor property — on a multiprocessor a lower-priority
+    /// transaction runs concurrently and can acquire a high-ceiling lock
+    /// *while* a higher-priority transaction is mid-activation, so the
+    /// check is skipped. Deadlock freedom, WFG acyclicity and ceiling
+    /// monotonicity still hold and stay enforced.
+    pub multicore: bool,
 }
 
 impl Default for CheckConfig {
@@ -86,6 +94,7 @@ impl Default for CheckConfig {
             distributed: false,
             replicated: false,
             sites: 1,
+            multicore: false,
         }
     }
 }
@@ -101,6 +110,19 @@ impl CheckConfig {
         }
     }
 
+    /// Configuration for a real-threads (`rtlock-live`) run: single
+    /// logical site, genuinely concurrent cores. Deadlock victims restart
+    /// in the live runner, and blocked-at-most-once is waived (see
+    /// [`CheckConfig::multicore`]).
+    pub fn live(ceiling: bool) -> Self {
+        CheckConfig {
+            ceiling,
+            restart_victims: !ceiling,
+            multicore: true,
+            ..CheckConfig::default()
+        }
+    }
+
     /// Configuration for a distributed run (both architectures run the
     /// priority ceiling protocol).
     pub fn distributed(replicated: bool, sites: u8) -> Self {
@@ -111,6 +133,7 @@ impl CheckConfig {
             distributed: true,
             replicated,
             sites,
+            multicore: false,
         }
     }
 }
@@ -506,7 +529,7 @@ impl CheckSink {
         entry.site = site;
         entry.count += 1;
         let (count, first) = (entry.count, entry.first);
-        if count >= 2 {
+        if count >= 2 && !self.config.multicore {
             self.violation(
                 "ceiling-blocked-at-most-once",
                 format!("{txn} blocked {count} times in one activation ({gate} gate)"),
@@ -1190,6 +1213,36 @@ mod tests {
             .find(|v| v.invariant == "ceiling-blocked-at-most-once")
             .expect("blocked-at-most-once fires");
         assert_eq!(v.events.len(), 2);
+    }
+
+    #[test]
+    fn multicore_config_waives_blocked_at_most_once_only() {
+        // The same double-block stream, checked as a live multicore run:
+        // blocked-at-most-once is a uniprocessor property and must not
+        // fire, but everything else (WFG, deadlock freedom, ceilings)
+        // stays armed — a detected deadlock still violates.
+        let block = |at_obj: u32| SimEventKind::CeilingBlocked {
+            txn: TxnId(7),
+            object: ObjectId(at_obj),
+            blocker: Some(TxnId(1)),
+        };
+        let violations = run(
+            CheckConfig::live(true),
+            &[
+                (0, arrived(7)),
+                (1, block(1)),
+                (2, grant(7, 1, LockMode::Write)),
+                (3, block(2)),
+                (4, SimEventKind::DeadlockDetected { victim: TxnId(7) }),
+            ],
+        );
+        assert!(
+            !violations
+                .iter()
+                .any(|v| v.invariant == "ceiling-blocked-at-most-once"),
+            "{violations:?}"
+        );
+        assert!(violations.iter().any(|v| v.invariant == "deadlock-free"));
     }
 
     #[test]

@@ -591,7 +591,9 @@ impl EventSink<SimEvent> for MetricsSink {
             }
             SimEventKind::TxnCommitted { txn } => {
                 if let Some(start) = self.arrived_at.remove(&txn) {
-                    self.response.record(at.since(start).ticks());
+                    // Saturating: a crafted trace with non-monotonic
+                    // timestamps must degrade gracefully, not panic.
+                    self.response.record(at.saturating_since(start).ticks());
                 }
             }
             SimEventKind::LockBlocked { txn, .. } | SimEventKind::CeilingBlocked { txn, .. } => {
@@ -601,7 +603,7 @@ impl EventSink<SimEvent> for MetricsSink {
             | SimEventKind::LockUpgraded { txn, .. }
             | SimEventKind::TxnAborted { txn, .. } => {
                 if let Some(since) = self.blocked_since.remove(&txn) {
-                    self.blocking.record(at.since(since).ticks());
+                    self.blocking.record(at.saturating_since(since).ticks());
                 }
             }
             _ => {}
@@ -763,7 +765,8 @@ struct BlockState {
 impl BlockState {
     fn close(&mut self, at: SimTime) {
         if let Some(since) = self.since.take() {
-            let dur = at.since(since).ticks();
+            // Saturating: loaded traces may carry adversarial timestamps.
+            let dur = at.saturating_since(since).ticks();
             self.total_blocked += dur;
             // Strictly longer episodes take over the worst-episode slot;
             // a later zero-tick episode must not steal the attribution

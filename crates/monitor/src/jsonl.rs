@@ -307,6 +307,13 @@ impl Fields {
         Ok(TxnId(self.u64(key)?))
     }
 
+    fn u32(&self, key: &str) -> io::Result<u32> {
+        match self.u64(key)? {
+            n if n <= u32::MAX as u64 => Ok(n as u32),
+            n => Err(bad(format!("field {key:?} out of range for u32: {n}"))),
+        }
+    }
+
     fn object(&self, key: &str) -> io::Result<ObjectId> {
         match self.u64(key)? {
             n if n <= u32::MAX as u64 => Ok(ObjectId(n as u32)),
@@ -336,13 +343,14 @@ fn bad(msg: String) -> io::Error {
 
 /// A minimal single-line JSON-object parser covering exactly the value
 /// shapes [`write_jsonl_line`] produces: integers, booleans, `null`, and
-/// strings with `\" \\ \uXXXX` escapes. The vendored serde has no JSON
-/// deserializer backend, so the trace format carries its own.
-fn parse_line(line: &str) -> io::Result<Fields> {
-    let mut p = Parser {
-        s: line.as_bytes(),
-        pos: 0,
-    };
+/// strings with `\" \\ \uXXXX` escapes (surrogate pairs combined, lone
+/// surrogates rejected). The vendored serde has no JSON deserializer
+/// backend, so the trace format carries its own. Input is raw bytes —
+/// trace files are untrusted, so every malformed shape (bad UTF-8,
+/// truncated escapes, embedded control bytes) must come back as a clean
+/// [`io::ErrorKind::InvalidData`], never a panic.
+fn parse_line(line: &[u8]) -> io::Result<Fields> {
+    let mut p = Parser { s: line, pos: 0 };
     p.skip_ws();
     p.expect(b'{')?;
     let mut pairs = Vec::new();
@@ -407,6 +415,18 @@ impl Parser<'_> {
         }
     }
 
+    /// Four hex digits of a `\uXXXX` escape (the `\u` already consumed).
+    fn hex4(&mut self) -> io::Result<u32> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = (self.next()? as char)
+                .to_digit(16)
+                .ok_or_else(|| bad("bad \\u escape".into()))?;
+            code = code * 16 + d;
+        }
+        Ok(code)
+    }
+
     fn string(&mut self) -> io::Result<String> {
         self.expect(b'"')?;
         let mut out = String::new();
@@ -421,19 +441,41 @@ impl Parser<'_> {
                     b't' => out.push('\t'),
                     b'r' => out.push('\r'),
                     b'u' => {
-                        let mut code = 0u32;
-                        for _ in 0..4 {
-                            let d = (self.next()? as char)
-                                .to_digit(16)
-                                .ok_or_else(|| bad("bad \\u escape".into()))?;
-                            code = code * 16 + d;
-                        }
-                        out.push(
-                            char::from_u32(code).ok_or_else(|| bad("bad \\u code point".into()))?,
-                        );
+                        let code = self.hex4()?;
+                        let c = match code {
+                            // High surrogate: JSON encodes astral-plane
+                            // characters as a `\uD8xx\uDCxx` pair; combine
+                            // it. Anything else after is a lone surrogate,
+                            // which no Rust string can hold — reject.
+                            0xD800..=0xDBFF => {
+                                if self.next()? != b'\\' || self.next()? != b'u' {
+                                    return Err(bad(format!("lone high surrogate \\u{code:04x}")));
+                                }
+                                let low = self.hex4()?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(bad(format!(
+                                        "invalid surrogate pair \\u{code:04x}\\u{low:04x}"
+                                    )));
+                                }
+                                let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(scalar)
+                                    .ok_or_else(|| bad("bad surrogate pair".into()))?
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(bad(format!("lone low surrogate \\u{code:04x}")))
+                            }
+                            _ => char::from_u32(code)
+                                .ok_or_else(|| bad("bad \\u code point".into()))?,
+                        };
+                        out.push(c);
                     }
                     c => return Err(bad(format!("bad escape \\{:?}", c as char))),
                 },
+                // The writer escapes every control character (including
+                // NUL) as `\u00xx`, so a raw one is corruption.
+                c if c < 0x20 => {
+                    return Err(bad(format!("unescaped control byte 0x{c:02x} in string")))
+                }
                 c if c < 0x80 => out.push(c as char),
                 c => {
                     // Re-decode a multi-byte UTF-8 sequence from the source.
@@ -473,7 +515,10 @@ impl Parser<'_> {
                 while matches!(self.peek(), Some(b'0'..=b'9')) {
                     self.pos += 1;
                 }
-                let text = std::str::from_utf8(&self.s[start..self.pos]).unwrap();
+                // The slice is ASCII sign/digits by construction, but a
+                // corrupt trace must never panic — propagate instead.
+                let text = std::str::from_utf8(&self.s[start..self.pos])
+                    .map_err(|_| bad("bad number: invalid UTF-8".into()))?;
                 text.parse::<i128>()
                     .map(Val::Num)
                     .map_err(|_| bad(format!("bad number {text:?}")))
@@ -579,7 +624,7 @@ fn kind_from(fields: &Fields) -> io::Result<SimEventKind> {
         "SiteRecovered" => SimEventKind::SiteRecovered,
         "RpcRetried" => SimEventKind::RpcRetried {
             txn: fields.txn("txn")?,
-            attempt: fields.u64("attempt")? as u32,
+            attempt: fields.u32("attempt")?,
         },
         "ReplicaRepaired" => SimEventKind::ReplicaRepaired {
             object: fields.object("object")?,
@@ -594,7 +639,7 @@ fn kind_from(fields: &Fields) -> io::Result<SimEventKind> {
         },
         "TwoPcStarted" => SimEventKind::TwoPcStarted {
             txn: fields.txn("txn")?,
-            participants: fields.u64("participants")? as u32,
+            participants: fields.u32("participants")?,
         },
         "TwoPcVoted" => SimEventKind::TwoPcVoted {
             txn: fields.txn("txn")?,
@@ -618,26 +663,42 @@ fn kind_from(fields: &Fields) -> io::Result<SimEventKind> {
 }
 
 /// Loads a JSONL trace back into the exact `(SimTime, SimEvent)` stream
-/// [`JsonlSink`] recorded. Blank lines are skipped; any malformed line
-/// fails the whole load with its line number.
-pub fn read_jsonl<R: BufRead>(reader: R) -> io::Result<Vec<(SimTime, SimEvent)>> {
+/// [`JsonlSink`] recorded. Blank lines are skipped; any malformed line —
+/// bad syntax, unknown kinds, non-UTF-8 bytes, a truncated final line —
+/// fails the whole load with an [`io::ErrorKind::InvalidData`] error
+/// carrying its line number. Never panics, whatever the input bytes.
+pub fn read_jsonl<R: BufRead>(mut reader: R) -> io::Result<Vec<(SimTime, SimEvent)>> {
     let mut out = Vec::new();
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
+    let mut buf = Vec::new();
+    let mut line_no = 0usize;
+    loop {
+        buf.clear();
+        // Read raw bytes, not `lines()`: a non-UTF-8 line must still get
+        // a line-numbered diagnostic, not an anonymous stream error.
+        if reader.read_until(b'\n', &mut buf)? == 0 {
+            return Ok(out);
+        }
+        line_no += 1;
+        let mut line: &[u8] = &buf;
+        if line.last() == Some(&b'\n') {
+            line = &line[..line.len() - 1];
+        }
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        if line.iter().all(|b| b.is_ascii_whitespace()) {
             continue;
         }
         let parsed = (|| -> io::Result<(SimTime, SimEvent)> {
-            let fields = parse_line(&line)?;
+            let fields = parse_line(line)?;
             let t = SimTime::from_ticks(fields.u64("t")?);
             let site = fields.site("site")?;
             let kind = kind_from(&fields)?;
             Ok((t, SimEvent::new(site, kind)))
         })()
-        .map_err(|e| bad(format!("line {}: {e}", idx + 1)))?;
+        .map_err(|e| bad(format!("line {line_no}: {e}")))?;
         out.push(parsed);
     }
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -834,5 +895,91 @@ mod tests {
 
         let err = read_jsonl("not json\n".as_bytes()).expect_err("junk must fail");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    /// A ProtocolAnomaly line with the given raw detail payload bytes
+    /// (spliced into the JSON string without escaping).
+    fn anomaly_line(detail_payload: &[u8]) -> Vec<u8> {
+        let mut line =
+            b"{\"t\":1,\"site\":0,\"kind\":\"ProtocolAnomaly\",\"txn\":null,\"detail\":\"".to_vec();
+        line.extend_from_slice(detail_payload);
+        line.extend_from_slice(b"\"}\n");
+        line
+    }
+
+    #[test]
+    fn surrogate_pairs_combine_and_lone_surrogates_fail() {
+        // U+1F600 spells \\ud83d\\ude00 in standard JSON; our writer
+        // emits raw UTF-8 but the loader must accept both spellings.
+        let events = read_jsonl(&anomaly_line(br"\ud83d\ude00")[..]).expect("pair loads");
+        let SimEventKind::ProtocolAnomaly { detail, .. } = events[0].1.kind else {
+            panic!("wrong kind");
+        };
+        assert_eq!(detail, "\u{1F600}");
+
+        for payload in [
+            &br"\ud83d"[..],       // lone high at end of string
+            &br"\ud83dx"[..],      // lone high followed by junk
+            &br"\ud83dA"[..],      // high paired with a non-surrogate
+            &br"\ude00"[..],       // lone low
+            &br"\ud83d\ud83d"[..], // high paired with another high
+        ] {
+            let err = read_jsonl(&anomaly_line(payload)[..]).expect_err("must fail");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{payload:?}");
+            assert!(err.to_string().contains("line 1"), "{err}");
+        }
+    }
+
+    #[test]
+    fn non_utf8_bytes_fail_with_line_numbers_not_panics() {
+        // A valid first line, then invalid UTF-8 on line 2.
+        let mut data = to_jsonl(&all_kinds()[..1]).into_bytes();
+        data.extend_from_slice(&anomaly_line(&[0xFF, 0xFE]));
+        let err = read_jsonl(&data[..]).expect_err("bad UTF-8 must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"), "{err}");
+
+        // Truncated multi-byte sequence at end of input.
+        let err = read_jsonl(&anomaly_line(&[0xE2, 0x82])[..]).expect_err("truncated");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn embedded_nul_and_control_bytes_fail() {
+        let err = read_jsonl(&anomaly_line(&[0x00])[..]).expect_err("NUL in string");
+        assert!(err.to_string().contains("control byte"), "{err}");
+        let err = read_jsonl(&anomaly_line(&[0x07])[..]).expect_err("BEL in string");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Escaped control characters (what the writer emits) still load.
+        let events = read_jsonl(&anomaly_line(br"\u0000\u0007")[..]).expect("escaped ok");
+        let SimEventKind::ProtocolAnomaly { detail, .. } = events[0].1.kind else {
+            panic!("wrong kind");
+        };
+        assert_eq!(detail, "\u{0}\u{7}");
+    }
+
+    #[test]
+    fn truncated_final_line_fails_cleanly() {
+        let full = to_jsonl(&all_kinds());
+        // Chop the last line mid-object (no trailing newline either).
+        let cut = full.len() - 10;
+        let err = read_jsonl(&full.as_bytes()[..cut]).expect_err("truncated line must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_numeric_fields_fail() {
+        for line in [
+            // attempt > u32::MAX must not silently truncate.
+            &b"{\"t\":1,\"site\":0,\"kind\":\"RpcRetried\",\"txn\":1,\"attempt\":4294967296}\n"[..],
+            // site > u8::MAX.
+            &b"{\"t\":1,\"site\":300,\"kind\":\"TxnStarted\",\"txn\":1}\n"[..],
+            // number overflowing i128.
+            &b"{\"t\":999999999999999999999999999999999999999999,\"site\":0,\"kind\":\"SiteCrashed\"}\n"[..],
+        ] {
+            let err = read_jsonl(line).expect_err("must fail");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
     }
 }

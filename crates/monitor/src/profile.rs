@@ -250,7 +250,9 @@ impl ContentionProfiler {
                 object: ep.object,
                 blocked: txn,
                 blocker: ep.blocker,
-                ticks: at.since(ep.since).ticks(),
+                // Saturating: replayed traces are untrusted input and may
+                // carry non-monotonic timestamps.
+                ticks: at.saturating_since(ep.since).ticks(),
                 ceiling: ep.ceiling,
                 depth: ep.depth,
             });
@@ -439,7 +441,7 @@ impl EventSink<SimEvent> for ContentionProfiler {
                     self.rpc_latency
                         .entry(from)
                         .or_default()
-                        .record(at.since(sent).ticks());
+                        .record(at.saturating_since(sent).ticks());
                 }
             }
             SimEventKind::MsgDropped {

@@ -1,0 +1,235 @@
+//! Fuzz-style properties for the JSONL trace format.
+//!
+//! Two directions:
+//! 1. **Round-trip**: any `SimEvent` stream — every variant, with anomaly
+//!    detail strings full of quotes, backslashes, control characters and
+//!    non-ASCII — survives `to_jsonl` → `read_jsonl` exactly.
+//! 2. **Robustness**: `read_jsonl` never panics on arbitrary bytes, nor on
+//!    valid traces corrupted by byte-level mutation; it returns `Ok` or a
+//!    clean `io::Error`.
+
+use monitor::jsonl::to_jsonl;
+use monitor::{read_jsonl, AbortReason, SimEvent, SimEventKind};
+use proptest::prelude::*;
+use rtdb::{LockMode, ObjectId, SiteId, TxnId};
+use starlite::{Priority, SimTime};
+
+/// Arbitrary strings biased toward JSON-hostile content: quotes,
+/// backslashes, control characters, multi-byte BMP and astral-plane
+/// characters.
+fn arb_detail() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            // Hostile ASCII (quote, backslash, braces, controls).
+            3 => prop_oneof![
+                Just('"'),
+                Just('\\'),
+                Just('{'),
+                Just('}'),
+                Just('\u{0}'),
+                Just('\n'),
+                Just('\r'),
+                Just('\t'),
+                Just('\u{1b}'),
+            ],
+            // Plain printable ASCII.
+            3 => (0x20u32..0x7f).prop_map(|c| char::from_u32(c).unwrap()),
+            // Non-ASCII BMP (surrogate gap excluded).
+            2 => (0x80u32..0xd800).prop_map(|c| char::from_u32(c).unwrap()),
+            // Astral plane — written as raw UTF-8, parseable as pairs.
+            1 => (0x1_0000u32..0x11_0000)
+                .prop_map(|c| char::from_u32(c).unwrap_or('\u{1F600}')),
+        ],
+        0..24,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// One arbitrary event: a variant selector plus enough primitive raw
+/// material to fill any variant's fields.
+#[allow(clippy::too_many_arguments)]
+fn build_kind(
+    sel: u8,
+    txn: u64,
+    other: u64,
+    object: u32,
+    small: u8,
+    level: i64,
+    flag: bool,
+    detail: String,
+) -> SimEventKind {
+    let txn = TxnId(txn);
+    let other_txn = if flag { Some(TxnId(other)) } else { None };
+    let object = ObjectId(object);
+    let mode = if flag {
+        LockMode::Write
+    } else {
+        LockMode::Read
+    };
+    match sel % 29 {
+        0 => SimEventKind::TxnArrived {
+            txn,
+            priority: Priority::new(level),
+        },
+        1 => SimEventKind::TxnStarted { txn },
+        2 => SimEventKind::TxnCommitted { txn },
+        3 => SimEventKind::TxnAborted {
+            txn,
+            reason: match small % 3 {
+                0 => AbortReason::DeadlineMissed,
+                1 => AbortReason::DeadlockVictim,
+                _ => AbortReason::SiteFailed,
+            },
+        },
+        4 => SimEventKind::LockRequested { txn, object, mode },
+        5 => SimEventKind::LockGranted { txn, object, mode },
+        6 => SimEventKind::LockBlocked {
+            txn,
+            object,
+            mode,
+            blocker: other_txn,
+        },
+        7 => SimEventKind::LockReleased { txn, object },
+        8 => SimEventKind::LockUpgraded { txn, object },
+        9 => SimEventKind::CeilingRaised {
+            txn,
+            object,
+            ceiling: Priority::new(level),
+        },
+        10 => SimEventKind::CeilingBlocked {
+            txn,
+            object,
+            blocker: other_txn,
+        },
+        11 => SimEventKind::PriorityInherited {
+            txn,
+            priority: Priority::new(level),
+        },
+        12 => SimEventKind::Dispatched { txn },
+        13 => SimEventKind::Preempted { txn },
+        14 => SimEventKind::MsgSent {
+            from: SiteId(small),
+            to: SiteId(small ^ 1),
+        },
+        15 => SimEventKind::MsgDelivered {
+            from: SiteId(small),
+            to: SiteId(small ^ 1),
+        },
+        16 => SimEventKind::DeadlockDetected { victim: txn },
+        17 => SimEventKind::MsgDropped {
+            from: SiteId(small),
+            to: SiteId(small ^ 1),
+            in_flight: flag,
+        },
+        18 => SimEventKind::MsgDuplicated {
+            from: SiteId(small),
+            to: SiteId(small ^ 1),
+        },
+        19 => SimEventKind::SiteCrashed,
+        20 => SimEventKind::SiteRecovered,
+        21 => SimEventKind::RpcRetried {
+            txn,
+            attempt: object.0,
+        },
+        22 => SimEventKind::ReplicaRepaired { object },
+        23 => SimEventKind::ProtocolAnomaly {
+            txn: other_txn,
+            // The in-memory event holds a `&'static str`; leaking the
+            // generated detail is bounded by the test's case count.
+            detail: Box::leak(detail.into_boxed_str()),
+        },
+        24 => SimEventKind::TwoPcStarted {
+            txn,
+            participants: object.0,
+        },
+        25 => SimEventKind::TwoPcVoted { txn, yes: flag },
+        26 => SimEventKind::TwoPcDecided { txn, commit: flag },
+        27 => SimEventKind::TwoPcResolved { txn, commit: flag },
+        _ => SimEventKind::VersionInstalled {
+            object,
+            version: other,
+            writer: txn,
+        },
+    }
+}
+
+type RawEvent = (u8, u64, u64, u32, u8, i64, bool);
+
+fn arb_stream() -> impl Strategy<Value = Vec<(SimTime, SimEvent)>> {
+    prop::collection::vec(
+        (
+            0u64..1 << 60, // timestamp
+            0u8..8,        // site
+            (
+                0u8..29,                // variant selector
+                0u64..1 << 50,          // txn id
+                0u64..1 << 50,          // other txn / version
+                0u32..u32::MAX,         // object / attempt / participants
+                0u8..8,                 // small site-ish value
+                -(1i64 << 40)..1 << 40, // priority level
+                any::<bool>(),
+            ),
+            arb_detail(),
+        ),
+        0..32,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(t, site, fields, detail)| {
+                let (sel, txn, other, object, small, level, flag): RawEvent = fields;
+                (
+                    SimTime::from_ticks(t),
+                    SimEvent::new(
+                        SiteId(site),
+                        build_kind(sel, txn, other, object, small, level, flag, detail),
+                    ),
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// `write → read` reproduces the exact stream, and re-rendering the
+    /// loaded stream reproduces the exact bytes.
+    fn jsonl_round_trips_arbitrary_streams(events in arb_stream()) {
+        let text = to_jsonl(&events);
+        let loaded = read_jsonl(text.as_bytes())
+            .expect("writer output must always load");
+        prop_assert_eq!(&loaded, &events);
+        prop_assert_eq!(to_jsonl(&loaded), text);
+    }
+
+    /// The loader never panics on arbitrary bytes — any input yields
+    /// `Ok` or a clean `InvalidData` error.
+    fn reader_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..512)
+    ) {
+        let _ = read_jsonl(&bytes[..]);
+    }
+
+    /// Nor on a valid trace corrupted by byte mutations — flipped bytes,
+    /// truncation, and junk injection near structural characters.
+    fn reader_never_panics_on_mutated_traces(
+        (events, cut, flips) in (
+            arb_stream(),
+            any::<u16>(),
+            prop::collection::vec((any::<u16>(), any::<u8>()), 0..8),
+        )
+    ) {
+        let mut bytes = to_jsonl(&events).into_bytes();
+        if !bytes.is_empty() {
+            let cut = cut as usize % (bytes.len() + 1);
+            bytes.truncate(cut);
+            for (pos, val) in flips {
+                if !bytes.is_empty() {
+                    let pos = pos as usize % bytes.len();
+                    bytes[pos] = val;
+                }
+            }
+        }
+        let _ = read_jsonl(&bytes[..]);
+    }
+}

@@ -20,6 +20,10 @@
 #   5. Scale: a reduced `fig_scale --smoke --check` pass, so the
 #      million-transaction configuration stays runnable and invariant-
 #      clean on every push without full-sweep cost.
+#   5b. Live backend: a reduced `fig_live --smoke --check` pass runs all
+#      four protocols on real worker threads and replays each merged
+#      event stream through the oracle under CheckConfig::live. Smoke
+#      mode writes no artifacts, so the parity diff in (1) is untouched.
 #   6. Inspection: the run records a replayable JSONL trace
 #      (results/all_figures.trace.jsonl, committed, covered by the
 #      parity diff in (1)) and `rtlock-inspect` must answer `summary`
@@ -62,6 +66,10 @@ RTLOCK_BENCH_WORKERS=1 ./target/release/ablation_faults --check > /dev/null
 # Reduced-scale pass over the stress configuration. `--smoke` skips the
 # BENCH_SWEEP.json record, so the committed full-scale entry survives.
 RTLOCK_BENCH_WORKERS=1 ./target/release/fig_scale --smoke --check
+
+# Real-threads backend, oracle-checked. `--smoke` writes no artifacts,
+# so the committed fig_live.json and BENCH_SWEEP entry survive.
+RTLOCK_BENCH_WORKERS=1 ./target/release/fig_live --smoke --check
 
 echo "perf-smoke: checking simulation output parity"
 if ! git diff --exit-code -I'"wall_clock_seconds"' -I'"workers"' -- results/; then
