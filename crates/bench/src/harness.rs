@@ -59,6 +59,12 @@ pub struct SingleSiteSpec {
     /// [`params::DB_SIZE`]; the `fig_scale` stress sweep overrides this to
     /// exercise the simulator far beyond the paper's scale.
     pub db_size: u32,
+    /// Reader service class and version retention (`fig_temporal`);
+    /// `None` = classic single-version locking for every transaction.
+    pub mvcc: Option<rtlock::MvccConfig>,
+    /// Read-only transactions scan contiguous object ranges instead of
+    /// sampling uniformly (the shape range latches are built for).
+    pub scan_readers: bool,
 }
 
 impl SingleSiteSpec {
@@ -81,6 +87,8 @@ impl SingleSiteSpec {
             slack_factor: params::SLACK_FACTOR,
             deadline_per_object: per_object_cost,
             db_size: params::DB_SIZE,
+            mvcc: None,
+            scan_readers: false,
         }
     }
 
@@ -112,6 +120,9 @@ pub struct DistributedSpec {
     pub txn_count: u32,
     /// Multiversion read retention; `None` disables temporal reads.
     pub temporal_versions: Option<usize>,
+    /// Serve read-only transactions as lock-free snapshot readers over
+    /// the per-site version stores (needs `temporal_versions`).
+    pub snapshot_readers: bool,
     /// Fault-injection plan; the default plan injects nothing and leaves
     /// the run byte-identical to a fault-free simulation.
     pub faults: FaultPlan,
@@ -131,6 +142,7 @@ impl DistributedSpec {
             delay_units,
             txn_count,
             temporal_versions: None,
+            snapshot_readers: false,
             faults: FaultPlan::default(),
         }
     }
@@ -263,6 +275,7 @@ pub fn execute_with<S: EventSink<SimEvent>>(spec: &RunSpec, sink: S) -> RunMetri
                 .size(s.size)
                 .read_only_fraction(s.read_only_fraction)
                 .write_fraction(0.5)
+                .scan_readers(s.scan_readers)
                 .deadline(s.slack_factor, s.deadline_per_object)
                 .build();
             let mut builder = SingleSiteConfig::builder()
@@ -274,6 +287,9 @@ pub fn execute_with<S: EventSink<SimEvent>>(spec: &RunSpec, sink: S) -> RunMetri
                 .lock_granularity(s.lock_granularity);
             if let Some(channels) = s.io_parallelism {
                 builder = builder.io_parallelism(channels);
+            }
+            if let Some(m) = s.mvcc {
+                builder = builder.mvcc(m);
             }
             Simulator::new(builder.build(), catalog, &workload).run_with(spec.seed, sink)
         }
@@ -304,6 +320,9 @@ pub fn execute_with<S: EventSink<SimEvent>>(spec: &RunSpec, sink: S) -> RunMetri
                 .faults(s.faults.clone());
             if let Some(keep) = s.temporal_versions {
                 builder = builder.temporal_versions(keep);
+            }
+            if s.snapshot_readers {
+                builder = builder.snapshot_readers(true);
             }
             DistributedSimulator::new(builder.build(), catalog, &workload).run_with(spec.seed, sink)
         }

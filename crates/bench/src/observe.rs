@@ -353,4 +353,43 @@ mod tests {
         assert_eq!(report.episodes, metrics.blocking().count());
         assert!((0.0..=1.0).contains(&peak));
     }
+
+    /// The blocked-time closure holds for latch-scan readers too: the
+    /// profiler and the metrics sink open and close range-latch episodes
+    /// under the same rule, so the decomposition stays lossless.
+    #[test]
+    fn latch_episode_closure_matches_the_metrics_aggregate() {
+        let spec = RunSpec {
+            label: "latch/size=8".into(),
+            seed: 0,
+            sim: SimSpec::SingleSite(SingleSiteSpec {
+                read_only_fraction: 0.5,
+                scan_readers: true,
+                db_size: 50,
+                mvcc: Some(rtlock::MvccConfig::latch_scan(4)),
+                ..SingleSiteSpec::figure(ProtocolKind::PriorityCeiling, 8, 150)
+            }),
+        };
+        let mut events = starlite::VecSink::new();
+        execute_with(&spec, &mut events);
+        let events = events.into_events();
+        let latch_blocks = events
+            .iter()
+            .filter(|(_, e)| {
+                matches!(e.kind, monitor::SimEventKind::RangeLatchBlocked { .. })
+            })
+            .count();
+        assert!(latch_blocks > 0, "the hot run must produce latch waits");
+
+        let mut profiler = ContentionProfiler::new();
+        let mut metrics = MetricsSink::new();
+        for &(at, ev) in &events {
+            use starlite::EventSink;
+            profiler.emit(at, ev);
+            metrics.emit(at, ev);
+        }
+        let report = profiler.finish(PROFILE_TOP_K);
+        assert_eq!(report.total_blocked_ticks, metrics.blocking().total());
+        assert_eq!(report.episodes, metrics.blocking().count());
+    }
 }

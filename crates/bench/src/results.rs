@@ -254,17 +254,35 @@ impl From<&RunMetrics> for Json {
             ));
         }
         if let Some(t) = &m.temporal {
-            fields.push((
-                "temporal".to_string(),
-                Json::object([
-                    ("snapshot_reads", t.snapshot_reads.into()),
-                    ("unconstructible", t.unconstructible.into()),
-                    ("mean_lag_ticks", t.mean_lag_ticks.into()),
-                    ("max_lag_ticks", t.max_lag_ticks.into()),
-                    ("mean_replica_lag_ticks", t.mean_replica_lag_ticks.into()),
-                    ("max_replica_lag_ticks", t.max_replica_lag_ticks.into()),
-                ]),
-            ));
+            let mut temporal = vec![
+                ("snapshot_reads".to_string(), t.snapshot_reads.into()),
+                ("unconstructible".to_string(), t.unconstructible.into()),
+                ("mean_lag_ticks".to_string(), t.mean_lag_ticks.into()),
+                ("max_lag_ticks".to_string(), t.max_lag_ticks.into()),
+                (
+                    "mean_replica_lag_ticks".to_string(),
+                    t.mean_replica_lag_ticks.into(),
+                ),
+                (
+                    "max_replica_lag_ticks".to_string(),
+                    t.max_replica_lag_ticks.into(),
+                ),
+            ];
+            // Reader-class fields appear only when a dedicated reader
+            // class actually ran, so records from the passive-probing
+            // configurations keep their historical byte-identical shape.
+            if t.reader_committed + t.reader_missed > 0 {
+                temporal.extend([
+                    ("reader_committed".to_string(), t.reader_committed.into()),
+                    ("reader_missed".to_string(), t.reader_missed.into()),
+                    (
+                        "reader_miss_percent".to_string(),
+                        t.reader_miss_percent().into(),
+                    ),
+                    ("versions_gced".to_string(), t.versions_gced.into()),
+                ]);
+            }
+            fields.push(("temporal".to_string(), Json::Object(temporal)));
         }
         Json::Object(fields)
     }

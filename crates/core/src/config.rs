@@ -83,6 +83,84 @@ pub enum VictimPolicy {
     Youngest,
 }
 
+/// How read-only transactions access the database when multi-versioning
+/// is enabled (see [`MvccConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReaderMode {
+    /// Readers take ordinary read locks through the protocol under test —
+    /// the baseline the snapshot arms are compared against.
+    Locking,
+    /// Readers take one range latch over their (contiguous) read set and
+    /// scan the current state; point writers take single-object write
+    /// latches.
+    LatchScan,
+    /// Readers pin a snapshot `reader_lag` before arrival and read
+    /// versioned state lock-free.
+    Snapshot,
+}
+
+impl ReaderMode {
+    /// Short label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReaderMode::Locking => "lock",
+            ReaderMode::LatchScan => "latch",
+            ReaderMode::Snapshot => "snapshot",
+        }
+    }
+}
+
+impl fmt::Display for ReaderMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Multi-version storage configuration for a single site. When present,
+/// committed writes are installed into a bounded version store and
+/// read-only transactions are served per [`ReaderMode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MvccConfig {
+    /// Baseline number of versions retained per object; live snapshot
+    /// pins extend retention past this bound.
+    pub keep: usize,
+    /// How far in the past snapshot readers pin (zero = read at arrival
+    /// time). Larger lags model consumers of slightly stale analytics.
+    pub reader_lag: SimDuration,
+    /// How read-only transactions access data.
+    pub reader_mode: ReaderMode,
+}
+
+impl MvccConfig {
+    /// A snapshot-reads configuration with the given retention and lag.
+    pub fn snapshot(keep: usize, reader_lag: SimDuration) -> Self {
+        MvccConfig {
+            keep,
+            reader_lag,
+            reader_mode: ReaderMode::Snapshot,
+        }
+    }
+
+    /// A latch-scan configuration with the given retention.
+    pub fn latch_scan(keep: usize) -> Self {
+        MvccConfig {
+            keep,
+            reader_lag: SimDuration::ZERO,
+            reader_mode: ReaderMode::LatchScan,
+        }
+    }
+
+    /// The lock-based baseline (versions are still installed so lag can
+    /// be measured, but readers go through the lock table).
+    pub fn locking(keep: usize) -> Self {
+        MvccConfig {
+            keep,
+            reader_lag: SimDuration::ZERO,
+            reader_mode: ReaderMode::Locking,
+        }
+    }
+}
+
 /// Configuration of a single-site simulation; build with
 /// [`SingleSiteConfig::builder`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -110,6 +188,9 @@ pub struct SingleSiteConfig {
     /// objects; larger values lock blocks of consecutive objects,
     /// trading lock overhead against false conflicts.
     pub lock_granularity: u32,
+    /// Multi-version storage and snapshot reads (`None` = the classic
+    /// single-version engine; every figure configuration keeps it off).
+    pub mvcc: Option<MvccConfig>,
 }
 
 impl SingleSiteConfig {
@@ -137,6 +218,7 @@ impl Default for SingleSiteConfigBuilder {
                 restart_victims: true,
                 timeline_window: None,
                 lock_granularity: 1,
+                mvcc: None,
             },
         }
     }
@@ -203,6 +285,17 @@ impl SingleSiteConfigBuilder {
     pub fn lock_granularity(mut self, objects_per_granule: u32) -> Self {
         assert!(objects_per_granule > 0, "granularity must be positive");
         self.config.lock_granularity = objects_per_granule;
+        self
+    }
+
+    /// Enables multi-version storage and the given read path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the retention bound is zero.
+    pub fn mvcc(mut self, mvcc: MvccConfig) -> Self {
+        assert!(mvcc.keep > 0, "version retention must be positive");
+        self.config.mvcc = Some(mvcc);
         self
     }
 

@@ -96,6 +96,12 @@ pub struct DistributedConfig {
     /// disables the version stores; `Some(k)` retains `k` versions per
     /// object.
     pub temporal_versions: Option<usize>,
+    /// Serve read-only transactions as lock-free **snapshot readers**
+    /// (local architecture with `temporal_versions` only): each pins its
+    /// arrival instant, reads its local replica's version store at the
+    /// pin without taking any locks, and unpins at commit, letting the
+    /// watermark GC trim version chains behind the oldest live pin.
+    pub snapshot_readers: bool,
 }
 
 impl DistributedConfig {
@@ -126,6 +132,7 @@ impl Default for DistributedConfigBuilder {
                 max_rpc_retries: 2,
                 timeline_window: None,
                 temporal_versions: None,
+                snapshot_readers: false,
             },
         }
     }
@@ -209,16 +216,36 @@ impl DistributedConfigBuilder {
         self
     }
 
+    /// Serves read-only transactions as lock-free snapshot readers over
+    /// the per-site version stores.
+    pub fn snapshot_readers(mut self, on: bool) -> Self {
+        self.config.snapshot_readers = on;
+        self
+    }
+
     /// Finishes the build.
     ///
     /// # Panics
     ///
-    /// Panics if the per-object CPU cost is zero.
+    /// Panics if the per-object CPU cost is zero, or if snapshot readers
+    /// are requested without the local replicated architecture and
+    /// temporal version stores to read from.
     pub fn build(self) -> DistributedConfig {
         assert!(
             !self.config.cpu_per_object.is_zero(),
             "per-object CPU cost must be positive"
         );
+        if self.config.snapshot_readers {
+            assert_eq!(
+                self.config.architecture,
+                CeilingArchitecture::LocalReplicated,
+                "snapshot readers need local replicas to read"
+            );
+            assert!(
+                self.config.temporal_versions.is_some(),
+                "snapshot readers need temporal version stores"
+            );
+        }
         self.config
     }
 }

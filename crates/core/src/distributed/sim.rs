@@ -70,7 +70,7 @@ use starlite::{
 use workload::{Generator, WorkloadSpec};
 
 use crate::distributed::{CeilingArchitecture, DistributedConfig};
-use crate::mvcc::VersionStore;
+use crate::mvcc::{SnapshotId, VersionStore};
 use crate::protocols::{
     LockProtocol, PriorityCeilingProtocol, ReleaseReason, RequestOutcome, Wakeup,
 };
@@ -292,6 +292,9 @@ struct DistModel<S> {
     op_seq: u64,
     /// Per-site version stores when temporal measurement is on.
     version_stores: Vec<VersionStore>,
+    /// Live snapshot pins (snapshot-reader mode): reader → (handle into
+    /// its home site's version store, pinned instant).
+    pins: FxHashMap<TxnId, (SnapshotId, SimTime)>,
     snapshot_reads: u64,
     unconstructible: u64,
     lag_total: u128,
@@ -299,6 +302,9 @@ struct DistModel<S> {
     replica_reads: u64,
     replica_lag_total: u128,
     replica_lag_max: u64,
+    reader_committed: u64,
+    reader_missed: u64,
+    versions_gced: u64,
     /// Structured event sink ([`NullSink`] in the default configuration).
     sink: S,
     /// Scratch for draining protocol / CPU / network journals.
@@ -587,20 +593,48 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                 self.advance_global(txn, sched);
             }
             CeilingArchitecture::LocalReplicated => {
-                self.local_pcps[home.index()].register(&self.specs[&txn]);
+                if self.is_snapshot_reader(txn) {
+                    // Lock-free reader: pin the arrival instant in the
+                    // home replica's version store instead of registering
+                    // with the ceiling manager.
+                    let pin = self.specs[&txn].arrival;
+                    let id = self.version_stores[home.index()].pin(pin);
+                    self.pins.insert(txn, (id, pin));
+                    self.emit(sched.now(), home, SimEventKind::SnapshotPinned { txn, pin });
+                } else {
+                    self.local_pcps[home.index()].register(&self.specs[&txn]);
+                }
                 self.pending_local.push_back(PendingWork::Advance(txn));
                 self.pump_local(sched);
             }
         }
     }
 
+    /// Whether `txn` runs as a lock-free snapshot reader (local
+    /// architecture with [`DistributedConfig::snapshot_readers`] on,
+    /// read-only workload transactions only).
+    fn is_snapshot_reader(&self, txn: TxnId) -> bool {
+        self.config.snapshot_readers
+            && !self.is_system(txn)
+            && self
+                .specs
+                .get(&txn)
+                .is_some_and(|s| s.write_set.is_empty())
+    }
+
     // ----- CPU ----------------------------------------------------------
 
     fn submit_cpu(&mut self, txn: TxnId, site: SiteId, sched: &mut Scheduler<Ev>) {
-        let priority = match self.config.architecture {
-            CeilingArchitecture::GlobalManager => self.eff_prio[&txn],
-            CeilingArchitecture::LocalReplicated => {
-                self.local_pcps[site.index()].effective_priority(txn)
+        let priority = if self.is_snapshot_reader(txn) {
+            // Lock-free readers never register with the ceiling manager:
+            // they run at their base EDF priority.
+            self.specs[&txn].base_priority()
+        } else {
+            match self.config.architecture {
+                CeilingArchitecture::GlobalManager => self.eff_prio[&txn],
+                CeilingArchitecture::LocalReplicated => {
+                    self.local_pcps[site.index()].effective_priority(txn)
+                }
             }
         };
         let cost = if self.exec[&txn].system.is_some() {
@@ -661,7 +695,11 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
             CeilingArchitecture::GlobalManager => {
                 mode == LockMode::Read && self.catalog.primary_site(object) == site
             }
-            CeilingArchitecture::LocalReplicated => mode == LockMode::Read,
+            CeilingArchitecture::LocalReplicated => {
+                // Snapshot readers record no history operations: they read
+                // a past, already-serialised prefix of their replica.
+                mode == LockMode::Read && !self.is_snapshot_reader(txn)
+            }
         };
         if record_read {
             let seq = self.next_op_seq();
@@ -750,6 +788,13 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                 self.send_release(txn, sched);
             }
             CeilingArchitecture::LocalReplicated => {
+                if self.is_snapshot_reader(txn) {
+                    // Never registered with the ceiling manager: just drop
+                    // the pin so GC can move past it.
+                    self.reader_missed += 1;
+                    self.release_reader_pin(txn, home, sched.now());
+                    return;
+                }
                 let release =
                     self.local_pcps[home.index()].release_all(txn, ReleaseReason::Finished);
                 self.drain_pcp(home, sched.now());
@@ -889,6 +934,11 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
             );
         }
         self.recycle_exec(exec);
+        if self.is_snapshot_reader(txn) {
+            // A crashing reader drops its pin; the store's state is reset
+            // with the site anyway, but the pin map must not leak.
+            self.release_reader_pin(txn, home, now);
+        }
         if self.config.architecture == CeilingArchitecture::GlobalManager
             && self.net.is_site_up(self.manager_site())
         {
@@ -1306,6 +1356,13 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
         }
         let (object, mode) = exec.seq[exec.step];
         let home = self.home(txn);
+        if self.is_snapshot_reader(txn) {
+            // No lock request: read the local replica at the pin, then
+            // burn the processing burst like any other access.
+            self.snapshot_read_local(txn, object, home, sched.now());
+            self.submit_cpu(txn, home, sched);
+            return;
+        }
         let result = self.local_pcps[home.index()].request(txn, object, mode);
         self.drain_pcp(home, sched.now());
         self.apply_local_priority_updates(home, &result.priority_updates, sched);
@@ -1331,11 +1388,49 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
         }
     }
 
+    /// One snapshot-reader access: resolve the object at the pinned
+    /// instant against the local replica's version store and account the
+    /// staleness ([`Self::probe_snapshot`] shares the lag bookkeeping).
+    /// An evicted prefix emits nothing — the GC invariant covers it.
+    fn snapshot_read_local(&mut self, txn: TxnId, object: ObjectId, site: SiteId, now: SimTime) {
+        let (_, pin) = self.pins[&txn];
+        self.probe_snapshot(txn, object, site, now);
+        let read = self.version_stores[site.index()].read_at(object, pin);
+        if let Some(version) = read.number() {
+            self.emit(now, site, SimEventKind::SnapshotRead { txn, object, version });
+        }
+    }
+
+    /// Closes a snapshot reader's pin and sweeps version chains the
+    /// released watermark now lets GC trim at its home site.
+    fn release_reader_pin(&mut self, txn: TxnId, site: SiteId, now: SimTime) {
+        let Some((id, _)) = self.pins.remove(&txn) else {
+            return;
+        };
+        let vs = &mut self.version_stores[site.index()];
+        vs.unpin(id);
+        for (object, through) in vs.gc() {
+            self.versions_gced += 1;
+            self.emit(now, site, SimEventKind::VersionGced { object, through });
+        }
+    }
+
     fn commit_local(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
         let exec = self.exec.remove(&txn).expect("committing unknown txn");
         if let Some(ev) = exec.deadline_ev {
             sched.cancel(ev);
+        }
+        if self.is_snapshot_reader(txn) {
+            // Nothing written, nothing locked, no history recorded: the
+            // snapshot read a past serialised prefix of its replica.
+            let home = self.home(txn);
+            self.recycle_exec(exec);
+            self.monitor.on_commit(txn, now);
+            self.emit(now, home, SimEventKind::TxnCommitted { txn });
+            self.release_reader_pin(txn, home, now);
+            self.reader_committed += 1;
+            return;
         }
         let (home, deadline, writes) = {
             let spec = &self.specs[&txn];
@@ -1354,9 +1449,11 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
             let value = self.stores[home.index()].read(obj).value + 1;
             self.stores[home.index()].apply_write(obj, value, txn, now);
             let version = self.stores[home.index()].read(obj).version;
-            if let Some(vs) = self.version_stores.get_mut(home.index()) {
-                vs.install_if_newer(obj, value, version, txn, now);
-            }
+            let gced = self
+                .version_stores
+                .get_mut(home.index())
+                .and_then(|vs| vs.install_if_newer(obj, value, version, txn, now))
+                .and_then(|i| i.evicted_through);
             self.emit(
                 now,
                 home,
@@ -1366,6 +1463,10 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                     writer: txn,
                 },
             );
+            if let Some(through) = gced {
+                self.versions_gced += 1;
+                self.emit(now, home, SimEventKind::VersionGced { object: obj, through });
+            }
             let seq = self.next_op_seq();
             self.monitor.record_op(Operation {
                 txn,
@@ -1473,9 +1574,13 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
         );
         if installed {
             self.applied_updates += 1;
-            if let Some(vs) = self.version_stores.get_mut(site.index()) {
-                vs.install_if_newer(apply.object, apply.value, apply.version, apply.writer, now);
-            }
+            let gced = self
+                .version_stores
+                .get_mut(site.index())
+                .and_then(|vs| {
+                    vs.install_if_newer(apply.object, apply.value, apply.version, apply.writer, now)
+                })
+                .and_then(|i| i.evicted_through);
             self.emit(
                 now,
                 site,
@@ -1485,6 +1590,17 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
                     writer: apply.writer,
                 },
             );
+            if let Some(through) = gced {
+                self.versions_gced += 1;
+                self.emit(
+                    now,
+                    site,
+                    SimEventKind::VersionGced {
+                        object: apply.object,
+                        through,
+                    },
+                );
+            }
             let seq = self.next_op_seq();
             self.monitor.record_op(Operation {
                 txn,
@@ -1586,16 +1702,13 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
             self.replica_lag_max = self.replica_lag_max.max(lag.ticks());
         }
         let vs = &self.version_stores[site.index()];
-        if vs.latest(object).is_some() && vs.read_at(object, pin).is_none() {
-            // No retained version at or before the pin. If the first
-            // version was never evicted, the object's initial value
-            // serves the snapshot; only evicted history makes it
-            // genuinely unconstructible.
-            let oldest = vs.oldest(object).expect("latest exists, so oldest does");
-            if oldest.version != 1 {
-                self.unconstructible += 1;
-                return;
-            }
+        if vs.read_at(object, pin).is_evicted() {
+            // The version the pin needs was evicted (or never propagated
+            // here): genuinely unconstructible. A pin before the first
+            // retained version with nothing evicted reads the object's
+            // initial value instead.
+            self.unconstructible += 1;
+            return;
         }
         // Staleness of the constructible snapshot: the version the pinned
         // view needs is the one the *primary* copy serves at the pin; the
@@ -1605,7 +1718,7 @@ impl<S: EventSink<SimEvent>> DistModel<S> {
         // the propagation delay, not with how rarely the object happens
         // to be written.
         let needed = self.version_stores[primary.index()].read_at(object, pin);
-        let lag = match needed {
+        let lag = match needed.version() {
             // Nothing committed anywhere by the pin: the initial value is
             // fresh everywhere.
             None => 0,
@@ -2258,6 +2371,7 @@ pub fn run_transactions_distributed_with<S: EventSink<SimEvent>>(
             Some(keep) => (0..sites).map(|_| VersionStore::new(keep)).collect(),
             None => Vec::new(),
         },
+        pins: FxHashMap::default(),
         snapshot_reads: 0,
         unconstructible: 0,
         lag_total: 0,
@@ -2265,6 +2379,9 @@ pub fn run_transactions_distributed_with<S: EventSink<SimEvent>>(
         replica_reads: 0,
         replica_lag_total: 0,
         replica_lag_max: 0,
+        reader_committed: 0,
+        reader_missed: 0,
+        versions_gced: 0,
         sink,
         scratch_events: Vec::new(),
         scratch_cpu: Vec::new(),
@@ -2350,6 +2467,9 @@ pub fn run_transactions_distributed_with<S: EventSink<SimEvent>>(
                     model.replica_lag_total as f64 / model.replica_reads as f64
                 },
                 max_replica_lag_ticks: model.replica_lag_max,
+                reader_committed: model.reader_committed,
+                reader_missed: model.reader_missed,
+                versions_gced: model.versions_gced,
             }
         }),
     }

@@ -59,6 +59,6 @@ pub mod protocols;
 pub mod report;
 pub mod single_site;
 
-pub use config::{ProtocolKind, SingleSiteConfig, VictimPolicy};
+pub use config::{MvccConfig, ProtocolKind, ReaderMode, SingleSiteConfig, VictimPolicy};
 pub use report::{RunReport, TemporalStats};
 pub use single_site::Simulator;

@@ -28,6 +28,25 @@ pub struct TemporalStats {
     pub mean_replica_lag_ticks: f64,
     /// Worst observed replication lag, in ticks.
     pub max_replica_lag_ticks: u64,
+    /// Read-only transactions that committed (any reader mode).
+    pub reader_committed: u64,
+    /// Read-only transactions that missed their deadline.
+    pub reader_missed: u64,
+    /// Version-chain prefixes evicted by watermark GC.
+    pub versions_gced: u64,
+}
+
+impl TemporalStats {
+    /// Fraction of read-only transactions that missed their deadline, in
+    /// percent (0 when no readers ran).
+    pub fn reader_miss_percent(&self) -> f64 {
+        let total = self.reader_committed + self.reader_missed;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.reader_missed as f64 / total as f64
+        }
+    }
 }
 
 /// Everything a finished run reports: the paper's headline metrics plus

@@ -27,16 +27,20 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use monitor::{AbortReason, Monitor, RunStats, SimEvent, SimEventKind};
-use rtdb::{Catalog, LockMode, ObjectId, OpKind, Operation, Placement, SiteId, TxnId, TxnSpec};
+use rtdb::{
+    Catalog, LatchOutcome, LockMode, ObjectId, OpKind, Operation, Placement, RangeLatchManager,
+    SiteId, TxnId, TxnSpec,
+};
 use starlite::{
     Completion, Cpu, CpuJournalEntry, CpuJournalKind, CpuToken, Engine, EventId, EventSink,
     FxHashMap, IoDevice, Model, NullSink, Removed, Scheduler, SimTime,
 };
 use workload::{Generator, WorkloadSpec};
 
-use crate::config::SingleSiteConfig;
+use crate::config::{ReaderMode, SingleSiteConfig};
+use crate::mvcc::{SnapshotId, VersionStore};
 use crate::protocols::{make_protocol, LockProtocol, ReleaseReason, RequestOutcome, Wakeup};
-use crate::report::RunReport;
+use crate::report::{RunReport, TemporalStats};
 
 /// Events of the single-site model.
 #[derive(Debug)]
@@ -72,6 +76,22 @@ struct Exec {
     deadline_ev: EventId,
     oplog: Vec<(ObjectId, OpKind, SimTime, u64)>,
     write_buffer: Vec<ObjectId>,
+    /// Latch-scan mode: the latch guarding the current access is held (a
+    /// reader's range latch, once acquired, stays held — and `latched`
+    /// stays true — for its whole scan).
+    latched: bool,
+}
+
+/// Temporal-consistency counters of one run (mvcc configurations only).
+#[derive(Debug, Default)]
+struct TemporalCounters {
+    snapshot_reads: u64,
+    unconstructible: u64,
+    lag_total: u128,
+    lag_max: u64,
+    reader_committed: u64,
+    reader_missed: u64,
+    versions_gced: u64,
 }
 
 /// The site id of the single-site model.
@@ -108,6 +128,14 @@ struct SiteModel<S> {
     /// arrival, plus the buffers that compute it.
     granule_spec: TxnSpec,
     granule_scratch: rtdb::GranuleScratch,
+    /// Bounded multi-version store; writers install committed versions
+    /// (mvcc configurations only).
+    versions: Option<VersionStore>,
+    /// Interval latches for scan/point coexistence (latch-scan mode only).
+    latches: Option<RangeLatchManager>,
+    /// Live snapshot pins: reader → (handle, pinned instant).
+    pins: FxHashMap<TxnId, (SnapshotId, SimTime)>,
+    temporal: TemporalCounters,
 }
 
 impl<S> fmt::Debug for SiteModel<S> {
@@ -197,26 +225,64 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
             deadline_ev,
             oplog: Vec::new(),
             write_buffer: Vec::new(),
+            latched: false,
         });
         exec.attempt = 0;
         exec.step = 0;
         exec.deadline_ev = deadline_ev;
+        exec.latched = false;
         exec.seq.clear();
         exec.seq.extend(spec.access_ops());
-        // Map object accesses onto lock granules: a granule is write-mode
-        // if the transaction writes any object inside it.
-        self.granule_scratch.map(
-            spec,
-            self.config.lock_granularity,
-            &mut self.granule_spec,
-            &mut exec.lock_seq,
+        let lockless = matches!(
+            self.reader_mode(txn),
+            Some(ReaderMode::Snapshot | ReaderMode::LatchScan)
         );
-        self.protocol.register(&self.granule_spec);
+        if lockless {
+            // Snapshot and latch-scan readers never touch the lock
+            // protocol: no registration (their declared sets must not
+            // inflate priority ceilings) and no lock requests.
+            exec.lock_seq.clear();
+        } else {
+            // Map object accesses onto lock granules: a granule is
+            // write-mode if the transaction writes any object inside it.
+            self.granule_scratch.map(
+                spec,
+                self.config.lock_granularity,
+                &mut self.granule_spec,
+                &mut exec.lock_seq,
+            );
+            self.protocol.register(&self.granule_spec);
+        }
         self.exec.insert(txn, exec);
         self.monitor.on_start(txn, sched.now());
         self.emit(sched.now(), SimEventKind::TxnStarted { txn });
+        if self.reader_mode(txn) == Some(ReaderMode::Snapshot) {
+            let mvcc = self.config.mvcc.expect("snapshot mode implies mvcc");
+            let spec = &self.specs[&txn];
+            let pin_at = SimTime::from_ticks(
+                spec.arrival
+                    .ticks()
+                    .saturating_sub(mvcc.reader_lag.ticks()),
+            );
+            let id = self
+                .versions
+                .as_mut()
+                .expect("mvcc configurations have a version store")
+                .pin(pin_at);
+            self.pins.insert(txn, (id, pin_at));
+            self.emit(sched.now(), SimEventKind::SnapshotPinned { txn, pin: pin_at });
+        }
         self.pending.push_back(Pending::Advance(txn));
         self.pump(sched);
+    }
+
+    /// The reader mode serving `txn`, when it is a read-only transaction
+    /// of an mvcc-enabled run (`None` for update transactions and for
+    /// classic single-version runs).
+    fn reader_mode(&self, txn: TxnId) -> Option<ReaderMode> {
+        let mvcc = self.config.mvcc?;
+        let spec = self.specs.get(&txn)?;
+        spec.write_set.is_empty().then_some(mvcc.reader_mode)
     }
 
     /// Retires a transaction's execution record into the pool, keeping its
@@ -276,10 +342,68 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
         if let Removed::WasRunning { next: Some(burst) } = self.cpu.remove(txn, sched.now()) {
             sched.schedule(burst.finish_at, Ev::BurstDone { token: burst.token });
         }
+        let reader = self.reader_mode(txn);
+        if reader.is_some() {
+            self.temporal.reader_missed += 1;
+        }
+        if reader == Some(ReaderMode::Snapshot) {
+            self.release_pin(txn, sched.now());
+            return; // never touched the lock protocol or the latches
+        }
+        self.release_latches(txn, sched);
+        if reader == Some(ReaderMode::LatchScan) {
+            self.pump(sched);
+            return; // never registered with the lock protocol
+        }
         let release = self.protocol.release_all(txn, ReleaseReason::Finished);
         self.drain_protocol(sched.now());
         self.apply_release(release.wakeups, release.priority_updates, sched);
         self.pump(sched);
+    }
+
+    /// Closes `txn`'s snapshot pin and sweeps version chains the released
+    /// watermark now lets GC trim.
+    fn release_pin(&mut self, txn: TxnId, now: SimTime) {
+        let Some((id, _)) = self.pins.remove(&txn) else {
+            return;
+        };
+        let vs = self.versions.as_mut().expect("pinned txn has a store");
+        vs.unpin(id);
+        for (object, through) in vs.gc() {
+            self.temporal.versions_gced += 1;
+            self.emit(now, SimEventKind::VersionGced { object, through });
+        }
+    }
+
+    /// Releases every latch held or awaited by `txn` and resumes the
+    /// requests that grant unblocks. A no-op outside latch-scan mode.
+    fn release_latches(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
+        let Some(lm) = self.latches.as_mut() else {
+            return;
+        };
+        let had = lm.holds(txn) || lm.is_waiting(txn);
+        let woken = lm.release_all(txn);
+        let now = sched.now();
+        if had {
+            self.emit(now, SimEventKind::RangeLatchReleased { txn });
+        }
+        for g in woken {
+            let Some(exec) = self.exec.get_mut(&g.txn) else {
+                continue;
+            };
+            exec.latched = true;
+            self.emit(
+                now,
+                SimEventKind::RangeLatchAcquired {
+                    txn: g.txn,
+                    lo: g.lo,
+                    hi: g.hi,
+                    mode: g.mode,
+                },
+            );
+            self.monitor.on_unblock(g.txn, now);
+            self.pending.push_back(Pending::Resume(g.txn));
+        }
     }
 
     /// Processes pending control-flow work until quiescent. The queue is a
@@ -289,7 +413,7 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
         while let Some(item) = self.pending.pop_front() {
             match item {
                 Pending::Advance(txn) => self.advance(txn, sched),
-                Pending::Resume(txn) => self.start_io(txn, sched),
+                Pending::Resume(txn) => self.resume_step(txn, sched),
                 Pending::Restart(txn) => self.restart(txn, sched),
             }
         }
@@ -304,12 +428,36 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
             self.commit(txn, sched);
             return;
         }
+        match self.reader_mode(txn) {
+            // Snapshot readers access versioned state lock-free.
+            Some(ReaderMode::Snapshot) => {
+                self.start_io(txn, sched);
+                return;
+            }
+            // Latch-scan readers take one range latch over their whole
+            // read set at the first step, then scan under it.
+            Some(ReaderMode::LatchScan) => {
+                if self.exec[&txn].latched || self.try_latch(txn, sched) {
+                    self.start_io(txn, sched);
+                }
+                return;
+            }
+            _ => {}
+        }
+        // A writer's point latch covers one step at a time.
+        self.exec.get_mut(&txn).expect("checked above").latched = false;
+        let exec = &self.exec[&txn];
         let (granule, gmode) = exec.lock_seq[exec.step];
         let result = self.protocol.request(txn, granule, gmode);
         self.drain_protocol(sched.now());
         self.apply_priority_updates(&result.priority_updates, sched);
         match result.outcome {
-            RequestOutcome::Granted => self.start_io(txn, sched),
+            RequestOutcome::Granted => {
+                if self.needs_point_latch(txn) && !self.try_latch(txn, sched) {
+                    return; // queued behind a scan; resumed by its release
+                }
+                self.start_io(txn, sched)
+            }
             RequestOutcome::Blocked { blocker } => {
                 let lower = blocker.filter(|b| {
                     self.specs
@@ -327,6 +475,70 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
         }
     }
 
+    /// A blocked request was granted (lock or latch): acquire whatever
+    /// the current step still needs, then fetch and process the object.
+    fn resume_step(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
+        let Some(exec) = self.exec.get(&txn) else {
+            return;
+        };
+        let needs_latch = match self.reader_mode(txn) {
+            Some(ReaderMode::LatchScan) => !exec.latched,
+            // A latch-mode writer woken by a *lock* grant still needs the
+            // point latch for a write step.
+            None => !exec.latched && self.needs_point_latch(txn),
+            _ => false,
+        };
+        if needs_latch && !self.try_latch(txn, sched) {
+            return;
+        }
+        self.start_io(txn, sched)
+    }
+
+    /// Whether `txn`'s current step is a write that must take a point
+    /// latch before touching the object (latch-scan mode only).
+    fn needs_point_latch(&self, txn: TxnId) -> bool {
+        if self.latches.is_none() || self.reader_mode(txn).is_some() {
+            return false;
+        }
+        let exec = &self.exec[&txn];
+        exec.seq[exec.step].1 == LockMode::Write
+    }
+
+    /// Requests the latch the current step needs: a reader's range latch
+    /// over its whole read set, or a writer's single-object write latch.
+    /// Returns whether the latch is held; on a block, records the wait.
+    fn try_latch(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) -> bool {
+        let now = sched.now();
+        let exec = &self.exec[&txn];
+        let (lo, hi, mode) = if self.reader_mode(txn) == Some(ReaderMode::LatchScan) {
+            let spec = &self.specs[&txn];
+            let lo = spec.read_set.iter().map(|o| o.0).min().expect("reader reads");
+            let hi = spec.read_set.iter().map(|o| o.0).max().expect("reader reads");
+            (ObjectId(lo), ObjectId(hi), LockMode::Read)
+        } else {
+            let (object, _) = exec.seq[exec.step];
+            (object, object, LockMode::Write)
+        };
+        let lm = self.latches.as_mut().expect("latch mode is on");
+        match lm.acquire(txn, lo, hi, mode) {
+            LatchOutcome::Granted => {
+                self.exec.get_mut(&txn).expect("checked above").latched = true;
+                self.emit(now, SimEventKind::RangeLatchAcquired { txn, lo, hi, mode });
+                true
+            }
+            LatchOutcome::Blocked { blocker } => {
+                self.emit(now, SimEventKind::RangeLatchBlocked { txn, lo, hi, blocker });
+                let lower = blocker.filter(|b| {
+                    self.specs
+                        .get(b)
+                        .is_some_and(|s| s.base_priority() < self.specs[&txn].base_priority())
+                });
+                self.monitor.on_block(txn, now, lower);
+                false
+            }
+        }
+    }
+
     /// Aborts a deadlock victim and restarts it from its first operation,
     /// keeping its original deadline and priority.
     fn restart(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
@@ -340,6 +552,10 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
             sched.cancel(exec.deadline_ev);
             self.recycle(exec);
             self.monitor.on_miss(txn, sched.now());
+            if self.reader_mode(txn).is_some() {
+                // Locking-mode readers can be deadlock victims too.
+                self.temporal.reader_missed += 1;
+            }
             self.emit(
                 sched.now(),
                 SimEventKind::TxnAborted {
@@ -350,6 +566,7 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
             if let Removed::WasRunning { next: Some(burst) } = self.cpu.remove(txn, sched.now()) {
                 sched.schedule(burst.finish_at, Ev::BurstDone { token: burst.token });
             }
+            self.release_latches(txn, sched);
             let release = self.protocol.release_all(txn, ReleaseReason::Finished);
             self.drain_protocol(sched.now());
             self.apply_release(release.wakeups, release.priority_updates, sched);
@@ -357,6 +574,7 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
         }
         exec.attempt += 1;
         exec.step = 0;
+        exec.latched = false;
         exec.oplog.clear();
         exec.write_buffer.clear();
         self.monitor.on_restart(txn, sched.now());
@@ -370,6 +588,7 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
         if let Removed::WasRunning { next: Some(burst) } = self.cpu.remove(txn, sched.now()) {
             sched.schedule(burst.finish_at, Ev::BurstDone { token: burst.token });
         }
+        self.release_latches(txn, sched);
         let release = self.protocol.release_all(txn, ReleaseReason::Restart);
         self.drain_protocol(sched.now());
         self.apply_release(release.wakeups, release.priority_updates, sched);
@@ -383,15 +602,22 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
     /// free and processing starts at once.
     fn start_io(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
-        let seq = self.op_seq;
-        self.op_seq += 1;
-        let exec = self.exec.get_mut(&txn).expect("granted txn is live");
-        let (object, mode) = exec.seq[exec.step];
-        match mode {
-            LockMode::Read => exec.oplog.push((object, OpKind::Read, now, seq)),
-            LockMode::Write => {
-                exec.oplog.push((object, OpKind::Write, now, seq));
-                exec.write_buffer.push(object);
+        if self.reader_mode(txn) == Some(ReaderMode::Snapshot) {
+            // Versioned read at the pinned instant; records no history
+            // operation (the snapshot is invisible to serialisability —
+            // it reads a past, already-serialised prefix).
+            self.snapshot_read_step(txn, now);
+        } else {
+            let seq = self.op_seq;
+            self.op_seq += 1;
+            let exec = self.exec.get_mut(&txn).expect("granted txn is live");
+            let (object, mode) = exec.seq[exec.step];
+            match mode {
+                LockMode::Read => exec.oplog.push((object, OpKind::Read, now, seq)),
+                LockMode::Write => {
+                    exec.oplog.push((object, OpKind::Write, now, seq));
+                    exec.write_buffer.push(object);
+                }
             }
         }
         if self.config.io_per_object.is_zero() {
@@ -409,8 +635,38 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
         // is scheduled when a channel frees up.
     }
 
+    /// Resolves the current object at `txn`'s pinned timestamp and records
+    /// staleness. An evicted prefix counts as unconstructible — retention
+    /// was shorter than the reader's lag — and emits nothing (the oracle
+    /// cannot predict which version an evicted read would have seen; the
+    /// GC invariant guards that case instead).
+    fn snapshot_read_step(&mut self, txn: TxnId, now: SimTime) {
+        let (_, pin) = self.pins[&txn];
+        let exec = &self.exec[&txn];
+        let (object, _) = exec.seq[exec.step];
+        let vs = self.versions.as_ref().expect("snapshot mode implies mvcc");
+        self.temporal.snapshot_reads += 1;
+        match vs.read_at(object, pin).number() {
+            Some(version) => {
+                if let Some(lag) = vs.lag_at(object, pin) {
+                    self.temporal.lag_total += lag.ticks() as u128;
+                    self.temporal.lag_max = self.temporal.lag_max.max(lag.ticks());
+                }
+                self.emit(now, SimEventKind::SnapshotRead { txn, object, version });
+            }
+            None => self.temporal.unconstructible += 1,
+        }
+    }
+
     fn submit_cpu(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
-        let priority = self.protocol.effective_priority(txn);
+        // Lockless readers never register with the protocol, so it has no
+        // effective priority for them; they run at base EDF priority
+        // (latch waits do not propagate inheritance).
+        let priority = if self.reader_mode(txn).is_some_and(|m| m != ReaderMode::Locking) {
+            self.specs[&txn].base_priority()
+        } else {
+            self.protocol.effective_priority(txn)
+        };
         if let Some(burst) = self
             .cpu
             .submit(txn, priority, self.config.cpu_per_object, sched.now())
@@ -434,11 +690,42 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
     /// retires the transaction.
     fn commit(&mut self, txn: TxnId, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
+        let reader = self.reader_mode(txn);
         let exec = self.exec.remove(&txn).expect("committing unknown txn");
         sched.cancel(exec.deadline_ev);
+        if reader == Some(ReaderMode::Snapshot) {
+            // Nothing written, nothing locked, no history recorded: the
+            // snapshot read a past serialised prefix. Just retire and let
+            // the released pin advance the GC watermark.
+            self.recycle(exec);
+            self.monitor.on_commit(txn, now);
+            self.emit(now, SimEventKind::TxnCommitted { txn });
+            self.release_pin(txn, now);
+            self.temporal.reader_committed += 1;
+            return;
+        }
         for &obj in &exec.write_buffer {
             let value = self.store.read(obj).value + 1;
             self.store.apply_write(obj, value, txn, now);
+            if self.versions.is_some() {
+                let inst = self
+                    .versions
+                    .as_mut()
+                    .expect("checked above")
+                    .install(obj, value, txn, now);
+                self.emit(
+                    now,
+                    SimEventKind::VersionInstalled {
+                        object: obj,
+                        version: inst.version,
+                        writer: txn,
+                    },
+                );
+                if let Some(through) = inst.evicted_through {
+                    self.temporal.versions_gced += 1;
+                    self.emit(now, SimEventKind::VersionGced { object: obj, through });
+                }
+            }
         }
         let site = self.specs[&txn].home_site;
         for &(object, kind, at, seq) in &exec.oplog {
@@ -454,6 +741,13 @@ impl<S: EventSink<SimEvent>> SiteModel<S> {
         self.recycle(exec);
         self.monitor.on_commit(txn, now);
         self.emit(now, SimEventKind::TxnCommitted { txn });
+        if reader.is_some() {
+            self.temporal.reader_committed += 1;
+        }
+        self.release_latches(txn, sched);
+        if reader == Some(ReaderMode::LatchScan) {
+            return; // never registered with the lock protocol
+        }
         let release = self.protocol.release_all(txn, ReleaseReason::Finished);
         self.drain_protocol(now);
         self.apply_release(release.wakeups, release.priority_updates, sched);
@@ -613,6 +907,12 @@ pub fn run_transactions_with<S: EventSink<SimEvent>>(
             SITE,
         ),
         granule_scratch: rtdb::GranuleScratch::new(),
+        versions: config.mvcc.map(|m| VersionStore::new(m.keep)),
+        latches: config
+            .mvcc
+            .and_then(|m| (m.reader_mode == ReaderMode::LatchScan).then(RangeLatchManager::new)),
+        pins: FxHashMap::default(),
+        temporal: TemporalCounters::default(),
     };
     let mut engine = Engine::new(model);
     for (arrival, id) in arrivals {
@@ -628,6 +928,25 @@ pub fn run_transactions_with<S: EventSink<SimEvent>>(
         "simulation drained with live transactions"
     );
     let stats = RunStats::from_monitor(&model.monitor, makespan);
+    let temporal = model.config.mvcc.map(|_| {
+        let t = &model.temporal;
+        let constructible = t.snapshot_reads - t.unconstructible;
+        TemporalStats {
+            snapshot_reads: t.snapshot_reads,
+            unconstructible: t.unconstructible,
+            mean_lag_ticks: if constructible == 0 {
+                0.0
+            } else {
+                t.lag_total as f64 / constructible as f64
+            },
+            max_lag_ticks: t.lag_max,
+            mean_replica_lag_ticks: 0.0,
+            max_replica_lag_ticks: 0,
+            reader_committed: t.reader_committed,
+            reader_missed: t.reader_missed,
+            versions_gced: t.versions_gced,
+        }
+    });
     RunReport {
         stats,
         deadlocks: model.protocol.deadlock_count(),
@@ -639,7 +958,7 @@ pub fn run_transactions_with<S: EventSink<SimEvent>>(
         events,
         monitor: model.monitor,
         stores: vec![model.store],
-        temporal: None,
+        temporal,
     }
 }
 

@@ -249,6 +249,16 @@ pub struct CheckSink {
     txns: FxHashMap<TxnId, TxnState>,
     twopc: FxHashMap<TxnId, TwoPc>,
 
+    // --- snapshots / range latches ----------------------------------------
+    /// Live snapshot pins: reader → (site, pinned timestamp, pin event).
+    pins: FxHashMap<TxnId, (u8, SimTime, Anchor)>,
+    /// Per copy: append-only install history as (ticks, version) — the
+    /// ground truth a snapshot read at any pin is checked against.
+    installs: FxHashMap<CopyKey, Vec<(u64, u64)>>,
+    /// Held range latches: holder → (site, lo, hi, mode, grant event).
+    latches: FxHashMap<TxnId, Vec<(u8, u32, u32, LockMode, Anchor)>>,
+    latch_waiters: FxHashMap<TxnId, Anchor>,
+
     // --- replicas / faults -----------------------------------------------
     versions: FxHashMap<CopyKey, (u64, Anchor)>,
     down: FxHashSet<u8>,
@@ -279,6 +289,10 @@ impl CheckSink {
             wfg: WaitsForGraph::new(),
             txns: FxHashMap::default(),
             twopc: FxHashMap::default(),
+            pins: FxHashMap::default(),
+            installs: FxHashMap::default(),
+            latches: FxHashMap::default(),
+            latch_waiters: FxHashMap::default(),
             versions: FxHashMap::default(),
             down: FxHashSet::default(),
             recovered: FxHashSet::default(),
@@ -562,6 +576,8 @@ impl CheckSink {
         self.waiters.remove(&txn);
         self.wfg.remove_txn(txn);
         self.blocks.remove(&txn);
+        self.pins.remove(&txn);
+        self.latch_waiters.remove(&txn);
         if is_system(txn) {
             return;
         }
@@ -609,6 +625,32 @@ impl CheckSink {
                     "{txn} still held {} at site {site} when the run ended",
                     ObjectId(object)
                 ),
+                vec![anchor],
+            );
+        }
+        let mut leftover_latch_waiters: Vec<(TxnId, Anchor)> = self
+            .latch_waiters
+            .iter()
+            .map(|(&t, &a)| (t, a))
+            .collect();
+        leftover_latch_waiters.sort_unstable_by_key(|&(t, _)| t);
+        for (txn, anchor) in leftover_latch_waiters {
+            self.violation(
+                "lost-wakeup",
+                format!("{txn} was still waiting for a range latch when the run ended"),
+                vec![anchor],
+            );
+        }
+        let mut leftover_latches: Vec<(TxnId, Anchor)> = self
+            .latches
+            .iter()
+            .flat_map(|(&t, rs)| rs.iter().map(move |&(_, _, _, _, a)| (t, a)))
+            .collect();
+        leftover_latches.sort_unstable_by_key(|&(t, _)| t);
+        for (txn, anchor) in leftover_latches {
+            self.violation(
+                "latch-leak",
+                format!("{txn} still held a range latch when the run ended"),
                 vec![anchor],
             );
         }
@@ -767,6 +809,133 @@ impl CheckSink {
                 "two-pc",
                 format!("{txn} decided commit with {yes}/{total} votes"),
                 events,
+            );
+        }
+    }
+
+    // --- snapshots / range latches ----------------------------------------
+
+    /// The version a snapshot pinned at `pin` must observe for this copy:
+    /// the latest version installed (in stream order) with a timestamp at
+    /// or before the pin, or 0 (the initial value) when none is that old.
+    fn expected_at(&self, copy: CopyKey, pin: SimTime) -> u64 {
+        self.installs.get(&copy).map_or(0, |v| {
+            let idx = v.partition_point(|&(at, _)| at <= pin.ticks());
+            if idx == 0 {
+                0
+            } else {
+                v[idx - 1].1
+            }
+        })
+    }
+
+    fn on_snapshot_pinned(&mut self, site: u8, txn: TxnId, pin: SimTime, anchor: Anchor) {
+        if let Some(&(_, _, prev)) = self.pins.get(&txn) {
+            self.violation(
+                "snapshot-pin",
+                format!("{txn} pinned a second snapshot while one is open"),
+                vec![prev, anchor],
+            );
+        }
+        self.pins.insert(txn, (site, pin, anchor));
+    }
+
+    fn on_snapshot_read(
+        &mut self,
+        site: u8,
+        txn: TxnId,
+        object: ObjectId,
+        version: u64,
+        anchor: Anchor,
+    ) {
+        let Some(&(psite, pin, pin_anchor)) = self.pins.get(&txn) else {
+            self.violation(
+                "snapshot-consistency",
+                format!("{txn} read {object} as a snapshot without a live pin"),
+                vec![anchor],
+            );
+            return;
+        };
+        if psite != site {
+            self.violation(
+                "snapshot-consistency",
+                format!("{txn} pinned its snapshot at site {psite} but read {object} at site {site}"),
+                vec![pin_anchor, anchor],
+            );
+            return;
+        }
+        let expected = self.expected_at((site, object.0), pin);
+        if version != expected {
+            self.violation(
+                "snapshot-consistency",
+                format!(
+                    "{txn} read {object} v{version} at its pin t={}, but the latest version \
+                     installed at or before the pin is v{expected}",
+                    pin.ticks()
+                ),
+                vec![pin_anchor, anchor],
+            );
+        }
+    }
+
+    /// GC may never evict a version some live snapshot at this site still
+    /// needs — including the version-1 front whose presence certifies
+    /// that pre-history pins read the initial value.
+    fn on_version_gced(&mut self, site: u8, object: ObjectId, through: u64, anchor: Anchor) {
+        let mut pinned: Vec<(TxnId, SimTime, Anchor)> = self
+            .pins
+            .iter()
+            .filter(|(_, &(s, _, _))| s == site)
+            .map(|(&t, &(_, p, a))| (t, p, a))
+            .collect();
+        pinned.sort_unstable_by_key(|&(t, _, _)| t);
+        for (txn, pin, pin_anchor) in pinned {
+            if self.expected_at((site, object.0), pin) <= through {
+                self.violation(
+                    "gc-pinned-eviction",
+                    format!(
+                        "GC evicted {object} versions ..=v{through} at site {site}, which \
+                         {txn}'s snapshot pinned at t={} still needs",
+                        pin.ticks()
+                    ),
+                    vec![pin_anchor, anchor],
+                );
+            }
+        }
+    }
+
+    fn on_latch_acquired(
+        &mut self,
+        site: u8,
+        txn: TxnId,
+        lo: ObjectId,
+        hi: ObjectId,
+        mode: LockMode,
+        anchor: Anchor,
+    ) {
+        self.latch_waiters.remove(&txn);
+        let mut conflicting: Vec<Anchor> = Vec::new();
+        for (&other, ranges) in &self.latches {
+            if other == txn {
+                continue;
+            }
+            for &(s, olo, ohi, omode, a) in ranges {
+                let overlap = s == site && lo.0 <= ohi && olo <= hi.0;
+                if overlap && (mode == LockMode::Write || omode == LockMode::Write) {
+                    conflicting.push(a);
+                }
+            }
+        }
+        self.latches
+            .entry(txn)
+            .or_default()
+            .push((site, lo.0, hi.0, mode, anchor));
+        if !conflicting.is_empty() {
+            conflicting.push(anchor);
+            self.violation(
+                "latch-compatibility",
+                format!("{txn} acquired range latch {lo}..{hi} overlapping an incompatible held latch"),
+                conflicting,
             );
         }
     }
@@ -938,6 +1107,33 @@ impl EventSink<SimEvent> for CheckSink {
                     }
                 }
                 self.versions.insert(copy, (version, anchor));
+                self.installs
+                    .entry(copy)
+                    .or_default()
+                    .push((at.ticks(), version));
+            }
+            SimEventKind::SnapshotPinned { txn, pin } => {
+                self.on_snapshot_pinned(site, txn, pin, anchor);
+            }
+            SimEventKind::SnapshotRead {
+                txn,
+                object,
+                version,
+            } => {
+                self.on_snapshot_read(site, txn, object, version, anchor);
+            }
+            SimEventKind::VersionGced { object, through } => {
+                self.on_version_gced(site, object, through, anchor);
+            }
+            SimEventKind::RangeLatchAcquired { txn, lo, hi, mode } => {
+                self.on_latch_acquired(site, txn, lo, hi, mode, anchor);
+            }
+            SimEventKind::RangeLatchBlocked { txn, .. } => {
+                self.latch_waiters.entry(txn).or_insert(anchor);
+            }
+            SimEventKind::RangeLatchReleased { txn } => {
+                self.latches.remove(&txn);
+                self.latch_waiters.remove(&txn);
             }
             SimEventKind::ReplicaRepaired { object } => {
                 if !self.recovered.contains(&site) {
@@ -1590,5 +1786,261 @@ mod tests {
         }
         assert_eq!(sink.violations().len(), MAX_VIOLATIONS);
         assert_eq!(sink.total_violations(), MAX_VIOLATIONS as u64 + 10);
+    }
+
+    // --- snapshot / range-latch invariant mutations -----------------------
+
+    fn installed(obj: u32, version: u64, writer: u64) -> SimEventKind {
+        SimEventKind::VersionInstalled {
+            object: ObjectId(obj),
+            version,
+            writer: TxnId(writer),
+        }
+    }
+
+    fn pinned(txn: u64, pin: u64) -> SimEventKind {
+        SimEventKind::SnapshotPinned {
+            txn: TxnId(txn),
+            pin: t(pin),
+        }
+    }
+
+    fn snap_read(txn: u64, obj: u32, version: u64) -> SimEventKind {
+        SimEventKind::SnapshotRead {
+            txn: TxnId(txn),
+            object: ObjectId(obj),
+            version,
+        }
+    }
+
+    fn latch(txn: u64, lo: u32, hi: u32, mode: LockMode) -> SimEventKind {
+        SimEventKind::RangeLatchAcquired {
+            txn: TxnId(txn),
+            lo: ObjectId(lo),
+            hi: ObjectId(hi),
+            mode,
+        }
+    }
+
+    fn latch_released(txn: u64) -> SimEventKind {
+        SimEventKind::RangeLatchReleased { txn: TxnId(txn) }
+    }
+
+    #[test]
+    fn clean_snapshot_reader_passes() {
+        let violations = run(
+            CheckConfig::default(),
+            &[
+                (0, arrived(1)),
+                (1, grant(1, 5, LockMode::Write)),
+                (2, committed(1)),
+                (2, installed(5, 1, 1)),
+                (2, release(1, 5)),
+                // A reader pinned after the install observes version 1.
+                (10, arrived(2)),
+                (10, pinned(2, 8)),
+                (11, snap_read(2, 5, 1)),
+                // A read of an object never written resolves to the
+                // initial value.
+                (12, snap_read(2, 7, 0)),
+                (13, committed(2)),
+            ],
+        );
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn stale_snapshot_read_fires_consistency() {
+        let violations = run(
+            CheckConfig::default(),
+            &[
+                (0, arrived(1)),
+                (1, grant(1, 5, LockMode::Write)),
+                (2, committed(1)),
+                (2, installed(5, 1, 1)),
+                (2, release(1, 5)),
+                (10, arrived(2)),
+                (10, pinned(2, 8)),
+                // The pin is after the install: version 0 is stale.
+                (11, snap_read(2, 5, 0)),
+                (12, committed(2)),
+            ],
+        );
+        assert!(violations.iter().any(|v| v.invariant == "snapshot-consistency"));
+    }
+
+    #[test]
+    fn snapshot_read_ahead_of_pin_fires_consistency() {
+        let violations = run(
+            CheckConfig::default(),
+            &[
+                (0, arrived(1)),
+                (1, grant(1, 5, LockMode::Write)),
+                (2, committed(1)),
+                (2, installed(5, 1, 1)),
+                (2, release(1, 5)),
+                (10, arrived(2)),
+                // The pin predates the install: the reader must see the
+                // initial value, not version 1.
+                (10, pinned(2, 1)),
+                (11, snap_read(2, 5, 1)),
+                (12, committed(2)),
+            ],
+        );
+        assert!(violations.iter().any(|v| v.invariant == "snapshot-consistency"));
+    }
+
+    #[test]
+    fn snapshot_read_without_pin_fires_consistency() {
+        let violations = run(
+            CheckConfig::default(),
+            &[(0, arrived(2)), (1, snap_read(2, 5, 0)), (2, committed(2))],
+        );
+        assert!(violations.iter().any(|v| v.invariant == "snapshot-consistency"));
+    }
+
+    #[test]
+    fn double_pin_fires_snapshot_pin() {
+        let violations = run(
+            CheckConfig::default(),
+            &[
+                (0, arrived(2)),
+                (1, pinned(2, 1)),
+                (2, pinned(2, 2)),
+                (3, committed(2)),
+            ],
+        );
+        assert!(violations.iter().any(|v| v.invariant == "snapshot-pin"));
+    }
+
+    #[test]
+    fn gc_of_pinned_version_fires() {
+        let violations = run(
+            CheckConfig::default(),
+            &[
+                (0, arrived(1)),
+                (1, grant(1, 5, LockMode::Write)),
+                (2, committed(1)),
+                (2, installed(5, 1, 1)),
+                (2, release(1, 5)),
+                (10, arrived(2)),
+                (10, pinned(2, 8)),
+                // The live pin still needs version 1.
+                (
+                    11,
+                    SimEventKind::VersionGced {
+                        object: ObjectId(5),
+                        through: 1,
+                    },
+                ),
+                (12, committed(2)),
+            ],
+        );
+        assert!(violations.iter().any(|v| v.invariant == "gc-pinned-eviction"));
+    }
+
+    #[test]
+    fn gc_behind_every_live_pin_is_legal() {
+        let violations = run(
+            CheckConfig::default(),
+            &[
+                (0, arrived(1)),
+                (1, grant(1, 5, LockMode::Write)),
+                (2, committed(1)),
+                (2, installed(5, 1, 1)),
+                (2, release(1, 5)),
+                (3, arrived(3)),
+                (4, grant(3, 5, LockMode::Write)),
+                (5, committed(3)),
+                (5, installed(5, 2, 3)),
+                (5, release(3, 5)),
+                (10, arrived(2)),
+                (10, pinned(2, 8)),
+                // The pin (t=8) is served by version 2 (installed t=5):
+                // evicting version 1 is safe.
+                (
+                    11,
+                    SimEventKind::VersionGced {
+                        object: ObjectId(5),
+                        through: 1,
+                    },
+                ),
+                (12, snap_read(2, 5, 2)),
+                (13, committed(2)),
+            ],
+        );
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn overlapping_incompatible_latches_fire() {
+        let violations = run(
+            CheckConfig::default(),
+            &[
+                (0, arrived(1)),
+                (0, arrived(2)),
+                (1, latch(1, 2, 5, LockMode::Write)),
+                (2, latch(2, 4, 8, LockMode::Read)),
+            ],
+        );
+        assert!(violations.iter().any(|v| v.invariant == "latch-compatibility"));
+    }
+
+    #[test]
+    fn overlapping_read_latches_are_compatible() {
+        let violations = run(
+            CheckConfig::default(),
+            &[
+                (0, arrived(1)),
+                (0, arrived(2)),
+                (1, latch(1, 2, 5, LockMode::Read)),
+                (2, latch(2, 4, 8, LockMode::Read)),
+                // Disjoint write latches are fine too.
+                (3, latch(1, 10, 10, LockMode::Write)),
+                (4, committed(1)),
+                (4, latch_released(1)),
+                (5, committed(2)),
+                (5, latch_released(2)),
+            ],
+        );
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn unreleased_latch_is_a_leak() {
+        let violations = run(
+            CheckConfig::default(),
+            &[
+                (0, arrived(1)),
+                (1, latch(1, 2, 5, LockMode::Read)),
+                (2, committed(1)),
+            ],
+        );
+        assert!(violations.iter().any(|v| v.invariant == "latch-leak"));
+    }
+
+    #[test]
+    fn latch_waiter_never_woken_is_a_lost_wakeup() {
+        let violations = run(
+            CheckConfig::default(),
+            &[
+                (0, arrived(1)),
+                (0, arrived(2)),
+                (1, latch(1, 2, 5, LockMode::Write)),
+                (
+                    2,
+                    SimEventKind::RangeLatchBlocked {
+                        txn: TxnId(2),
+                        lo: ObjectId(3),
+                        hi: ObjectId(6),
+                        blocker: Some(TxnId(1)),
+                    },
+                ),
+                (3, committed(1)),
+                (3, latch_released(1)),
+                // T2 is never granted nor terminated.
+            ],
+        );
+        assert!(violations.iter().any(|v| v.invariant == "lost-wakeup"));
     }
 }

@@ -250,11 +250,66 @@ pub enum SimEventKind {
         /// The writing transaction.
         writer: TxnId,
     },
+    /// A read-only snapshot transaction pinned its read timestamp at the
+    /// event's site: until it finishes, GC may not evict versions its
+    /// pinned reads need.
+    SnapshotPinned {
+        /// The pinning transaction.
+        txn: TxnId,
+        /// The pinned read timestamp.
+        pin: SimTime,
+    },
+    /// A snapshot transaction read an object at its pinned timestamp
+    /// without taking locks.
+    SnapshotRead {
+        /// The reading transaction.
+        txn: TxnId,
+        /// The object read.
+        object: ObjectId,
+        /// The version number the snapshot observed (0 = the object's
+        /// initial, pre-history value).
+        version: u64,
+    },
+    /// Versions of an object were garbage-collected from the event site's
+    /// version store (watermark permitting).
+    VersionGced {
+        /// The object whose chain shrank.
+        object: ObjectId,
+        /// Versions numbered `..= through` are gone.
+        through: u64,
+    },
+    /// A range latch over a contiguous object interval was acquired.
+    RangeLatchAcquired {
+        /// The acquiring transaction.
+        txn: TxnId,
+        /// First object of the interval (inclusive).
+        lo: ObjectId,
+        /// Last object of the interval (inclusive).
+        hi: ObjectId,
+        /// The latch mode.
+        mode: LockMode,
+    },
+    /// A range latch request blocked on an incompatible holder.
+    RangeLatchBlocked {
+        /// The waiting transaction.
+        txn: TxnId,
+        /// First object of the wanted interval (inclusive).
+        lo: ObjectId,
+        /// Last object of the wanted interval (inclusive).
+        hi: ObjectId,
+        /// One representative holding transaction, if known.
+        blocker: Option<TxnId>,
+    },
+    /// All range latches of a transaction were released.
+    RangeLatchReleased {
+        /// The releasing transaction.
+        txn: TxnId,
+    },
 }
 
 /// Number of distinct [`SimEventKind`] variants ([`SimEventKind::index`]
 /// stays below this).
-pub const EVENT_KIND_COUNT: usize = 29;
+pub const EVENT_KIND_COUNT: usize = 35;
 
 impl SimEventKind {
     /// Stable display name of the variant (used by trace exporters).
@@ -289,6 +344,12 @@ impl SimEventKind {
             SimEventKind::TwoPcDecided { .. } => "TwoPcDecided",
             SimEventKind::TwoPcResolved { .. } => "TwoPcResolved",
             SimEventKind::VersionInstalled { .. } => "VersionInstalled",
+            SimEventKind::SnapshotPinned { .. } => "SnapshotPinned",
+            SimEventKind::SnapshotRead { .. } => "SnapshotRead",
+            SimEventKind::VersionGced { .. } => "VersionGced",
+            SimEventKind::RangeLatchAcquired { .. } => "RangeLatchAcquired",
+            SimEventKind::RangeLatchBlocked { .. } => "RangeLatchBlocked",
+            SimEventKind::RangeLatchReleased { .. } => "RangeLatchReleased",
         }
     }
 
@@ -324,6 +385,12 @@ impl SimEventKind {
             SimEventKind::TwoPcDecided { .. } => 26,
             SimEventKind::TwoPcResolved { .. } => 27,
             SimEventKind::VersionInstalled { .. } => 28,
+            SimEventKind::SnapshotPinned { .. } => 29,
+            SimEventKind::SnapshotRead { .. } => 30,
+            SimEventKind::VersionGced { .. } => 31,
+            SimEventKind::RangeLatchAcquired { .. } => 32,
+            SimEventKind::RangeLatchBlocked { .. } => 33,
+            SimEventKind::RangeLatchReleased { .. } => 34,
         }
     }
 
@@ -348,7 +415,12 @@ impl SimEventKind {
             | SimEventKind::TwoPcStarted { txn, .. }
             | SimEventKind::TwoPcVoted { txn, .. }
             | SimEventKind::TwoPcDecided { txn, .. }
-            | SimEventKind::TwoPcResolved { txn, .. } => Some(txn),
+            | SimEventKind::TwoPcResolved { txn, .. }
+            | SimEventKind::SnapshotPinned { txn, .. }
+            | SimEventKind::SnapshotRead { txn, .. }
+            | SimEventKind::RangeLatchAcquired { txn, .. }
+            | SimEventKind::RangeLatchBlocked { txn, .. }
+            | SimEventKind::RangeLatchReleased { txn } => Some(txn),
             SimEventKind::DeadlockDetected { victim } => Some(victim),
             SimEventKind::ProtocolAnomaly { txn, .. } => txn,
             SimEventKind::VersionInstalled { writer, .. } => Some(writer),
@@ -358,7 +430,8 @@ impl SimEventKind {
             | SimEventKind::MsgDuplicated { .. }
             | SimEventKind::SiteCrashed
             | SimEventKind::SiteRecovered
-            | SimEventKind::ReplicaRepaired { .. } => None,
+            | SimEventKind::ReplicaRepaired { .. }
+            | SimEventKind::VersionGced { .. } => None,
         }
     }
 }
@@ -479,6 +552,41 @@ impl fmt::Display for SimEventKind {
             } => {
                 write!(f, "VersionInstalled {object} v{version} by {writer}")
             }
+            SimEventKind::SnapshotPinned { txn, pin } => {
+                write!(f, "SnapshotPinned {txn} at {}", pin.ticks())
+            }
+            SimEventKind::SnapshotRead {
+                txn,
+                object,
+                version,
+            } => {
+                write!(f, "SnapshotRead {txn} {object} v{version}")
+            }
+            SimEventKind::VersionGced { object, through } => {
+                write!(f, "VersionGced {object} through v{through}")
+            }
+            SimEventKind::RangeLatchAcquired { txn, lo, hi, mode } => {
+                write!(
+                    f,
+                    "RangeLatchAcquired {txn} {lo}..{hi}:{}",
+                    mode_letter(mode)
+                )
+            }
+            SimEventKind::RangeLatchBlocked {
+                txn,
+                lo,
+                hi,
+                blocker,
+            } => {
+                write!(f, "RangeLatchBlocked {txn} {lo}..{hi}")?;
+                if let Some(b) = blocker {
+                    write!(f, " by {b}")?;
+                }
+                Ok(())
+            }
+            SimEventKind::RangeLatchReleased { txn } => {
+                write!(f, "RangeLatchReleased {txn}")
+            }
         }
     }
 }
@@ -539,7 +647,7 @@ impl fmt::Display for SimEvent {
 /// at the next `LockGranted`/`LockUpgraded` (or abort) of the same
 /// transaction; its duration lands in [`MetricsSink::blocking`]. Response
 /// times (`TxnArrived` → `TxnCommitted`) land in [`MetricsSink::response`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MetricsSink {
     counts: [u64; EVENT_KIND_COUNT],
     total: u64,
@@ -547,6 +655,21 @@ pub struct MetricsSink {
     response: Histogram,
     blocked_since: FxHashMap<TxnId, SimTime>,
     arrived_at: FxHashMap<TxnId, SimTime>,
+}
+
+// Derived `Default` needs `[u64; N]: Default`, which the standard library
+// only provides up to N = 32.
+impl Default for MetricsSink {
+    fn default() -> Self {
+        MetricsSink {
+            counts: [0; EVENT_KIND_COUNT],
+            total: 0,
+            blocking: Histogram::default(),
+            response: Histogram::default(),
+            blocked_since: FxHashMap::default(),
+            arrived_at: FxHashMap::default(),
+        }
+    }
 }
 
 impl MetricsSink {
@@ -596,11 +719,14 @@ impl EventSink<SimEvent> for MetricsSink {
                     self.response.record(at.saturating_since(start).ticks());
                 }
             }
-            SimEventKind::LockBlocked { txn, .. } | SimEventKind::CeilingBlocked { txn, .. } => {
+            SimEventKind::LockBlocked { txn, .. }
+            | SimEventKind::CeilingBlocked { txn, .. }
+            | SimEventKind::RangeLatchBlocked { txn, .. } => {
                 self.blocked_since.entry(txn).or_insert(at);
             }
             SimEventKind::LockGranted { txn, .. }
             | SimEventKind::LockUpgraded { txn, .. }
+            | SimEventKind::RangeLatchAcquired { txn, .. }
             | SimEventKind::TxnAborted { txn, .. } => {
                 if let Some(since) = self.blocked_since.remove(&txn) {
                     self.blocking.record(at.saturating_since(since).ticks());
@@ -725,6 +851,27 @@ impl ChromeTraceSink {
                     ", \"object\": {}, \"version\": {version}",
                     object.0
                 ));
+            }
+            SimEventKind::SnapshotPinned { pin, .. } => {
+                out.push_str(&format!(", \"pin\": {}", pin.ticks()));
+            }
+            SimEventKind::SnapshotRead {
+                object, version, ..
+            } => {
+                out.push_str(&format!(
+                    ", \"object\": {}, \"version\": {version}",
+                    object.0
+                ));
+            }
+            SimEventKind::VersionGced { object, through } => {
+                out.push_str(&format!(
+                    ", \"object\": {}, \"through\": {through}",
+                    object.0
+                ));
+            }
+            SimEventKind::RangeLatchAcquired { lo, hi, .. }
+            | SimEventKind::RangeLatchBlocked { lo, hi, .. } => {
+                out.push_str(&format!(", \"lo\": {}, \"hi\": {}", lo.0, hi.0));
             }
             _ => {}
         }

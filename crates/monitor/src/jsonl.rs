@@ -174,6 +174,43 @@ pub fn write_jsonl_line(out: &mut String, at: SimTime, event: &SimEvent) {
                 object.0, writer.0
             ));
         }
+        SimEventKind::SnapshotPinned { txn, pin } => {
+            out.push_str(&format!(",\"txn\":{},\"pin\":{}", txn.0, pin.ticks()));
+        }
+        SimEventKind::SnapshotRead {
+            txn,
+            object,
+            version,
+        } => {
+            out.push_str(&format!(
+                ",\"txn\":{},\"object\":{},\"version\":{version}",
+                txn.0, object.0
+            ));
+        }
+        SimEventKind::VersionGced { object, through } => {
+            out.push_str(&format!(",\"object\":{},\"through\":{through}", object.0));
+        }
+        SimEventKind::RangeLatchAcquired { txn, lo, hi, mode } => {
+            out.push_str(&format!(
+                ",\"txn\":{},\"lo\":{},\"hi\":{},\"mode\":\"{}\"",
+                txn.0,
+                lo.0,
+                hi.0,
+                if mode == LockMode::Write { "W" } else { "R" }
+            ));
+        }
+        SimEventKind::RangeLatchBlocked {
+            txn,
+            lo,
+            hi,
+            blocker,
+        } => {
+            out.push_str(&format!(",\"txn\":{},\"lo\":{},\"hi\":{}", txn.0, lo.0, hi.0));
+            push_opt_txn(out, "blocker", blocker);
+        }
+        SimEventKind::RangeLatchReleased { txn } => {
+            out.push_str(&format!(",\"txn\":{}", txn.0));
+        }
     }
     out.push_str("}\n");
 }
@@ -658,6 +695,34 @@ fn kind_from(fields: &Fields) -> io::Result<SimEventKind> {
             version: fields.u64("version")?,
             writer: fields.txn("writer")?,
         },
+        "SnapshotPinned" => SimEventKind::SnapshotPinned {
+            txn: fields.txn("txn")?,
+            pin: SimTime::from_ticks(fields.u64("pin")?),
+        },
+        "SnapshotRead" => SimEventKind::SnapshotRead {
+            txn: fields.txn("txn")?,
+            object: fields.object("object")?,
+            version: fields.u64("version")?,
+        },
+        "VersionGced" => SimEventKind::VersionGced {
+            object: fields.object("object")?,
+            through: fields.u64("through")?,
+        },
+        "RangeLatchAcquired" => SimEventKind::RangeLatchAcquired {
+            txn: fields.txn("txn")?,
+            lo: fields.object("lo")?,
+            hi: fields.object("hi")?,
+            mode: fields.mode("mode")?,
+        },
+        "RangeLatchBlocked" => SimEventKind::RangeLatchBlocked {
+            txn: fields.txn("txn")?,
+            lo: fields.object("lo")?,
+            hi: fields.object("hi")?,
+            blocker: fields.opt_txn("blocker")?,
+        },
+        "RangeLatchReleased" => SimEventKind::RangeLatchReleased {
+            txn: fields.txn("txn")?,
+        },
         s => return Err(bad(format!("unknown event kind {s:?}"))),
     })
 }
@@ -839,6 +904,43 @@ mod tests {
                 version: 41,
                 writer: TxnId(9),
             },
+            SimEventKind::SnapshotPinned {
+                txn: TxnId(11),
+                pin: t(170),
+            },
+            SimEventKind::SnapshotRead {
+                txn: TxnId(11),
+                object: ObjectId(3),
+                version: 0,
+            },
+            SimEventKind::SnapshotRead {
+                txn: TxnId(11),
+                object: ObjectId(4),
+                version: 41,
+            },
+            SimEventKind::VersionGced {
+                object: ObjectId(3),
+                through: 12,
+            },
+            SimEventKind::RangeLatchAcquired {
+                txn: TxnId(11),
+                lo: ObjectId(2),
+                hi: ObjectId(6),
+                mode: LockMode::Read,
+            },
+            SimEventKind::RangeLatchBlocked {
+                txn: TxnId(12),
+                lo: ObjectId(4),
+                hi: ObjectId(4),
+                blocker: Some(TxnId(11)),
+            },
+            SimEventKind::RangeLatchBlocked {
+                txn: TxnId(12),
+                lo: ObjectId(4),
+                hi: ObjectId(4),
+                blocker: None,
+            },
+            SimEventKind::RangeLatchReleased { txn: TxnId(11) },
         ];
         kinds
             .into_iter()

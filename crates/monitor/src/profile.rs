@@ -3,10 +3,11 @@
 //! The paper's figures reduce every protocol comparison to blocked time;
 //! [`ContentionProfiler`] is the sink that attributes it. It watches the
 //! same blocking episodes [`crate::MetricsSink`] measures — an episode
-//! opens at the first `LockBlocked`/`CeilingBlocked` of a transaction and
-//! closes at its next `LockGranted`/`LockUpgraded`/`TxnAborted` — and
-//! charges each closed episode to the object, blocker edge, and
-//! priority band involved. The identical open/close rule is load-bearing:
+//! opens at the first `LockBlocked`/`CeilingBlocked`/`RangeLatchBlocked`
+//! of a transaction and closes at its next `LockGranted`/`LockUpgraded`/
+//! `RangeLatchAcquired`/`TxnAborted` — and charges each closed episode to
+//! the object (a range-latch wait is charged to the range's first
+//! object), blocker edge, and priority band involved. The identical open/close rule is load-bearing:
 //! the per-object blocked-time total sums *exactly* to
 //! `MetricsSink::blocking().total()` (asserted by `tests/profiling.rs`),
 //! so the profile is a lossless decomposition of the aggregate, not a
@@ -421,8 +422,12 @@ impl EventSink<SimEvent> for ContentionProfiler {
                 object,
                 blocker,
             } => self.open_episode(at, txn, object, blocker, true),
+            SimEventKind::RangeLatchBlocked {
+                txn, lo, blocker, ..
+            } => self.open_episode(at, txn, lo, blocker, false),
             SimEventKind::LockGranted { txn, .. }
             | SimEventKind::LockUpgraded { txn, .. }
+            | SimEventKind::RangeLatchAcquired { txn, .. }
             | SimEventKind::TxnAborted { txn, .. } => self.close_episode(at, txn),
             SimEventKind::MsgSent { from, to } => {
                 let link = self.links.entry((from, to)).or_default();
@@ -645,6 +650,37 @@ mod tests {
         assert_eq!(site_a.latency.max(), 4);
         let site_b = report.rpc.iter().find(|r| r.site == b).unwrap();
         assert_eq!(site_b.retries.count(), 1);
+    }
+
+    #[test]
+    fn latch_waits_are_charged_to_the_range_front() {
+        let mut p = ContentionProfiler::new();
+        p.emit(t(0), arrived(1, 10));
+        p.emit(t(0), arrived(2, 5));
+        p.emit(
+            t(10),
+            ev(SimEventKind::RangeLatchBlocked {
+                txn: TxnId(1),
+                lo: ObjectId(4),
+                hi: ObjectId(9),
+                blocker: Some(TxnId(2)),
+            }),
+        );
+        p.emit(
+            t(35),
+            ev(SimEventKind::RangeLatchAcquired {
+                txn: TxnId(1),
+                lo: ObjectId(4),
+                hi: ObjectId(9),
+                mode: LockMode::Read,
+            }),
+        );
+        let report = p.finish(8);
+        assert_eq!(report.total_blocked_ticks, 25);
+        assert_eq!(report.objects[0].object, ObjectId(4));
+        // The high-priority reader waited behind a low-priority holder:
+        // the episode counts as an inversion on the edge.
+        assert_eq!(report.edges[0].inversion_ticks, 25);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! * [`catalog`] — database configuration: size, replication map, primary
 //!   copies (the paper's "database configuration" menu).
 //! * [`lock`] — a read/write lock table with FIFO or priority wait queues.
+//! * [`latch`] — interval (range) latches so scans coexist with point
+//!   writes without per-object locks.
 //! * [`wfg`] — the waits-for graph and deadlock (cycle) detection.
 //! * [`txn`] — transaction specifications, runtime state and statistics.
 //! * [`history`] — committed-operation logs for serialisability checking.
@@ -26,6 +28,7 @@ pub mod catalog;
 pub mod commit;
 pub mod history;
 pub mod ids;
+pub mod latch;
 pub mod lock;
 pub mod object;
 pub mod scratch;
@@ -37,6 +40,7 @@ pub use catalog::{Catalog, Placement};
 pub use commit::{Coordinator, CoordinatorAction, Participant, ParticipantAction, Vote};
 pub use history::{History, OpKind, Operation};
 pub use ids::{ObjectId, SiteId, TxnId};
+pub use latch::{GrantedLatch, LatchOutcome, RangeLatchManager};
 pub use lock::{GrantedLock, LockEvent, LockMode, LockOutcome, LockTable, QueuePolicy};
 pub use object::{DataObject, ObjectStore};
 pub use scratch::GranuleScratch;

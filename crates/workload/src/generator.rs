@@ -116,7 +116,14 @@ impl<'a> Generator<'a> {
             let read_only = rng.chance(self.spec.read_only_fraction);
             let (site, read_set, write_set) = if read_only {
                 let site = self.random_site(rng);
-                let reads = self.sample_objects(rng, size as usize);
+                let reads = if self.spec.scan_readers {
+                    // A contiguous scan range [start, start + size).
+                    let start =
+                        rng.uniform_inclusive(0, (self.catalog.db_size() - size) as u64) as u32;
+                    (start..start + size).map(ObjectId).collect()
+                } else {
+                    self.sample_objects(rng, size as usize)
+                };
                 (site, reads, Vec::new())
             } else {
                 self.place_update(rng, size)
@@ -367,6 +374,44 @@ mod tests {
         assert_eq!(periodic.len(), 4);
         let arrivals: Vec<u64> = periodic.iter().map(|t| t.arrival.ticks()).collect();
         assert_eq!(arrivals, vec![0, 500, 1000, 1500]);
+    }
+
+    #[test]
+    fn scan_readers_get_contiguous_ranges() {
+        let cat = single_site_catalog();
+        let spec = WorkloadSpec::builder()
+            .txn_count(60)
+            .size(SizeDistribution::Uniform { min: 2, max: 10 })
+            .read_only_fraction(1.0)
+            .scan_readers(true)
+            .build();
+        for t in Generator::new(&spec, &cat).generate(17) {
+            assert!(t.write_set.is_empty());
+            for w in t.read_set.windows(2) {
+                assert_eq!(w[1].0, w[0].0 + 1, "{} read set not contiguous", t.id);
+            }
+            assert!(t.read_set.last().unwrap().0 < cat.db_size());
+        }
+    }
+
+    #[test]
+    fn scan_readers_off_matches_legacy_stream() {
+        // The flag must not perturb the RNG when off: the explicit
+        // `scan_readers(false)` stream equals the default one.
+        let cat = single_site_catalog();
+        let base = WorkloadSpec::builder()
+            .txn_count(40)
+            .read_only_fraction(0.4)
+            .build();
+        let flagged = WorkloadSpec::builder()
+            .txn_count(40)
+            .read_only_fraction(0.4)
+            .scan_readers(false)
+            .build();
+        assert_eq!(
+            Generator::new(&base, &cat).generate(9),
+            Generator::new(&flagged, &cat).generate(9)
+        );
     }
 
     #[test]

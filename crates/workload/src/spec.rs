@@ -98,6 +98,11 @@ pub struct WorkloadSpec {
     /// Within an update transaction, the fraction of accesses that are
     /// writes (at least one write is forced).
     pub write_fraction: f64,
+    /// When set, read-only transactions scan a *contiguous* object range
+    /// instead of sampling uniformly — the shape range latches and
+    /// snapshot reads are built for. Off by default; turning it off draws
+    /// exactly the same stream as before the flag existed.
+    pub scan_readers: bool,
     /// Deadline assignment rule.
     pub deadline: DeadlineRule,
     /// Periodic tasks generated alongside the aperiodic stream.
@@ -160,6 +165,7 @@ impl WorkloadSpecBuilder {
                 size: SizeDistribution::Fixed(4),
                 read_only_fraction: 0.0,
                 write_fraction: 0.5,
+                scan_readers: false,
                 deadline: DeadlineRule {
                     slack_factor: 5.0,
                     per_object_cost: SimDuration::from_ticks(100),
@@ -196,6 +202,12 @@ impl WorkloadSpecBuilder {
     /// Sets the write fraction within update transactions.
     pub fn write_fraction(mut self, f: f64) -> Self {
         self.spec.write_fraction = f;
+        self
+    }
+
+    /// Makes read-only transactions scan contiguous object ranges.
+    pub fn scan_readers(mut self, scan: bool) -> Self {
+        self.spec.scan_readers = scan;
         self
     }
 

@@ -24,6 +24,12 @@
 #      four protocols on real worker threads and replays each merged
 #      event stream through the oracle under CheckConfig::live. Smoke
 #      mode writes no artifacts, so the parity diff in (1) is untouched.
+#   5c. Temporal readers: a reduced `fig_temporal --smoke --check` pass
+#       runs the lock-based, latch-scan and snapshot reader classes at
+#       the highest update rate and asserts the snapshot arm misses
+#       fewer reader deadlines than the lock arm, oracle-checked. Smoke
+#       mode writes no artifacts; the committed fig_temporal.json golden
+#       is covered by the parity diff in (1).
 #   6. Inspection: the run records a replayable JSONL trace
 #      (results/all_figures.trace.jsonl, committed, covered by the
 #      parity diff in (1)) and `rtlock-inspect` must answer `summary`
@@ -70,6 +76,11 @@ RTLOCK_BENCH_WORKERS=1 ./target/release/fig_scale --smoke --check
 # Real-threads backend, oracle-checked. `--smoke` writes no artifacts,
 # so the committed fig_live.json and BENCH_SWEEP entry survive.
 RTLOCK_BENCH_WORKERS=1 ./target/release/fig_live --smoke --check
+
+# Reader service classes over the multiversion store. Asserts snapshot
+# readers beat lock-based readers on deadline misses at the top update
+# rate; `--smoke` writes no artifacts.
+RTLOCK_BENCH_WORKERS=1 ./target/release/fig_temporal --smoke --check
 
 echo "perf-smoke: checking simulation output parity"
 if ! git diff --exit-code -I'"wall_clock_seconds"' -I'"workers"' -- results/; then
